@@ -1,0 +1,182 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * cost-model robustness — the GG-over-baseline advantage must survive
+//!   ±50% perturbation of the virtual machine's cost constants;
+//! * GVT frequency and zero-counter threshold — the paper fixes 200 / 2000
+//!   "based on static analysis"; these groups sweep the ratio.
+//!
+//! Each bench runs the simulation and *asserts the shape* (GG ≥ baseline on
+//! the imbalanced workload) before measuring, so `cargo bench` doubles as a
+//! regression gate on the reproduction's headline result.
+
+use bench_support::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use models::{LocalityPattern, Phold, PholdConfig};
+use sim_rt::{run_sim, RunConfig, SimCost, SystemConfig};
+use std::sync::Arc;
+
+fn quick_model(threads: usize) -> Arc<Phold> {
+    let scale = Scale::quick();
+    let mut cfg = PholdConfig::imbalanced(
+        threads,
+        scale.phold_lps,
+        4,
+        scale.end_time,
+        LocalityPattern::Linear,
+    );
+    cfg.lookahead = scale.lookahead;
+    cfg.mean_delay = scale.mean_delay;
+    Arc::new(Phold::new(cfg))
+}
+
+fn gg_vs_baseline_rate(model: &Arc<Phold>, threads: usize, cost: &SimCost) -> (f64, f64) {
+    let scale = Scale::quick();
+    let run = |sys| {
+        let mut rc = RunConfig::new(threads, scale.engine(), sys).with_machine(scale.machine());
+        rc.cost = cost.clone();
+        run_sim(model, &rc).metrics.committed_event_rate()
+    };
+    (run(SystemConfig::ALL_SIX[5]), run(SystemConfig::ALL_SIX[1]))
+}
+
+fn ablation_cost_model(c: &mut Criterion) {
+    let threads = Scale::quick().hw_threads() * 2;
+    let model = quick_model(threads);
+    let mut g = c.benchmark_group("ablation_cost_model");
+    g.sample_size(10);
+    for (name, factor) in [("half", 0.5f64), ("nominal", 1.0), ("double", 2.0)] {
+        let base = SimCost::default();
+        let scaled = |v: u64| ((v as f64 * factor) as u64).max(1);
+        let cost = SimCost {
+            poll: scaled(base.poll),
+            recv_msg: scaled(base.recv_msg),
+            proc_event: base.proc_event, // the unit of work stays fixed
+            send_msg: scaled(base.send_msg),
+            rollback_event: scaled(base.rollback_event),
+            gvt_phase: scaled(base.gvt_phase),
+            phase_check: scaled(base.phase_check),
+            sched_op: scaled(base.sched_op),
+            affinity_op: scaled(base.affinity_op),
+            scan_per_thread: scaled(base.scan_per_thread),
+            idle_polls_per_step: base.idle_polls_per_step,
+        };
+        // Shape gate: GG must stay ahead of Baseline-Async on the
+        // over-subscribed imbalanced workload under every perturbation.
+        let (gg, baseline) = gg_vs_baseline_rate(&model, threads, &cost);
+        assert!(
+            gg > baseline,
+            "{name}: GG ({gg:.0}) must beat baseline ({baseline:.0})"
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| gg_vs_baseline_rate(&model, threads, &cost))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_gvt_frequency(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let threads = scale.hw_threads() * 2;
+    let model = quick_model(threads);
+    let mut g = c.benchmark_group("ablation_gvt_interval");
+    g.sample_size(10);
+    for interval in [10u32, 25, 100] {
+        let engine = scale
+            .engine()
+            .with_gvt_interval(interval)
+            .with_zero_counter_threshold(interval * 10);
+        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
+            .with_machine(scale.machine());
+        g.bench_function(format!("interval_{interval}"), |b| {
+            b.iter(|| run_sim(&model, &rc))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_zero_counter(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let threads = scale.hw_threads() * 2;
+    let model = quick_model(threads);
+    let mut g = c.benchmark_group("ablation_zero_counter");
+    g.sample_size(10);
+    for mult in [2u32, 10, 40] {
+        let engine = scale
+            .engine()
+            .with_zero_counter_threshold(scale.gvt_interval * mult);
+        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
+            .with_machine(scale.machine());
+        g.bench_function(format!("threshold_{mult}x_interval"), |b| {
+            b.iter(|| run_sim(&model, &rc))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_state_saving(c: &mut Criterion) {
+    // Sparse snapshots trade copy bandwidth for coast-forward replay; the
+    // committed trace is identical (property-tested), so this group measures
+    // pure engine cost.
+    let scale = Scale::quick();
+    let threads = scale.hw_threads();
+    let model = quick_model(threads);
+    let mut g = c.benchmark_group("ablation_snapshot_period");
+    g.sample_size(10);
+    for period in [1u32, 4, 16] {
+        let engine = scale.engine().with_snapshot_period(period);
+        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
+            .with_machine(scale.machine());
+        // Shape gate: identical committed counts at every period.
+        let baseline = {
+            let rc1 = RunConfig::new(
+                threads,
+                scale.engine().with_snapshot_period(1),
+                SystemConfig::ALL_SIX[5],
+            )
+            .with_machine(scale.machine());
+            run_sim(&model, &rc1).metrics.commit_digest
+        };
+        assert_eq!(run_sim(&model, &rc).metrics.commit_digest, baseline);
+        g.bench_function(format!("period_{period}"), |b| b.iter(|| run_sim(&model, &rc)));
+    }
+    g.finish();
+}
+
+fn ablation_optimism_window(c: &mut Criterion) {
+    // A tight window suppresses rollbacks at the cost of throttled progress.
+    let scale = Scale::quick();
+    let threads = scale.hw_threads() * 2;
+    let model = quick_model(threads);
+    let mut g = c.benchmark_group("ablation_optimism_window");
+    g.sample_size(10);
+    let rollbacks = |w: Option<f64>| {
+        let engine = scale.engine().with_optimism_window(w);
+        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
+            .with_machine(scale.machine());
+        run_sim(&model, &rc).metrics.rolled_back
+    };
+    // Shape gate: a tight window must reduce rollbacks vs unthrottled.
+    let tight = rollbacks(Some(0.5));
+    let open = rollbacks(None);
+    assert!(
+        tight <= open,
+        "window must not increase rollbacks (tight {tight} vs open {open})"
+    );
+    for (name, w) in [("unbounded", None), ("w2", Some(2.0)), ("w05", Some(0.5))] {
+        let engine = scale.engine().with_optimism_window(w);
+        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
+            .with_machine(scale.machine());
+        g.bench_function(name, |b| b.iter(|| run_sim(&model, &rc)));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_cost_model,
+    ablation_gvt_frequency,
+    ablation_zero_counter,
+    ablation_state_saving,
+    ablation_optimism_window
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Figure-shaped benchmarks: each group exercises the exact workload of one
+//! of the paper's figures at `Scale::quick()` and measures how long the
+//! virtual-machine reproduction takes to regenerate its key data point.
+//! (The full sweeps and the paper-style tables come from the `repro`
+//! binary; these groups keep the figure paths exercised under
+//! `cargo bench` and catch performance regressions in the simulator
+//! itself.)
+
+use bench_support::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use models::{LocalityPattern, Phold, PholdConfig, Traffic, TrafficConfig};
+use pdes_core::MapKind;
+use sim_rt::{run_sim, RunConfig, SystemConfig};
+use std::sync::Arc;
+
+fn phold_point(c: &mut Criterion, group: &str, k: usize, threads: usize, sys: SystemConfig) {
+    let scale = Scale::quick();
+    let mut cfg = if k <= 1 {
+        PholdConfig::balanced(threads, scale.phold_lps)
+    } else {
+        PholdConfig::imbalanced(threads, scale.phold_lps, k, scale.end_time, LocalityPattern::Linear)
+    };
+    cfg.lookahead = scale.lookahead;
+    cfg.mean_delay = scale.mean_delay;
+    let model = Arc::new(Phold::new(cfg));
+    let rc = RunConfig::new(threads, scale.engine(), sys).with_machine(scale.machine());
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function(format!("{}_T{threads}", sys.name()), |b| {
+        b.iter(|| run_sim(&model, &rc))
+    });
+    g.finish();
+}
+
+fn fig2_balanced(c: &mut Criterion) {
+    let hw = Scale::quick().hw_threads();
+    for sys in [SystemConfig::ALL_SIX[0], SystemConfig::ALL_SIX[5]] {
+        phold_point(c, "fig2_balanced", 1, hw, sys);
+    }
+}
+
+fn fig3_imbalanced(c: &mut Criterion) {
+    let hw = Scale::quick().hw_threads();
+    for sys in [SystemConfig::ALL_SIX[0], SystemConfig::ALL_SIX[3], SystemConfig::ALL_SIX[5]] {
+        phold_point(c, "fig3_imbalanced_1_4", 4, hw * 2, sys);
+    }
+}
+
+fn fig4_oversubscribed(c: &mut Criterion) {
+    let hw = Scale::quick().hw_threads();
+    for sys in [SystemConfig::ALL_SIX[1], SystemConfig::ALL_SIX[5]] {
+        phold_point(c, "fig4_oversub_1_8", 8, hw * 2, sys);
+    }
+}
+
+fn fig6_traffic(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let threads = scale.hw_threads();
+    let mut cfg = TrafficConfig::new(threads, scale.traffic_lps, 0.5);
+    cfg.mapping = MapKind::Block;
+    cfg.travel_scale = 0.12;
+    cfg.lookahead = 0.01;
+    let model = Arc::new(Traffic::new(cfg));
+    let mut g = c.benchmark_group("fig6_traffic");
+    g.sample_size(10);
+    for sys in SystemConfig::HEADLINE {
+        let rc = RunConfig::new(threads, scale.engine(), sys).with_machine(scale.machine());
+        g.bench_function(format!("{}_T{threads}", sys.name()), |b| {
+            b.iter(|| run_sim(&model, &rc))
+        });
+    }
+    g.finish();
+}
+
+fn fig7_affinity(c: &mut Criterion) {
+    use sim_rt::{AffinityPolicy, GvtMode, Scheduler};
+    let scale = Scale::quick();
+    let threads = scale.hw_threads() * 2;
+    let mut cfg = PholdConfig::imbalanced(
+        threads,
+        scale.phold_lps,
+        4,
+        scale.end_time,
+        LocalityPattern::Strided,
+    );
+    cfg.lookahead = scale.lookahead;
+    cfg.mean_delay = scale.mean_delay;
+    let model = Arc::new(Phold::new(cfg));
+    let mut g = c.benchmark_group("fig7_affinity_strided");
+    g.sample_size(10);
+    for policy in [
+        AffinityPolicy::NoAffinity,
+        AffinityPolicy::Constant,
+        AffinityPolicy::Dynamic,
+    ] {
+        let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, policy);
+        let rc = RunConfig::new(threads, scale.engine(), sys).with_machine(scale.machine());
+        g.bench_function(format!("{}_T{threads}", sys.name()), |b| {
+            b.iter(|| run_sim(&model, &rc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig2_balanced,
+    fig3_imbalanced,
+    fig4_oversubscribed,
+    fig6_traffic,
+    fig7_affinity
+);
+criterion_main!(benches);

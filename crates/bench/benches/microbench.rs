@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the Time Warp core data structures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use models::{Burr, Phold, PholdConfig};
+use pdes_core::pending::PendingSet;
+use pdes_core::{run_sequential, DetRng, EngineConfig, Event, EventKey, EventUid, LpId};
+use std::sync::Arc;
+
+fn bench_pending_set(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pending_set");
+    g.bench_function("insert_pop_1k", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        let events: Vec<Event<u32>> = (0..1000)
+            .map(|i| Event {
+                key: EventKey {
+                    recv_time: pdes_core::VirtualTime::from_f64(rng.next_f64() * 100.0),
+                    dst: LpId(i % 64),
+                    uid: EventUid::new(LpId(i % 64), i as u64),
+                },
+                send_time: pdes_core::VirtualTime::ZERO,
+                payload: i,
+            })
+            .collect();
+        b.iter_batched(
+            || events.clone(),
+            |events| {
+                let mut ps = PendingSet::new();
+                for e in events {
+                    ps.insert(e);
+                }
+                while ps.pop_min().is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("detrng_u64", |b| {
+        let mut rng = DetRng::seed_from_u64(7);
+        b.iter(|| rng.next_f64());
+    });
+    g.bench_function("burr_sample", |b| {
+        let mut rng = DetRng::seed_from_u64(7);
+        let burr = Burr::TRAVEL_TIME;
+        b.iter(|| burr.sample(&mut rng));
+    });
+    g.finish();
+}
+
+fn bench_sequential_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_engine");
+    g.sample_size(10);
+    g.bench_function("phold_10k_events", |b| {
+        let model = Arc::new(Phold::new(PholdConfig::balanced(8, 8)));
+        let cfg = EngineConfig::default().with_end_time(1e9).with_seed(3);
+        b.iter(|| run_sequential(&model, &cfg, Some(10_000)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pending_set, bench_rng, bench_sequential_engine);
+criterion_main!(benches);

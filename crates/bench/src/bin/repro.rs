@@ -1,0 +1,128 @@
+//! Regenerate every figure and in-text table of the paper.
+//!
+//! ```text
+//! repro [TARGETS] [--scale quick|default|knl] [--out DIR]
+//!
+//! TARGETS   any of: fig2 fig3a fig3b fig4a fig4b fig5a fig5b fig6a fig6b
+//!           fig7a fig7b tables all        (default: all)
+//! --scale   experiment scale preset       (default: default)
+//! --out     write CSV/JSON to DIR         (default: results/)
+//! ```
+
+use bench_support::{
+    fig2, fig3, fig4, fig5, fig6, fig7, gvt_table, instr_table, mem_table, rollback_table,
+    Figure, Scale,
+};
+use metrics::Table;
+use models::LocalityPattern;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::time::Instant;
+
+fn write_outputs(dir: &str, name: &str, table: &Table) {
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let csv = format!("{dir}/{name}.csv");
+    std::fs::write(&csv, table.to_csv()).expect("write csv");
+    let json = format!("{dir}/{name}.json");
+    std::fs::write(&json, table.to_json()).expect("write json");
+}
+
+fn emit(dir: &str, fig: &Figure) {
+    println!("{}", fig.table.to_text());
+    write_outputs(dir, fig.id, &fig.table);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    let mut scale = Scale::default_scale();
+    let mut out_dir = "results".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = Scale::by_name(v)
+                    .unwrap_or_else(|| panic!("unknown scale '{v}' (quick|default|knl)"));
+            }
+            "--out" => out_dir = it.next().expect("--out needs a value").clone(),
+            other => {
+                targets.insert(other.to_string());
+            }
+        }
+    }
+    if targets.is_empty() || targets.contains("all") {
+        for t in [
+            "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b",
+            "fig7a", "fig7b", "tables",
+        ] {
+            targets.insert(t.to_string());
+        }
+        targets.remove("all");
+    }
+
+    println!(
+        "# GG-PDES reproduction — scale '{}': {} cores × {} SMT = {} hw threads",
+        scale.name,
+        scale.cores,
+        scale.smt,
+        scale.hw_threads()
+    );
+    let t0 = Instant::now();
+    let mut figs: Vec<Figure> = Vec::new();
+    let run =
+        |want: bool, f: &mut dyn FnMut() -> Figure, figs: &mut Vec<Figure>, dir: &str| {
+            if want {
+                let t = Instant::now();
+                let fig = f();
+                emit(dir, &fig);
+                println!("  [{} in {:.1}s]\n", fig.id, t.elapsed().as_secs_f64());
+                figs.push(fig);
+            }
+        };
+
+    let has = |t: &str| targets.contains(t);
+    run(has("fig2"), &mut || fig2(&scale), &mut figs, &out_dir);
+    run(has("fig3a"), &mut || fig3(&scale, 2), &mut figs, &out_dir);
+    run(has("fig3b"), &mut || fig3(&scale, 4), &mut figs, &out_dir);
+    run(has("fig4a"), &mut || fig4(&scale, 8), &mut figs, &out_dir);
+    run(has("fig4b"), &mut || fig4(&scale, 16), &mut figs, &out_dir);
+    run(has("fig5a"), &mut || fig5(&scale, 4), &mut figs, &out_dir);
+    run(has("fig5b"), &mut || fig5(&scale, 8), &mut figs, &out_dir);
+    run(has("fig6a"), &mut || fig6(&scale, 0.35), &mut figs, &out_dir);
+    run(has("fig6b"), &mut || fig6(&scale, 0.5), &mut figs, &out_dir);
+    run(
+        has("fig7a"),
+        &mut || fig7(&scale, LocalityPattern::Linear),
+        &mut figs,
+        &out_dir,
+    );
+    run(
+        has("fig7b"),
+        &mut || fig7(&scale, LocalityPattern::Strided),
+        &mut figs,
+        &out_dir,
+    );
+
+    if has("tables") && !figs.is_empty() {
+        let refs: Vec<&Figure> = figs.iter().collect();
+        let g = gvt_table(&refs);
+        println!("{}", g.to_text());
+        write_outputs(&out_dir, "gvt_table", &g);
+        let i = instr_table(&refs);
+        println!("{}", i.to_text());
+        write_outputs(&out_dir, "instr_table", &i);
+        if let Some(f6) = figs.iter().find(|f| f.id.starts_with("fig6")) {
+            let rb = rollback_table(f6);
+            println!("{}", rb.to_text());
+            write_outputs(&out_dir, "rollback_table", &rb);
+        }
+        let (threads, cores, bytes) = mem_table();
+        println!(
+            "# Dynamic CPU affinity footprint: {bytes} bytes for {threads} threads / {cores} cores (paper: ~17 KB)\n"
+        );
+    }
+
+    println!("# total {:.1}s", t0.elapsed().as_secs_f64());
+    std::io::stdout().flush().expect("flush");
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the machine scheduler: no task is ever lost, all
+//! work is conserved, and runs are deterministic, under random task mixes
+//! and machine shapes.
+
+use machine::{Ctx, Machine, MachineConfig, Step, Task, WorkTag};
+use proptest::prelude::*;
+
+/// A task performing a fixed schedule of work slices, yields, and sleeps.
+struct Script {
+    ops: Vec<ScriptOp>,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ScriptOp {
+    Work(u64),
+    Yield,
+    Sleep(u64),
+}
+
+impl Task for Script {
+    fn step(&mut self, _ctx: &mut Ctx<'_>) -> Step {
+        let Some(&op) = self.ops.get(self.pos) else {
+            return Step::Done;
+        };
+        self.pos += 1;
+        match op {
+            ScriptOp::Work(c) => Step::work(c, WorkTag::Sim),
+            ScriptOp::Yield => Step::Yield,
+            ScriptOp::Sleep(ns) => Step::Sleep(ns),
+        }
+    }
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<ScriptOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..5000).prop_map(ScriptOp::Work),
+            Just(ScriptOp::Yield),
+            (1u64..20_000).prop_map(ScriptOp::Sleep),
+        ],
+        1..20,
+    )
+}
+
+fn total_work(ops: &[ScriptOp]) -> u64 {
+    ops.iter()
+        .map(|op| match op {
+            ScriptOp::Work(c) => *c,
+            _ => 0,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every task finishes, and the exact requested work is accounted.
+    #[test]
+    fn work_is_conserved(
+        scripts in prop::collection::vec(arb_script(), 1..8),
+        cores in 1usize..4,
+        smt in 1usize..3,
+        pin_mask in any::<u8>(),
+    ) {
+        let mut cfg = MachineConfig::small(cores, smt);
+        cfg.quantum = 10_000;
+        let mut m = Machine::new(cfg);
+        for (i, ops) in scripts.iter().enumerate() {
+            let pin = if pin_mask & (1 << (i % 8)) != 0 {
+                Some(i % cores)
+            } else {
+                None
+            };
+            m.add_task(
+                Box::new(Script { ops: ops.clone(), pos: 0 }),
+                format!("t{i}"),
+                pin,
+            );
+        }
+        let r = m.run(None).expect("no deadlock possible");
+        prop_assert!(r.tasks.iter().all(|t| t.finished));
+        for (i, ops) in scripts.iter().enumerate() {
+            prop_assert_eq!(
+                r.tasks[i].work_for(WorkTag::Sim),
+                total_work(ops),
+                "task {} work accounting", i
+            );
+        }
+    }
+
+    /// Same configuration → bit-identical report.
+    #[test]
+    fn machine_is_deterministic(
+        scripts in prop::collection::vec(arb_script(), 1..6),
+        cores in 1usize..4,
+    ) {
+        let build = || {
+            let mut cfg = MachineConfig::small(cores, 2);
+            cfg.quantum = 7_000;
+            let mut m = Machine::new(cfg);
+            for (i, ops) in scripts.iter().enumerate() {
+                m.add_task(Box::new(Script { ops: ops.clone(), pos: 0 }), format!("t{i}"), None);
+            }
+            m.run(None).expect("completes")
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.virtual_ns, b.virtual_ns);
+        prop_assert_eq!(a.ctx_switches, b.ctx_switches);
+        prop_assert_eq!(a.migrations, b.migrations);
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            prop_assert_eq!(x.cpu_time, y.cpu_time);
+            prop_assert_eq!(x.work, y.work);
+        }
+    }
+
+    /// Virtual time is bounded below by the critical path: a machine can
+    /// never finish faster than the largest single-task work total, and
+    /// never faster than total work spread over all contexts at peak
+    /// throughput.
+    #[test]
+    fn virtual_time_lower_bounds(
+        scripts in prop::collection::vec(arb_script(), 1..6),
+        cores in 1usize..4,
+    ) {
+        let cfg = MachineConfig::small(cores, 1);
+        let mut m = Machine::new(cfg);
+        for (i, ops) in scripts.iter().enumerate() {
+            m.add_task(Box::new(Script { ops: ops.clone(), pos: 0 }), format!("t{i}"), None);
+        }
+        let r = m.run(None).expect("completes");
+        let per_task_max = scripts.iter().map(|s| total_work(s)).max().unwrap_or(0);
+        let total: u64 = scripts.iter().map(|s| total_work(s)).sum();
+        prop_assert!(r.virtual_ns >= per_task_max, "{} < {}", r.virtual_ns, per_task_max);
+        prop_assert!(
+            r.virtual_ns >= total / cores as u64,
+            "{} < {}", r.virtual_ns, total / cores as u64
+        );
+    }
+}

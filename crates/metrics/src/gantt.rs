@@ -1,0 +1,89 @@
+//! ASCII activity gantt: render per-thread scheduled-in/out intervals the
+//! way the paper's Figure 1 sketches them.
+//!
+//! Input is the transition list produced by `sim_rt::SimResult::timeline`:
+//! `(time, thread, scheduled_in)`. Threads start scheduled-in.
+
+/// Render an activity gantt. `width` columns cover `[0, horizon]`;
+/// `█` = scheduled in, `·` = de-scheduled.
+pub fn render_gantt(
+    transitions: &[(u64, usize, bool)],
+    num_threads: usize,
+    horizon: u64,
+    width: usize,
+) -> String {
+    assert!(width >= 2 && num_threads >= 1);
+    let horizon = horizon.max(1);
+    // Per-thread sorted transition times.
+    let mut per: Vec<Vec<(u64, bool)>> = vec![Vec::new(); num_threads];
+    for &(t, th, s) in transitions {
+        if th < num_threads {
+            per[th].push((t, s));
+        }
+    }
+    let mut out = String::new();
+    let label_w = num_threads.saturating_sub(1).to_string().len().max(1);
+    for (th, trs) in per.iter().enumerate() {
+        let mut row = format!("T{th:<label_w$} ");
+        let mut idx = 0;
+        let mut state = true; // threads start scheduled-in
+        for col in 0..width {
+            // Time at the *end* of this column's slot.
+            let t = (col as u64 + 1) * horizon / width as u64;
+            while idx < trs.len() && trs[idx].0 <= t {
+                state = trs[idx].1;
+                idx += 1;
+            }
+            row.push(if state { '█' } else { '·' });
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    let mut axis = format!("{:label_w$}  0", "");
+    let horizon_ms = horizon as f64 * 1e-6;
+    let tail = format!("{horizon_ms:.1} ms (virtual)");
+    let pad = (width + 1).saturating_sub(1 + tail.len());
+    axis.push_str(&" ".repeat(pad));
+    axis.push_str(&tail);
+    out.push_str(&axis);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_schedule_out_and_in() {
+        // Thread 1 parks at 50% and returns at 75%.
+        let transitions = vec![(500u64, 1usize, false), (750, 1, true)];
+        let g = render_gantt(&transitions, 2, 1000, 8);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "T0 ████████");
+        // A transition landing exactly on a column boundary applies to that
+        // column (the column shows the state at its end time).
+        assert_eq!(lines[1], "T1 ███··███");
+    }
+
+    #[test]
+    fn threads_without_transitions_stay_active() {
+        let g = render_gantt(&[], 3, 100, 4);
+        for line in g.lines().take(3) {
+            assert!(line.ends_with("████"), "{line}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_threads_are_ignored() {
+        let g = render_gantt(&[(10, 99, false)], 1, 100, 4);
+        assert!(g.lines().next().expect("row").contains("████"));
+    }
+
+    #[test]
+    fn axis_shows_horizon() {
+        let g = render_gantt(&[], 1, 2_000_000, 10);
+        assert!(g.contains("2.0 ms"), "{g}");
+    }
+}

@@ -1,0 +1,14 @@
+//! # ggpdes-metrics — experiment metrics and reporting
+//!
+//! The paper reports *committed event rate* (committed events per wall-clock
+//! second), per-round GVT CPU time, instruction counts, and rollback
+//! statistics. This crate defines the common result record produced by both
+//! runtimes plus table/CSV/JSON reporters used by the benchmark harness.
+
+pub mod gantt;
+pub mod report;
+pub mod run;
+
+pub use gantt::render_gantt;
+pub use report::{Series, Table};
+pub use run::RunMetrics;

@@ -1,0 +1,219 @@
+//! Figure/table reporters: aligned text, CSV, and JSON.
+
+use crate::run::RunMetrics;
+use serde::{Deserialize, Serialize};
+
+/// One line series of a figure: committed event rate (or any y metric)
+/// against thread count, for one system.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    pub name: String,
+    /// `(x, y)` points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(x > last, "x must be ascending ({x} after {last})");
+        }
+        self.points.push((x, y));
+    }
+
+    /// y value at a given x, if present.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// A figure: several series over a common x axis.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Table {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl Table {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    pub fn series_mut(&mut self, name: &str) -> &mut Series {
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            return &mut self.series[i];
+        }
+        self.series.push(Series::new(name));
+        self.series.last_mut().expect("just pushed")
+    }
+
+    /// Record a run's committed event rate as a point.
+    pub fn record_rate(&mut self, m: &RunMetrics) {
+        self.series_mut(&m.system)
+            .push(m.threads as f64, m.committed_event_rate());
+    }
+
+    /// All distinct x values, ascending.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Render an aligned text table (rows = x values, columns = series).
+    /// Decimal places adapt to the magnitude of the values so small
+    /// quantities (e.g. seconds per GVT round) stay readable.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let xs = self.xs();
+        let max_y = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(_, y)| y.abs()))
+            .fold(0.0f64, f64::max);
+        let decimals = if max_y >= 1000.0 {
+            1
+        } else if max_y >= 1.0 {
+            3
+        } else {
+            6
+        };
+        let mut out = String::new();
+        writeln!(out, "# {}", self.title).expect("write to string");
+        let mut header = format!("{:>12}", self.x_label);
+        for s in &self.series {
+            header.push_str(&format!(" {:>18}", s.name));
+        }
+        writeln!(out, "{header}").expect("write to string");
+        for x in xs {
+            let mut row = format!("{x:>12.0}");
+            for s in &self.series {
+                match s.at(x) {
+                    Some(y) => row.push_str(&format!(" {y:>18.decimals$}")),
+                    None => row.push_str(&format!(" {:>18}", "-")),
+                }
+            }
+            writeln!(out, "{row}").expect("write to string");
+        }
+        out
+    }
+
+    /// Render CSV (header `x,series1,series2,…`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let xs = self.xs();
+        let mut out = String::new();
+        let names: Vec<&str> = self.series.iter().map(|s| s.name.as_str()).collect();
+        writeln!(out, "{},{}", self.x_label, names.join(",")).expect("write to string");
+        for x in xs {
+            let mut row = format!("{x}");
+            for s in &self.series {
+                row.push(',');
+                if let Some(y) = s.at(x) {
+                    row.push_str(&format!("{y}"));
+                }
+            }
+            writeln!(out, "{row}").expect("write to string");
+        }
+        out
+    }
+
+    /// JSON form (serde).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", "threads", "rate");
+        t.series_mut("A").push(32.0, 100.0);
+        t.series_mut("A").push(64.0, 180.0);
+        t.series_mut("B").push(32.0, 90.0);
+        t
+    }
+
+    #[test]
+    fn series_lookup() {
+        let t = sample();
+        assert_eq!(t.series[0].at(32.0), Some(100.0));
+        assert_eq!(t.series[1].at(64.0), None);
+        assert_eq!(t.xs(), vec![32.0, 64.0]);
+    }
+
+    #[test]
+    fn text_table_contains_all_points() {
+        let txt = sample().to_text();
+        assert!(txt.contains("Fig X"));
+        assert!(txt.contains("100.0"));
+        assert!(txt.contains("180.0"));
+        // Missing B@64 shown as dash.
+        assert!(txt.lines().last().expect("non-empty").contains('-'));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("threads,A,B"));
+        assert_eq!(lines.next(), Some("32,100,90"));
+        assert_eq!(lines.next(), Some("64,180,"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let j = t.to_json();
+        let back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.series, t.series);
+    }
+
+    #[test]
+    fn record_rate_uses_system_and_threads() {
+        let mut t = Table::new("f", "threads", "rate");
+        t.record_rate(&RunMetrics {
+            system: "S".into(),
+            threads: 8,
+            committed: 10,
+            wall_secs: 2.0,
+            ..Default::default()
+        });
+        assert_eq!(t.series_mut("S").at(8.0), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_monotone_x_rejected() {
+        let mut s = Series::new("s");
+        s.push(2.0, 1.0);
+        s.push(1.0, 1.0);
+    }
+}

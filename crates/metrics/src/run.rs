@@ -1,0 +1,108 @@
+//! The per-run metrics record.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything measured in one simulation run. Produced by both runtimes so
+/// experiments can compare systems uniformly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunMetrics {
+    /// System under test, e.g. `"GG-PDES-Async"`.
+    pub system: String,
+    /// Simulation threads in the run.
+    pub threads: usize,
+    /// Total LPs.
+    pub lps: usize,
+    /// Wall-clock seconds (virtual for `sim-rt`, real for `thread-rt`).
+    pub wall_secs: f64,
+    /// Events committed (survived to / below GVT).
+    pub committed: u64,
+    /// Events processed, including later-rolled-back ones.
+    pub processed: u64,
+    /// Events undone by rollbacks.
+    pub rolled_back: u64,
+    /// Rollback episodes.
+    pub rollbacks: u64,
+    /// Anti-messages sent.
+    pub antis_sent: u64,
+    /// GVT rounds completed.
+    pub gvt_rounds: u64,
+    /// CPU time spent inside GVT computation, summed over threads (seconds).
+    pub gvt_cpu_secs: f64,
+    /// Total raw work units executed ("instructions").
+    pub total_work: u64,
+    /// Work units spent polling empty queues or spinning.
+    pub wasted_work: u64,
+    /// Maximum threads simultaneously de-scheduled (demand-driven systems).
+    pub max_descheduled: usize,
+    /// XOR-fold commit digest (for cross-runtime correctness checks).
+    pub commit_digest: u64,
+}
+
+impl RunMetrics {
+    /// The paper's headline metric: committed events per wall-clock second.
+    pub fn committed_event_rate(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / self.wall_secs
+    }
+
+    /// Average CPU seconds per GVT round, accumulated over threads —
+    /// the quantity quoted throughout the paper's §6.
+    pub fn gvt_secs_per_round(&self) -> f64 {
+        if self.gvt_rounds == 0 {
+            return 0.0;
+        }
+        self.gvt_cpu_secs / self.gvt_rounds as f64
+    }
+
+    /// Fraction of processed events that were rolled back.
+    pub fn rollback_ratio(&self) -> f64 {
+        if self.processed == 0 {
+            return 0.0;
+        }
+        self.rolled_back as f64 / self.processed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let m = RunMetrics {
+            committed: 100,
+            processed: 125,
+            rolled_back: 25,
+            wall_secs: 2.0,
+            gvt_rounds: 4,
+            gvt_cpu_secs: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(m.committed_event_rate(), 50.0);
+        assert_eq!(m.gvt_secs_per_round(), 0.25);
+        assert_eq!(m.rollback_ratio(), 0.2);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let m = RunMetrics::default();
+        assert_eq!(m.committed_event_rate(), 0.0);
+        assert_eq!(m.gvt_secs_per_round(), 0.0);
+        assert_eq!(m.rollback_ratio(), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let m = RunMetrics {
+            system: "GG-PDES-Async".into(),
+            threads: 256,
+            ..Default::default()
+        };
+        let j = serde_json::to_string(&m).unwrap();
+        assert!(j.contains("GG-PDES-Async"));
+        let back: RunMetrics = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, m);
+    }
+}

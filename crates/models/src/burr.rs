@@ -1,0 +1,99 @@
+//! Burr type XII distribution.
+//!
+//! The Traffic model draws vehicle travel times from a Burr distribution
+//! with `c = 12.4`, `k = 0.46` (paper §2.3.3, citing empirical travel-time
+//! studies). Sampling is by inverse CDF:
+//!
+//! `F(x) = 1 − (1 + x^c)^(−k)`  ⇒  `x = ((1 − u)^(−1/k) − 1)^(1/c)`.
+
+use pdes_core::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Burr XII distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Burr {
+    pub c: f64,
+    pub k: f64,
+}
+
+impl Burr {
+    /// The paper's travel-time parameters.
+    pub const TRAVEL_TIME: Burr = Burr { c: 12.4, k: 0.46 };
+
+    pub fn new(c: f64, k: f64) -> Self {
+        assert!(c > 0.0 && k > 0.0, "Burr parameters must be positive");
+        Burr { c, k }
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (1.0 + x.powf(self.c)).powf(-self.k)
+    }
+
+    /// Quantile function (inverse CDF), `u ∈ [0, 1)`.
+    pub fn quantile(&self, u: f64) -> f64 {
+        assert!((0.0..1.0).contains(&u), "u must be in [0,1), got {u}");
+        ((1.0 - u).powf(-1.0 / self.k) - 1.0).powf(1.0 / self.c)
+    }
+
+    /// Draw a sample.
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.quantile(rng.next_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let b = Burr::TRAVEL_TIME;
+        for &u in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = b.quantile(u);
+            assert!((b.cdf(x) - u).abs() < 1e-9, "u={u} x={x}");
+        }
+    }
+
+    #[test]
+    fn median_matches_closed_form() {
+        let b = Burr::TRAVEL_TIME;
+        // median = (2^(1/k) − 1)^(1/c)
+        let expected = (2f64.powf(1.0 / b.k) - 1.0).powf(1.0 / b.c);
+        assert!((b.quantile(0.5) - expected).abs() < 1e-12);
+        // ≈ 1.106 for the paper's parameters.
+        assert!((expected - 1.106).abs() < 0.01, "median {expected}");
+    }
+
+    #[test]
+    fn samples_are_positive_and_plausible() {
+        let b = Burr::TRAVEL_TIME;
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut below_2 = 0;
+        for _ in 0..10_000 {
+            let x = b.sample(&mut rng);
+            assert!(x > 0.0);
+            if x < 2.0 {
+                below_2 += 1;
+            }
+        }
+        // CDF(2) ≈ 1 − (1 + 2^12.4)^(−0.46) ≈ 0.98 — nearly all mass < 2.
+        assert!(below_2 > 9_500, "below_2={below_2}");
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let b = Burr::TRAVEL_TIME;
+        // 99.99th percentile is large relative to the median.
+        assert!(b.quantile(0.9999) > 2.0 * b.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_params_rejected() {
+        Burr::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ggpdes-models — simulation applications for the GG-PDES study
+//!
+//! Three models drive the paper's evaluation (§2.3):
+//!
+//! * [`phold::Phold`] — the classic synthetic benchmark, in a balanced
+//!   variant and `1-k` imbalanced variants with shifting activity windows;
+//! * [`epidemics::Epidemics`] — a location-aware SEIR household model with
+//!   rotating lock-down regions;
+//! * [`traffic::Traffic`] — a torus grid of intersections with inverse-power
+//!   density around a city centre and Burr-distributed travel times.
+//!
+//! All models implement [`pdes_core::Model`], so they run unchanged on the
+//! sequential oracle, the virtual-machine runtime, and the real-thread
+//! runtime. [`locality::ActivitySchedule`] centralizes the shifting-window
+//! logic (including the *linear* vs *non-linear* thread-grouping patterns of
+//! the affinity study, Fig. 7).
+
+pub mod burr;
+pub mod epidemics;
+pub mod locality;
+pub mod phold;
+pub mod traffic;
+
+pub use burr::Burr;
+pub use epidemics::{EpiEvent, Epidemics, EpidemicsConfig, Household, Stage};
+pub use locality::{ActivitySchedule, LocalityPattern};
+pub use phold::{Phold, PholdConfig};
+pub use traffic::{Dir, Intersection, Traffic, TrafficConfig, TrafficEvent};

@@ -1,0 +1,215 @@
+//! Temporal execution locality schedules.
+//!
+//! The paper's imbalanced workloads share one structure: at any virtual time
+//! only one *group* of simulation threads receives events, and the active
+//! group shifts as the simulation progresses (paper §2.3.1, §6.2). This
+//! module centralizes that schedule so PHOLD, Epidemics, and the affinity
+//! experiments all derive their activity windows the same way.
+
+use pdes_core::{DetRng, LpId, LpMap, SimThreadId, VirtualTime};
+use serde::{Deserialize, Serialize};
+
+/// How thread ids map to groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LocalityPattern {
+    /// Group `g` = threads `[g·T/k, (g+1)·T/k)` — consecutive ids
+    /// ("linear execution locality", Fig. 7a).
+    #[default]
+    Linear,
+    /// Group `g` = threads `{t : t mod k == g}` — strided, non-consecutive
+    /// ids ("non-linear execution locality", Fig. 7b).
+    Strided,
+}
+
+/// A shifting activity schedule over simulation threads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivitySchedule {
+    pub num_threads: usize,
+    /// Number of groups `k` (the "1-k" in the imbalanced model names).
+    /// `1` means balanced (everything always active).
+    pub groups: usize,
+    /// Virtual-time length of one epoch; the active group is
+    /// `floor(t / epoch_len) mod k`.
+    pub epoch_len: f64,
+    pub pattern: LocalityPattern,
+}
+
+impl ActivitySchedule {
+    /// Balanced schedule: every thread active all the time.
+    pub fn balanced(num_threads: usize) -> Self {
+        ActivitySchedule {
+            num_threads,
+            groups: 1,
+            epoch_len: f64::INFINITY,
+            pattern: LocalityPattern::Linear,
+        }
+    }
+
+    /// A `1-k` imbalanced schedule over `end_time`, with one full rotation
+    /// through all groups (each group active for `end_time / k`).
+    pub fn one_in_k(num_threads: usize, k: usize, end_time: f64, pattern: LocalityPattern) -> Self {
+        assert!(k >= 1, "need at least one group");
+        assert!(
+            num_threads.is_multiple_of(k),
+            "threads ({num_threads}) must divide into {k} groups"
+        );
+        ActivitySchedule {
+            num_threads,
+            groups: k,
+            epoch_len: end_time / k as f64,
+            pattern,
+        }
+    }
+
+    /// Group active at virtual time `t`.
+    pub fn active_group(&self, t: VirtualTime) -> usize {
+        if self.groups == 1 {
+            return 0;
+        }
+        (t.as_f64() / self.epoch_len) as usize % self.groups
+    }
+
+    /// Whether `thread` belongs to the group active at `t`.
+    pub fn is_active(&self, thread: SimThreadId, t: VirtualTime) -> bool {
+        self.group_of(thread) == self.active_group(t)
+    }
+
+    /// Group of a thread under the configured pattern.
+    pub fn group_of(&self, thread: SimThreadId) -> usize {
+        if self.groups == 1 {
+            return 0;
+        }
+        let per = self.num_threads / self.groups;
+        match self.pattern {
+            LocalityPattern::Linear => thread.index() / per,
+            LocalityPattern::Strided => thread.index() % self.groups,
+        }
+    }
+
+    /// Threads in the group active at `t`, ascending.
+    pub fn active_threads(&self, t: VirtualTime) -> Vec<SimThreadId> {
+        let g = self.active_group(t);
+        (0..self.num_threads)
+            .map(|i| SimThreadId(i as u32))
+            .filter(|&th| self.group_of(th) == g)
+            .collect()
+    }
+
+    /// Sample a uniformly random LP owned by a thread of the group active at
+    /// `t`. Requires `map.num_lps` divisible by `map.num_threads` so every
+    /// thread owns the same number of LPs (weak scaling guarantees this).
+    pub fn sample_active_lp(&self, rng: &mut DetRng, map: &LpMap, t: VirtualTime) -> LpId {
+        debug_assert_eq!(map.num_threads as usize, self.num_threads);
+        debug_assert_eq!(
+            map.num_lps % map.num_threads,
+            0,
+            "weak scaling requires equal LPs per thread"
+        );
+        let g = self.active_group(t);
+        let per_group = self.num_threads / self.groups;
+        let pick = rng.next_below(per_group as u64) as usize;
+        let thread = match self.pattern {
+            LocalityPattern::Linear => g * per_group + pick,
+            LocalityPattern::Strided => pick * self.groups + g,
+        };
+        let lps_per_thread = map.lps_per_thread();
+        let j = rng.next_below(lps_per_thread as u64) as u32;
+        // Invert the mapping: j-th LP of `thread`.
+        match map.kind {
+            pdes_core::MapKind::RoundRobin => LpId(thread as u32 + j * map.num_threads),
+            pdes_core::MapKind::Block => LpId(thread as u32 * lps_per_thread as u32 + j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdes_core::MapKind;
+
+    fn vt(t: f64) -> VirtualTime {
+        VirtualTime::from_f64(t)
+    }
+
+    #[test]
+    fn balanced_is_always_active() {
+        let s = ActivitySchedule::balanced(8);
+        for t in [0.0, 10.0, 1e6] {
+            for i in 0..8 {
+                assert!(s.is_active(SimThreadId(i), vt(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn one_in_two_rotates_halves() {
+        let s = ActivitySchedule::one_in_k(8, 2, 100.0, LocalityPattern::Linear);
+        // First half of time: threads 0..4 active.
+        assert!(s.is_active(SimThreadId(0), vt(10.0)));
+        assert!(!s.is_active(SimThreadId(4), vt(10.0)));
+        // Second half: threads 4..8.
+        assert!(!s.is_active(SimThreadId(0), vt(60.0)));
+        assert!(s.is_active(SimThreadId(4), vt(60.0)));
+    }
+
+    #[test]
+    fn strided_groups_are_non_consecutive() {
+        let s = ActivitySchedule::one_in_k(8, 4, 100.0, LocalityPattern::Strided);
+        let active = s.active_threads(vt(0.0));
+        assert_eq!(active, vec![SimThreadId(0), SimThreadId(4)]);
+        let active = s.active_threads(vt(30.0));
+        assert_eq!(active, vec![SimThreadId(1), SimThreadId(5)]);
+    }
+
+    #[test]
+    fn group_rotation_wraps() {
+        let s = ActivitySchedule::one_in_k(4, 4, 40.0, LocalityPattern::Linear);
+        assert_eq!(s.active_group(vt(5.0)), 0);
+        assert_eq!(s.active_group(vt(15.0)), 1);
+        assert_eq!(s.active_group(vt(35.0)), 3);
+        // Past end_time the rotation continues modulo k.
+        assert_eq!(s.active_group(vt(45.0)), 0);
+    }
+
+    #[test]
+    fn sampled_lps_always_land_on_active_threads() {
+        for (kind, pattern) in [
+            (MapKind::RoundRobin, LocalityPattern::Linear),
+            (MapKind::RoundRobin, LocalityPattern::Strided),
+            (MapKind::Block, LocalityPattern::Linear),
+            (MapKind::Block, LocalityPattern::Strided),
+        ] {
+            let map = LpMap::new(32, 8, kind);
+            let s = ActivitySchedule::one_in_k(8, 4, 80.0, pattern);
+            let mut rng = DetRng::seed_from_u64(1);
+            for step in 0..200 {
+                let t = vt((step % 80) as f64);
+                let lp = s.sample_active_lp(&mut rng, &map, t);
+                let th = map.thread_of(lp);
+                assert!(
+                    s.is_active(th, t),
+                    "{kind:?}/{pattern:?}: sampled {lp} on inactive {th} at {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_covers_all_active_lps() {
+        let map = LpMap::new(16, 4, MapKind::RoundRobin);
+        let s = ActivitySchedule::one_in_k(4, 2, 100.0, LocalityPattern::Linear);
+        let mut rng = DetRng::seed_from_u64(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            seen.insert(s.sample_active_lp(&mut rng, &map, vt(1.0)));
+        }
+        // Active threads 0,1 own LPs {0,4,8,12} ∪ {1,5,9,13}.
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups")]
+    fn indivisible_groups_rejected() {
+        ActivitySchedule::one_in_k(6, 4, 10.0, LocalityPattern::Linear);
+    }
+}

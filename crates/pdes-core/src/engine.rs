@@ -1,0 +1,632 @@
+//! The per-simulation-thread Time Warp engine.
+//!
+//! [`ThreadEngine`] owns a thread's LPs and pending set and implements the
+//! platform-independent mechanics: optimistic processing, straggler
+//! detection, rollback cascades, anti-message annihilation, and fossil
+//! collection. The two runtimes (`sim-rt` on the virtual machine, `thread-rt`
+//! on real threads) wrap it with queues, scheduling, GVT protocols, and cost
+//! accounting — the *event semantics* live here and are identical in both.
+
+use crate::config::EngineConfig;
+use crate::event::{EventKey, Msg};
+use crate::ids::{LpId, SimThreadId};
+use crate::lp::{key_digest, Lp};
+use crate::mapping::LpMap;
+use crate::model::Model;
+use crate::pending::{CancelOutcome, InsertOutcome, PendingSet};
+use crate::stats::ThreadStats;
+use crate::time::VirtualTime;
+use std::sync::Arc;
+
+/// A message addressed to another simulation thread.
+pub type Outbound<P> = (SimThreadId, Msg<P>);
+
+/// Result of one batch-processing step.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Events executed in this batch.
+    pub processed: u32,
+    /// Positive events sent (local + remote).
+    pub sent: u32,
+    /// Remote messages produced (positive + anti).
+    pub remote_msgs: u32,
+    /// Events undone by rollbacks triggered inside the batch
+    /// (zero-delay self-straggler cascades).
+    pub rolled_back: u32,
+}
+
+/// Result of delivering one incoming message.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeliverOutcome {
+    /// Events undone by the rollback this message triggered (0 if none).
+    pub rolled_back: u32,
+    /// Anti-messages emitted by the rollback.
+    pub antis: u32,
+    /// `true` if the message annihilated against its twin.
+    pub annihilated: bool,
+}
+
+/// Per-thread Time Warp engine.
+pub struct ThreadEngine<M: Model> {
+    tid: SimThreadId,
+    model: Arc<M>,
+    map: LpMap,
+    /// Owned LPs, indexed by [`LpMap`] local index.
+    lps: Vec<Lp<M>>,
+    /// LP ids in local-index order (parallel to `lps`).
+    lp_ids: Vec<LpId>,
+    pending: PendingSet<M::Payload>,
+    stats: ThreadStats,
+    end_time: VirtualTime,
+    /// Bounded-optimism window (virtual-time ticks beyond the GVT hint).
+    optimism_window: Option<VirtualTime>,
+    /// Last GVT this engine saw (updated at fossil collection).
+    gvt_hint: VirtualTime,
+}
+
+impl<M: Model> ThreadEngine<M> {
+    /// Build the engine for `tid`, creating all of its LPs.
+    pub fn new(model: Arc<M>, map: LpMap, tid: SimThreadId, cfg: &EngineConfig) -> Self {
+        let lp_ids = map.lps_of(tid);
+        let lps = lp_ids
+            .iter()
+            .map(|&lp| Lp::with_snapshot_period(model.as_ref(), lp, cfg.seed, cfg.snapshot_period))
+            .collect();
+        ThreadEngine {
+            tid,
+            model,
+            map,
+            lps,
+            lp_ids,
+            pending: PendingSet::new(),
+            stats: ThreadStats::default(),
+            end_time: cfg.end_time,
+            optimism_window: cfg.optimism_window.map(VirtualTime::from_f64),
+            gvt_hint: VirtualTime::ZERO,
+        }
+    }
+
+    #[inline]
+    pub fn tid(&self) -> SimThreadId {
+        self.tid
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &ThreadStats {
+        &self.stats
+    }
+
+    #[inline]
+    pub fn num_lps(&self) -> usize {
+        self.lps.len()
+    }
+
+    /// Number of unprocessed events in the pending set.
+    #[inline]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The thread's contribution to GVT: receive time of its lowest
+    /// unprocessed event (input-queue contents are the runtime's business).
+    #[inline]
+    pub fn local_min(&self) -> VirtualTime {
+        self.pending.min_time()
+    }
+
+    /// `true` while the thread still holds events at or below the end time —
+    /// events it will actually process. A thread whose only pending events
+    /// lie beyond the end time is as idle as an empty one (demand-driven
+    /// deactivation condition).
+    #[inline]
+    pub fn has_live_pending(&self) -> bool {
+        self.pending.min_time() <= self.end_time
+    }
+
+    fn lp_slot(&mut self, lp: LpId) -> &mut Lp<M> {
+        debug_assert_eq!(self.map.thread_of(lp), self.tid, "{lp} not owned by {}", self.tid);
+        let idx = self
+            .lp_ids
+            .binary_search(&lp)
+            .unwrap_or_else(|_| panic!("{lp} not owned by thread {}", self.tid));
+        &mut self.lps[idx]
+    }
+
+    /// Run every owned LP's initial-event hook. Returned messages must be
+    /// routed by the caller (initial events may target any LP, including
+    /// this thread's own — route them back through [`Self::deliver`]).
+    pub fn take_init_events(&mut self) -> Vec<Outbound<M::Payload>> {
+        let mut out = Vec::new();
+        let model = Arc::clone(&self.model);
+        for lp in &mut self.lps {
+            for ev in lp.init_events(model.as_ref()) {
+                out.push((self.map.thread_of(ev.dst()), Msg::Event(ev)));
+            }
+        }
+        self.stats.events_sent += out.len() as u64;
+        out
+    }
+
+    /// Deliver one incoming message, resolving any rollback it triggers.
+    /// Anti-messages produced by the rollback are appended to `outbox`
+    /// (local ones are applied recursively; only remote ones are emitted).
+    pub fn deliver(
+        &mut self,
+        msg: Msg<M::Payload>,
+        outbox: &mut Vec<Outbound<M::Payload>>,
+    ) -> DeliverOutcome {
+        let model = Arc::clone(&self.model);
+        let mut outcome = DeliverOutcome::default();
+        // Local anti-message cascades are resolved with a worklist.
+        let mut work: Vec<Msg<M::Payload>> = vec![msg];
+        while let Some(m) = work.pop() {
+            match m {
+                Msg::Event(ev) => {
+                    let key = ev.key;
+                    if self.lp_slot(key.dst).is_straggler(&key) {
+                        self.stats.stragglers += 1;
+                        self.stats.rollbacks += 1;
+                        let rb = self.lp_slot(key.dst).rollback(model.as_ref(), &key, false);
+                        outcome.rolled_back += rb.undone as u32;
+                        self.stats.rolled_back += rb.undone as u64;
+                        outcome.antis += rb.antis.len() as u32;
+                        self.route_antis(rb.antis, &mut work, outbox);
+                        for undone in rb.reinserted {
+                            // Re-inserted events cannot collide: they were
+                            // just removed from "processed", not pending.
+                            let r = self.pending.insert(undone);
+                            debug_assert_eq!(r, InsertOutcome::Inserted);
+                        }
+                    }
+                    match self.pending.insert(ev) {
+                        InsertOutcome::Inserted => {}
+                        InsertOutcome::Annihilated => {
+                            outcome.annihilated = true;
+                            self.stats.annihilations += 1;
+                        }
+                    }
+                }
+                Msg::Anti(key) => {
+                    self.stats.antis_received += 1;
+                    match self.pending.cancel(&key) {
+                        CancelOutcome::Removed => {
+                            outcome.annihilated = true;
+                            self.stats.annihilations += 1;
+                        }
+                        CancelOutcome::Deferred => {
+                            // Not pending: either already processed (roll it
+                            // back, inclusive) or still in transit (the
+                            // orphan anti just parked will annihilate it).
+                            if self.lp_slot(key.dst).has_processed(&key) {
+                                // Un-park the anti we just deferred — the
+                                // rollback consumes the event instead.
+                                let r = self.pending.unpark_anti(&key);
+                                debug_assert!(r);
+                                self.stats.rollbacks += 1;
+                                let rb = self.lp_slot(key.dst).rollback(model.as_ref(), &key, true);
+                                outcome.rolled_back += rb.undone as u32;
+                                self.stats.rolled_back += rb.undone as u64;
+                                outcome.antis += rb.antis.len() as u32;
+                                self.route_antis(rb.antis, &mut work, outbox);
+                                for undone in rb.reinserted {
+                                    if undone.key == key {
+                                        // The cancelled event: annihilated.
+                                        self.stats.annihilations += 1;
+                                        outcome.annihilated = true;
+                                        continue;
+                                    }
+                                    let r = self.pending.insert(undone);
+                                    debug_assert_eq!(r, InsertOutcome::Inserted);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Route rollback-generated anti-messages: local ones join the worklist,
+    /// remote ones go to the outbox.
+    fn route_antis(
+        &mut self,
+        antis: Vec<EventKey>,
+        work: &mut Vec<Msg<M::Payload>>,
+        outbox: &mut Vec<Outbound<M::Payload>>,
+    ) {
+        for key in antis {
+            self.stats.antis_sent += 1;
+            let dst_thread = self.map.thread_of(key.dst);
+            if dst_thread == self.tid {
+                work.push(Msg::Anti(key));
+            } else {
+                outbox.push((dst_thread, Msg::Anti(key)));
+            }
+        }
+    }
+
+    /// Process up to `max` pending events (one ROSS main-loop batch).
+    /// Remote sends are appended to `outbox`; local sends are delivered
+    /// immediately (and may extend the work available to this same batch).
+    pub fn process_batch(
+        &mut self,
+        max: usize,
+        outbox: &mut Vec<Outbound<M::Payload>>,
+    ) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        let model = Arc::clone(&self.model);
+        // Bounded optimism: never speculate past gvt + window.
+        let horizon = match self.optimism_window {
+            Some(w) => self.end_time.min(self.gvt_hint.saturating_add(w)),
+            None => self.end_time,
+        };
+        for _ in 0..max {
+            let Some(min) = self.pending.min_key() else {
+                break;
+            };
+            if min.recv_time > horizon {
+                break;
+            }
+            let ev = self.pending.pop_min().expect("min exists");
+            let lp = self.lp_slot(ev.dst());
+            let sends = lp.process(model.as_ref(), ev);
+            self.stats.processed += 1;
+            out.processed += 1;
+            out.sent += sends.len() as u32;
+            self.stats.events_sent += sends.len() as u64;
+            for ev in sends {
+                let dst_thread = self.map.thread_of(ev.dst());
+                if dst_thread == self.tid {
+                    let d = self.deliver(Msg::Event(ev), outbox);
+                    out.rolled_back += d.rolled_back;
+                } else {
+                    outbox.push((dst_thread, Msg::Event(ev)));
+                }
+            }
+        }
+        out.remote_msgs = outbox.len() as u32;
+        out
+    }
+
+    /// Fossil-collect every LP below `gvt`; returns newly committed events.
+    pub fn fossil_collect(&mut self, gvt: VirtualTime) -> u64 {
+        self.gvt_hint = self.gvt_hint.max(gvt.min(self.end_time));
+        let mut n = 0;
+        let model = Arc::clone(&self.model);
+        for lp in &mut self.lps {
+            n += lp.fossil_collect(model.as_ref(), gvt);
+        }
+        self.refresh_commit_stats(n);
+        n
+    }
+
+    /// Commit all remaining history (simulation end).
+    pub fn finalize(&mut self) -> u64 {
+        let mut n = 0;
+        let model = Arc::clone(&self.model);
+        for lp in &mut self.lps {
+            n += lp.commit_all(model.as_ref());
+        }
+        self.refresh_commit_stats(n);
+        n
+    }
+
+    fn refresh_commit_stats(&mut self, newly: u64) {
+        self.stats.committed += newly;
+        self.stats.commit_digest = self.lps.iter().fold(0, |d, lp| d ^ lp.commit_digest);
+    }
+
+    /// Total uncommitted history length across LPs (memory pressure metric).
+    pub fn history_len(&self) -> usize {
+        self.lps.iter().map(|lp| lp.history_len()).sum()
+    }
+
+    /// Digest of every owned LP's final state, in LP order.
+    pub fn state_digests(&self) -> Vec<(LpId, u64)> {
+        self.lp_ids
+            .iter()
+            .zip(&self.lps)
+            .map(|(&id, lp)| (id, lp.state_digest(self.model.as_ref())))
+            .collect()
+    }
+
+    /// Unprocessed-event digest — used by tests to confirm two executions
+    /// left the same events unprocessed past the end time.
+    pub fn pending_digest(&self) -> u64 {
+        self.pending.iter().fold(0, |d, e| d ^ key_digest(&e.key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::model::SendCtx;
+
+    /// Ping model: LP i forwards each event to (i+1) % n after delay 1, and
+    /// accumulates the hop count in its state.
+    struct Ping {
+        n: usize,
+    }
+    impl Model for Ping {
+        type State = u64;
+        type Payload = u64;
+        fn num_lps(&self) -> usize {
+            self.n
+        }
+        fn init_state(&self, _lp: LpId) -> u64 {
+            0
+        }
+        fn init_events(&self, lp: LpId, _s: &mut u64, ctx: &mut SendCtx<'_, u64>) {
+            if lp == LpId(0) {
+                ctx.send(LpId(0), 1.0, 0);
+            }
+        }
+        fn handle_event(&self, lp: LpId, s: &mut u64, p: &u64, ctx: &mut SendCtx<'_, u64>) {
+            *s += p + 1;
+            let next = LpId((lp.0 + 1) % self.n as u32);
+            ctx.send(next, 1.0, p + 1);
+        }
+        fn state_digest(&self, s: &u64) -> u64 {
+            *s
+        }
+    }
+
+    fn cfg(end: f64) -> EngineConfig {
+        EngineConfig::default().with_end_time(end)
+    }
+
+    fn single_thread_run(n_lps: usize, end: f64) -> ThreadEngine<Ping> {
+        let model = Arc::new(Ping { n: n_lps });
+        let map = LpMap::new(n_lps, 1, crate::mapping::MapKind::RoundRobin);
+        let c = cfg(end);
+        let mut eng = ThreadEngine::new(model, map, SimThreadId(0), &c);
+        let mut outbox = Vec::new();
+        for (_, msg) in eng.take_init_events() {
+            eng.deliver(msg, &mut outbox);
+        }
+        assert!(outbox.is_empty());
+        loop {
+            let b = eng.process_batch(8, &mut outbox);
+            assert!(outbox.is_empty(), "single-thread run has no remote sends");
+            if b.processed == 0 {
+                break;
+            }
+        }
+        eng.finalize();
+        eng
+    }
+
+    #[test]
+    fn single_thread_ping_processes_expected_events() {
+        let eng = single_thread_run(4, 10.0);
+        // One event per integer time 1..=10.
+        assert_eq!(eng.stats().processed, 10);
+        assert_eq!(eng.stats().committed, 10);
+        assert_eq!(eng.stats().rolled_back, 0);
+        // One event remains pending past the end time.
+        assert_eq!(eng.pending_len(), 1);
+        assert!(eng.local_min() > VirtualTime::from_f64(10.0));
+    }
+
+    #[test]
+    fn deliver_straggler_rolls_back_and_emits_antis() {
+        // Two threads: LPs 0,2 on T0 and 1,3 on T1 (round robin).
+        let model = Arc::new(Ping { n: 4 });
+        let map = LpMap::new(4, 2, crate::mapping::MapKind::RoundRobin);
+        let c = cfg(100.0);
+        let mut t0 = ThreadEngine::new(Arc::clone(&model), map, SimThreadId(0), &c);
+        let mut outbox = Vec::new();
+
+        // Feed LP0 an event at t=5 and let it process (sends to LP1 on T1).
+        let mut seq = 1000u64;
+        let mut mk = |t: f64, dst: u32| {
+            seq += 1;
+            Msg::Event(Event {
+                key: EventKey {
+                    recv_time: VirtualTime::from_f64(t),
+                    dst: LpId(dst),
+                    uid: crate::ids::EventUid::new(LpId(99), seq),
+                },
+                send_time: VirtualTime::ZERO,
+                payload: 1,
+            })
+        };
+        t0.deliver(mk(5.0, 0), &mut outbox);
+        t0.process_batch(8, &mut outbox);
+        assert_eq!(outbox.len(), 1, "LP0 sent to LP1 (remote)");
+        outbox.clear();
+
+        // Straggler at t=2 for LP0 → rollback of the t=5 execution, one anti.
+        let d = t0.deliver(mk(2.0, 0), &mut outbox);
+        assert_eq!(d.rolled_back, 1);
+        assert_eq!(d.antis, 1);
+        assert_eq!(outbox.len(), 1);
+        assert!(matches!(outbox[0].1, Msg::Anti(_)));
+        assert_eq!(t0.stats().stragglers, 1);
+        // Both events (t=2 straggler and re-inserted t=5) now pending.
+        assert_eq!(t0.pending_len(), 2);
+    }
+
+    #[test]
+    fn anti_for_processed_event_causes_inclusive_rollback() {
+        let model = Arc::new(Ping { n: 2 });
+        let map = LpMap::new(2, 2, crate::mapping::MapKind::RoundRobin);
+        let c = cfg(100.0);
+        let mut t0 = ThreadEngine::new(Arc::clone(&model), map, SimThreadId(0), &c);
+        let mut outbox = Vec::new();
+
+        let ev = Event {
+            key: EventKey {
+                recv_time: VirtualTime::from_f64(3.0),
+                dst: LpId(0),
+                uid: crate::ids::EventUid::new(LpId(1), 7),
+            },
+            send_time: VirtualTime::ZERO,
+            payload: 1,
+        };
+        t0.deliver(Msg::Event(ev.clone()), &mut outbox);
+        t0.process_batch(8, &mut outbox);
+        assert_eq!(t0.stats().processed, 1);
+        outbox.clear();
+
+        let d = t0.deliver(Msg::Anti(ev.key), &mut outbox);
+        assert_eq!(d.rolled_back, 1);
+        assert!(d.annihilated);
+        // The rolled-back event was annihilated, not re-inserted.
+        assert_eq!(t0.pending_len(), 0);
+        // The anti for LP0→LP1's send goes out.
+        assert_eq!(outbox.len(), 1);
+    }
+
+    #[test]
+    fn anti_for_in_transit_event_parks_and_annihilates() {
+        let model = Arc::new(Ping { n: 2 });
+        let map = LpMap::new(2, 2, crate::mapping::MapKind::RoundRobin);
+        let c = cfg(100.0);
+        let mut t0 = ThreadEngine::new(model, map, SimThreadId(0), &c);
+        let mut outbox = Vec::new();
+        let ev = Event {
+            key: EventKey {
+                recv_time: VirtualTime::from_f64(3.0),
+                dst: LpId(0),
+                uid: crate::ids::EventUid::new(LpId(1), 7),
+            },
+            send_time: VirtualTime::ZERO,
+            payload: 1,
+        };
+        let d = t0.deliver(Msg::Anti(ev.key), &mut outbox);
+        assert!(!d.annihilated);
+        let d = t0.deliver(Msg::Event(ev), &mut outbox);
+        assert!(d.annihilated);
+        assert_eq!(t0.pending_len(), 0);
+        assert_eq!(t0.stats().annihilations, 1);
+    }
+
+    #[test]
+    fn fossil_collect_then_finalize_commits_everything_once() {
+        let model = Arc::new(Ping { n: 2 });
+        let map = LpMap::new(2, 1, crate::mapping::MapKind::RoundRobin);
+        let c = cfg(10.0);
+        let mut eng = ThreadEngine::new(model, map, SimThreadId(0), &c);
+        let mut outbox = Vec::new();
+        for (_, msg) in eng.take_init_events() {
+            eng.deliver(msg, &mut outbox);
+        }
+        loop {
+            if eng.process_batch(8, &mut outbox).processed == 0 {
+                break;
+            }
+        }
+        let early = eng.fossil_collect(VirtualTime::from_f64(5.0));
+        assert!(early > 0);
+        let rest = eng.finalize();
+        assert_eq!(early + rest, eng.stats().committed);
+        assert_eq!(eng.stats().committed, eng.stats().processed);
+        assert_eq!(eng.history_len(), 0);
+    }
+
+    #[test]
+    fn batch_respects_end_time() {
+        let model = Arc::new(Ping { n: 2 });
+        let map = LpMap::new(2, 1, crate::mapping::MapKind::RoundRobin);
+        let c = cfg(0.5); // end before the first event at t=1
+        let mut eng = ThreadEngine::new(model, map, SimThreadId(0), &c);
+        let mut outbox = Vec::new();
+        for (_, msg) in eng.take_init_events() {
+            eng.deliver(msg, &mut outbox);
+        }
+        let b = eng.process_batch(8, &mut outbox);
+        assert_eq!(b.processed, 0);
+        assert_eq!(eng.pending_len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod window_tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::mapping::MapKind;
+    use crate::model::SendCtx;
+
+    /// Chain model: one event at t sends the next at t+1 on the same LP.
+    struct Chain;
+    impl Model for Chain {
+        type State = u64;
+        type Payload = ();
+        fn num_lps(&self) -> usize {
+            1
+        }
+        fn init_state(&self, _lp: LpId) -> u64 {
+            0
+        }
+        fn init_events(&self, lp: LpId, _s: &mut u64, ctx: &mut SendCtx<'_, ()>) {
+            ctx.send(lp, 1.0, ());
+        }
+        fn handle_event(&self, lp: LpId, s: &mut u64, _p: &(), ctx: &mut SendCtx<'_, ()>) {
+            *s += 1;
+            ctx.send(lp, 1.0, ());
+        }
+        fn state_digest(&self, s: &u64) -> u64 {
+            *s
+        }
+    }
+
+    fn engine(window: Option<f64>) -> ThreadEngine<Chain> {
+        let cfg = EngineConfig::default()
+            .with_end_time(100.0)
+            .with_optimism_window(window);
+        let map = LpMap::new(1, 1, MapKind::RoundRobin);
+        let mut eng = ThreadEngine::new(Arc::new(Chain), map, SimThreadId(0), &cfg);
+        let mut outbox = Vec::new();
+        for (_, msg) in eng.take_init_events() {
+            eng.deliver(msg, &mut outbox);
+        }
+        eng
+    }
+
+    #[test]
+    fn unbounded_engine_races_ahead() {
+        let mut eng = engine(None);
+        let mut outbox = Vec::new();
+        for _ in 0..10 {
+            eng.process_batch(8, &mut outbox);
+        }
+        assert_eq!(eng.stats().processed, 80, "no throttle: full batches");
+    }
+
+    #[test]
+    fn window_throttles_past_gvt() {
+        // Window of 3 time units, GVT at 0: only events at t ≤ 3 process.
+        let mut eng = engine(Some(3.0));
+        let mut outbox = Vec::new();
+        for _ in 0..10 {
+            eng.process_batch(8, &mut outbox);
+        }
+        assert_eq!(eng.stats().processed, 3, "t = 1, 2, 3 only");
+        // GVT advances → the horizon moves.
+        eng.fossil_collect(VirtualTime::from_f64(4.0));
+        for _ in 0..10 {
+            eng.process_batch(8, &mut outbox);
+        }
+        assert_eq!(eng.stats().processed, 7, "now up to t = 4 + 3");
+    }
+
+    #[test]
+    fn window_never_blocks_the_gvt_frontier() {
+        // Even with an absurdly small window the event *at* the horizon is
+        // processable, so progress is guaranteed.
+        let mut eng = engine(Some(1.0));
+        let mut outbox = Vec::new();
+        for round in 1..20u64 {
+            eng.process_batch(8, &mut outbox);
+            eng.fossil_collect(eng.local_min());
+            assert!(
+                eng.stats().processed >= round.min(19),
+                "round {round}: {}",
+                eng.stats().processed
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Identifier newtypes for logical processes, simulation threads, and events.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a Logical Process (LP). LPs are numbered densely `0..num_lps`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LpId(pub u32);
+
+impl LpId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LP{}", self.0)
+    }
+}
+
+/// Identifier of a simulation thread. Threads are numbered densely
+/// `0..num_threads`; each serves a fixed set of LPs (round-robin mapping).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimThreadId(pub u32);
+
+impl SimThreadId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SimThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Globally unique event identity: the sending LP plus a per-LP sequence
+/// number. The sequence counter is part of the LP's rolled-back state, so a
+/// re-executed send after a rollback reuses the same `EventUid` — which is
+/// exactly what makes anti-message matching work.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EventUid {
+    /// LP that sent (or scheduled) the event. Initial events use the
+    /// destination LP as the "sender".
+    pub src: LpId,
+    /// Per-source-LP sequence number.
+    pub seq: u64,
+}
+
+impl EventUid {
+    #[inline]
+    pub fn new(src: LpId, seq: u64) -> Self {
+        EventUid { src, seq }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LpId(3).to_string(), "LP3");
+        assert_eq!(SimThreadId(7).to_string(), "T7");
+    }
+
+    #[test]
+    fn uid_ordering_is_src_then_seq() {
+        let a = EventUid::new(LpId(1), 9);
+        let b = EventUid::new(LpId(2), 0);
+        assert!(a < b);
+        let c = EventUid::new(LpId(1), 10);
+        assert!(a < c);
+    }
+}

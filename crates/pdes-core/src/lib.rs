@@ -1,0 +1,45 @@
+//! # ggpdes-core — platform-independent Time Warp PDES primitives
+//!
+//! This crate implements the optimistic (Time Warp) discrete-event core that
+//! the GG-PDES runtimes are built on, following the ROSS shared-memory design
+//! described in *GVT-Guided Demand-Driven Scheduling in Parallel Discrete
+//! Event Simulation* (Eker et al., ICPP 2021), §2:
+//!
+//! * [`time::VirtualTime`] — fixed-point virtual time with total ordering;
+//! * [`model::Model`] — the application interface (LP states + handlers);
+//! * [`lp::Lp`] — per-LP state saving, rollback, fossil collection;
+//! * [`pending::PendingSet`] — the per-thread pending event set with
+//!   anti-message annihilation;
+//! * [`engine::ThreadEngine`] — the per-simulation-thread engine combining
+//!   the above: optimistic batches, straggler rollbacks, anti-message
+//!   cascades;
+//! * [`sequential`] — a sequential reference executor used as a correctness
+//!   oracle by both runtimes' test suites.
+//!
+//! Everything here is deterministic: RNG streams are per-LP and part of the
+//! rolled-back state, event ordering is total, and no wall-clock or
+//! hash-iteration order leaks into results.
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod ids;
+pub mod lp;
+pub mod mapping;
+pub mod model;
+pub mod pending;
+pub mod rng;
+pub mod sequential;
+pub mod stats;
+pub mod time;
+
+pub use config::{AdaptiveGvt, EngineConfig};
+pub use engine::{BatchOutcome, DeliverOutcome, Outbound, ThreadEngine};
+pub use event::{Event, EventKey, Msg};
+pub use ids::{EventUid, LpId, SimThreadId};
+pub use mapping::{LpMap, MapKind};
+pub use model::{Model, SendCtx};
+pub use rng::DetRng;
+pub use sequential::{run_sequential, SequentialResult};
+pub use stats::ThreadStats;
+pub use time::VirtualTime;

@@ -1,0 +1,643 @@
+//! Per-LP Time Warp bookkeeping: state snapshots, the processed-event list,
+//! rollback, and fossil collection.
+
+// `drop(ctx)` ends multi-field borrows at a visible point before the
+// borrowed fields are read again; the contexts carry no destructor.
+#![allow(clippy::drop_non_drop)]
+
+use crate::event::{Event, EventKey};
+use crate::ids::LpId;
+use crate::model::{Model, SendCtx};
+use crate::rng::DetRng;
+use crate::time::VirtualTime;
+use std::collections::VecDeque;
+
+/// Everything that must be restored on rollback: the model state plus the
+/// LP's RNG stream and send-sequence counter (so re-executed handlers draw
+/// the same random numbers and re-issue the same [`crate::ids::EventUid`]s).
+#[derive(Debug, Clone)]
+pub struct Snapshot<S> {
+    pub state: S,
+    pub rng: DetRng,
+    pub send_seq: u64,
+}
+
+/// One processed event together with the keys of every event it sent, and —
+/// depending on the snapshot policy — the state snapshot taken *before* it
+/// executed.
+///
+/// Under *sparse* (periodic) state saving only every k-th entry carries a
+/// snapshot; rollback restores the nearest earlier snapshot and
+/// *coast-forwards*: it re-executes the intervening events with their sends
+/// suppressed (determinism guarantees the replayed execution is identical,
+/// so the original in-flight events stay valid).
+#[derive(Debug, Clone)]
+pub struct ProcessedEntry<M: Model> {
+    pub event: Event<M::Payload>,
+    pub pre: Option<Snapshot<M::State>>,
+    pub sent: Vec<EventKey>,
+}
+
+/// Result of a rollback.
+#[derive(Debug)]
+pub struct Rollback<M: Model> {
+    /// Undone events to be re-inserted into the thread's pending set
+    /// (in ascending key order).
+    pub reinserted: Vec<Event<M::Payload>>,
+    /// Anti-messages to send, one per event sent by an undone entry.
+    pub antis: Vec<EventKey>,
+    /// Number of processed events undone.
+    pub undone: usize,
+}
+
+/// A logical process under optimistic (Time Warp) execution.
+pub struct Lp<M: Model> {
+    pub id: LpId,
+    pub state: M::State,
+    pub rng: DetRng,
+    pub send_seq: u64,
+    /// Processed-but-uncommitted events in ascending key order.
+    pub processed: VecDeque<ProcessedEntry<M>>,
+    /// Number of events committed (fossil-collected) so far.
+    pub committed: u64,
+    /// XOR-fold of key digests of committed events (order-independent trace
+    /// digest; compared against the sequential oracle).
+    pub commit_digest: u64,
+    /// Snapshot every k-th processed event (1 = copy state saving, the
+    /// classical Time Warp default).
+    snapshot_every: u32,
+    /// Entries processed since the last snapshot-bearing entry.
+    since_snapshot: u32,
+}
+
+/// Order-independent 64-bit digest of an event key.
+pub fn key_digest(key: &EventKey) -> u64 {
+    let mut s = key
+        .recv_time
+        .ticks()
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((key.dst.0 as u64) << 32)
+        ^ (key.uid.src.0 as u64)
+        ^ key.uid.seq.rotate_left(17);
+    crate::rng::splitmix64(&mut s)
+}
+
+impl<M: Model> Lp<M> {
+    /// Create the LP with its initial state and private RNG stream, saving
+    /// state before every event (classical copy state saving).
+    pub fn new(model: &M, id: LpId, seed: u64) -> Self {
+        Lp::with_snapshot_period(model, id, seed, 1)
+    }
+
+    /// Create the LP with sparse state saving: a snapshot before every
+    /// `period`-th event only.
+    pub fn with_snapshot_period(model: &M, id: LpId, seed: u64, period: u32) -> Self {
+        assert!(period >= 1, "snapshot period must be at least 1");
+        Lp {
+            id,
+            state: model.init_state(id),
+            rng: DetRng::for_lp(seed, id),
+            send_seq: 0,
+            processed: VecDeque::new(),
+            committed: 0,
+            commit_digest: 0,
+            snapshot_every: period,
+            since_snapshot: 0,
+        }
+    }
+
+    /// Run the model's initial-event hook; returns the scheduled events.
+    pub fn init_events(&mut self, model: &M) -> Vec<Event<M::Payload>> {
+        let mut out = Vec::new();
+        let mut ctx = SendCtx::new(
+            self.id,
+            VirtualTime::ZERO,
+            &mut self.rng,
+            &mut self.send_seq,
+            &mut out,
+        );
+        model.init_events(self.id, &mut self.state, &mut ctx);
+        out
+    }
+
+    /// Local virtual time: receive time of the last processed event.
+    #[inline]
+    pub fn lvt(&self) -> VirtualTime {
+        self.processed
+            .back()
+            .map(|e| e.event.key.recv_time)
+            .unwrap_or(VirtualTime::ZERO)
+    }
+
+    /// Key of the last processed event, if any.
+    #[inline]
+    pub fn last_processed_key(&self) -> Option<EventKey> {
+        self.processed.back().map(|e| e.event.key)
+    }
+
+    /// `true` if `key` orders before an already-processed event — i.e.
+    /// processing it now would violate causality and a rollback is needed.
+    #[inline]
+    pub fn is_straggler(&self, key: &EventKey) -> bool {
+        match self.last_processed_key() {
+            Some(last) => *key < last,
+            None => false,
+        }
+    }
+
+    /// `true` if an event with exactly this key has been processed and not
+    /// yet committed or rolled back. O(log n) — the processed list is sorted
+    /// by key.
+    pub fn has_processed(&self, key: &EventKey) -> bool {
+        self.processed
+            .binary_search_by(|e| e.event.key.cmp(key))
+            .is_ok()
+    }
+
+    /// Optimistically process `event`: snapshot, execute the handler, record
+    /// the entry. Returns the events sent by the handler.
+    ///
+    /// # Panics
+    /// Debug-asserts that `event` is not a straggler — callers must roll back
+    /// first.
+    pub fn process(&mut self, model: &M, event: Event<M::Payload>) -> Vec<Event<M::Payload>> {
+        debug_assert!(
+            !self.is_straggler(&event.key),
+            "process() called with straggler {:?} (last {:?})",
+            event.key,
+            self.last_processed_key()
+        );
+        // The first retained entry must carry a snapshot (it is the replay
+        // base); later entries snapshot once per period.
+        let take_snap = self.processed.is_empty() || self.since_snapshot + 1 >= self.snapshot_every;
+        let pre = take_snap.then(|| Snapshot {
+            state: self.state.clone(),
+            rng: self.rng.clone(),
+            send_seq: self.send_seq,
+        });
+        self.since_snapshot = if take_snap { 0 } else { self.since_snapshot + 1 };
+        let mut out = Vec::new();
+        let mut ctx = SendCtx::new(
+            self.id,
+            event.key.recv_time,
+            &mut self.rng,
+            &mut self.send_seq,
+            &mut out,
+        );
+        model.handle_event(self.id, &mut self.state, &event.payload, &mut ctx);
+        drop(ctx);
+        self.processed.push_back(ProcessedEntry {
+            sent: out.iter().map(|e| e.key).collect(),
+            event,
+            pre,
+        });
+        out
+    }
+
+    /// Re-execute the processed entries `[from..]` starting from the current
+    /// (just-restored) state, with sends suppressed: the original sends are
+    /// already in flight, and deterministic handlers reproduce them exactly
+    /// (debug builds verify this).
+    fn coast_forward(&mut self, model: &M, from: usize) {
+        for i in from..self.processed.len() {
+            let event = self.processed[i].event.clone();
+            let mut out = Vec::new();
+            let mut ctx = SendCtx::new(
+                self.id,
+                event.key.recv_time,
+                &mut self.rng,
+                &mut self.send_seq,
+                &mut out,
+            );
+            model.handle_event(self.id, &mut self.state, &event.payload, &mut ctx);
+            drop(ctx);
+            debug_assert_eq!(
+                out.iter().map(|e| e.key).collect::<Vec<_>>(),
+                self.processed[i].sent,
+                "non-deterministic model: replay of {:?} sent different events",
+                event.key
+            );
+        }
+    }
+
+    /// Reconstruct the pre-state of entry `at` into a fresh snapshot using
+    /// the nearest earlier snapshot plus replay.
+    fn materialize_snapshot(&self, model: &M, at: usize) -> Snapshot<M::State> {
+        let base = self
+            .processed
+            .iter()
+            .take(at + 1)
+            .rposition(|e| e.pre.is_some())
+            .expect("the first retained entry always carries a snapshot");
+        let snap = self.processed[base].pre.as_ref().expect("checked").clone();
+        let mut state = snap.state;
+        let mut rng = snap.rng;
+        let mut send_seq = snap.send_seq;
+        for entry in self.processed.iter().take(at).skip(base) {
+            let mut out = Vec::new();
+            let mut ctx = SendCtx::new(
+                self.id,
+                entry.event.key.recv_time,
+                &mut rng,
+                &mut send_seq,
+                &mut out,
+            );
+            model.handle_event(self.id, &mut state, &entry.event.payload, &mut ctx);
+        }
+        Snapshot {
+            state,
+            rng,
+            send_seq,
+        }
+    }
+
+    /// Recompute the snapshot-period counter after the tail changed.
+    fn refresh_since_snapshot(&mut self) {
+        self.since_snapshot = match self.processed.iter().rposition(|e| e.pre.is_some()) {
+            Some(i) => (self.processed.len() - 1 - i) as u32,
+            None => 0, // empty history: the next entry snapshots regardless
+        };
+    }
+
+    /// Roll back every processed entry whose key is `> key` (or `>= key` if
+    /// `inclusive`). Restores the snapshot of the earliest undone entry —
+    /// or, under sparse state saving, the nearest earlier snapshot followed
+    /// by a coast-forward replay.
+    ///
+    /// `inclusive` rollback is used for anti-messages (the cancelled event
+    /// itself must be undone and is *not* re-inserted — the caller filters it
+    /// out via the returned events).
+    pub fn rollback(&mut self, model: &M, key: &EventKey, inclusive: bool) -> Rollback<M> {
+        let mut rb = Rollback {
+            reinserted: Vec::new(),
+            antis: Vec::new(),
+            undone: 0,
+        };
+        let mut earliest_pre: Option<Snapshot<M::State>> = None;
+        while let Some(last) = self.processed.back() {
+            let undo = if inclusive {
+                last.event.key >= *key
+            } else {
+                last.event.key > *key
+            };
+            if !undo {
+                break;
+            }
+            let entry = self.processed.pop_back().expect("non-empty");
+            rb.antis.extend(entry.sent.iter().copied());
+            rb.reinserted.push(entry.event);
+            earliest_pre = entry.pre;
+            rb.undone += 1;
+        }
+        if rb.undone > 0 {
+            match earliest_pre {
+                Some(pre) => {
+                    // The earliest undone entry carried its pre-state.
+                    self.state = pre.state;
+                    self.rng = pre.rng;
+                    self.send_seq = pre.send_seq;
+                }
+                None => {
+                    // Sparse saving: restore the nearest earlier snapshot
+                    // and coast-forward through the retained tail.
+                    let base = self
+                        .processed
+                        .iter()
+                        .rposition(|e| e.pre.is_some())
+                        .expect("the first retained entry always carries a snapshot");
+                    let snap = self.processed[base].pre.as_ref().expect("checked").clone();
+                    self.state = snap.state;
+                    self.rng = snap.rng;
+                    self.send_seq = snap.send_seq;
+                    self.coast_forward(model, base);
+                }
+            }
+            self.refresh_since_snapshot();
+        }
+        // Ascending key order for determinism (entries were popped newest
+        // first).
+        rb.reinserted.reverse();
+        rb.antis.reverse();
+        rb
+    }
+
+    /// Commit (drop) all processed entries with receive time strictly below
+    /// `gvt`; returns how many were committed.
+    ///
+    /// Entries at or above the GVT are retained because a rollback may still
+    /// target them; under sparse state saving the new first retained entry
+    /// gets a materialized snapshot so it remains a valid replay base.
+    pub fn fossil_collect(&mut self, model: &M, gvt: VirtualTime) -> u64 {
+        let cut = self
+            .processed
+            .iter()
+            .take_while(|e| e.event.key.recv_time < gvt)
+            .count();
+        if cut == 0 {
+            return 0;
+        }
+        if cut < self.processed.len() && self.processed[cut].pre.is_none() {
+            let snap = self.materialize_snapshot(model, cut);
+            self.processed[cut].pre = Some(snap);
+        }
+        for _ in 0..cut {
+            let entry = self.processed.pop_front().expect("cut <= len");
+            self.commit_digest ^= key_digest(&entry.event.key);
+        }
+        self.committed += cut as u64;
+        cut as u64
+    }
+
+    /// Commit everything still uncommitted (simulation has ended: GVT passed
+    /// the end time, so all processed events are final).
+    pub fn commit_all(&mut self, model: &M) -> u64 {
+        self.fossil_collect(model, VirtualTime::INFINITY)
+    }
+
+    /// Digest of the LP's current model state.
+    pub fn state_digest(&self, model: &M) -> u64 {
+        model.state_digest(&self.state)
+    }
+
+    /// Bytes of uncommitted history (rough estimate for memory accounting).
+    pub fn history_len(&self) -> usize {
+        self.processed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EventUid;
+
+    /// Counter model: each event adds its payload to the state and sends one
+    /// follow-up event to LP 0 with delay 1.
+    struct Counter;
+    impl Model for Counter {
+        type State = u64;
+        type Payload = u64;
+        fn num_lps(&self) -> usize {
+            4
+        }
+        fn init_state(&self, _lp: LpId) -> u64 {
+            0
+        }
+        fn init_events(&self, _lp: LpId, _s: &mut u64, _ctx: &mut SendCtx<'_, u64>) {}
+        fn handle_event(&self, _lp: LpId, s: &mut u64, p: &u64, ctx: &mut SendCtx<'_, u64>) {
+            *s = s.wrapping_add(*p).wrapping_add(ctx.rng().next_below(3));
+            ctx.send(LpId(0), 1.0, *p + 1);
+        }
+        fn state_digest(&self, s: &u64) -> u64 {
+            *s
+        }
+    }
+
+    fn ev(t: f64, dst: u32, src: u32, seq: u64, p: u64) -> Event<u64> {
+        Event {
+            key: EventKey {
+                recv_time: VirtualTime::from_f64(t),
+                dst: LpId(dst),
+                uid: EventUid::new(LpId(src), seq),
+            },
+            send_time: VirtualTime::ZERO,
+            payload: p,
+        }
+    }
+
+    #[test]
+    fn process_records_history_and_sends() {
+        let m = Counter;
+        let mut lp = Lp::new(&m, LpId(1), 7);
+        let out = lp.process(&m, ev(1.0, 1, 0, 0, 10));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key.recv_time, VirtualTime::from_f64(2.0));
+        assert_eq!(lp.processed.len(), 1);
+        assert_eq!(lp.lvt(), VirtualTime::from_f64(1.0));
+        assert_eq!(lp.processed[0].sent, vec![out[0].key]);
+    }
+
+    #[test]
+    fn rollback_restores_state_rng_and_seq() {
+        let m = Counter;
+        let mut lp = Lp::new(&m, LpId(1), 7);
+        let before_digest = lp.state;
+        let before_rng = lp.rng.clone();
+        let e1 = ev(1.0, 1, 0, 0, 10);
+        let out1 = lp.process(&m, e1.clone());
+        let e2 = ev(2.0, 1, 0, 1, 20);
+        let out2 = lp.process(&m, e2.clone());
+
+        // Straggler at t=0.5 rolls back both.
+        let straggler_key = ev(0.5, 1, 9, 0, 0).key;
+        let rb = lp.rollback(&m, &straggler_key, false);
+        assert_eq!(rb.undone, 2);
+        assert_eq!(rb.reinserted, vec![e1.clone(), e2.clone()]);
+        assert_eq!(rb.antis, vec![out1[0].key, out2[0].key]);
+        assert_eq!(lp.state, before_digest);
+        assert_eq!(lp.rng, before_rng);
+        assert_eq!(lp.send_seq, 0);
+        assert_eq!(lp.lvt(), VirtualTime::ZERO);
+
+        // Re-execution reproduces the same sends (same uid, time, payload).
+        let out1b = lp.process(&m, e1);
+        assert_eq!(out1b, out1);
+    }
+
+    #[test]
+    fn partial_rollback_keeps_earlier_entries() {
+        let m = Counter;
+        let mut lp = Lp::new(&m, LpId(1), 7);
+        lp.process(&m, ev(1.0, 1, 0, 0, 1));
+        let state_after_1 = lp.state;
+        lp.process(&m, ev(2.0, 1, 0, 1, 2));
+        lp.process(&m, ev(3.0, 1, 0, 2, 3));
+        let rb = lp.rollback(&m, &ev(1.5, 1, 9, 0, 0).key, false);
+        assert_eq!(rb.undone, 2);
+        assert_eq!(lp.processed.len(), 1);
+        assert_eq!(lp.state, state_after_1);
+        assert_eq!(lp.lvt(), VirtualTime::from_f64(1.0));
+    }
+
+    #[test]
+    fn inclusive_rollback_undoes_equal_key() {
+        let m = Counter;
+        let mut lp = Lp::new(&m, LpId(1), 7);
+        let e1 = ev(1.0, 1, 0, 0, 1);
+        lp.process(&m, e1.clone());
+        let rb = lp.rollback(&m, &e1.key, true);
+        assert_eq!(rb.undone, 1);
+        let rb2 = lp.rollback(&m, &e1.key, false);
+        assert_eq!(rb2.undone, 0);
+    }
+
+    #[test]
+    fn straggler_detection_uses_full_key_order() {
+        let m = Counter;
+        let mut lp = Lp::new(&m, LpId(1), 7);
+        let e = ev(1.0, 1, 2, 5, 1);
+        lp.process(&m, e);
+        // Same time, smaller uid → straggler.
+        assert!(lp.is_straggler(&ev(1.0, 1, 2, 4, 0).key));
+        // Same time, larger uid → not a straggler.
+        assert!(!lp.is_straggler(&ev(1.0, 1, 2, 6, 0).key));
+        assert!(!lp.is_straggler(&ev(2.0, 1, 0, 0, 0).key));
+        assert!(lp.is_straggler(&ev(0.5, 1, 0, 0, 0).key));
+    }
+
+    #[test]
+    fn fossil_collect_commits_below_gvt_only() {
+        let m = Counter;
+        let mut lp = Lp::new(&m, LpId(1), 7);
+        lp.process(&m, ev(1.0, 1, 0, 0, 1));
+        lp.process(&m, ev(2.0, 1, 0, 1, 1));
+        lp.process(&m, ev(3.0, 1, 0, 2, 1));
+        assert_eq!(lp.fossil_collect(&m, VirtualTime::from_f64(2.0)), 1);
+        assert_eq!(lp.committed, 1);
+        assert_eq!(lp.processed.len(), 2);
+        // Equal-to-GVT entries retained.
+        assert_eq!(lp.fossil_collect(&m, VirtualTime::from_f64(2.0)), 0);
+        assert_eq!(lp.commit_all(&m), 2);
+        assert_eq!(lp.committed, 3);
+        assert_eq!(lp.history_len(), 0);
+    }
+
+    #[test]
+    fn commit_digest_is_order_independent() {
+        let m = Counter;
+        let e1 = ev(1.0, 1, 0, 0, 1);
+        let e2 = ev(2.0, 1, 0, 1, 1);
+        let mut a = Lp::new(&m, LpId(1), 7);
+        a.process(&m, e1.clone());
+        a.process(&m, e2.clone());
+        a.commit_all(&m);
+        let mut b = Lp::new(&m, LpId(1), 7);
+        b.process(&m, e1);
+        b.fossil_collect(&m, VirtualTime::from_f64(1.5));
+        b.process(&m, e2);
+        b.commit_all(&m);
+        assert_eq!(a.commit_digest, b.commit_digest);
+        assert_ne!(a.commit_digest, 0);
+    }
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+    use crate::ids::EventUid;
+    use crate::model::{Model, SendCtx};
+    use crate::LpId;
+
+    /// Model with RNG-dependent state and sends (exercises replay fidelity).
+    struct Mixer;
+    impl Model for Mixer {
+        type State = u64;
+        type Payload = u32;
+        fn num_lps(&self) -> usize {
+            2
+        }
+        fn init_state(&self, _lp: LpId) -> u64 {
+            1
+        }
+        fn init_events(&self, _lp: LpId, _s: &mut u64, _ctx: &mut SendCtx<'_, u32>) {}
+        fn handle_event(&self, _lp: LpId, s: &mut u64, p: &u32, ctx: &mut SendCtx<'_, u32>) {
+            *s = s
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(*p as u64)
+                .wrapping_add(ctx.rng().next_below(1 << 20));
+            let d = 0.1 + ctx.rng().next_f64();
+            ctx.send(LpId(0), d, p + 1);
+        }
+        fn state_digest(&self, s: &u64) -> u64 {
+            *s
+        }
+    }
+
+    fn ev(t: f64, seq: u64) -> Event<u32> {
+        Event {
+            key: EventKey {
+                recv_time: VirtualTime::from_f64(t),
+                dst: LpId(1),
+                uid: EventUid::new(LpId(0), seq),
+            },
+            send_time: VirtualTime::ZERO,
+            payload: seq as u32,
+        }
+    }
+
+    /// Run the same process/rollback/fossil scenario under dense (k=1) and
+    /// sparse (k) saving; all observable outputs must agree.
+    fn run_scenario(k: u32) -> (u64, Vec<EventKey>, u64) {
+        let m = Mixer;
+        let mut lp = Lp::with_snapshot_period(&m, LpId(1), 42, k);
+        for i in 0..10 {
+            lp.process(&m, ev(i as f64 + 1.0, i));
+        }
+        // Fossil part of the history (forces snapshot materialization).
+        lp.fossil_collect(&m, VirtualTime::from_f64(4.5));
+        // Roll back into the un-snapshotted middle.
+        let rb = lp.rollback(&m, &ev(7.5, 99).key, false);
+        let antis = rb.antis.clone();
+        // Replay the undone events.
+        for e in rb.reinserted {
+            lp.process(&m, e);
+        }
+        lp.commit_all(&m);
+        (m.state_digest(&lp.state), antis, lp.commit_digest)
+    }
+
+    #[test]
+    fn sparse_saving_is_observationally_identical() {
+        let dense = run_scenario(1);
+        for k in [2, 3, 5, 16] {
+            let sparse = run_scenario(k);
+            assert_eq!(dense, sparse, "period {k}");
+        }
+    }
+
+    #[test]
+    fn only_every_kth_entry_carries_a_snapshot() {
+        let m = Mixer;
+        let mut lp = Lp::with_snapshot_period(&m, LpId(1), 7, 4);
+        for i in 0..9 {
+            lp.process(&m, ev(i as f64 + 1.0, i));
+        }
+        let snaps: Vec<bool> = lp.processed.iter().map(|e| e.pre.is_some()).collect();
+        assert_eq!(snaps, vec![true, false, false, false, true, false, false, false, true]);
+    }
+
+    #[test]
+    fn fossil_materializes_replay_base() {
+        let m = Mixer;
+        let mut lp = Lp::with_snapshot_period(&m, LpId(1), 7, 4);
+        for i in 0..8 {
+            lp.process(&m, ev(i as f64 + 1.0, i));
+        }
+        // Cut mid-gap: entries 0..6 committed (recv < 6.5), entry 6 had no
+        // snapshot and must get one.
+        lp.fossil_collect(&m, VirtualTime::from_f64(6.5));
+        assert!(lp.processed[0].pre.is_some(), "replay base materialized");
+        // A rollback into the remaining tail still works.
+        let rb = lp.rollback(&m, &ev(7.5, 99).key, false);
+        assert_eq!(rb.undone, 1);
+    }
+
+    #[test]
+    fn rollback_to_snapshotless_suffix_coast_forwards() {
+        let m = Mixer;
+        let mut lp = Lp::with_snapshot_period(&m, LpId(1), 7, 8);
+        let mut states = Vec::new();
+        for i in 0..6 {
+            lp.process(&m, ev(i as f64 + 1.0, i));
+            states.push(lp.state);
+        }
+        // Undo events 4 and 5 → state must equal post-event-3 state.
+        let rb = lp.rollback(&m, &ev(4.5, 99).key, false);
+        assert_eq!(rb.undone, 2);
+        assert_eq!(lp.state, states[3]);
+        // Re-execution reproduces the same states.
+        for e in rb.reinserted {
+            lp.process(&m, e);
+        }
+        assert_eq!(lp.state, states[5]);
+    }
+}

@@ -1,0 +1,120 @@
+//! LP-to-thread mapping.
+//!
+//! ROSS maps LPs to simulation threads round-robin (`lp % num_threads`);
+//! a block mapping (`lp / lps_per_thread`) is provided for experiments that
+//! need contiguous LP blocks per thread. The mapping is immutable for the
+//! lifetime of a simulation — the engines under study do *demand-driven
+//! scheduling of threads onto cores*, not LP migration.
+
+use crate::ids::{LpId, SimThreadId};
+use serde::{Deserialize, Serialize};
+
+/// Mapping strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MapKind {
+    /// `thread = lp % num_threads` (ROSS default; paper §2.2).
+    #[default]
+    RoundRobin,
+    /// `thread = lp / ceil(num_lps / num_threads)`.
+    Block,
+}
+
+/// Immutable LP → thread map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LpMap {
+    pub num_lps: u32,
+    pub num_threads: u32,
+    pub kind: MapKind,
+}
+
+impl LpMap {
+    pub fn new(num_lps: usize, num_threads: usize, kind: MapKind) -> Self {
+        assert!(num_lps > 0, "need at least one LP");
+        assert!(num_threads > 0, "need at least one thread");
+        assert!(
+            num_lps >= num_threads,
+            "fewer LPs ({num_lps}) than threads ({num_threads})"
+        );
+        LpMap {
+            num_lps: num_lps as u32,
+            num_threads: num_threads as u32,
+            kind,
+        }
+    }
+
+    /// Owning thread of `lp`.
+    #[inline]
+    pub fn thread_of(&self, lp: LpId) -> SimThreadId {
+        debug_assert!(lp.0 < self.num_lps, "LP {lp} out of range");
+        match self.kind {
+            MapKind::RoundRobin => SimThreadId(lp.0 % self.num_threads),
+            MapKind::Block => {
+                let per = self.num_lps.div_ceil(self.num_threads);
+                SimThreadId((lp.0 / per).min(self.num_threads - 1))
+            }
+        }
+    }
+
+    /// All LPs owned by `thread`, ascending.
+    pub fn lps_of(&self, thread: SimThreadId) -> Vec<LpId> {
+        (0..self.num_lps)
+            .map(LpId)
+            .filter(|&lp| self.thread_of(lp) == thread)
+            .collect()
+    }
+
+    /// Number of LPs per thread when evenly divisible.
+    pub fn lps_per_thread(&self) -> usize {
+        (self.num_lps / self.num_threads) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_wraps() {
+        let m = LpMap::new(8, 4, MapKind::RoundRobin);
+        assert_eq!(m.thread_of(LpId(0)), SimThreadId(0));
+        assert_eq!(m.thread_of(LpId(5)), SimThreadId(1));
+        assert_eq!(m.lps_of(SimThreadId(1)), vec![LpId(1), LpId(5)]);
+    }
+
+    #[test]
+    fn block_is_contiguous() {
+        let m = LpMap::new(8, 4, MapKind::Block);
+        assert_eq!(m.lps_of(SimThreadId(0)), vec![LpId(0), LpId(1)]);
+        assert_eq!(m.lps_of(SimThreadId(3)), vec![LpId(6), LpId(7)]);
+    }
+
+    #[test]
+    fn block_handles_uneven_division() {
+        let m = LpMap::new(7, 3, MapKind::Block);
+        // per = ceil(7/3) = 3 → blocks [0..3), [3..6), [6..7)
+        let total: usize = (0..3).map(|t| m.lps_of(SimThreadId(t)).len()).sum();
+        assert_eq!(total, 7);
+        assert_eq!(m.thread_of(LpId(6)), SimThreadId(2));
+    }
+
+    #[test]
+    fn every_lp_has_exactly_one_owner() {
+        for kind in [MapKind::RoundRobin, MapKind::Block] {
+            let m = LpMap::new(13, 5, kind);
+            let mut owned = vec![0; 13];
+            for t in 0..5 {
+                for lp in m.lps_of(SimThreadId(t)) {
+                    owned[lp.index()] += 1;
+                    assert_eq!(m.thread_of(lp), SimThreadId(t));
+                }
+            }
+            assert!(owned.iter().all(|&c| c == 1), "{kind:?}: {owned:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer LPs")]
+    fn more_threads_than_lps_rejected() {
+        LpMap::new(2, 4, MapKind::RoundRobin);
+    }
+}

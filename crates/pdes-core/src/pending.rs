@@ -1,0 +1,206 @@
+//! The per-thread pending event set.
+//!
+//! A `BTreeMap` keyed by the total event order gives deterministic iteration,
+//! O(log n) insert/pop-min, and — crucially for Time Warp — O(log n) exact
+//! removal when an anti-message annihilates an unprocessed event.
+//!
+//! Anti-messages can arrive *before* their positive twin (the positive and
+//! the anti may be enqueued by different threads after a rollback on the
+//! sender). Such "orphan" antis are parked in a side set and annihilate the
+//! positive on arrival.
+
+use crate::event::{Event, EventKey};
+use crate::time::VirtualTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of inserting a positive event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Event stored in the pending set.
+    Inserted,
+    /// A parked anti-message was waiting for it; both vanished.
+    Annihilated,
+}
+
+/// Outcome of applying an anti-message to the pending set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The positive twin was pending and has been removed.
+    Removed,
+    /// The positive twin has not arrived yet; the anti is parked.
+    Deferred,
+}
+
+/// Pending (unprocessed) events of one simulation thread, across all its LPs.
+#[derive(Debug)]
+pub struct PendingSet<P> {
+    events: BTreeMap<EventKey, Event<P>>,
+    /// Anti-messages whose positive twin has not arrived yet.
+    orphan_antis: BTreeSet<EventKey>,
+}
+
+impl<P> Default for PendingSet<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PendingSet<P> {
+    pub fn new() -> Self {
+        PendingSet {
+            events: BTreeMap::new(),
+            orphan_antis: BTreeSet::new(),
+        }
+    }
+
+    /// Insert a positive event, annihilating it against a parked anti if one
+    /// is waiting.
+    ///
+    /// # Panics
+    /// Panics on duplicate keys — event UIDs are unique by construction, so a
+    /// duplicate indicates an engine bug (e.g. an event re-inserted without
+    /// its twin being cancelled).
+    pub fn insert(&mut self, event: Event<P>) -> InsertOutcome {
+        if self.orphan_antis.remove(&event.key) {
+            return InsertOutcome::Annihilated;
+        }
+        let prev = self.events.insert(event.key, event);
+        assert!(prev.is_none(), "duplicate pending event key");
+        InsertOutcome::Inserted
+    }
+
+    /// Apply an anti-message for `key`.
+    pub fn cancel(&mut self, key: &EventKey) -> CancelOutcome {
+        if self.events.remove(key).is_some() {
+            CancelOutcome::Removed
+        } else {
+            let fresh = self.orphan_antis.insert(*key);
+            assert!(fresh, "duplicate anti-message for {key:?}");
+            CancelOutcome::Deferred
+        }
+    }
+
+    /// Remove a parked anti-message (the caller resolved it another way,
+    /// e.g. by rolling back the already-processed positive). Returns whether
+    /// the anti was present.
+    pub fn unpark_anti(&mut self, key: &EventKey) -> bool {
+        self.orphan_antis.remove(key)
+    }
+
+    /// Remove and return the lowest-keyed pending event.
+    pub fn pop_min(&mut self) -> Option<Event<P>> {
+        let key = *self.events.keys().next()?;
+        self.events.remove(&key)
+    }
+
+    /// Key of the lowest pending event without removing it.
+    pub fn min_key(&self) -> Option<EventKey> {
+        self.events.keys().next().copied()
+    }
+
+    /// Receive time of the lowest pending event, or `INFINITY` when empty —
+    /// the thread's contribution to the GVT minimum.
+    pub fn min_time(&self) -> VirtualTime {
+        self.min_key()
+            .map(|k| k.recv_time)
+            .unwrap_or(VirtualTime::INFINITY)
+    }
+
+    /// Number of pending positive events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of parked (unmatched) anti-messages.
+    pub fn orphan_antis(&self) -> usize {
+        self.orphan_antis.len()
+    }
+
+    /// Iterate pending events in key order (testing / debugging).
+    pub fn iter(&self) -> impl Iterator<Item = &Event<P>> {
+        self.events.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EventUid, LpId};
+
+    fn ev(t: f64, dst: u32, src: u32, seq: u64) -> Event<u32> {
+        Event {
+            key: EventKey {
+                recv_time: VirtualTime::from_f64(t),
+                dst: LpId(dst),
+                uid: EventUid::new(LpId(src), seq),
+            },
+            send_time: VirtualTime::ZERO,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn pop_min_in_key_order() {
+        let mut ps = PendingSet::new();
+        ps.insert(ev(3.0, 0, 0, 0));
+        ps.insert(ev(1.0, 0, 0, 1));
+        ps.insert(ev(2.0, 0, 0, 2));
+        assert_eq!(ps.min_time(), VirtualTime::from_f64(1.0));
+        let order: Vec<f64> = std::iter::from_fn(|| ps.pop_min())
+            .map(|e| e.key.recv_time.as_f64())
+            .collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+        assert_eq!(ps.min_time(), VirtualTime::INFINITY);
+    }
+
+    #[test]
+    fn cancel_removes_pending() {
+        let mut ps = PendingSet::new();
+        let e = ev(1.0, 0, 0, 0);
+        ps.insert(e.clone());
+        assert_eq!(ps.cancel(&e.key), CancelOutcome::Removed);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn anti_before_positive_annihilates_on_arrival() {
+        let mut ps = PendingSet::new();
+        let e = ev(1.0, 0, 0, 0);
+        assert_eq!(ps.cancel(&e.key), CancelOutcome::Deferred);
+        assert_eq!(ps.orphan_antis(), 1);
+        assert_eq!(ps.insert(e), InsertOutcome::Annihilated);
+        assert_eq!(ps.orphan_antis(), 0);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pending event key")]
+    fn duplicate_insert_panics() {
+        let mut ps = PendingSet::new();
+        ps.insert(ev(1.0, 0, 0, 0));
+        ps.insert(ev(1.0, 0, 0, 0));
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut ps: PendingSet<u32> = PendingSet::new();
+        assert!(ps.is_empty());
+        ps.insert(ev(1.0, 0, 0, 0));
+        ps.insert(ev(1.0, 1, 0, 1));
+        assert_eq!(ps.len(), 2);
+        ps.pop_min();
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn tie_break_orders_same_time_events() {
+        let mut ps = PendingSet::new();
+        ps.insert(ev(1.0, 2, 0, 0));
+        ps.insert(ev(1.0, 1, 0, 1));
+        assert_eq!(ps.pop_min().unwrap().key.dst, LpId(1));
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-thread Time Warp statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by one simulation thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Events executed (including ones later rolled back).
+    pub processed: u64,
+    /// Events committed (fossil-collected below GVT or at shutdown).
+    pub committed: u64,
+    /// Events undone by rollbacks.
+    pub rolled_back: u64,
+    /// Rollback episodes (a straggler or anti-message may undo many events).
+    pub rollbacks: u64,
+    /// Straggler messages received.
+    pub stragglers: u64,
+    /// Anti-messages sent.
+    pub antis_sent: u64,
+    /// Anti-messages received.
+    pub antis_received: u64,
+    /// Positive events sent to other LPs.
+    pub events_sent: u64,
+    /// Pending/orphan annihilations performed.
+    pub annihilations: u64,
+    /// XOR-fold of committed event-key digests (order independent).
+    pub commit_digest: u64,
+}
+
+impl ThreadStats {
+    /// Merge another thread's counters into this one (for totals).
+    pub fn merge(&mut self, other: &ThreadStats) {
+        self.processed += other.processed;
+        self.committed += other.committed;
+        self.rolled_back += other.rolled_back;
+        self.rollbacks += other.rollbacks;
+        self.stragglers += other.stragglers;
+        self.antis_sent += other.antis_sent;
+        self.antis_received += other.antis_received;
+        self.events_sent += other.events_sent;
+        self.annihilations += other.annihilations;
+        self.commit_digest ^= other.commit_digest;
+    }
+
+    /// Committed / processed — the efficiency that, divided by wall time,
+    /// yields the paper's committed event rate.
+    pub fn efficiency(&self) -> f64 {
+        if self.processed == 0 {
+            return 1.0;
+        }
+        self.committed as f64 / self.processed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_xors() {
+        let mut a = ThreadStats {
+            processed: 10,
+            committed: 8,
+            rolled_back: 2,
+            rollbacks: 1,
+            stragglers: 1,
+            antis_sent: 2,
+            antis_received: 0,
+            events_sent: 9,
+            annihilations: 0,
+            commit_digest: 0b1010,
+        };
+        let b = ThreadStats {
+            processed: 5,
+            committed: 5,
+            commit_digest: 0b0110,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.processed, 15);
+        assert_eq!(a.committed, 13);
+        assert_eq!(a.commit_digest, 0b1100);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        let s = ThreadStats::default();
+        assert_eq!(s.efficiency(), 1.0);
+        let s = ThreadStats {
+            processed: 10,
+            committed: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.efficiency(), 0.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Virtual (simulation) time.
+//!
+//! Time Warp correctness depends on a total order over event receive times,
+//! including reproducible tie-breaking. Floating point timestamps (as used by
+//! ROSS) introduce platform-dependent rounding and NaN hazards, so we use a
+//! 64-bit fixed-point representation with [`FRAC_BITS`] fractional bits.
+//! All model-facing APIs accept `f64` and convert through [`VirtualTime::from_f64`].
+
+use serde::{Deserialize, Serialize};
+
+/// Number of fractional bits in the fixed-point representation.
+///
+/// 20 bits gives a resolution of ~1e-6 time units and an upper range of
+/// ~1.7e13 time units, far beyond any end time used by the paper's models.
+pub const FRAC_BITS: u32 = 20;
+
+/// Fixed-point virtual time. Wraps a `u64`: `value = ticks / 2^FRAC_BITS`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// The greatest representable time; used as the identity for `min` folds.
+    pub const INFINITY: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Construct from raw fixed-point ticks.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+
+    /// Raw fixed-point ticks.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Convert a non-negative, finite `f64` to fixed point (saturating).
+    ///
+    /// # Panics
+    /// Panics if `t` is negative or NaN — model bugs should fail loudly.
+    #[inline]
+    pub fn from_f64(t: f64) -> Self {
+        assert!(t >= 0.0, "virtual time must be non-negative, got {t}");
+        let scaled = t * (1u64 << FRAC_BITS) as f64;
+        if scaled >= u64::MAX as f64 {
+            VirtualTime::INFINITY
+        } else {
+            VirtualTime(scaled as u64)
+        }
+    }
+
+    /// Convert back to `f64` (lossy for very large values).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / (1u64 << FRAC_BITS) as f64
+    }
+
+    /// Saturating addition of a delay.
+    #[inline]
+    pub fn saturating_add(self, delay: VirtualTime) -> Self {
+        VirtualTime(self.0.saturating_add(delay.0))
+    }
+
+    /// `true` if this is the `INFINITY` sentinel.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl std::ops::Add for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual time addition overflow"),
+        )
+    }
+}
+
+impl std::ops::Sub for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual time subtraction underflow"),
+        )
+    }
+}
+
+impl std::fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{:.6}", self.as_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        for &t in &[0.0, 0.5, 1.0, 123.456, 1e6] {
+            let vt = VirtualTime::from_f64(t);
+            assert!((vt.as_f64() - t).abs() < 1e-5, "roundtrip {t}");
+        }
+    }
+
+    #[test]
+    fn ordering_matches_f64() {
+        let a = VirtualTime::from_f64(1.25);
+        let b = VirtualTime::from_f64(1.250001);
+        assert!(a < b);
+        assert!(VirtualTime::ZERO < a);
+        assert!(b < VirtualTime::INFINITY);
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = VirtualTime::from_f64(2.0);
+        let b = VirtualTime::from_f64(3.0);
+        assert_eq!((a + b).as_f64(), 5.0);
+        assert_eq!((b - a).as_f64(), 1.0);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_infinity() {
+        assert_eq!(
+            VirtualTime::INFINITY.saturating_add(VirtualTime::from_f64(1.0)),
+            VirtualTime::INFINITY
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let _ = VirtualTime::from_f64(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", VirtualTime::INFINITY), "∞");
+        assert_eq!(format!("{}", VirtualTime::from_f64(1.5)), "1.500000");
+    }
+}

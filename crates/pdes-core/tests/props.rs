@@ -1,0 +1,200 @@
+//! Property-based tests of the Time Warp core data structures.
+
+use pdes_core::pending::{CancelOutcome, InsertOutcome, PendingSet};
+use pdes_core::{
+    Event, EventKey, EventUid, LpId, LpMap, MapKind, Model, SendCtx, SimThreadId, VirtualTime,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_key() -> impl Strategy<Value = EventKey> {
+    (0u64..1000, 0u32..8, 0u32..8, 0u64..64).prop_map(|(t, dst, src, seq)| EventKey {
+        recv_time: VirtualTime::from_ticks(t),
+        dst: LpId(dst),
+        uid: EventUid::new(LpId(src), seq),
+    })
+}
+
+#[derive(Debug, Clone)]
+enum PendingOp {
+    Insert(EventKey),
+    Cancel(EventKey),
+    PopMin,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<PendingOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            arb_key().prop_map(PendingOp::Insert),
+            arb_key().prop_map(PendingOp::Cancel),
+            Just(PendingOp::PopMin),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// The pending set behaves exactly like a reference model built on a
+    /// `BTreeMap` plus an orphan-anti set, under arbitrary operation
+    /// sequences (duplicate inserts/cancels are skipped, as the engine
+    /// never produces them).
+    #[test]
+    fn pending_set_matches_reference_model(ops in arb_ops()) {
+        let mut sut: PendingSet<u32> = PendingSet::new();
+        let mut model: BTreeMap<EventKey, u32> = BTreeMap::new();
+        let mut antis: std::collections::BTreeSet<EventKey> = Default::default();
+
+        for op in ops {
+            match op {
+                PendingOp::Insert(k) => {
+                    if model.contains_key(&k) || antis.contains(&k) {
+                        continue; // engine never re-inserts a live key
+                    }
+                    let ev = Event { key: k, send_time: VirtualTime::ZERO, payload: 1 };
+                    // Reference: an orphan anti annihilates on arrival.
+                    let expect = InsertOutcome::Inserted;
+                    let got = sut.insert(ev);
+                    prop_assert_eq!(got, expect);
+                    model.insert(k, 1);
+                }
+                PendingOp::Cancel(k) => {
+                    if antis.contains(&k) {
+                        continue; // engine never double-cancels
+                    }
+                    let got = sut.cancel(&k);
+                    if model.remove(&k).is_some() {
+                        prop_assert_eq!(got, CancelOutcome::Removed);
+                    } else {
+                        prop_assert_eq!(got, CancelOutcome::Deferred);
+                        antis.insert(k);
+                    }
+                }
+                PendingOp::PopMin => {
+                    let got = sut.pop_min().map(|e| e.key);
+                    let expect = model.keys().next().copied();
+                    if let Some(k) = expect {
+                        model.remove(&k);
+                    }
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(sut.len(), model.len());
+            prop_assert_eq!(sut.orphan_antis(), antis.len());
+            prop_assert_eq!(
+                sut.min_time(),
+                model.keys().next().map(|k| k.recv_time).unwrap_or(VirtualTime::INFINITY)
+            );
+        }
+    }
+
+    /// Orphan antis annihilate the positive on arrival.
+    #[test]
+    fn orphan_anti_then_insert_annihilates(k in arb_key()) {
+        let mut ps: PendingSet<u8> = PendingSet::new();
+        prop_assert_eq!(ps.cancel(&k), CancelOutcome::Deferred);
+        let ev = Event { key: k, send_time: VirtualTime::ZERO, payload: 0 };
+        prop_assert_eq!(ps.insert(ev), InsertOutcome::Annihilated);
+        prop_assert!(ps.is_empty());
+        prop_assert_eq!(ps.orphan_antis(), 0);
+    }
+
+    /// Every LP has exactly one owning thread under both mappings, and
+    /// `lps_of` inverts `thread_of`.
+    #[test]
+    fn lp_map_partition(nl in 1usize..200, nt in 1usize..16) {
+        prop_assume!(nl >= nt);
+        for kind in [MapKind::RoundRobin, MapKind::Block] {
+            let map = LpMap::new(nl, nt, kind);
+            let mut seen = vec![false; nl];
+            for t in 0..nt {
+                for lp in map.lps_of(SimThreadId(t as u32)) {
+                    prop_assert!(!seen[lp.index()]);
+                    seen[lp.index()] = true;
+                    prop_assert_eq!(map.thread_of(lp), SimThreadId(t as u32));
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}
+
+/// A model whose handler draws randomness and sends fan-out events — used
+/// to prove rollback/re-execution identity.
+struct FanOut;
+impl Model for FanOut {
+    type State = Vec<u64>;
+    type Payload = u32;
+    fn num_lps(&self) -> usize {
+        4
+    }
+    fn init_state(&self, _lp: LpId) -> Vec<u64> {
+        Vec::new()
+    }
+    fn init_events(&self, _lp: LpId, _s: &mut Vec<u64>, _ctx: &mut SendCtx<'_, u32>) {}
+    fn handle_event(&self, _lp: LpId, s: &mut Vec<u64>, p: &u32, ctx: &mut SendCtx<'_, u32>) {
+        let draws = (ctx.rng().next_below(3) + 1) as usize;
+        for _ in 0..draws {
+            s.push(ctx.rng().next_u64_pub());
+            let dst = LpId(ctx.rng().next_below(4) as u32);
+            let d = 0.1 + ctx.rng().next_f64();
+            ctx.send(dst, d, p + 1);
+        }
+    }
+    fn state_digest(&self, s: &Vec<u64>) -> u64 {
+        s.iter().fold(0u64, |a, &x| {
+            a.rotate_left(7) ^ x
+        })
+    }
+}
+
+trait RngPub {
+    fn next_u64_pub(&mut self) -> u64;
+}
+impl RngPub for pdes_core::DetRng {
+    fn next_u64_pub(&mut self) -> u64 {
+        use rand::Rng as _;
+        self.next_u64()
+    }
+}
+
+proptest! {
+    /// Rollback + re-execution is an identity: undoing a suffix of the
+    /// processed events and replaying the same events yields the same
+    /// state, same RNG stream, and identical re-sent events.
+    #[test]
+    fn rollback_replay_identity(seed in any::<u64>(), n in 1usize..12, cut in 0usize..12) {
+        prop_assume!(cut < n);
+        let model = FanOut;
+        let mut lp = pdes_core::lp::Lp::new(&model, LpId(1), seed);
+        let mut rng = pdes_core::DetRng::seed_from_u64(seed ^ 0xABCD);
+        let events: Vec<Event<u32>> = (0..n)
+            .map(|i| Event {
+                key: EventKey {
+                    recv_time: VirtualTime::from_f64(i as f64 + rng.next_f64()),
+                    dst: LpId(1),
+                    uid: EventUid::new(LpId(0), i as u64),
+                },
+                send_time: VirtualTime::ZERO,
+                payload: i as u32,
+            })
+            .collect();
+
+        let mut sends_first: Vec<Vec<EventKey>> = Vec::new();
+        for e in &events {
+            let out = lp.process(&model, e.clone());
+            sends_first.push(out.iter().map(|e| e.key).collect());
+        }
+        let digest_before = model.state_digest(&lp.state);
+
+        // Roll back everything from `cut` onwards…
+        let rb = lp.rollback(&model, &events[cut].key, true);
+        prop_assert_eq!(rb.undone, n - cut);
+        // …and replay.
+        for (i, e) in events.iter().enumerate().skip(cut) {
+            let out = lp.process(&model, e.clone());
+            let keys: Vec<EventKey> = out.iter().map(|e| e.key).collect();
+            prop_assert_eq!(&keys, &sends_first[i], "event {} resent differently", i);
+        }
+        prop_assert_eq!(model.state_digest(&lp.state), digest_before);
+    }
+}

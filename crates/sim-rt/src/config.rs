@@ -1,0 +1,180 @@
+//! System configurations: the six systems evaluated in the paper plus the
+//! three CPU-affinity policies, and the engine cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Thread-scheduling scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// No explicit de-scheduling; the (virtual) kernel's CFS decides
+    /// everything.
+    Baseline,
+    /// Original Demand-Driven PDES: a dedicated controller thread manages
+    /// activation/deactivation under a global lock (prior work, §3).
+    DdPdes,
+    /// GVT-Guided PDES: lock-free scheduling driven by the GVT phases with a
+    /// per-round pseudo-controller (this paper, §4).
+    GgPdes,
+}
+
+/// GVT algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GvtMode {
+    /// Synchronous Barrier GVT: threads block at barriers each round.
+    Sync,
+    /// Asynchronous Wait-Free GVT: phases A / Send / B / Aware / End,
+    /// threads keep simulating while rounds progress.
+    Async,
+}
+
+/// CPU affinity policy (§4.2, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AffinityPolicy {
+    /// No pinning; the kernel migrates threads freely.
+    NoAffinity,
+    /// Round-robin pinning at startup, never changed (Algorithm 3).
+    Constant,
+    /// Pseudo-controller re-pins active threads to idle cores each GVT
+    /// round, SMT-aware (Algorithm 4). Only meaningful under GG-PDES.
+    Dynamic,
+}
+
+/// A complete system under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    pub scheduler: Scheduler,
+    pub gvt: GvtMode,
+    pub affinity: AffinityPolicy,
+}
+
+impl SystemConfig {
+    pub const fn new(scheduler: Scheduler, gvt: GvtMode, affinity: AffinityPolicy) -> Self {
+        SystemConfig {
+            scheduler,
+            gvt,
+            affinity,
+        }
+    }
+
+    /// The six systems of Figures 2–4, all under constant affinity.
+    pub const ALL_SIX: [SystemConfig; 6] = [
+        SystemConfig::new(Scheduler::Baseline, GvtMode::Sync, AffinityPolicy::Constant),
+        SystemConfig::new(Scheduler::Baseline, GvtMode::Async, AffinityPolicy::Constant),
+        SystemConfig::new(Scheduler::DdPdes, GvtMode::Sync, AffinityPolicy::Constant),
+        SystemConfig::new(Scheduler::DdPdes, GvtMode::Async, AffinityPolicy::Constant),
+        SystemConfig::new(Scheduler::GgPdes, GvtMode::Sync, AffinityPolicy::Constant),
+        SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant),
+    ];
+
+    /// The three headline systems of Figures 5–6.
+    pub const HEADLINE: [SystemConfig; 3] = [
+        SystemConfig::new(Scheduler::Baseline, GvtMode::Sync, AffinityPolicy::Constant),
+        SystemConfig::new(Scheduler::DdPdes, GvtMode::Async, AffinityPolicy::Constant),
+        SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant),
+    ];
+
+    /// Paper-style display name, e.g. `GG-PDES-Async`.
+    pub fn name(&self) -> String {
+        let s = match self.scheduler {
+            Scheduler::Baseline => "Baseline",
+            Scheduler::DdPdes => "DD-PDES",
+            Scheduler::GgPdes => "GG-PDES",
+        };
+        let g = match self.gvt {
+            GvtMode::Sync => "Sync",
+            GvtMode::Async => "Async",
+        };
+        match self.affinity {
+            AffinityPolicy::Constant => format!("{s}-{g}"),
+            AffinityPolicy::NoAffinity => format!("{s}-{g}+NoAff"),
+            AffinityPolicy::Dynamic => format!("{s}-{g}+DynAff"),
+        }
+    }
+
+    /// Does this system de-schedule inactive threads?
+    pub fn demand_driven(&self) -> bool {
+        !matches!(self.scheduler, Scheduler::Baseline)
+    }
+}
+
+/// Cost of the PDES engine's operations on the virtual machine, in cycles.
+/// See DESIGN.md §5.3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimCost {
+    /// Checking the input queue once.
+    pub poll: u64,
+    /// Receiving (delivering) one message from the input queue.
+    pub recv_msg: u64,
+    /// Processing one event (includes state saving).
+    pub proc_event: u64,
+    /// Sending one event/anti-message to another thread.
+    pub send_msg: u64,
+    /// Undoing one event during a rollback.
+    pub rollback_event: u64,
+    /// One GVT phase operation (recording a minimum, folding).
+    pub gvt_phase: u64,
+    /// Checking whether a GVT phase has globally completed.
+    pub phase_check: u64,
+    /// Scheduling bookkeeping (activation scan per entry, deactivation).
+    pub sched_op: u64,
+    /// Re-pinning a thread (the `sched_setaffinity` call, Algorithm 4).
+    pub affinity_op: u64,
+    /// Controller scan cost per thread record (DD-PDES).
+    pub scan_per_thread: u64,
+    /// Input-queue polls batched into one idle step (model-side batching of
+    /// an idle thread's spin loop; does not change contention semantics).
+    pub idle_polls_per_step: u64,
+}
+
+impl Default for SimCost {
+    fn default() -> Self {
+        SimCost {
+            poll: 60,
+            recv_msg: 100,
+            proc_event: 1000,
+            send_msg: 120,
+            rollback_event: 700,
+            gvt_phase: 200,
+            phase_check: 40,
+            sched_op: 150,
+            affinity_op: 250,
+            scan_per_thread: 80,
+            idle_polls_per_step: 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_conventions() {
+        assert_eq!(
+            SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant).name(),
+            "GG-PDES-Async"
+        );
+        assert_eq!(
+            SystemConfig::new(Scheduler::Baseline, GvtMode::Sync, AffinityPolicy::Constant).name(),
+            "Baseline-Sync"
+        );
+        assert_eq!(
+            SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Dynamic).name(),
+            "GG-PDES-Async+DynAff"
+        );
+    }
+
+    #[test]
+    fn all_six_are_distinct() {
+        let names: std::collections::BTreeSet<String> =
+            SystemConfig::ALL_SIX.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn demand_driven_flag() {
+        assert!(!SystemConfig::ALL_SIX[0].demand_driven());
+        assert!(SystemConfig::ALL_SIX[2].demand_driven());
+        assert!(SystemConfig::ALL_SIX[5].demand_driven());
+    }
+}

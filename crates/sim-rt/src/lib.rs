@@ -1,0 +1,27 @@
+//! # ggpdes-sim-rt — the PDES engine on the virtual machine
+//!
+//! This runtime executes the full Time Warp engine ([`pdes_core`]) as tasks
+//! on the deterministic many-core model ([`machine`]), implementing all six
+//! systems of the paper's evaluation —
+//! `{Baseline, DD-PDES, GG-PDES} × {Sync, Async}` — and the three CPU
+//! affinity policies. Events, rollbacks, anti-messages, and GVT values are
+//! *real*; only time is modeled, so every figure of the paper can be
+//! regenerated at 256–4096 thread scale on any host, bit-for-bit
+//! reproducibly.
+//!
+//! Entry point: [`runner::run_sim`].
+//!
+//! Debugging aids: set `GG_TRACE=1` to stream GVT round lifecycle events
+//! (open / phase-A folds / End completions) to stderr; incomplete runs
+//! print a diagnostic dump of the round state and any stuck GVT minima.
+
+pub mod config;
+pub mod controller;
+pub mod runner;
+pub mod shared;
+pub mod simthread;
+
+pub use config::{AffinityPolicy, GvtMode, Scheduler, SimCost, SystemConfig};
+pub use runner::{run_sim, RunConfig, SimResult};
+pub use shared::{AffinityTables, Shared};
+pub use simthread::SimThreadTask;

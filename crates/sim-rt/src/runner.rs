@@ -1,0 +1,227 @@
+//! The experiment runner: wires a model, a system configuration, and a
+//! virtual machine together, runs the simulation, and collects metrics.
+
+use crate::config::{AffinityPolicy, Scheduler, SimCost, SystemConfig};
+use crate::controller::ControllerTask;
+use crate::shared::Shared;
+use crate::simthread::SimThreadTask;
+use machine::{Machine, MachineConfig, Report, WorkTag};
+use metrics::RunMetrics;
+use pdes_core::{EngineConfig, LpId, LpMap, Model, SimThreadId, ThreadEngine};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Everything produced by one virtual-machine simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    pub metrics: RunMetrics,
+    pub report: Report,
+    /// Final state digest of every LP, ordered by LP id.
+    pub digests: Vec<u64>,
+    /// GVT monotonicity violations (must be 0).
+    pub gvt_regressions: u64,
+    /// Whether every task ran to completion (false if the time limit hit).
+    pub completed: bool,
+    /// Scheduling-activity transitions `(virtual ns, thread, scheduled-in)`
+    /// — the raw data behind a Fig.-1-style activity diagram.
+    pub timeline: Vec<(u64, usize, bool)>,
+}
+
+impl SimResult {
+    /// Render the activity timeline as CSV (`ns,thread,scheduled_in`).
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from("ns,thread,scheduled_in\n");
+        for &(ns, t, s) in &self.timeline {
+            out.push_str(&format!("{ns},{t},{}\n", s as u8));
+        }
+        out
+    }
+}
+
+/// Experiment parameters beyond the model itself.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub num_threads: usize,
+    pub engine: EngineConfig,
+    pub system: SystemConfig,
+    pub machine: MachineConfig,
+    pub cost: SimCost,
+    /// Safety cap on virtual time (ns); `None` = unbounded.
+    pub limit_ns: Option<u64>,
+}
+
+impl RunConfig {
+    pub fn new(num_threads: usize, engine: EngineConfig, system: SystemConfig) -> Self {
+        RunConfig {
+            num_threads,
+            engine,
+            system,
+            machine: MachineConfig::default(),
+            cost: SimCost::default(),
+            limit_ns: Some(120_000_000_000), // 120 virtual seconds
+        }
+    }
+
+    pub fn with_machine(mut self, m: MachineConfig) -> Self {
+        self.machine = m;
+        self
+    }
+}
+
+/// Run `model` under the given configuration on the virtual machine.
+///
+/// # Panics
+/// Panics on deadlock (a protocol bug — deterministic and reproducible) and
+/// on model/thread-count mismatches.
+pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
+    let num_threads = rc.num_threads;
+    assert!(
+        model.num_lps().is_multiple_of(num_threads),
+        "weak scaling requires LPs ({}) divisible by threads ({num_threads})",
+        model.num_lps()
+    );
+    let map = LpMap::new(model.num_lps(), num_threads, rc.engine.mapping);
+    let num_cores = rc.machine.num_cores;
+
+    let mut machine = Machine::new(rc.machine.clone());
+    let shared = Rc::new(RefCell::new(Shared::<M::Payload>::new(
+        num_threads,
+        num_cores,
+        rc.engine.end_time,
+        rc.system,
+        rc.cost.clone(),
+    )));
+
+    // Semaphores (`sem_locks`) and the DD lock.
+    {
+        let mut sh = shared.borrow_mut();
+        for _ in 0..num_threads {
+            let sem = machine.kernel().add_sem(0, 1);
+            sh.sems.push(sem);
+        }
+        if matches!(rc.system.scheduler, Scheduler::DdPdes) {
+            sh.dd_mutex = Some(machine.kernel().add_mutex());
+        }
+    }
+
+    // Build engines, seed initial events.
+    let mut engines = Vec::with_capacity(num_threads);
+    for t in 0..num_threads {
+        let mut eng = ThreadEngine::new(
+            Arc::clone(model),
+            map,
+            SimThreadId(t as u32),
+            &rc.engine,
+        );
+        let init = eng.take_init_events();
+        let mut sh = shared.borrow_mut();
+        for (dst, msg) in init {
+            sh.push_msg(t, dst.index(), msg);
+        }
+        engines.push(eng);
+    }
+    // Initial events are pre-routed, not in-flight: clear the send windows
+    // (queue minima still cover the messages).
+    {
+        let mut sh = shared.borrow_mut();
+        for w in &mut sh.window_send_min {
+            *w = pdes_core::VirtualTime::INFINITY;
+        }
+    }
+
+    // The DD controller occupies a dedicated core (the last one); simulation
+    // threads under constant affinity round-robin over the remaining cores.
+    let dd = matches!(rc.system.scheduler, Scheduler::DdPdes);
+    let sim_cores = if dd && num_cores > 1 {
+        num_cores - 1
+    } else {
+        num_cores
+    };
+
+    for (t, eng) in engines.into_iter().enumerate() {
+        let pin = match rc.system.affinity {
+            AffinityPolicy::Constant => Some(t % sim_cores),
+            AffinityPolicy::NoAffinity | AffinityPolicy::Dynamic => None,
+        };
+        let task = SimThreadTask::new(t, eng, Rc::clone(&shared), rc.system, rc.engine.clone());
+        let id = machine.add_task(Box::new(task), format!("sim{t}"), pin);
+        assert_eq!(id.index(), t, "task ids must equal thread ids");
+    }
+    if dd {
+        let ctrl = ControllerTask::new(Rc::clone(&shared));
+        let pin = if num_cores > 1 {
+            Some(num_cores - 1)
+        } else {
+            None
+        };
+        machine.add_task(Box::new(ctrl), "controller", pin);
+    }
+
+    let report = match machine.run(rc.limit_ns) {
+        Ok(r) => r,
+        Err(dl) => panic!(
+            "virtual machine deadlock in {} with {num_threads} threads: {dl}",
+            rc.system.name()
+        ),
+    };
+
+    let sh = shared.borrow();
+    let mut m = sh.collect_metrics();
+    m.lps = model.num_lps();
+    m.wall_secs = report.virtual_secs();
+    m.total_work = report.total_work();
+    m.wasted_work = report.work_for(WorkTag::Spin) + report.work_for(WorkTag::Poll);
+
+    let mut digests: Vec<(LpId, u64)> = sh.final_digests.iter().flatten().copied().collect();
+    digests.sort_by_key(|&(lp, _)| lp);
+    let completed = report.tasks.iter().all(|t| t.finished);
+    if !completed {
+        // Diagnose what pinned the GVT (or what stalled the run).
+        eprintln!(
+            "[run_sim diag] {} T={num_threads}: gvt={} rounds={} active={} terminated={}",
+            rc.system.name(),
+            sh.gvt,
+            sh.gvt_rounds,
+            sh.num_active,
+            sh.terminated
+        );
+        eprintln!(
+            "  round: open={} id={} participants={} a={} b={} end={} aware={}",
+            sh.round.open,
+            sh.round.id,
+            sh.round.participants,
+            sh.round.a_done,
+            sh.round.b_done,
+            sh.round.end_done,
+            sh.round.aware_claimed
+        );
+        for i in 0..num_threads {
+            if sh.round.open && sh.round.participant[i] {
+                eprintln!(
+                    "  participant t{i}: phase={} active={} subscribed={} qlen={}",
+                    sh.dbg_phase[i], sh.active[i], sh.subscribed[i], sh.queues[i].len()
+                );
+            }
+            if !sh.window_send_min[i].is_infinite() || !sh.queue_min[i].is_infinite() {
+                eprintln!(
+                    "  t{i}: window={} queue_min={} qlen={} active={} subscribed={}",
+                    sh.window_send_min[i],
+                    sh.queue_min[i],
+                    sh.queues[i].len(),
+                    sh.active[i],
+                    sh.subscribed[i]
+                );
+            }
+        }
+    }
+
+    SimResult {
+        metrics: m,
+        gvt_regressions: sh.gvt_regressions,
+        digests: digests.into_iter().map(|(_, d)| d).collect(),
+        timeline: sh.timeline.clone(),
+        report,
+        completed,
+    }
+}

@@ -1,0 +1,468 @@
+//! The simulation-thread task: the ROSS main loop plus the GVT round and
+//! demand-driven scheduling state machine, for all six system
+//! configurations.
+//!
+//! Each [`machine::Task::step`] call performs one slice — a main-loop cycle,
+//! a GVT phase, a barrier arrival, a deactivation — on *real* Time Warp data
+//! structures, and returns its modeled cost. The phase structure follows
+//! §4.1: Wait-Free GVT rounds run phases A → Send → B → Aware → End;
+//! activation happens in Aware (pseudo-controller), deactivation in End;
+//! synchronous rounds use three blocking barrier points instead.
+
+use crate::config::{AffinityPolicy, GvtMode, Scheduler, SystemConfig};
+use crate::shared::{Arrive, Op, Shared};
+use machine::{Ctx, Step, Task, WorkTag};
+use pdes_core::{EngineConfig, Model, Outbound, ThreadEngine};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Where the thread is in its control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Normal main-loop cycling (includes the Wait-Free *Send* phase).
+    Cycle,
+    // Wait-free GVT round:
+    AsyncA,
+    AsyncWaitA,
+    AsyncB,
+    AsyncWaitB,
+    AsyncAware,
+    AsyncEnd,
+    // Barrier GVT round (indices are the three arrival points):
+    SyncBar(u8),
+    SyncFold,
+    SyncCtrl,
+    SyncEnd,
+    /// DD-PDES only: holding the global lock to deactivate.
+    DdDoDeact,
+    /// Blocked on own semaphore (de-scheduled). Next step = woken.
+    Parked,
+    /// Commit remaining history and report stats.
+    Finishing,
+}
+
+/// One simulation thread.
+pub struct SimThreadTask<M: Model> {
+    tid: usize,
+    engine: ThreadEngine<M>,
+    shared: Rc<RefCell<Shared<M::Payload>>>,
+    sys: SystemConfig,
+    ecfg: EngineConfig,
+
+    phase: Phase,
+    /// Cycles since the thread last joined a GVT round (drives the paper's
+    /// 1-in-200-cycles trigger).
+    cycles_since_gvt: u64,
+    /// Consecutive idle cycles (Algorithm 1's `zero_counter`).
+    zero_counter: u64,
+    /// Algorithm 1's thread-local `active` flag.
+    active_flag: bool,
+    /// Round id this thread last joined.
+    joined_round: Option<u64>,
+    /// Wall time when the thread joined the current round.
+    round_enter_ns: u64,
+    outbox: Vec<Outbound<M::Payload>>,
+    /// Scratch for kernel ops queued while `shared` is borrowed.
+    ops: Vec<Op>,
+}
+
+impl<M: Model> SimThreadTask<M> {
+    pub fn new(
+        tid: usize,
+        engine: ThreadEngine<M>,
+        shared: Rc<RefCell<Shared<M::Payload>>>,
+        sys: SystemConfig,
+        ecfg: EngineConfig,
+    ) -> Self {
+        SimThreadTask {
+            tid,
+            engine,
+            shared,
+            sys,
+            ecfg,
+            phase: Phase::Cycle,
+            cycles_since_gvt: 0,
+            zero_counter: 0,
+            active_flag: true,
+            joined_round: None,
+            round_enter_ns: 0,
+            outbox: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// One main-loop cycle: drain the input queue, process a batch, route
+    /// sends. Returns (cost, cycles_advanced, useful).
+    fn do_cycle(&mut self, sh: &mut Shared<M::Payload>) -> (u64, u64, bool) {
+        let c = sh.cost.clone();
+        let msgs = sh.drain(self.tid);
+        let n_msgs = msgs.len() as u64;
+        let mut rolled = 0u64;
+        self.outbox.clear();
+        for m in msgs {
+            let d = self.engine.deliver(m, &mut self.outbox);
+            rolled += d.rolled_back as u64;
+        }
+        let batch = self.engine.process_batch(self.ecfg.batch_size, &mut self.outbox);
+        let sends = self.outbox.len() as u64;
+        for (dst, msg) in self.outbox.drain(..) {
+            sh.push_msg(self.tid, dst.index(), msg);
+        }
+        rolled += batch.rolled_back as u64;
+
+        let idle = n_msgs == 0 && batch.processed == 0;
+        // Algorithm 1, read_message_count: track consecutive empty cycles.
+        let cycles = if idle { c.idle_polls_per_step.max(1) } else { 1 };
+        if idle && !self.engine.has_live_pending() {
+            self.zero_counter += cycles;
+            if self.zero_counter > self.ecfg.zero_counter_threshold as u64 {
+                self.active_flag = false;
+            }
+        } else {
+            self.zero_counter = 0;
+            self.active_flag = true;
+        }
+
+        let cost = c.poll * cycles
+            + c.recv_msg * n_msgs
+            + c.proc_event * batch.processed as u64
+            + c.send_msg * sends
+            + c.rollback_event * rolled;
+        (cost, cycles, !idle)
+    }
+
+    /// Drain + fold the engine minimum into the open round.
+    fn drain_and_fold(&mut self, sh: &mut Shared<M::Payload>) -> u64 {
+        let c = sh.cost.clone();
+        let msgs = sh.drain(self.tid);
+        let n = msgs.len() as u64;
+        let mut rolled = 0u64;
+        self.outbox.clear();
+        for m in msgs {
+            rolled += self.engine.deliver(m, &mut self.outbox).rolled_back as u64;
+        }
+        let sends = self.outbox.len() as u64;
+        for (dst, msg) in self.outbox.drain(..) {
+            sh.push_msg(self.tid, dst.index(), msg);
+        }
+        sh.fold_min(self.tid, self.engine.local_min());
+        c.gvt_phase + c.recv_msg * n + c.send_msg * sends + c.rollback_event * rolled
+    }
+
+    /// Should this thread de-schedule itself (Algorithm 1, line 8)?
+    ///
+    /// §3 defines inactive as "LPs have not received **or sent** an event
+    /// message in a predefined period": an unfolded send window means a
+    /// recent send whose timestamp still backs the GVT lower bound — the
+    /// thread must stay for one more round (its next Phase-A fold clears
+    /// the window) before it may park.
+    fn wants_deactivation(&self, sh: &Shared<M::Payload>) -> bool {
+        self.sys.demand_driven()
+            && !self.active_flag
+            && sh.queues[self.tid].is_empty()
+            && !self.engine.has_live_pending()
+            && sh.window_send_min[self.tid].is_infinite()
+    }
+
+    /// Pseudo-controller duties at Aware: new GVT, termination, activation.
+    /// Returns the cost.
+    fn aware_duties(&mut self, sh: &mut Shared<M::Payload>) -> u64 {
+        let c = sh.cost.clone();
+        let mut cost = c.gvt_phase;
+        sh.compute_gvt();
+        if sh.terminated {
+            sh.release_all_for_termination(&mut self.ops);
+            cost += c.sched_op * self.ops.len() as u64;
+        } else if matches!(self.sys.scheduler, Scheduler::GgPdes) {
+            // Algorithm 2 — the scan itself costs per entry.
+            let activated = sh.activate(&mut self.ops);
+            cost += c.scan_per_thread / 4 * sh.num_threads as u64
+                + c.sched_op * activated as u64;
+        }
+        cost
+    }
+
+    /// End-of-phase-End bookkeeping shared by both GVT modes. Returns the
+    /// follow-up (cost, next phase, optional blocking step).
+    fn end_duties(&mut self, sh: &mut Shared<M::Payload>, now: u64) -> (u64, Step) {
+        let c = sh.cost.clone();
+        let mut cost = c.gvt_phase;
+        self.engine.fossil_collect(sh.gvt);
+        sh.gvt_wall_in_round += now.saturating_sub(self.round_enter_ns);
+        let deact = !sh.terminated && self.wants_deactivation(sh);
+        let closed = sh.end_phase(self.tid);
+        if closed && self.sys.affinity == AffinityPolicy::Dynamic && !sh.terminated {
+            let (pinned, scanned) = sh.set_cpu_affinity(&mut self.ops);
+            cost += c.affinity_op * pinned as u64 + (scanned as u64) * 8;
+        }
+        if sh.terminated {
+            self.phase = Phase::Finishing;
+            return (cost, Step::work(cost, WorkTag::Gvt));
+        }
+        self.cycles_since_gvt = 0;
+        if deact {
+            match self.sys.scheduler {
+                Scheduler::GgPdes => {
+                    // Lock-free: phase coupling makes this safe (§4.1.4).
+                    if sh.deactivate_self(self.tid) {
+                        sh.record_transition(now, self.tid, false);
+                        self.phase = Phase::Parked;
+                        return (cost, Step::SemWait(sh.sems[self.tid]));
+                    }
+                }
+                Scheduler::DdPdes => {
+                    // Serialized through the controller's global lock; leave
+                    // the GVT group first so no round waits on us while we
+                    // block on the mutex.
+                    sh.dd_unsubscribe(self.tid);
+                    self.phase = Phase::DdDoDeact;
+                    let m = sh.dd_mutex.expect("DD systems have the lock");
+                    return (cost, Step::MutexLock(m));
+                }
+                Scheduler::Baseline => unreachable!("baseline never deactivates"),
+            }
+        }
+        self.phase = Phase::Cycle;
+        (cost, Step::work(cost, WorkTag::Gvt))
+    }
+
+    /// Apply queued kernel ops through the machine context.
+    fn apply_ops(&mut self, ctx: &mut Ctx<'_>) {
+        for op in self.ops.drain(..) {
+            match op {
+                Op::Post(t) => {
+                    let sem = self.shared.borrow().sems[t];
+                    ctx.sem_post(sem);
+                }
+                Op::Pin(t, core) => {
+                    ctx.set_affinity(machine::TaskId(t as u32), Some(core));
+                }
+            }
+        }
+    }
+}
+
+impl<M: Model> Task for SimThreadTask<M> {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let now = ctx.now();
+        let shared = Rc::clone(&self.shared);
+        let mut sh = shared.borrow_mut();
+        debug_assert!(self.ops.is_empty());
+        sh.dbg_phase[self.tid] = match self.phase {
+            Phase::Cycle => "Cycle",
+            Phase::AsyncA => "AsyncA",
+            Phase::AsyncWaitA => "AsyncWaitA",
+            Phase::AsyncB => "AsyncB",
+            Phase::AsyncWaitB => "AsyncWaitB",
+            Phase::AsyncAware => "AsyncAware",
+            Phase::AsyncEnd => "AsyncEnd",
+            Phase::SyncBar(0) => "SyncBar0",
+            Phase::SyncBar(1) => "SyncBar1",
+            Phase::SyncBar(_) => "SyncBar2",
+            Phase::SyncFold => "SyncFold",
+            Phase::SyncCtrl => "SyncCtrl",
+            Phase::SyncEnd => "SyncEnd",
+            Phase::DdDoDeact => "DdDoDeact",
+            Phase::Parked => "Parked",
+            Phase::Finishing => "Finishing",
+        };
+        let step = match self.phase {
+            Phase::Cycle => {
+                if sh.terminated {
+                    self.phase = Phase::Finishing;
+                    Step::work(sh.cost.phase_check, WorkTag::Gvt)
+                } else {
+                    let (cost, cycles, useful) = self.do_cycle(&mut sh);
+                    self.cycles_since_gvt += cycles;
+                    let mut tag = if useful { WorkTag::Sim } else { WorkTag::Spin };
+                    // GVT trigger: the thread's own 1-in-`gvt_interval`
+                    // counter, or an in-flight round whose participant
+                    // snapshot is waiting for this thread.
+                    let round_waiting = sh.round.open
+                        && sh.round.participant[self.tid]
+                        && self.joined_round != Some(sh.round.id);
+                    let interval = match self.ecfg.adaptive_gvt {
+                        Some(a) => a.effective_interval(
+                            self.ecfg.gvt_interval,
+                            self.engine.history_len(),
+                        ),
+                        None => self.ecfg.gvt_interval,
+                    };
+                    if (self.cycles_since_gvt >= interval as u64 || round_waiting)
+                        && sh.subscribed[self.tid]
+                    {
+                        let participate = sh.ensure_round_open(self.tid);
+                        let fresh = self.joined_round != Some(sh.round.id);
+                        if participate && fresh {
+                            self.joined_round = Some(sh.round.id);
+                            self.round_enter_ns = now;
+                            self.phase = match self.sys.gvt {
+                                GvtMode::Async => Phase::AsyncA,
+                                GvtMode::Sync => Phase::SyncBar(0),
+                            };
+                            tag = WorkTag::Gvt;
+                        }
+                    }
+                    Step::work(cost, tag)
+                }
+            }
+
+            // ---- Wait-Free GVT ------------------------------------------
+            Phase::AsyncA => {
+                assert!(
+                    sh.round.open
+                        && sh.round.participant[self.tid]
+                        && self.joined_round == Some(sh.round.id),
+                    "t{} stale AsyncA: open={} id={} joined={:?} participant={} a={} b={} end={} participants={}",
+                    self.tid,
+                    sh.round.open,
+                    sh.round.id,
+                    self.joined_round,
+                    sh.round.participant[self.tid],
+                    sh.round.a_done,
+                    sh.round.b_done,
+                    sh.round.end_done,
+                    sh.round.participants,
+                );
+                let cost = self.drain_and_fold(&mut sh);
+                sh.round.a_done += 1;
+                if std::env::var_os("GG_TRACE").is_some() {
+                    eprintln!("[trace] t{} A round {} ({}/{})", self.tid, sh.round.id,
+                        sh.round.a_done, sh.round.participants);
+                }
+                self.phase = Phase::AsyncWaitA;
+                Step::work(cost, WorkTag::Gvt)
+            }
+            Phase::AsyncWaitA | Phase::AsyncWaitB => {
+                // The *Send* phase: keep simulating while peers catch up.
+                let (cost, _, useful) = self.do_cycle(&mut sh);
+                let check = sh.cost.phase_check;
+                let done = if self.phase == Phase::AsyncWaitA {
+                    sh.round.a_done == sh.round.participants
+                } else {
+                    sh.round.b_done == sh.round.participants
+                };
+                if done {
+                    self.phase = if self.phase == Phase::AsyncWaitA {
+                        Phase::AsyncB
+                    } else {
+                        Phase::AsyncAware
+                    };
+                }
+                let tag = if useful { WorkTag::Sim } else { WorkTag::Gvt };
+                Step::work(cost + check, tag)
+            }
+            Phase::AsyncB => {
+                let cost = self.drain_and_fold(&mut sh);
+                sh.round.b_done += 1;
+                self.phase = Phase::AsyncWaitB;
+                Step::work(cost, WorkTag::Gvt)
+            }
+            Phase::AsyncAware => {
+                let cost = if sh.claim_aware(self.tid) {
+                    self.aware_duties(&mut sh)
+                } else {
+                    sh.cost.phase_check
+                };
+                self.phase = Phase::AsyncEnd;
+                Step::work(cost, WorkTag::Sched)
+            }
+            Phase::AsyncEnd => {
+                let (_cost, step) = self.end_duties(&mut sh, now);
+                step
+            }
+
+            // ---- Barrier GVT --------------------------------------------
+            Phase::SyncBar(i) => {
+                self.phase = match i {
+                    0 => Phase::SyncFold,
+                    1 => Phase::SyncCtrl,
+                    _ => Phase::SyncEnd,
+                };
+                match sh.barrier_arrive(self.tid, i as usize, &mut self.ops) {
+                    Arrive::Proceed => Step::work(sh.cost.gvt_phase, WorkTag::Gvt),
+                    Arrive::Park => Step::SemWait(sh.sems[self.tid]),
+                }
+            }
+            Phase::SyncFold => {
+                let cost = self.drain_and_fold(&mut sh);
+                self.phase = Phase::SyncBar(1);
+                Step::work(cost, WorkTag::Gvt)
+            }
+            Phase::SyncCtrl => {
+                let cost = if sh.claim_aware(self.tid) {
+                    self.aware_duties(&mut sh)
+                } else {
+                    sh.cost.phase_check
+                };
+                self.phase = Phase::SyncBar(2);
+                Step::work(cost, WorkTag::Sched)
+            }
+            Phase::SyncEnd => {
+                let (_cost, step) = self.end_duties(&mut sh, now);
+                step
+            }
+
+            // ---- demand-driven blocking paths ----------------------------
+            Phase::DdDoDeact => {
+                // Holding the DD global lock. If the simulation terminated
+                // while we waited for it, the wake-everyone broadcast has
+                // already run — do not park now, finish instead.
+                let m = sh.dd_mutex.expect("DD lock exists");
+                if sh.terminated {
+                    sh.subscribed[self.tid] = true; // undo dd_unsubscribe
+                    drop(sh);
+                    ctx.mutex_unlock(m);
+                    self.phase = Phase::Finishing;
+                    return Step::work(self.shared.borrow().cost.sched_op, WorkTag::Sched);
+                }
+                let ok = sh.dd_finalize_deact(self.tid);
+                if ok {
+                    sh.record_transition(now, self.tid, false);
+                }
+                drop(sh);
+                ctx.mutex_unlock(m);
+                let sems = self.shared.borrow().sems[self.tid];
+                if ok {
+                    self.phase = Phase::Parked;
+                    return Step::SemWait(sems);
+                }
+                self.phase = Phase::Cycle;
+                let c = self.shared.borrow().cost.sched_op;
+                return Step::work(c, WorkTag::Sched);
+            }
+            Phase::Parked => {
+                // Woken: either reactivated (Algorithm 1 lines 14–17) or the
+                // simulation ended.
+                sh.on_wake(self.tid);
+                sh.record_transition(now, self.tid, true);
+                self.zero_counter = 0;
+                self.active_flag = true;
+                // `joined_round` stays untouched: it records the last round
+                // this thread folded into. If the currently open round's
+                // snapshot includes us (we were re-activated just before it
+                // opened) its id is newer and we join it; if we already
+                // completed the open round before parking, the ids match and
+                // we correctly skip it.
+                self.cycles_since_gvt = 0;
+                self.phase = if sh.terminated {
+                    Phase::Finishing
+                } else {
+                    Phase::Cycle
+                };
+                Step::work(sh.cost.sched_op, WorkTag::Sched)
+            }
+
+            Phase::Finishing => {
+                self.engine.finalize();
+                sh.final_stats[self.tid] = Some(self.engine.stats().clone());
+                sh.final_digests[self.tid] = self.engine.state_digests();
+                drop(sh);
+                return Step::Done;
+            }
+        };
+        drop(sh);
+        self.apply_ops(ctx);
+        step
+    }
+}

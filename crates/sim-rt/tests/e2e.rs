@@ -1,0 +1,126 @@
+//! End-to-end tests: every system configuration must commit exactly the
+//! trace the sequential oracle commits, deterministically.
+
+use models::{LocalityPattern, Phold, PholdConfig};
+use pdes_core::{run_sequential, EngineConfig};
+use sim_rt::{run_sim, RunConfig, SystemConfig};
+use std::sync::Arc;
+
+fn engine_cfg(end: f64) -> EngineConfig {
+    EngineConfig::default()
+        .with_end_time(end)
+        .with_seed(42)
+        .with_gvt_interval(25)
+        .with_zero_counter_threshold(250)
+}
+
+fn machine_small() -> machine::MachineConfig {
+    machine::MachineConfig::small(4, 2)
+}
+
+#[test]
+fn all_six_systems_match_oracle_on_balanced_phold() {
+    let threads = 8;
+    let model = Arc::new(Phold::new(PholdConfig::balanced(threads, 4)));
+    let ecfg = engine_cfg(8.0);
+    let oracle = run_sequential(&model, &ecfg, None);
+    assert!(oracle.committed > 100, "oracle committed {}", oracle.committed);
+
+    for sys in SystemConfig::ALL_SIX {
+        let rc = RunConfig::new(threads, ecfg.clone(), sys).with_machine(machine_small());
+        let r = run_sim(&model, &rc);
+        assert!(r.completed, "{} did not finish", sys.name());
+        assert_eq!(r.gvt_regressions, 0, "{} regressed GVT", sys.name());
+        assert_eq!(
+            r.metrics.committed, oracle.committed,
+            "{}: committed {} vs oracle {}",
+            sys.name(), r.metrics.committed, oracle.committed
+        );
+        assert_eq!(
+            r.metrics.commit_digest, oracle.commit_digest,
+            "{}: commit digest mismatch", sys.name()
+        );
+        assert_eq!(
+            r.digests, oracle.state_digests,
+            "{}: final LP states differ", sys.name()
+        );
+    }
+}
+
+#[test]
+fn imbalanced_phold_matches_oracle_and_deschedules() {
+    let threads = 8;
+    let model = Arc::new(Phold::new(PholdConfig::imbalanced(
+        threads, 4, 4, 12.0, LocalityPattern::Linear,
+    )));
+    // Short run: use an aggressive deactivation threshold so even the
+    // barrier-GVT systems (whose idle threads park at barriers instead of
+    // accumulating idle cycles) de-schedule within the test horizon.
+    let ecfg = engine_cfg(12.0).with_zero_counter_threshold(60);
+    let oracle = run_sequential(&model, &ecfg, None);
+
+    for sys in SystemConfig::ALL_SIX {
+        let rc = RunConfig::new(threads, ecfg.clone(), sys).with_machine(machine_small());
+        let r = run_sim(&model, &rc);
+        assert!(r.completed, "{} did not finish", sys.name());
+        assert_eq!(
+            r.metrics.commit_digest, oracle.commit_digest,
+            "{}: digest mismatch", sys.name()
+        );
+        if sys.demand_driven() {
+            assert!(
+                r.metrics.max_descheduled > 0,
+                "{} never de-scheduled anything on an imbalanced model",
+                sys.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_is_deterministic() {
+    let threads = 4;
+    let model = Arc::new(Phold::new(PholdConfig::imbalanced(
+        threads, 4, 2, 10.0, LocalityPattern::Linear,
+    )));
+    let ecfg = engine_cfg(10.0);
+    let sys = SystemConfig::ALL_SIX[5]; // GG-PDES-Async
+    let rc = RunConfig::new(threads, ecfg, sys).with_machine(machine_small());
+    let a = run_sim(&model, &rc);
+    let b = run_sim(&model, &rc);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.report.virtual_ns, b.report.virtual_ns);
+    assert_eq!(a.digests, b.digests);
+}
+
+#[test]
+fn activity_timeline_records_descheduling() {
+    let threads = 8;
+    let model = Arc::new(Phold::new(PholdConfig::imbalanced(
+        threads, 4, 4, 12.0, LocalityPattern::Linear,
+    )));
+    let ecfg = engine_cfg(12.0).with_zero_counter_threshold(60);
+    let sys = SystemConfig::ALL_SIX[5]; // GG-PDES-Async
+    let rc = RunConfig::new(threads, ecfg, sys).with_machine(machine_small());
+    let r = run_sim(&model, &rc);
+    assert!(
+        !r.timeline.is_empty(),
+        "an imbalanced run must record scheduling transitions"
+    );
+    // Transitions are time-ordered and alternate sensibly per thread.
+    let mut last_ns = 0;
+    let mut state: std::collections::BTreeMap<usize, bool> = Default::default();
+    for &(ns, t, s) in &r.timeline {
+        assert!(ns >= last_ns, "timeline must be time-ordered");
+        last_ns = ns;
+        if let Some(&prev) = state.get(&t) {
+            assert_ne!(prev, s, "thread {t} recorded the same state twice");
+        } else {
+            assert!(!s, "a thread's first transition is de-scheduling");
+        }
+        state.insert(t, s);
+    }
+    let csv = r.timeline_csv();
+    assert!(csv.starts_with("ns,thread,scheduled_in\n"));
+    assert_eq!(csv.lines().count(), r.timeline.len() + 1);
+}

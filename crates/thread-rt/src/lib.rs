@@ -1,0 +1,24 @@
+//! # ggpdes-thread-rt — the engine on real OS threads
+//!
+//! The same Time Warp engine and the same six scheduling systems as
+//! `sim-rt`, executed on real `std::thread`s: crossbeam `SegQueue` input
+//! queues, cache-padded atomics for the `active_threads` array, parking-lot
+//! semaphores as `sem_locks`, `sched_setaffinity` for the three affinity
+//! policies.
+//!
+//! Its purpose is *functional* validation under genuine concurrency: any run
+//! must commit exactly the sequential oracle's trace. Performance figures
+//! come from the deterministic `sim-rt` (this host's core count is not the
+//! paper's KNL). One documented deviation from the paper: GVT round
+//! *membership* transitions take a small mutex (the hot per-event paths stay
+//! lock-free); see DESIGN.md.
+
+pub mod affinity;
+pub mod runner;
+pub mod shared;
+pub mod sync;
+pub mod worker;
+
+pub use runner::{run_threads, RtResult, RtRunConfig};
+pub use shared::RtShared;
+pub use sync::{DynBarrier, Semaphore};

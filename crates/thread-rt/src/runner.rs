@@ -1,0 +1,129 @@
+//! Spawn, run, and collect a real-thread simulation.
+
+use crate::affinity::num_cores;
+use crate::shared::RtShared;
+use crate::worker::{controller_loop, worker_loop, WorkerResult};
+use metrics::RunMetrics;
+use pdes_core::{EngineConfig, LpId, LpMap, Model, SimThreadId, ThreadEngine};
+use sim_rt::{Scheduler, SystemConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for a real-thread run.
+#[derive(Debug, Clone)]
+pub struct RtRunConfig {
+    pub num_threads: usize,
+    pub engine: EngineConfig,
+    pub system: SystemConfig,
+    /// Cores used for the affinity policies (defaults to the host's count).
+    pub pin_cores: usize,
+}
+
+impl RtRunConfig {
+    pub fn new(num_threads: usize, engine: EngineConfig, system: SystemConfig) -> Self {
+        RtRunConfig {
+            num_threads,
+            engine,
+            system,
+            pin_cores: num_cores(),
+        }
+    }
+}
+
+/// Result of a real-thread run.
+#[derive(Debug, Clone)]
+pub struct RtResult {
+    pub metrics: RunMetrics,
+    /// Final state digest of every LP, ordered by LP id.
+    pub digests: Vec<u64>,
+    pub gvt_regressions: u64,
+}
+
+/// Run `model` on real threads. Blocks until the simulation completes.
+pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> RtResult {
+    let n = rc.num_threads;
+    assert!(
+        model.num_lps().is_multiple_of(n),
+        "weak scaling requires LPs divisible by thread count"
+    );
+    let map = LpMap::new(model.num_lps(), n, rc.engine.mapping);
+    let shared: Arc<RtShared<M::Payload>> =
+        Arc::new(RtShared::new(n, rc.pin_cores, rc.engine.end_time));
+
+    // Build engines and pre-route initial events.
+    let mut engines = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut eng = ThreadEngine::new(Arc::clone(model), map, SimThreadId(t as u32), &rc.engine);
+        for (dst, msg) in eng.take_init_events() {
+            shared.push_msg(t, dst.index(), msg);
+        }
+        engines.push(eng);
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (t, eng) in engines.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        let sys = rc.system;
+        let ecfg = rc.engine.clone();
+        let pin_cores = rc.pin_cores;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("sim{t}"))
+                .spawn(move || worker_loop(t, eng, sh, sys, ecfg, pin_cores))
+                .expect("spawn worker"),
+        );
+    }
+    let controller = if matches!(rc.system.scheduler, Scheduler::DdPdes) {
+        let sh = Arc::clone(&shared);
+        Some(
+            std::thread::Builder::new()
+                .name("controller".into())
+                .spawn(move || controller_loop(sh))
+                .expect("spawn controller"),
+        )
+    } else {
+        None
+    };
+
+    let mut results: Vec<WorkerResult> = Vec::with_capacity(n);
+    for h in handles {
+        results.push(h.join().expect("worker panicked"));
+    }
+    shared.controller_exit.store(true, Ordering::Release);
+    if let Some(c) = controller {
+        c.join().expect("controller panicked");
+    }
+    let wall = start.elapsed();
+
+    let mut total = pdes_core::ThreadStats::default();
+    let mut digests: Vec<(LpId, u64)> = Vec::new();
+    for r in &results {
+        total.merge(&r.stats);
+        digests.extend(r.digests.iter().copied());
+    }
+    digests.sort_by_key(|&(lp, _)| lp);
+
+    let metrics = RunMetrics {
+        system: rc.system.name(),
+        threads: n,
+        lps: model.num_lps(),
+        wall_secs: wall.as_secs_f64(),
+        committed: total.committed,
+        processed: total.processed,
+        rolled_back: total.rolled_back,
+        rollbacks: total.rollbacks,
+        antis_sent: total.antis_sent,
+        gvt_rounds: shared.gvt_rounds.load(Ordering::Acquire),
+        gvt_cpu_secs: shared.gvt_wall_ns.load(Ordering::Acquire) as f64 * 1e-9,
+        max_descheduled: shared.max_descheduled.load(Ordering::Acquire),
+        commit_digest: total.commit_digest,
+        ..Default::default()
+    };
+    RtResult {
+        metrics,
+        digests: digests.into_iter().map(|(_, d)| d).collect(),
+        gvt_regressions: shared.gvt_regressions.load(Ordering::Acquire),
+    }
+}

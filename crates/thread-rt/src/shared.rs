@@ -1,0 +1,395 @@
+//! Shared state of the real-thread runtime.
+//!
+//! The hot arrays mirror the paper's layout: per-thread input queues
+//! (crossbeam `SegQueue`), the `active_threads` flags and `sem_locks`
+//! semaphores, all cache-line padded. GVT round *counters* are plain
+//! atomics; only round membership transitions (open-snapshot, subscribe,
+//! unsubscribe) take a small mutex — a documented deviation from the paper's
+//! fully lock-free design that buys a provable absence of the
+//! snapshot-vs-deactivation race on real hardware (see DESIGN.md; the
+//! lock-free variant's behaviour is what `sim-rt` models and measures).
+
+use crate::sync::{DynBarrier, Semaphore};
+use crossbeam::queue::SegQueue;
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use pdes_core::{Msg, VirtualTime};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Atomic fetch-min over `VirtualTime` ticks.
+fn fetch_min(cell: &AtomicU64, t: VirtualTime) {
+    cell.fetch_min(t.ticks(), Ordering::AcqRel);
+}
+
+fn load_vt(cell: &AtomicU64) -> VirtualTime {
+    VirtualTime::from_ticks(cell.load(Ordering::Acquire))
+}
+
+/// Round state guarded by [`RtShared::membership`].
+#[derive(Debug)]
+pub struct Membership {
+    pub open: bool,
+    pub id: u64,
+    pub participant: Vec<bool>,
+    pub participants: usize,
+    pub subscribed: Vec<bool>,
+}
+
+/// Shared state of one real-thread simulation run.
+pub struct RtShared<P> {
+    pub num_threads: usize,
+    pub end_time: VirtualTime,
+
+    // ---- message plane ----
+    pub queues: Vec<SegQueue<Msg<P>>>,
+    pub queue_len: Vec<CachePadded<AtomicUsize>>,
+    queue_min: Vec<CachePadded<AtomicU64>>,
+    window_min: Vec<CachePadded<AtomicU64>>,
+
+    // ---- demand-driven scheduling ----
+    pub active: Vec<CachePadded<AtomicBool>>,
+    pub num_active: AtomicUsize,
+    pub sems: Vec<Semaphore>,
+    pub os_tids: Vec<AtomicI64>,
+
+    // ---- GVT round ----
+    pub membership: Mutex<Membership>,
+    pub a_done: AtomicUsize,
+    pub b_done: AtomicUsize,
+    pub end_done: AtomicUsize,
+    pub aware_claimed: AtomicBool,
+    min_fold: AtomicU64,
+    gvt: AtomicU64,
+    pub gvt_rounds: AtomicU64,
+    pub terminated: AtomicBool,
+    /// Synchronous-mode rendezvous points (three per round).
+    pub bars: [DynBarrier; 3],
+
+    // ---- DD-PDES ----
+    pub dd_lock: Mutex<()>,
+    pub controller_exit: AtomicBool,
+
+    // ---- affinity (dynamic) ----
+    pub aff: Mutex<crate::worker::AffinityState>,
+
+    // ---- metrics ----
+    pub gvt_wall_ns: AtomicU64,
+    pub max_descheduled: AtomicUsize,
+    pub gvt_regressions: AtomicU64,
+}
+
+impl<P> RtShared<P> {
+    pub fn new(num_threads: usize, num_cores: usize, end_time: VirtualTime) -> Self {
+        RtShared {
+            num_threads,
+            end_time,
+            queues: (0..num_threads).map(|_| SegQueue::new()).collect(),
+            queue_len: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            queue_min: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(u64::MAX)))
+                .collect(),
+            window_min: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(u64::MAX)))
+                .collect(),
+            active: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicBool::new(true)))
+                .collect(),
+            num_active: AtomicUsize::new(num_threads),
+            sems: (0..num_threads).map(|_| Semaphore::new(0, 1)).collect(),
+            os_tids: (0..num_threads).map(|_| AtomicI64::new(0)).collect(),
+            membership: Mutex::new(Membership {
+                open: false,
+                id: 0,
+                participant: vec![false; num_threads],
+                participants: 0,
+                subscribed: vec![true; num_threads],
+            }),
+            a_done: AtomicUsize::new(0),
+            b_done: AtomicUsize::new(0),
+            end_done: AtomicUsize::new(0),
+            aware_claimed: AtomicBool::new(false),
+            min_fold: AtomicU64::new(u64::MAX),
+            gvt: AtomicU64::new(0),
+            gvt_rounds: AtomicU64::new(0),
+            terminated: AtomicBool::new(false),
+            bars: [
+                DynBarrier::new(num_threads),
+                DynBarrier::new(num_threads),
+                DynBarrier::new(num_threads),
+            ],
+            dd_lock: Mutex::new(()),
+            controller_exit: AtomicBool::new(false),
+            aff: Mutex::new(crate::worker::AffinityState::new(num_cores, num_threads)),
+            gvt_wall_ns: AtomicU64::new(0),
+            max_descheduled: AtomicUsize::new(0),
+            gvt_regressions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current GVT estimate.
+    pub fn gvt(&self) -> VirtualTime {
+        load_vt(&self.gvt)
+    }
+
+    /// Send a message: the window minimum is published *before* the push so
+    /// the event is covered by GVT accounting at every instant (see module
+    /// docs of `sim_rt::shared` for the coverage argument).
+    pub fn push_msg(&self, sender: usize, dst: usize, msg: Msg<P>) {
+        let t = msg.recv_time();
+        fetch_min(&self.window_min[sender], t);
+        self.queues[dst].push(msg);
+        fetch_min(&self.queue_min[dst], t);
+        self.queue_len[dst].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Drain the input queue of `me` into `out`; returns the count.
+    pub fn drain(&self, me: usize, out: &mut Vec<Msg<P>>) -> usize {
+        // Reset the minimum first: pushes racing with this drain re-publish
+        // their minimum afterwards (or are covered by the sender's window).
+        self.queue_min[me].store(u64::MAX, Ordering::Release);
+        let mut n = 0;
+        while let Some(m) = self.queues[me].pop() {
+            out.push(m);
+            n += 1;
+        }
+        if n > 0 {
+            self.queue_len[me].fetch_sub(n, Ordering::AcqRel);
+        }
+        n
+    }
+
+    /// Fold a thread's local minimum and its send window into the round.
+    pub fn fold_min(&self, me: usize, local: VirtualTime) {
+        let w = self.window_min[me].swap(u64::MAX, Ordering::AcqRel);
+        let m = local.ticks().min(w);
+        self.min_fold.fetch_min(m, Ordering::AcqRel);
+    }
+
+    /// Pseudo-controller: fold the transient coverage and publish the new
+    /// GVT. Returns it.
+    pub fn compute_gvt(&self) -> VirtualTime {
+        let mut g = self.min_fold.load(Ordering::Acquire);
+        for i in 0..self.num_threads {
+            g = g
+                .min(self.window_min[i].load(Ordering::Acquire))
+                .min(self.queue_min[i].load(Ordering::Acquire));
+        }
+        let old = self.gvt.load(Ordering::Acquire);
+        if g < old {
+            self.gvt_regressions.fetch_add(1, Ordering::AcqRel);
+        } else {
+            self.gvt.store(g, Ordering::Release);
+        }
+        self.gvt_rounds.fetch_add(1, Ordering::AcqRel);
+        let gvt = load_vt(&self.gvt);
+        if gvt >= self.end_time {
+            self.terminated.store(true, Ordering::Release);
+        }
+        gvt
+    }
+
+    /// Open a round if none is open; returns whether `me` participates in
+    /// the open round and its id.
+    pub fn try_join_round(&self, me: usize) -> (bool, u64) {
+        let mut m = self.membership.lock();
+        if !m.open {
+            m.open = true;
+            let subscribed = m.subscribed.clone();
+            m.participant.copy_from_slice(&subscribed);
+            m.participants = subscribed.iter().filter(|&&s| s).count();
+            self.a_done.store(0, Ordering::Release);
+            self.b_done.store(0, Ordering::Release);
+            self.end_done.store(0, Ordering::Release);
+            self.aware_claimed.store(false, Ordering::Release);
+            self.min_fold.store(u64::MAX, Ordering::Release);
+            for b in &self.bars {
+                b.set_expected(m.participants.max(1));
+            }
+        }
+        (m.participant[me], m.id)
+    }
+
+    /// Peek the open round without opening one.
+    pub fn round_waiting_for(&self, me: usize) -> Option<u64> {
+        let m = self.membership.lock();
+        if m.open && m.participant[me] {
+            Some(m.id)
+        } else {
+            None
+        }
+    }
+
+    /// Number of participants of the current round.
+    pub fn participants(&self) -> usize {
+        self.membership.lock().participants
+    }
+
+    /// Complete the End phase; the last participant closes the round.
+    pub fn end_phase(&self) -> bool {
+        let done = self.end_done.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut m = self.membership.lock();
+        if done == m.participants {
+            m.open = false;
+            m.id += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Algorithm 2: wake inactive threads with queued input. Must be called
+    /// by the round's pseudo-controller (Phase Aware).
+    pub fn activate(&self) -> usize {
+        let mut n = 0;
+        if self.num_active.load(Ordering::Acquire) < self.num_threads {
+            let mut m = self.membership.lock();
+            for i in 0..self.num_threads {
+                if !self.active[i].load(Ordering::Acquire)
+                    && self.queue_len[i].load(Ordering::Acquire) > 0
+                {
+                    self.active[i].store(true, Ordering::Release);
+                    m.subscribed[i] = true;
+                    self.num_active.fetch_add(1, Ordering::AcqRel);
+                    self.sems[i].post();
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// `true` when `me` has no unfolded send window (its last sends are
+    /// already folded into GVT accounting) — part of the deactivation
+    /// condition.
+    pub fn window_is_clear(&self, me: usize) -> bool {
+        self.window_min[me].load(Ordering::Acquire) == u64::MAX
+    }
+
+    /// Algorithm 1 bookkeeping: de-schedule `me` (the caller then blocks on
+    /// its semaphore). Refuses for the last active thread, and refuses when
+    /// a round other than `completed_round` is open with `me` in its
+    /// participant snapshot — parking then would strand the round.
+    pub fn deactivate_self(&self, me: usize, completed_round: u64) -> bool {
+        let mut m = self.membership.lock();
+        if self.num_active.load(Ordering::Acquire) <= 1 {
+            return false;
+        }
+        if m.open && m.participant[me] && m.id != completed_round {
+            return false;
+        }
+        self.aff.lock().clear(me);
+        self.active[me].store(false, Ordering::Release);
+        m.subscribed[me] = false;
+        self.num_active.fetch_sub(1, Ordering::AcqRel);
+        let parked = self.num_threads - self.num_active.load(Ordering::Acquire);
+        self.max_descheduled.fetch_max(parked, Ordering::AcqRel);
+        true
+    }
+
+    /// Wake everyone for termination and stop the DD controller.
+    pub fn release_all_for_termination(&self) {
+        self.controller_exit.store(true, Ordering::Release);
+        for i in 0..self.num_threads {
+            if !self.active[i].load(Ordering::Acquire) {
+                self.sems[i].post();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdes_core::{EventKey, EventUid, LpId};
+
+    fn msg(t: f64) -> Msg<()> {
+        Msg::Anti(EventKey {
+            recv_time: VirtualTime::from_f64(t),
+            dst: LpId(0),
+            uid: EventUid::new(LpId(0), 0),
+        })
+    }
+
+    fn shared(n: usize) -> RtShared<()> {
+        RtShared::new(n, 2, VirtualTime::from_f64(100.0))
+    }
+
+    #[test]
+    fn push_drain_roundtrip() {
+        let s = shared(2);
+        s.push_msg(0, 1, msg(5.0));
+        s.push_msg(0, 1, msg(3.0));
+        assert_eq!(s.queue_len[1].load(Ordering::Acquire), 2);
+        let mut out = Vec::new();
+        assert_eq!(s.drain(1, &mut out), 2);
+        assert_eq!(s.queue_len[1].load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn gvt_covers_parked_queue() {
+        let s = shared(2);
+        s.try_join_round(0);
+        s.fold_min(0, VirtualTime::from_f64(10.0));
+        s.push_msg(0, 1, msg(4.0));
+        let g = s.compute_gvt();
+        // window of sender (reset by fold? fold happened before push) —
+        // covered by queue_min and the sender's residual window.
+        assert!(g <= VirtualTime::from_f64(4.0));
+    }
+
+    #[test]
+    fn rounds_open_and_close() {
+        let s = shared(2);
+        let (p0, id0) = s.try_join_round(0);
+        assert!(p0);
+        let (p1, _) = s.try_join_round(1);
+        assert!(p1);
+        assert_eq!(s.participants(), 2);
+        assert!(!s.end_phase());
+        assert!(s.end_phase());
+        let (_, id1) = s.try_join_round(0);
+        assert_eq!(id1, id0 + 1);
+    }
+
+    #[test]
+    fn deactivate_then_activate_flow() {
+        let s = shared(3);
+        assert!(s.deactivate_self(2, 0));
+        assert_eq!(s.num_active.load(Ordering::Acquire), 2);
+        // A message arrives for the parked thread.
+        s.push_msg(0, 2, msg(1.0));
+        assert_eq!(s.activate(), 1);
+        assert_eq!(s.num_active.load(Ordering::Acquire), 3);
+        // The semaphore now holds the wake token.
+        assert!(s.sems[2].try_wait());
+    }
+
+    #[test]
+    fn last_active_thread_cannot_deactivate() {
+        let s = shared(2);
+        assert!(s.deactivate_self(0, 0));
+        assert!(!s.deactivate_self(1, 0));
+    }
+
+    #[test]
+    fn deactivation_refused_while_a_fresh_round_waits() {
+        let s = shared(3);
+        let (_, id) = s.try_join_round(0);
+        // Thread 0 completed round `id`, may park while it is still open…
+        assert!(s.deactivate_self(0, id));
+        // …but thread 1 may not park for a round it has not completed.
+        assert!(!s.deactivate_self(1, id.wrapping_sub(1)));
+    }
+
+    #[test]
+    fn gvt_terminates_past_end() {
+        let s = shared(1);
+        s.try_join_round(0);
+        s.fold_min(0, VirtualTime::INFINITY);
+        let g = s.compute_gvt();
+        assert!(g.is_infinite());
+        assert!(s.terminated.load(Ordering::Acquire));
+    }
+}

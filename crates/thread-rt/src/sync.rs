@@ -1,0 +1,196 @@
+//! Blocking synchronization primitives for the real-thread runtime: a binary
+//! semaphore (the paper's `sem_locks` entries) and a dynamic-membership
+//! barrier (the synchronous GVT rendezvous whose expected count changes as
+//! threads de-schedule).
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore saturating at a cap (binary with `cap = 1`), built
+/// on parking-lot primitives — `sem_wait` blocks without consuming CPU,
+/// which is exactly the de-scheduling the paper relies on.
+pub struct Semaphore {
+    state: Mutex<u32>,
+    cap: u32,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    pub fn new(initial: u32, cap: u32) -> Self {
+        assert!(cap >= 1 && initial <= cap);
+        Semaphore {
+            state: Mutex::new(initial),
+            cap,
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the count is positive, then decrement.
+    pub fn wait(&self) {
+        let mut count = self.state.lock();
+        while *count == 0 {
+            self.cv.wait(&mut count);
+        }
+        *count -= 1;
+    }
+
+    /// Increment (saturating) and wake one waiter.
+    pub fn post(&self) {
+        let mut count = self.state.lock();
+        *count = (*count + 1).min(self.cap);
+        drop(count);
+        self.cv.notify_one();
+    }
+
+    /// Non-blocking acquire attempt.
+    pub fn try_wait(&self) -> bool {
+        let mut count = self.state.lock();
+        if *count > 0 {
+            *count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A generation barrier whose expected arrival count may change while
+/// threads wait (a de-scheduling thread leaves the group; the update
+/// re-checks completion so waiters are not stranded).
+pub struct DynBarrier {
+    inner: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    expected: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+impl DynBarrier {
+    pub fn new(expected: usize) -> Self {
+        assert!(expected >= 1);
+        DynBarrier {
+            inner: Mutex::new(BarrierState {
+                expected,
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Arrive and block until the current generation completes. Returns
+    /// `true` for exactly one arriver per generation (the "serial" thread).
+    pub fn wait(&self) -> bool {
+        let mut s = self.inner.lock();
+        let gen = s.generation;
+        s.arrived += 1;
+        if s.arrived >= s.expected {
+            s.arrived = 0;
+            s.generation += 1;
+            drop(s);
+            self.cv.notify_all();
+            return true;
+        }
+        while s.generation == gen {
+            self.cv.wait(&mut s);
+        }
+        false
+    }
+
+    /// Change the expected count, completing the generation if the change
+    /// satisfies it.
+    pub fn set_expected(&self, expected: usize) {
+        assert!(expected >= 1);
+        let mut s = self.inner.lock();
+        s.expected = expected;
+        if s.arrived >= s.expected {
+            s.arrived = 0;
+            s.generation += 1;
+            drop(s);
+            self.cv.notify_all();
+        }
+    }
+
+    pub fn expected(&self) -> usize {
+        self.inner.lock().expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn semaphore_blocks_until_post() {
+        let sem = Arc::new(Semaphore::new(0, 1));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (s2, h2) = (Arc::clone(&sem), Arc::clone(&hits));
+        let h = std::thread::spawn(move || {
+            s2.wait();
+            h2.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "must still be blocked");
+        sem.post();
+        h.join().expect("join");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn binary_semaphore_saturates() {
+        let sem = Semaphore::new(0, 1);
+        sem.post();
+        sem.post();
+        sem.post();
+        assert!(sem.try_wait());
+        assert!(!sem.try_wait(), "binary semaphore holds at most one token");
+    }
+
+    #[test]
+    fn barrier_releases_all_and_elects_one_serial() {
+        let bar = Arc::new(DynBarrier::new(4));
+        let serials = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&bar);
+                let s = Arc::clone(&serials);
+                std::thread::spawn(move || {
+                    if b.wait() {
+                        s.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(serials.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shrinking_expected_releases_waiters() {
+        let bar = Arc::new(DynBarrier::new(3));
+        let b = Arc::clone(&bar);
+        let h = std::thread::spawn(move || b.wait());
+        std::thread::sleep(Duration::from_millis(30));
+        // Two of three "leave": expected drops to 1, completing the round.
+        bar.set_expected(1);
+        h.join().expect("join");
+    }
+
+    #[test]
+    fn barrier_generations_are_reusable() {
+        let bar = Arc::new(DynBarrier::new(2));
+        for _ in 0..3 {
+            let b = Arc::clone(&bar);
+            let h = std::thread::spawn(move || b.wait());
+            bar.wait();
+            h.join().expect("join");
+        }
+    }
+}

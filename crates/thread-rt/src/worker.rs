@@ -1,0 +1,320 @@
+//! The per-thread worker: the ROSS main loop plus GVT rounds and
+//! demand-driven scheduling, executed inline on a real OS thread.
+
+use crate::affinity::{current_tid, pin_to_core, OsTid};
+use crate::shared::RtShared;
+use pdes_core::{EngineConfig, LpId, Model, Msg, Outbound, ThreadEngine, VirtualTime};
+use sim_rt::{AffinityPolicy, GvtMode, Scheduler, SystemConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Dynamic-affinity tables for the real runtime (Algorithm 4 state).
+#[derive(Debug)]
+pub struct AffinityState {
+    pub num_cores: usize,
+    pub core_load: Vec<u32>,
+    pub core_of: Vec<Option<usize>>,
+}
+
+impl AffinityState {
+    pub fn new(num_cores: usize, num_threads: usize) -> Self {
+        AffinityState {
+            num_cores: num_cores.max(1),
+            core_load: vec![0; num_cores.max(1)],
+            core_of: vec![None; num_threads],
+        }
+    }
+
+    pub fn clear(&mut self, thread: usize) {
+        if let Some(c) = self.core_of[thread].take() {
+            self.core_load[c] -= 1;
+        }
+    }
+
+    /// Pin every active-but-unpinned thread to the least-loaded core.
+    #[allow(clippy::needless_range_loop)] // t indexes three parallel arrays
+    pub fn assign(&mut self, active: impl Fn(usize) -> bool, tids: &[OsTid]) -> usize {
+        let mut pinned = 0;
+        for t in 0..self.core_of.len() {
+            if !active(t) || self.core_of[t].is_some() {
+                continue;
+            }
+            let mut best = 0;
+            for c in 1..self.num_cores {
+                if self.core_load[c] < self.core_load[best] {
+                    best = c;
+                }
+            }
+            self.core_of[t] = Some(best);
+            self.core_load[best] += 1;
+            pin_to_core(tids[t], best);
+            pinned += 1;
+        }
+        pinned
+    }
+}
+
+/// Result of one worker thread.
+pub struct WorkerResult {
+    pub stats: pdes_core::ThreadStats,
+    pub digests: Vec<(LpId, u64)>,
+}
+
+/// Run simulation thread `me` to completion.
+pub fn worker_loop<M: Model>(
+    me: usize,
+    mut engine: ThreadEngine<M>,
+    sh: Arc<RtShared<M::Payload>>,
+    sys: SystemConfig,
+    ecfg: EngineConfig,
+    pin_cores: usize,
+) -> WorkerResult {
+    sh.os_tids[me].store(current_tid().0, Ordering::Release);
+    if sys.affinity == AffinityPolicy::Constant {
+        // Algorithm 3: round-robin constant pinning at setup.
+        pin_to_core(current_tid(), me % pin_cores.max(1));
+    }
+
+    let mut inbox: Vec<Msg<M::Payload>> = Vec::new();
+    let mut outbox: Vec<Outbound<M::Payload>> = Vec::new();
+    let mut cycles_since_gvt: u64 = 0;
+    let mut zero_counter: u64 = 0;
+    let mut active_flag = true;
+    let mut joined: Option<u64> = None;
+    let mut idle_spins: u32 = 0;
+
+    // One main-loop cycle; returns whether it did useful work.
+    let cycle = |engine: &mut ThreadEngine<M>,
+                 inbox: &mut Vec<Msg<M::Payload>>,
+                 outbox: &mut Vec<Outbound<M::Payload>>,
+                 zero_counter: &mut u64,
+                 active_flag: &mut bool,
+                 idle_spins: &mut u32,
+                 sh: &RtShared<M::Payload>| {
+        inbox.clear();
+        let n = sh.drain(me, inbox);
+        outbox.clear();
+        for m in inbox.drain(..) {
+            engine.deliver(m, outbox);
+        }
+        let batch = engine.process_batch(ecfg.batch_size, outbox);
+        for (dst, msg) in outbox.drain(..) {
+            sh.push_msg(me, dst.index(), msg);
+        }
+        let idle = n == 0 && batch.processed == 0;
+        if idle && !engine.has_live_pending() {
+            *zero_counter += 1;
+            if *zero_counter > ecfg.zero_counter_threshold as u64 {
+                *active_flag = false;
+            }
+            *idle_spins += 1;
+            if (*idle_spins).is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        } else {
+            *zero_counter = 0;
+            *active_flag = true;
+            *idle_spins = 0;
+        }
+        !idle
+    };
+
+    'main: loop {
+        if sh.terminated.load(Ordering::Acquire) {
+            break;
+        }
+        cycle(
+            &mut engine,
+            &mut inbox,
+            &mut outbox,
+            &mut zero_counter,
+            &mut active_flag,
+            &mut idle_spins,
+            &sh,
+        );
+        cycles_since_gvt += 1;
+
+        let round_waiting = sh
+            .round_waiting_for(me)
+            .is_some_and(|id| joined != Some(id));
+        let interval = match ecfg.adaptive_gvt {
+            Some(a) => a.effective_interval(ecfg.gvt_interval, engine.history_len()),
+            None => ecfg.gvt_interval,
+        };
+        if cycles_since_gvt < interval as u64 && !round_waiting {
+            continue;
+        }
+        let (participate, id) = sh.try_join_round(me);
+        if !participate || joined == Some(id) {
+            continue;
+        }
+        joined = Some(id);
+        cycles_since_gvt = 0;
+        let enter = Instant::now();
+
+        // ---- the GVT round ----
+        match sys.gvt {
+            GvtMode::Async => {
+                // Phase A.
+                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+                sh.fold_min(me, engine.local_min());
+                sh.a_done.fetch_add(1, Ordering::AcqRel);
+                let parts = sh.participants();
+                // Phase Send: simulate while peers record their minima.
+                while sh.a_done.load(Ordering::Acquire) < parts {
+                    cycle(
+                        &mut engine,
+                        &mut inbox,
+                        &mut outbox,
+                        &mut zero_counter,
+                        &mut active_flag,
+                        &mut idle_spins,
+                        &sh,
+                    );
+                }
+                // Phase B.
+                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+                sh.fold_min(me, engine.local_min());
+                sh.b_done.fetch_add(1, Ordering::AcqRel);
+                while sh.b_done.load(Ordering::Acquire) < parts {
+                    cycle(
+                        &mut engine,
+                        &mut inbox,
+                        &mut outbox,
+                        &mut zero_counter,
+                        &mut active_flag,
+                        &mut idle_spins,
+                        &sh,
+                    );
+                }
+                // Phase Aware: first thread through becomes pseudo-controller.
+                if sh
+                    .aware_claimed
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    aware_duties(&sh, sys);
+                }
+            }
+            GvtMode::Sync => {
+                sh.bars[0].wait();
+                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+                sh.fold_min(me, engine.local_min());
+                sh.bars[1].wait();
+                if sh
+                    .aware_claimed
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    aware_duties(&sh, sys);
+                }
+                sh.bars[2].wait();
+            }
+        }
+
+        // Phase End.
+        engine.fossil_collect(sh.gvt());
+        sh.gvt_wall_ns
+            .fetch_add(enter.elapsed().as_nanos() as u64, Ordering::AcqRel);
+        let terminated = sh.terminated.load(Ordering::Acquire);
+        let wants_deact = sys.demand_driven()
+            && !terminated
+            && !active_flag
+            && sh.queue_len[me].load(Ordering::Acquire) == 0
+            && !engine.has_live_pending()
+            && sh.window_is_clear(me);
+        let closed = sh.end_phase();
+        if closed && sys.affinity == AffinityPolicy::Dynamic && !terminated {
+            let mut aff = sh.aff.lock();
+            let tids: Vec<OsTid> = sh
+                .os_tids
+                .iter()
+                .map(|t| OsTid(t.load(Ordering::Acquire)))
+                .collect();
+            aff.assign(|t| sh.active[t].load(Ordering::Acquire), &tids);
+        }
+        if terminated {
+            break;
+        }
+        if wants_deact {
+            let parked = match sys.scheduler {
+                Scheduler::GgPdes => sh.deactivate_self(me, id),
+                Scheduler::DdPdes => {
+                    let _g = sh.dd_lock.lock();
+                    if sh.terminated.load(Ordering::Acquire) {
+                        break 'main;
+                    }
+                    sh.deactivate_self(me, id)
+                }
+                Scheduler::Baseline => unreachable!("baseline never deactivates"),
+            };
+            if parked {
+                sh.sems[me].wait();
+                // Algorithm 1 lines 14–17: reintegrate.
+                zero_counter = 0;
+                active_flag = true;
+                cycles_since_gvt = 0;
+                if sh.terminated.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+
+    engine.finalize();
+    WorkerResult {
+        stats: engine.stats().clone(),
+        digests: engine.state_digests(),
+    }
+}
+
+/// Drain and deliver before folding a GVT minimum.
+fn drain_deliver<M: Model>(
+    me: usize,
+    engine: &mut ThreadEngine<M>,
+    inbox: &mut Vec<Msg<M::Payload>>,
+    outbox: &mut Vec<Outbound<M::Payload>>,
+    sh: &RtShared<M::Payload>,
+) {
+    inbox.clear();
+    sh.drain(me, inbox);
+    outbox.clear();
+    for m in inbox.drain(..) {
+        engine.deliver(m, outbox);
+    }
+    for (dst, msg) in outbox.drain(..) {
+        sh.push_msg(me, dst.index(), msg);
+    }
+}
+
+/// Pseudo-controller duties: GVT, termination broadcast, activation.
+fn aware_duties<P>(sh: &RtShared<P>, sys: SystemConfig) {
+    let gvt = sh.compute_gvt();
+    let _ = gvt;
+    if sh.terminated.load(Ordering::Acquire) {
+        sh.release_all_for_termination();
+    } else if matches!(sys.scheduler, Scheduler::GgPdes) {
+        sh.activate();
+    }
+}
+
+/// The DD-PDES controller loop (dedicated thread).
+pub fn controller_loop<P>(sh: Arc<RtShared<P>>) {
+    loop {
+        if sh.controller_exit.load(Ordering::Acquire) {
+            return;
+        }
+        {
+            let _g = sh.dd_lock.lock();
+            sh.activate();
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Keep `VirtualTime` import alive for doc references.
+#[allow(dead_code)]
+fn _t(_: VirtualTime) {}

@@ -1,0 +1,64 @@
+//! Epidemics under rotating lock-downs: compare the three headline systems
+//! (Baseline-Sync, DD-PDES-Async, GG-PDES-Async) on the SEIR household
+//! model with 3/4 of the region locked down, and show how demand-driven
+//! scheduling exploits the quiet regions.
+//!
+//! ```text
+//! cargo run --release --example epidemics_lockdown
+//! ```
+
+use ggpdes::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let threads = 32;
+    let lockdown_groups = 4; // 3/4 of the region under curfew
+    let end_time = 8.0;
+
+    let mut cfg = EpidemicsConfig::new(threads, 32, lockdown_groups, end_time);
+    cfg.lookahead = 0.02;
+    cfg.incubation_mean = 0.05;
+    cfg.infectious_mean = 0.3;
+    let model = Arc::new(Epidemics::new(cfg));
+
+    let engine = EngineConfig::default()
+        .with_end_time(end_time)
+        .with_seed(7)
+        .with_gvt_interval(25)
+        .with_zero_counter_threshold(250);
+
+    let oracle = run_sequential(&model, &engine, None);
+    println!(
+        "SEIR model: {} households × {} agents, {}-fold lock-down, {} events committed sequentially\n",
+        model.num_lps(),
+        model.config().agents_per_household,
+        lockdown_groups,
+        oracle.committed
+    );
+
+    println!(
+        "{:<16} {:>14} {:>10} {:>12} {:>14}",
+        "system", "events/s", "rollbacks", "descheduled", "GVT s/round"
+    );
+    for sys in SystemConfig::HEADLINE {
+        let rc = RunConfig::new(threads, engine.clone(), sys)
+            .with_machine(MachineConfig::small(8, 2));
+        let r = run_sim(&model, &rc);
+        assert_eq!(
+            r.metrics.commit_digest, oracle.commit_digest,
+            "{} diverged from the oracle",
+            sys.name()
+        );
+        println!(
+            "{:<16} {:>14.0} {:>10} {:>12} {:>14.6}",
+            sys.name(),
+            r.metrics.committed_event_rate(),
+            r.metrics.rolled_back,
+            r.metrics.max_descheduled,
+            r.metrics.gvt_secs_per_round(),
+        );
+    }
+    println!("\nThe locked-down region's threads receive no contact events, so the");
+    println!("demand-driven systems de-schedule them; GG-PDES does it without the");
+    println!("controller thread and its lock (paper §6.4).");
+}

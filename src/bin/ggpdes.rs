@@ -1,0 +1,203 @@
+//! `ggpdes` — command-line driver: run any model under any system
+//! configuration on the virtual machine (deterministic) or on real threads.
+//!
+//! ```text
+//! ggpdes --model phold|epidemics|traffic --system gg|dd|baseline
+//!        [--gvt sync|async] [--affinity none|constant|dynamic]
+//!        [--threads N] [--lps-per-thread N] [--imbalance K]
+//!        [--end T] [--seed S] [--cores N] [--smt N]
+//!        [--snapshot-period K] [--optimism-window W]
+//!        [--runtime vm|threads] [--verify] [--json]
+//! ```
+
+use ggpdes::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Args {
+    model: String,
+    system: String,
+    gvt: String,
+    affinity: String,
+    threads: usize,
+    lps: usize,
+    imbalance: usize,
+    end: f64,
+    seed: u64,
+    cores: usize,
+    smt: usize,
+    snapshot_period: u32,
+    optimism_window: Option<f64>,
+    runtime: String,
+    verify: bool,
+    json: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            model: "phold".into(),
+            system: "gg".into(),
+            gvt: "async".into(),
+            affinity: "constant".into(),
+            threads: 16,
+            lps: 16,
+            imbalance: 4,
+            end: 8.0,
+            seed: 0x5EED,
+            cores: 8,
+            smt: 2,
+            snapshot_period: 1,
+            optimism_window: None,
+            runtime: "vm".into(),
+            verify: false,
+            json: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        match flag.as_str() {
+            "--model" => a.model = val(),
+            "--system" => a.system = val(),
+            "--gvt" => a.gvt = val(),
+            "--affinity" => a.affinity = val(),
+            "--threads" => a.threads = val().parse().expect("--threads"),
+            "--lps-per-thread" => a.lps = val().parse().expect("--lps-per-thread"),
+            "--imbalance" => a.imbalance = val().parse().expect("--imbalance"),
+            "--end" => a.end = val().parse().expect("--end"),
+            "--seed" => a.seed = val().parse().expect("--seed"),
+            "--cores" => a.cores = val().parse().expect("--cores"),
+            "--smt" => a.smt = val().parse().expect("--smt"),
+            "--snapshot-period" => a.snapshot_period = val().parse().expect("--snapshot-period"),
+            "--optimism-window" => a.optimism_window = Some(val().parse().expect("--optimism-window")),
+            "--runtime" => a.runtime = val(),
+            "--verify" => a.verify = true,
+            "--json" => a.json = true,
+            "--help" | "-h" => {
+                println!("see module docs: cargo doc --open -p ggpdes");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    a
+}
+
+fn system_of(a: &Args) -> SystemConfig {
+    let scheduler = match a.system.as_str() {
+        "gg" => Scheduler::GgPdes,
+        "dd" => Scheduler::DdPdes,
+        "baseline" => Scheduler::Baseline,
+        s => panic!("unknown system '{s}' (gg|dd|baseline)"),
+    };
+    let gvt = match a.gvt.as_str() {
+        "sync" => GvtMode::Sync,
+        "async" => GvtMode::Async,
+        s => panic!("unknown gvt mode '{s}' (sync|async)"),
+    };
+    let affinity = match a.affinity.as_str() {
+        "none" => AffinityPolicy::NoAffinity,
+        "constant" => AffinityPolicy::Constant,
+        "dynamic" => AffinityPolicy::Dynamic,
+        s => panic!("unknown affinity '{s}' (none|constant|dynamic)"),
+    };
+    SystemConfig::new(scheduler, gvt, affinity)
+}
+
+fn report(m: &RunMetrics, json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(m).expect("serialize"));
+        return;
+    }
+    println!("system                : {}", m.system);
+    println!("threads               : {}", m.threads);
+    println!("LPs                   : {}", m.lps);
+    println!("committed events      : {}", m.committed);
+    println!("processed events      : {}", m.processed);
+    println!("rolled back           : {} ({:.1}%)", m.rolled_back, m.rollback_ratio() * 100.0);
+    println!("committed event rate  : {:.0} events/s", m.committed_event_rate());
+    println!("GVT rounds            : {}", m.gvt_rounds);
+    println!("GVT s/round (Σthreads): {:.6}", m.gvt_secs_per_round());
+    println!("max de-scheduled      : {}", m.max_descheduled);
+    println!("wall seconds          : {:.4}", m.wall_secs);
+}
+
+fn run<M: Model>(model: Arc<M>, a: &Args) {
+    let ecfg = EngineConfig::default()
+        .with_end_time(a.end)
+        .with_seed(a.seed)
+        .with_gvt_interval(25)
+        .with_zero_counter_threshold(250)
+        .with_snapshot_period(a.snapshot_period)
+        .with_optimism_window(a.optimism_window);
+    let sys = system_of(a);
+
+    let metrics = match a.runtime.as_str() {
+        "vm" => {
+            let mut mc = if a.smt == 4 {
+                MachineConfig {
+                    num_cores: a.cores,
+                    ..Default::default()
+                }
+            } else {
+                MachineConfig::small(a.cores, a.smt)
+            };
+            mc.quantum = 50_000;
+            let rc = sim_rt::RunConfig::new(a.threads, ecfg.clone(), sys).with_machine(mc);
+            let r = sim_rt::run_sim(&model, &rc);
+            if !r.completed {
+                eprintln!("warning: virtual time limit hit before completion");
+            }
+            r.metrics
+        }
+        "threads" => {
+            let rc = thread_rt::RtRunConfig::new(a.threads, ecfg.clone(), sys);
+            thread_rt::run_threads(&model, &rc).metrics
+        }
+        other => panic!("unknown runtime '{other}' (vm|threads)"),
+    };
+
+    if a.verify {
+        let oracle = run_sequential(&model, &ecfg, None);
+        assert_eq!(
+            metrics.commit_digest, oracle.commit_digest,
+            "run diverged from the sequential oracle!"
+        );
+        eprintln!("verify: committed trace matches the sequential oracle ✓");
+    }
+    report(&metrics, a.json);
+}
+
+fn main() {
+    let a = parse_args();
+    match a.model.as_str() {
+        "phold" => {
+            let cfg = if a.imbalance <= 1 {
+                PholdConfig::balanced(a.threads, a.lps)
+            } else {
+                PholdConfig::imbalanced(a.threads, a.lps, a.imbalance, a.end, LocalityPattern::Linear)
+            };
+            run(Arc::new(Phold::new(cfg)), &a);
+        }
+        "epidemics" => {
+            let cfg = EpidemicsConfig::new(a.threads, a.lps, a.imbalance.max(2), a.end);
+            run(Arc::new(Epidemics::new(cfg)), &a);
+        }
+        "traffic" => {
+            let mut cfg = TrafficConfig::new(a.threads, a.lps, 0.5);
+            cfg.mapping = MapKind::Block;
+            run(Arc::new(Traffic::new(cfg)), &a);
+        }
+        other => panic!("unknown model '{other}' (phold|epidemics|traffic)"),
+    }
+}

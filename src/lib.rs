@@ -1,0 +1,73 @@
+//! # ggpdes — GVT-Guided Demand-Driven Scheduling for PDES
+//!
+//! A from-scratch Rust reproduction of *GVT-Guided Demand-Driven Scheduling
+//! in Parallel Discrete Event Simulation* (Eker, Timmerman, Williams, Chiu,
+//! Ponomarev — ICPP 2021).
+//!
+//! The workspace provides:
+//!
+//! * [`pdes_core`] — the optimistic (Time Warp) engine: events, LPs,
+//!   rollback, anti-messages, fossil collection, a sequential oracle;
+//! * [`models`] — PHOLD (balanced + `1-k` imbalanced), SEIR epidemics with
+//!   rotating lock-downs, and a vehicular traffic grid;
+//! * [`machine`] — a deterministic simulator of a many-core machine
+//!   (cores, SMT, CFS-like scheduling, affinity, virtual sync primitives);
+//! * [`sim_rt`] — the six systems of the paper's evaluation running on the
+//!   virtual machine, used to regenerate every figure at 256–4096-thread
+//!   scale on any host;
+//! * [`thread_rt`] — the same engine on real `std::thread`s with crossbeam
+//!   queues, parking-lot semaphores, and `sched_setaffinity`;
+//! * [`metrics`] — committed-event-rate and GVT-timing reporting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ggpdes::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 8 simulation threads, 4 LPs each, 1-2 imbalanced PHOLD.
+//! let threads = 8;
+//! let model = Arc::new(Phold::new(PholdConfig::imbalanced(
+//!     threads, 4, 2, 10.0, LocalityPattern::Linear,
+//! )));
+//! let engine = EngineConfig::default()
+//!     .with_end_time(10.0)
+//!     .with_gvt_interval(25)
+//!     .with_zero_counter_threshold(100);
+//!
+//! // Run GG-PDES-Async on a small virtual machine…
+//! let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+//! let rc = RunConfig::new(threads, engine.clone(), sys)
+//!     .with_machine(MachineConfig::small(4, 2));
+//! let result = run_sim(&model, &rc);
+//!
+//! // …and check it against the sequential oracle.
+//! let oracle = run_sequential(&model, &engine, None);
+//! assert_eq!(result.metrics.committed, oracle.committed);
+//! assert_eq!(result.metrics.commit_digest, oracle.commit_digest);
+//! println!("{:.0} committed events/s", result.metrics.committed_event_rate());
+//! ```
+
+pub use machine;
+pub use metrics;
+pub use models;
+pub use pdes_core;
+pub use sim_rt;
+pub use thread_rt;
+
+/// The most commonly used items, re-exported.
+pub mod prelude {
+    pub use machine::{CostModel, Machine, MachineConfig};
+    pub use metrics::{RunMetrics, Series, Table};
+    pub use models::{
+        ActivitySchedule, Burr, Epidemics, EpidemicsConfig, LocalityPattern, Phold, PholdConfig,
+        Traffic, TrafficConfig,
+    };
+    pub use pdes_core::{
+        run_sequential, AdaptiveGvt, DetRng, EngineConfig, Event, EventKey, LpId, LpMap, MapKind, Model, Msg,
+        SendCtx, SequentialResult, SimThreadId, ThreadStats, VirtualTime,
+    };
+    pub use sim_rt::{
+        run_sim, AffinityPolicy, GvtMode, RunConfig, Scheduler, SimCost, SimResult, SystemConfig,
+    };
+}

@@ -1,0 +1,154 @@
+//! Cross-runtime correctness: for each model, a sequential run, a
+//! virtual-machine run, and a real-thread run must all commit exactly the
+//! same event trace and leave every LP in the same final state.
+
+use ggpdes::prelude::*;
+use std::sync::Arc;
+
+fn engine(end: f64) -> EngineConfig {
+    EngineConfig::default()
+        .with_end_time(end)
+        .with_seed(123)
+        .with_gvt_interval(20)
+        .with_zero_counter_threshold(100)
+}
+
+fn check_model<M: Model>(model: Arc<M>, threads: usize, ecfg: EngineConfig, label: &str) {
+    let oracle = run_sequential(&model, &ecfg, None);
+    assert!(oracle.committed > 0, "{label}: empty oracle run");
+
+    // Virtual machine, flagship system.
+    let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+    let rc = RunConfig::new(threads, ecfg.clone(), sys).with_machine(MachineConfig::small(4, 2));
+    let vm = sim_rt::run_sim(&model, &rc);
+    assert!(vm.completed, "{label}: vm run did not complete");
+    assert_eq!(vm.metrics.committed, oracle.committed, "{label}: vm committed");
+    assert_eq!(
+        vm.metrics.commit_digest, oracle.commit_digest,
+        "{label}: vm digest"
+    );
+    assert_eq!(vm.digests, oracle.state_digests, "{label}: vm states");
+
+    // Real threads.
+    let rt_rc = thread_rt::RtRunConfig::new(threads, ecfg, sys);
+    let rt = thread_rt::run_threads(&model, &rt_rc);
+    assert_eq!(rt.metrics.committed, oracle.committed, "{label}: rt committed");
+    assert_eq!(
+        rt.metrics.commit_digest, oracle.commit_digest,
+        "{label}: rt digest"
+    );
+    assert_eq!(rt.digests, oracle.state_digests, "{label}: rt states");
+}
+
+#[test]
+fn phold_agrees_across_runtimes() {
+    let threads = 4;
+    let model = Arc::new(Phold::new(PholdConfig::imbalanced(
+        threads,
+        4,
+        2,
+        8.0,
+        LocalityPattern::Linear,
+    )));
+    check_model(model, threads, engine(8.0), "phold");
+}
+
+#[test]
+fn epidemics_agrees_across_runtimes() {
+    let threads = 4;
+    let mut cfg = EpidemicsConfig::new(threads, 8, 4, 8.0);
+    cfg.incubation_mean = 0.1;
+    cfg.infectious_mean = 0.5;
+    let model = Arc::new(Epidemics::new(cfg));
+    check_model(model, threads, engine(8.0), "epidemics");
+}
+
+#[test]
+fn traffic_agrees_across_runtimes() {
+    let threads = 4;
+    let mut cfg = TrafficConfig::new(threads, 8, 0.5);
+    cfg.travel_scale = 0.3;
+    let model = Arc::new(Traffic::new(cfg));
+    let ecfg = engine(5.0).with_mapping(MapKind::Block);
+    check_model(model, threads, ecfg, "traffic");
+}
+
+#[test]
+fn every_system_agrees_on_every_model_via_vm() {
+    let threads = 4;
+    let ecfg = engine(5.0);
+    let phold: Arc<Phold> = Arc::new(Phold::new(PholdConfig::imbalanced(
+        threads,
+        4,
+        4,
+        5.0,
+        LocalityPattern::Strided,
+    )));
+    let oracle = run_sequential(&phold, &ecfg, None);
+    for sys in SystemConfig::ALL_SIX {
+        let rc = RunConfig::new(threads, ecfg.clone(), sys)
+            .with_machine(MachineConfig::small(2, 2));
+        let r = sim_rt::run_sim(&phold, &rc);
+        assert_eq!(
+            r.metrics.commit_digest,
+            oracle.commit_digest,
+            "{}",
+            sys.name()
+        );
+        assert_eq!(r.gvt_regressions, 0, "{}", sys.name());
+    }
+}
+
+#[test]
+fn dynamic_affinity_preserves_correctness() {
+    let threads = 8;
+    let ecfg = engine(6.0);
+    let model = Arc::new(Phold::new(PholdConfig::imbalanced(
+        threads,
+        4,
+        4,
+        6.0,
+        LocalityPattern::Strided,
+    )));
+    let oracle = run_sequential(&model, &ecfg, None);
+    let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Dynamic);
+    let rc = RunConfig::new(threads, ecfg, sys).with_machine(MachineConfig::small(4, 2));
+    let r = sim_rt::run_sim(&model, &rc);
+    assert_eq!(r.metrics.commit_digest, oracle.commit_digest);
+}
+
+#[test]
+fn adaptive_gvt_preserves_trace_and_increases_round_frequency() {
+    let threads = 4;
+    let model = Arc::new(Phold::new(PholdConfig::balanced(threads, 8)));
+    // A long run with a deliberately sparse static interval: each thread
+    // executes ~800 main-loop cycles, so the static policy barely rounds
+    // while the adaptive one (4× under high pressure) rounds repeatedly.
+    let base = EngineConfig::default()
+        .with_end_time(800.0)
+        .with_seed(31)
+        .with_gvt_interval(1000)
+        .with_zero_counter_threshold(10000);
+    let adaptive = base
+        .clone()
+        .with_adaptive_gvt(Some(AdaptiveGvt::new(50, 100)));
+    let oracle = run_sequential(&model, &base, None);
+
+    let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+    let run = |ecfg: EngineConfig| {
+        let rc = RunConfig::new(threads, ecfg, sys).with_machine(MachineConfig::small(2, 2));
+        sim_rt::run_sim(&model, &rc)
+    };
+    let r_static = run(base);
+    let r_adaptive = run(adaptive);
+    // Same committed trace either way — adaptivity is a pure policy change.
+    assert_eq!(r_static.metrics.commit_digest, oracle.commit_digest);
+    assert_eq!(r_adaptive.metrics.commit_digest, oracle.commit_digest);
+    // Under memory pressure the adaptive policy runs more rounds.
+    assert!(
+        r_adaptive.metrics.gvt_rounds > r_static.metrics.gvt_rounds,
+        "adaptive {} rounds vs static {}",
+        r_adaptive.metrics.gvt_rounds,
+        r_static.metrics.gvt_rounds
+    );
+}
