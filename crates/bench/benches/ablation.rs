@@ -85,8 +85,8 @@ fn ablation_gvt_frequency(c: &mut Criterion) {
             .engine()
             .with_gvt_interval(interval)
             .with_zero_counter_threshold(interval * 10);
-        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
-            .with_machine(scale.machine());
+        let rc =
+            RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5]).with_machine(scale.machine());
         g.bench_function(format!("interval_{interval}"), |b| {
             b.iter(|| run_sim(&model, &rc))
         });
@@ -104,8 +104,8 @@ fn ablation_zero_counter(c: &mut Criterion) {
         let engine = scale
             .engine()
             .with_zero_counter_threshold(scale.gvt_interval * mult);
-        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
-            .with_machine(scale.machine());
+        let rc =
+            RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5]).with_machine(scale.machine());
         g.bench_function(format!("threshold_{mult}x_interval"), |b| {
             b.iter(|| run_sim(&model, &rc))
         });
@@ -124,8 +124,8 @@ fn ablation_state_saving(c: &mut Criterion) {
     g.sample_size(10);
     for period in [1u32, 4, 16] {
         let engine = scale.engine().with_snapshot_period(period);
-        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
-            .with_machine(scale.machine());
+        let rc =
+            RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5]).with_machine(scale.machine());
         // Shape gate: identical committed counts at every period.
         let baseline = {
             let rc1 = RunConfig::new(
@@ -137,7 +137,9 @@ fn ablation_state_saving(c: &mut Criterion) {
             run_sim(&model, &rc1).metrics.commit_digest
         };
         assert_eq!(run_sim(&model, &rc).metrics.commit_digest, baseline);
-        g.bench_function(format!("period_{period}"), |b| b.iter(|| run_sim(&model, &rc)));
+        g.bench_function(format!("period_{period}"), |b| {
+            b.iter(|| run_sim(&model, &rc))
+        });
     }
     g.finish();
 }
@@ -151,8 +153,8 @@ fn ablation_optimism_window(c: &mut Criterion) {
     g.sample_size(10);
     let rollbacks = |w: Option<f64>| {
         let engine = scale.engine().with_optimism_window(w);
-        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
-            .with_machine(scale.machine());
+        let rc =
+            RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5]).with_machine(scale.machine());
         run_sim(&model, &rc).metrics.rolled_back
     };
     // Shape gate: a tight window must reduce rollbacks vs unthrottled.
@@ -164,8 +166,8 @@ fn ablation_optimism_window(c: &mut Criterion) {
     );
     for (name, w) in [("unbounded", None), ("w2", Some(2.0)), ("w05", Some(0.5))] {
         let engine = scale.engine().with_optimism_window(w);
-        let rc = RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5])
-            .with_machine(scale.machine());
+        let rc =
+            RunConfig::new(threads, engine, SystemConfig::ALL_SIX[5]).with_machine(scale.machine());
         g.bench_function(name, |b| b.iter(|| run_sim(&model, &rc)));
     }
     g.finish();

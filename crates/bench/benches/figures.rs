@@ -18,7 +18,13 @@ fn phold_point(c: &mut Criterion, group: &str, k: usize, threads: usize, sys: Sy
     let mut cfg = if k <= 1 {
         PholdConfig::balanced(threads, scale.phold_lps)
     } else {
-        PholdConfig::imbalanced(threads, scale.phold_lps, k, scale.end_time, LocalityPattern::Linear)
+        PholdConfig::imbalanced(
+            threads,
+            scale.phold_lps,
+            k,
+            scale.end_time,
+            LocalityPattern::Linear,
+        )
     };
     cfg.lookahead = scale.lookahead;
     cfg.mean_delay = scale.mean_delay;
@@ -41,7 +47,11 @@ fn fig2_balanced(c: &mut Criterion) {
 
 fn fig3_imbalanced(c: &mut Criterion) {
     let hw = Scale::quick().hw_threads();
-    for sys in [SystemConfig::ALL_SIX[0], SystemConfig::ALL_SIX[3], SystemConfig::ALL_SIX[5]] {
+    for sys in [
+        SystemConfig::ALL_SIX[0],
+        SystemConfig::ALL_SIX[3],
+        SystemConfig::ALL_SIX[5],
+    ] {
         phold_point(c, "fig3_imbalanced_1_4", 4, hw * 2, sys);
     }
 }

@@ -61,5 +61,10 @@ fn bench_sequential_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pending_set, bench_rng, bench_sequential_engine);
+criterion_group!(
+    benches,
+    bench_pending_set,
+    bench_rng,
+    bench_sequential_engine
+);
 criterion_main!(benches);

@@ -10,8 +10,8 @@
 //! ```
 
 use bench_support::{
-    fig2, fig3, fig4, fig5, fig6, fig7, gvt_table, instr_table, mem_table, rollback_table,
-    Figure, Scale,
+    fig2, fig3, fig4, fig5, fig6, fig7, gvt_table, instr_table, mem_table, rollback_table, Figure,
+    Scale,
 };
 use metrics::Table;
 use models::LocalityPattern;
@@ -70,16 +70,15 @@ fn main() {
     );
     let t0 = Instant::now();
     let mut figs: Vec<Figure> = Vec::new();
-    let run =
-        |want: bool, f: &mut dyn FnMut() -> Figure, figs: &mut Vec<Figure>, dir: &str| {
-            if want {
-                let t = Instant::now();
-                let fig = f();
-                emit(dir, &fig);
-                println!("  [{} in {:.1}s]\n", fig.id, t.elapsed().as_secs_f64());
-                figs.push(fig);
-            }
-        };
+    let run = |want: bool, f: &mut dyn FnMut() -> Figure, figs: &mut Vec<Figure>, dir: &str| {
+        if want {
+            let t = Instant::now();
+            let fig = f();
+            emit(dir, &fig);
+            println!("  [{} in {:.1}s]\n", fig.id, t.elapsed().as_secs_f64());
+            figs.push(fig);
+        }
+    };
 
     let has = |t: &str| targets.contains(t);
     run(has("fig2"), &mut || fig2(&scale), &mut figs, &out_dir);
@@ -89,7 +88,12 @@ fn main() {
     run(has("fig4b"), &mut || fig4(&scale, 16), &mut figs, &out_dir);
     run(has("fig5a"), &mut || fig5(&scale, 4), &mut figs, &out_dir);
     run(has("fig5b"), &mut || fig5(&scale, 8), &mut figs, &out_dir);
-    run(has("fig6a"), &mut || fig6(&scale, 0.35), &mut figs, &out_dir);
+    run(
+        has("fig6a"),
+        &mut || fig6(&scale, 0.35),
+        &mut figs,
+        &out_dir,
+    );
     run(has("fig6b"), &mut || fig6(&scale, 0.5), &mut figs, &out_dir);
     run(
         has("fig7a"),

@@ -105,20 +105,20 @@ pub fn fig4(scale: &Scale, k: usize) -> Figure {
 /// systems; over-subscription up to the lock-down's idle fraction.
 pub fn fig5(scale: &Scale, lockdown_groups: usize) -> Figure {
     assert!(lockdown_groups == 4 || lockdown_groups == 8);
-    let id = if lockdown_groups == 4 { "fig5a" } else { "fig5b" };
+    let id = if lockdown_groups == 4 {
+        "fig5a"
+    } else {
+        "fig5b"
+    };
     let mut fig = Figure::new(
         id,
-        format!(
-            "Fig. 5 — Epidemics, {}-fold lock-down",
-            lockdown_groups
-        ),
+        format!("Fig. 5 — Epidemics, {}-fold lock-down", lockdown_groups),
     );
     for threads in scale.thread_sweep(lockdown_groups as f64) {
         if threads < lockdown_groups {
             continue;
         }
-        let mut cfg =
-            EpidemicsConfig::new(threads, scale.epi_lps, lockdown_groups, scale.end_time);
+        let mut cfg = EpidemicsConfig::new(threads, scale.epi_lps, lockdown_groups, scale.end_time);
         cfg.lookahead = 0.02;
         cfg.incubation_mean = 0.05;
         cfg.infectious_mean = 0.3;

@@ -22,7 +22,6 @@ pub mod experiments;
 pub mod scale;
 
 pub use experiments::{
-    fig2, fig3, fig4, fig5, fig6, fig7, gvt_table, instr_table, mem_table, rollback_table,
-    Figure,
+    fig2, fig3, fig4, fig5, fig6, fig7, gvt_table, instr_table, mem_table, rollback_table, Figure,
 };
 pub use scale::Scale;

@@ -136,7 +136,11 @@ pub struct Deadlock {
 
 impl std::fmt::Display for Deadlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "deadlock at t={}: blocked tasks {:?}", self.at, self.blocked)
+        write!(
+            f,
+            "deadlock at t={}: blocked tasks {:?}",
+            self.at, self.blocked
+        )
     }
 }
 impl std::error::Error for Deadlock {}
@@ -263,6 +267,13 @@ impl Kernel {
         id
     }
 
+    /// Tokens currently held by a semaphore plus its blocked-waiter count
+    /// (diagnostics for stall dumps).
+    pub fn sem_state(&self, sem: SemId) -> (u32, usize) {
+        let s = &self.sems[sem.0 as usize];
+        (s.count, s.waiters.len())
+    }
+
     /// Create a barrier completing after `expected` arrivals.
     pub fn add_barrier(&mut self, expected: usize) -> BarrierId {
         assert!(expected >= 1);
@@ -340,10 +351,9 @@ impl Kernel {
     /// eventually find idle cores, at a migration cost.
     pub(crate) fn try_dispatch(&mut self, cpu: usize) {
         while self.cpus[cpu].busy < self.cfg.smt_ways {
-            if self.cpus[cpu].runq.is_empty()
-                && !self.steal_into(cpu) {
-                    break;
-                }
+            if self.cpus[cpu].runq.is_empty() && !self.steal_into(cpu) {
+                break;
+            }
             let Some(task) = self.cpus[cpu].runq.pop_front() else {
                 break;
             };

@@ -50,6 +50,13 @@ impl Machine {
         &self.kernel
     }
 
+    /// Build a report from the machine's current state. Meant for salvaging
+    /// partial accounting after [`Machine::run`] returned a deadlock; after
+    /// a successful run prefer the returned report.
+    pub fn report_now(&mut self) -> Report {
+        self.kernel.report()
+    }
+
     /// Add a task before the machine starts. `pin` optionally pins it to a
     /// core from the outset (constant affinity).
     pub fn add_task(
@@ -216,7 +223,14 @@ mod tests {
     #[test]
     fn single_task_time_is_work_plus_switch() {
         let mut m = Machine::new(MachineConfig::small(1, 1));
-        m.add_task(Box::new(Busy { slices: 4, cost: 1000 }), "b", None);
+        m.add_task(
+            Box::new(Busy {
+                slices: 4,
+                cost: 1000,
+            }),
+            "b",
+            None,
+        );
         let r = m.run(None).unwrap();
         // 4 × 1000 work + one context switch (2000) at dispatch.
         assert_eq!(r.virtual_ns, 6000);
@@ -232,8 +246,22 @@ mod tests {
         let mut cfg = MachineConfig::small(1, 1);
         cfg.quantum = 5_000;
         let mut m = Machine::new(cfg);
-        m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), "a", None);
-        m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), "b", None);
+        m.add_task(
+            Box::new(Busy {
+                slices: 10,
+                cost: 1000,
+            }),
+            "a",
+            None,
+        );
+        m.add_task(
+            Box::new(Busy {
+                slices: 10,
+                cost: 1000,
+            }),
+            "b",
+            None,
+        );
         let r = m.run(None).unwrap();
         assert!(r.virtual_ns >= 20_000, "vns={}", r.virtual_ns);
         assert!(r.ctx_switches >= 4, "switches={}", r.ctx_switches);
@@ -243,8 +271,22 @@ mod tests {
     #[test]
     fn two_tasks_two_cores_run_in_parallel() {
         let mut m = Machine::new(MachineConfig::small(2, 1));
-        m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), "a", None);
-        m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), "b", None);
+        m.add_task(
+            Box::new(Busy {
+                slices: 10,
+                cost: 1000,
+            }),
+            "a",
+            None,
+        );
+        m.add_task(
+            Box::new(Busy {
+                slices: 10,
+                cost: 1000,
+            }),
+            "b",
+            None,
+        );
         let r = m.run(None).unwrap();
         // Both finish in ~12k (10k work + switch), not 24k.
         assert!(r.virtual_ns < 15_000, "vns={}", r.virtual_ns);
@@ -254,8 +296,22 @@ mod tests {
     fn smt_sharing_slows_both_contexts() {
         // 1 core × 2 SMT: total throughput 1.4 → each runs at 0.7.
         let mut m = Machine::new(MachineConfig::small(1, 2));
-        m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), "a", None);
-        m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), "b", None);
+        m.add_task(
+            Box::new(Busy {
+                slices: 10,
+                cost: 1000,
+            }),
+            "a",
+            None,
+        );
+        m.add_task(
+            Box::new(Busy {
+                slices: 10,
+                cost: 1000,
+            }),
+            "b",
+            None,
+        );
         let r = m.run(None).unwrap();
         // Each needs ~10000/0.7 ≈ 14286 > 10000 (parallel but degraded),
         // well under 20000 (serial).
@@ -340,7 +396,14 @@ mod tests {
             "waiter",
             None,
         );
-        m.add_task(Box::new(SemPoster { sem, delay_slices: 3 }), "poster", None);
+        m.add_task(
+            Box::new(SemPoster {
+                sem,
+                delay_slices: 3,
+            }),
+            "poster",
+            None,
+        );
         let r = m.run(None).unwrap();
         assert!(r.tasks.iter().all(|t| t.finished));
         // Waiter resumed only after poster's 30k of work.
@@ -435,8 +498,22 @@ mod tests {
         let mut cfg = MachineConfig::small(2, 1);
         cfg.quantum = 2_000;
         let mut m = Machine::new(cfg);
-        m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), "a", Some(0));
-        m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), "b", Some(0));
+        m.add_task(
+            Box::new(Busy {
+                slices: 10,
+                cost: 1000,
+            }),
+            "a",
+            Some(0),
+        );
+        m.add_task(
+            Box::new(Busy {
+                slices: 10,
+                cost: 1000,
+            }),
+            "b",
+            Some(0),
+        );
         let r = m.run(None).unwrap();
         assert!(r.virtual_ns >= 20_000, "vns={}", r.virtual_ns);
         assert_eq!(r.cpus[1].busy_time, 0, "core 1 must stay idle");
@@ -452,7 +529,14 @@ mod tests {
         cfg.quantum = 5_000;
         let mut m = Machine::new(cfg);
         for i in 0..3 {
-            m.add_task(Box::new(Busy { slices: 10, cost: 1000 }), format!("t{i}"), None);
+            m.add_task(
+                Box::new(Busy {
+                    slices: 10,
+                    cost: 1000,
+                }),
+                format!("t{i}"),
+                None,
+            );
         }
         let r = m.run(None).unwrap();
         assert!(r.virtual_ns < 30_000, "vns={}", r.virtual_ns);

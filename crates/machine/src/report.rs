@@ -99,7 +99,12 @@ mod tests {
                 overhead_work: 7,
                 finished: true,
             }],
-            cpus: vec![CpuReport { busy_time: 1_000_000_000 }; 2],
+            cpus: vec![
+                CpuReport {
+                    busy_time: 1_000_000_000
+                };
+                2
+            ],
         }
     }
 

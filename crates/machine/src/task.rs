@@ -151,6 +151,13 @@ impl<'a> Ctx<'a> {
         self.kernel.set_affinity(task, core);
     }
 
+    /// Tokens held by a semaphore plus its blocked-waiter count
+    /// (diagnostics; see [`crate::Kernel::sem_state`]).
+    #[inline]
+    pub fn sem_state(&self, sem: SemId) -> (u32, usize) {
+        self.kernel.sem_state(sem)
+    }
+
     /// Core this task is currently executing on.
     #[inline]
     pub fn current_core(&self) -> usize {

@@ -34,6 +34,9 @@ pub struct RunMetrics {
     pub wasted_work: u64,
     /// Maximum threads simultaneously de-scheduled (demand-driven systems).
     pub max_descheduled: usize,
+    /// `sched_setaffinity` rejections while applying an affinity policy
+    /// (non-fatal: the affected threads stay on kernel scheduling).
+    pub pin_failures: u64,
     /// XOR-fold commit digest (for cross-runtime correctness checks).
     pub commit_digest: u64,
 }

@@ -70,7 +70,12 @@ pub struct EpidemicsConfig {
 
 impl EpidemicsConfig {
     /// Paper-shaped defaults with the given scale and lock-down rate.
-    pub fn new(num_threads: usize, lps_per_thread: usize, lockdown_groups: usize, end_time: f64) -> Self {
+    pub fn new(
+        num_threads: usize,
+        lps_per_thread: usize,
+        lockdown_groups: usize,
+        end_time: f64,
+    ) -> Self {
         EpidemicsConfig {
             num_threads,
             lps_per_thread,
@@ -132,8 +137,7 @@ impl Epidemics {
     /// period starting at `ctx.now()`.
     fn emit_contacts(&self, state: &mut Household, ctx: &mut SendCtx<'_, EpiEvent>) {
         for _ in 0..self.cfg.contacts_per_infection {
-            let delay = self.cfg.lookahead
-                + ctx.rng().next_f64() * self.cfg.infectious_mean;
+            let delay = self.cfg.lookahead + ctx.rng().next_f64() * self.cfg.infectious_mean;
             let recv = ctx
                 .now()
                 .saturating_add(pdes_core::VirtualTime::from_f64(delay));
@@ -199,8 +203,7 @@ impl Model for Epidemics {
                 if susceptible.is_empty() {
                     return;
                 }
-                let pick = susceptible
-                    [ctx.rng().next_below(susceptible.len() as u64) as usize];
+                let pick = susceptible[ctx.rng().next_below(susceptible.len() as u64) as usize];
                 state.agents[pick] = Stage::Exposed;
                 let delay = self.cfg.lookahead + ctx.rng().next_exp(self.cfg.incubation_mean);
                 ctx.send(

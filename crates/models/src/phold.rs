@@ -86,7 +86,9 @@ impl Phold {
     /// receive time, so events track the shifting window).
     fn next_hop(&self, ctx: &mut SendCtx<'_, ()>) -> (f64, LpId) {
         let delay = self.cfg.lookahead + ctx.rng().next_exp(self.cfg.mean_delay);
-        let recv = ctx.now().saturating_add(pdes_core::VirtualTime::from_f64(delay));
+        let recv = ctx
+            .now()
+            .saturating_add(pdes_core::VirtualTime::from_f64(delay));
         let dst = self
             .cfg
             .schedule
@@ -200,7 +202,10 @@ mod tests {
             let th = map.thread_of(pdes_core::LpId(i as u32));
             by_group[th.index() / 2] += count;
         }
-        assert!(by_group[1] > 0, "second group must activate after the shift");
+        assert!(
+            by_group[1] > 0,
+            "second group must activate after the shift"
+        );
     }
 
     #[test]

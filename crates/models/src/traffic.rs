@@ -182,7 +182,12 @@ impl Model for Traffic {
         Intersection::default()
     }
 
-    fn init_events(&self, lp: LpId, _state: &mut Intersection, ctx: &mut SendCtx<'_, TrafficEvent>) {
+    fn init_events(
+        &self,
+        lp: LpId,
+        _state: &mut Intersection,
+        ctx: &mut SendCtx<'_, TrafficEvent>,
+    ) {
         for _ in 0..self.start_events(lp) {
             let delay = self.cfg.lookahead + ctx.rng().next_exp(0.5);
             ctx.send(lp, delay, TrafficEvent::Arrival);

@@ -124,7 +124,12 @@ impl<M: Model> ThreadEngine<M> {
     }
 
     fn lp_slot(&mut self, lp: LpId) -> &mut Lp<M> {
-        debug_assert_eq!(self.map.thread_of(lp), self.tid, "{lp} not owned by {}", self.tid);
+        debug_assert_eq!(
+            self.map.thread_of(lp),
+            self.tid,
+            "{lp} not owned by {}",
+            self.tid
+        );
         let idx = self
             .lp_ids
             .binary_search(&lp)

@@ -1,0 +1,641 @@
+//! Deterministic fault injection and stall diagnostics.
+//!
+//! A [`FaultPlan`] describes a set of adversarial behaviours to superimpose
+//! on a runtime's message plane and scheduling primitives:
+//!
+//! * **delay** — straggler delivery: messages are held back (kept
+//!   queue-resident) for extra drain cycles before the engine sees them;
+//! * **reorder** — drained batches are permuted before delivery, so events
+//!   reach the engine out of timestamp order;
+//! * **straggler** — the *minimum*-timestamp message of a drain is held back
+//!   while later ones deliver, manufacturing the low-timestamp stragglers
+//!   that trigger rollback storms;
+//! * **wakeup** — scheduling wake-ups are lost (an activation's `sem_post`
+//!   is skipped) or spuriously duplicated (a parked thread is posted without
+//!   being activated);
+//! * **backpressure** — input queues behave as bounded: a sender whose
+//!   destination queue is over capacity retries with backoff before pushing
+//!   (messages are never dropped).
+//!
+//! The first three perturb only *delivery order and timing*; Time Warp must
+//! absorb them and still commit exactly the sequential oracle's trace. Lost
+//! wake-ups break liveness by design — they exist to exercise the GVT
+//! liveness watchdog, which must convert the resulting hang into a
+//! structured [`StallDump`] instead of a frozen process.
+//!
+//! Every decision is derived from a seeded counter stream (splitmix64 over
+//! `(seed, site, sequence-number)`), so a plan replays identically on the
+//! deterministic virtual machine and draws from fixed per-site streams on
+//! real threads. A default (empty) plan is completely inert: the injector
+//! holds no state and every hook reduces to one branch on a `None`.
+
+use crate::event::Msg;
+use crate::ids::EventUid;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `true` when two messages in `batch` share an [`EventUid`] — i.e. the
+/// batch carries a causally ordered pair such as an anti-message and its
+/// re-sent positive twin (cancel-then-resend travels the same sender→receiver
+/// channel, so their relative order is part of the delivery contract even
+/// under network chaos). Fault filters must never reorder such a pair:
+/// shuffling skips these batches, and deferral holds back the whole
+/// same-uid suffix together.
+pub fn batch_has_uid_pairs<P>(batch: &[Msg<P>]) -> bool {
+    if batch.len() < 2 {
+        return false;
+    }
+    let mut uids: Vec<EventUid> = batch.iter().map(|m| m.key().uid).collect();
+    uids.sort_unstable();
+    uids.windows(2).any(|w| w[0] == w[1])
+}
+
+/// Straggler delivery delay: each drained message is independently held
+/// back (re-queued) with probability `prob`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayFault {
+    pub prob: f64,
+}
+
+/// Adversarial reordering: each drained batch is shuffled with probability
+/// `prob` before delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReorderFault {
+    pub prob: f64,
+}
+
+/// Forced low-timestamp stragglers: with probability `prob` per drain, the
+/// minimum-timestamp message is held back while its batch delivers, up to
+/// `max_storms` times per run (bounded so runs still terminate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerFault {
+    pub prob: f64,
+    pub max_storms: u64,
+}
+
+/// Lost / spurious thread wake-ups at the scheduling semaphores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WakeupFault {
+    /// Probability that an activation's wake-up post is skipped.
+    pub lose_prob: f64,
+    /// Probability of posting a parked thread that was *not* activated.
+    pub spurious_prob: f64,
+    /// Upper bound on lost wake-ups per run.
+    pub max_lost: u64,
+}
+
+/// Bounded-queue backpressure on send.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackpressureFault {
+    /// Queue depth above which a sender backs off.
+    pub capacity: usize,
+    /// Retries (with escalating backoff) before pushing anyway.
+    pub max_retries: u32,
+}
+
+/// A complete, serde-configurable chaos plan. The default plan is empty and
+/// injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub delay: Option<DelayFault>,
+    pub reorder: Option<ReorderFault>,
+    pub straggler: Option<StragglerFault>,
+    pub wakeup: Option<WakeupFault>,
+    pub backpressure: Option<BackpressureFault>,
+}
+
+impl FaultPlan {
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.delay.is_some()
+            || self.reorder.is_some()
+            || self.straggler.is_some()
+            || self.wakeup.is_some()
+            || self.backpressure.is_some()
+    }
+
+    /// A moderate all-safe plan (delay + reorder + straggler storms, no
+    /// liveness faults) — what `--chaos-seed` enables.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay: Some(DelayFault { prob: 0.05 }),
+            reorder: Some(ReorderFault { prob: 0.25 }),
+            straggler: Some(StragglerFault {
+                prob: 0.02,
+                max_storms: 64,
+            }),
+            wakeup: None,
+            backpressure: Some(BackpressureFault {
+                capacity: 4096,
+                max_retries: 8,
+            }),
+        }
+    }
+}
+
+/// Decision sites; each draws from its own counter stream so adding a hook
+/// never shifts another site's sequence.
+#[derive(Debug, Clone, Copy)]
+#[repr(usize)]
+enum Site {
+    Delay = 0,
+    Reorder = 1,
+    Straggler = 2,
+    Lose = 3,
+    Spurious = 4,
+}
+const NUM_SITES: usize = 5;
+
+/// Counts of injections actually performed (observability for tests and the
+/// CLI's chaos report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    pub delayed: u64,
+    pub reordered: u64,
+    pub stragglers: u64,
+    pub lost_wakeups: u64,
+    pub spurious_wakeups: u64,
+    pub backpressure_retries: u64,
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    seq: [AtomicU64; NUM_SITES],
+    storms_left: AtomicU64,
+    lost_left: AtomicU64,
+    counts: [AtomicU64; 6],
+}
+
+/// The runtime hook object built from a [`FaultPlan`]. Shareable across
+/// threads; all decision state is atomic. When built from an empty plan it
+/// carries no state and every hook is a single `None` branch.
+pub struct FaultInjector {
+    state: Option<Box<FaultState>>,
+}
+
+/// splitmix64: the decision hash (also used to seed the engine's xoshiro).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn unit_f64(r: u64) -> f64 {
+    (r >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultInjector {
+    /// An inert injector (every hook is a no-op).
+    pub fn disabled() -> Self {
+        FaultInjector { state: None }
+    }
+
+    /// Build the injector for `plan`; an empty plan yields a disabled one.
+    pub fn new(plan: FaultPlan) -> Self {
+        if !plan.is_active() {
+            return Self::disabled();
+        }
+        let storms = plan.straggler.map_or(0, |s| s.max_storms);
+        let lost = plan.wakeup.map_or(0, |w| w.max_lost);
+        FaultInjector {
+            state: Some(Box::new(FaultState {
+                plan,
+                seq: Default::default(),
+                storms_left: AtomicU64::new(storms),
+                lost_left: AtomicU64::new(lost),
+                counts: Default::default(),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Next value of `site`'s decision stream.
+    fn roll(st: &FaultState, site: Site) -> u64 {
+        let n = st.seq[site as usize].fetch_add(1, Ordering::Relaxed);
+        splitmix64(
+            st.plan
+                .seed
+                .wrapping_add((site as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F))
+                .wrapping_add(n),
+        )
+    }
+
+    fn bump(st: &FaultState, idx: usize, by: u64) {
+        st.counts[idx].fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Should this drained message be held back for a later drain?
+    #[inline]
+    pub fn defer_delivery(&self) -> bool {
+        let Some(st) = &self.state else { return false };
+        let Some(d) = st.plan.delay else { return false };
+        let hit = unit_f64(Self::roll(st, Site::Delay)) < d.prob;
+        if hit {
+            Self::bump(st, 0, 1);
+        }
+        hit
+    }
+
+    /// Should the minimum-timestamp message of this drain be held back
+    /// (straggler storm)? Bounded by the plan's `max_storms`.
+    #[inline]
+    pub fn straggler_hold(&self) -> bool {
+        let Some(st) = &self.state else { return false };
+        let Some(s) = st.plan.straggler else {
+            return false;
+        };
+        if unit_f64(Self::roll(st, Site::Straggler)) >= s.prob {
+            return false;
+        }
+        // Claim one unit of the storm budget.
+        let mut left = st.storms_left.load(Ordering::Relaxed);
+        while left > 0 {
+            match st.storms_left.compare_exchange_weak(
+                left,
+                left - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    Self::bump(st, 2, 1);
+                    return true;
+                }
+                Err(cur) => left = cur,
+            }
+        }
+        false
+    }
+
+    /// Adversarially permute a drained batch (Fisher–Yates from the reorder
+    /// stream) with the plan's probability. Returns whether it shuffled.
+    #[inline]
+    pub fn shuffle_batch<T>(&self, batch: &mut [T]) -> bool {
+        let Some(st) = &self.state else { return false };
+        let Some(r) = st.plan.reorder else {
+            return false;
+        };
+        if batch.len() < 2 || unit_f64(Self::roll(st, Site::Reorder)) >= r.prob {
+            return false;
+        }
+        for i in (1..batch.len()).rev() {
+            let j = (Self::roll(st, Site::Reorder) % (i as u64 + 1)) as usize;
+            batch.swap(i, j);
+        }
+        Self::bump(st, 1, 1);
+        true
+    }
+
+    /// Should this activation wake-up post be dropped? Bounded by
+    /// `max_lost`.
+    #[inline]
+    pub fn lose_wakeup(&self) -> bool {
+        let Some(st) = &self.state else { return false };
+        let Some(w) = st.plan.wakeup else {
+            return false;
+        };
+        if unit_f64(Self::roll(st, Site::Lose)) >= w.lose_prob {
+            return false;
+        }
+        let mut left = st.lost_left.load(Ordering::Relaxed);
+        while left > 0 {
+            match st.lost_left.compare_exchange_weak(
+                left,
+                left - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    Self::bump(st, 3, 1);
+                    return true;
+                }
+                Err(cur) => left = cur,
+            }
+        }
+        false
+    }
+
+    /// Should a parked-but-not-activated thread receive a spurious post?
+    #[inline]
+    pub fn spurious_wakeup(&self) -> bool {
+        let Some(st) = &self.state else { return false };
+        let Some(w) = st.plan.wakeup else {
+            return false;
+        };
+        let hit = unit_f64(Self::roll(st, Site::Spurious)) < w.spurious_prob;
+        if hit {
+            Self::bump(st, 4, 1);
+        }
+        hit
+    }
+
+    /// The bounded-queue parameters, if backpressure is configured.
+    #[inline]
+    pub fn backpressure(&self) -> Option<BackpressureFault> {
+        self.state.as_ref()?.plan.backpressure
+    }
+
+    /// Record `n` backpressure retry waits (the send loop performs the
+    /// actual backoff; the injector only keeps the tally).
+    #[inline]
+    pub fn note_backpressure_retries(&self, n: u64) {
+        if let Some(st) = &self.state {
+            Self::bump(st, 5, n);
+        }
+    }
+
+    /// Injections performed so far.
+    pub fn counts(&self) -> FaultCounts {
+        match &self.state {
+            None => FaultCounts::default(),
+            Some(st) => FaultCounts {
+                delayed: st.counts[0].load(Ordering::Relaxed),
+                reordered: st.counts[1].load(Ordering::Relaxed),
+                stragglers: st.counts[2].load(Ordering::Relaxed),
+                lost_wakeups: st.counts[3].load(Ordering::Relaxed),
+                spurious_wakeups: st.counts[4].load(Ordering::Relaxed),
+                backpressure_retries: st.counts[5].load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.state {
+            None => f.write_str("FaultInjector(disabled)"),
+            Some(st) => f
+                .debug_struct("FaultInjector")
+                .field("plan", &st.plan)
+                .field("counts", &self.counts())
+                .finish(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stall diagnostics
+// ---------------------------------------------------------------------------
+
+/// GVT round state at the moment of a stall.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RoundDump {
+    pub open: bool,
+    pub id: u64,
+    pub participants: usize,
+    pub a_done: usize,
+    pub b_done: usize,
+    pub end_done: usize,
+    pub aware_claimed: bool,
+}
+
+/// Per-thread state at the moment of a stall.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadDump {
+    pub thread: usize,
+    /// Last control-loop phase the thread reported.
+    pub phase: String,
+    /// Round id the thread last folded into (`None` before its first round).
+    pub joined_round: Option<u64>,
+    pub queue_len: usize,
+    pub active: bool,
+    pub subscribed: bool,
+    /// Wake tokens currently held by the thread's scheduling semaphore.
+    pub sem_tokens: u32,
+    /// Residual send-window minimum (rendered; `"inf"` when clear).
+    pub window_min: String,
+    /// Queue minimum (rendered; `"inf"` when empty).
+    pub queue_min: String,
+}
+
+/// The structured diagnostic a liveness watchdog emits instead of hanging:
+/// who was where, what the GVT round looked like, and which queues still
+/// held work.
+#[derive(Debug, Clone, Serialize)]
+pub struct StallDump {
+    /// Human-readable trigger, e.g. `"no GVT progress for 2.0s"`.
+    pub reason: String,
+    pub system: String,
+    pub gvt: String,
+    pub gvt_rounds: u64,
+    pub num_active: usize,
+    pub terminated: bool,
+    pub round: RoundDump,
+    pub threads: Vec<ThreadDump>,
+    /// Fault injections performed up to the stall.
+    pub fault_counts: FaultCounts,
+}
+
+impl std::fmt::Display for StallDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== liveness watchdog: {} ===", self.reason)?;
+        writeln!(
+            f,
+            "system={} gvt={} rounds={} active={} terminated={}",
+            self.system, self.gvt, self.gvt_rounds, self.num_active, self.terminated
+        )?;
+        writeln!(
+            f,
+            "round: open={} id={} participants={} a={} b={} end={} aware={}",
+            self.round.open,
+            self.round.id,
+            self.round.participants,
+            self.round.a_done,
+            self.round.b_done,
+            self.round.end_done,
+            self.round.aware_claimed
+        )?;
+        for t in &self.threads {
+            writeln!(
+                f,
+                "  t{}: phase={} joined={} qlen={} active={} subscribed={} sem={} window={} qmin={}",
+                t.thread,
+                t.phase,
+                t.joined_round
+                    .map_or_else(|| "-".into(), |r| r.to_string()),
+                t.queue_len,
+                t.active,
+                t.subscribed,
+                t.sem_tokens,
+                t.window_min,
+                t.queue_min
+            )?;
+        }
+        write!(
+            f,
+            "faults: delayed={} reordered={} stragglers={} lost={} spurious={} bp_retries={}",
+            self.fault_counts.delayed,
+            self.fault_counts.reordered,
+            self.fault_counts.stragglers,
+            self.fault_counts.lost_wakeups,
+            self.fault_counts.spurious_wakeups,
+            self.fault_counts.backpressure_retries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay: Some(DelayFault { prob: 0.5 }),
+            reorder: Some(ReorderFault { prob: 0.5 }),
+            straggler: Some(StragglerFault {
+                prob: 0.5,
+                max_storms: 10,
+            }),
+            wakeup: Some(WakeupFault {
+                lose_prob: 0.5,
+                spurious_prob: 0.5,
+                max_lost: 7,
+            }),
+            backpressure: Some(BackpressureFault {
+                capacity: 8,
+                max_retries: 3,
+            }),
+        }
+    }
+
+    #[test]
+    fn disabled_injector_is_inert() {
+        let inj = FaultInjector::new(FaultPlan::default());
+        assert!(!inj.is_enabled());
+        assert!(!inj.defer_delivery());
+        assert!(!inj.straggler_hold());
+        assert!(!inj.lose_wakeup());
+        assert!(!inj.spurious_wakeup());
+        let mut v = vec![3, 1, 2];
+        assert!(!inj.shuffle_batch(&mut v));
+        assert_eq!(v, vec![3, 1, 2]);
+        assert!(inj.backpressure().is_none());
+        assert_eq!(inj.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn decision_streams_are_deterministic() {
+        let a = FaultInjector::new(full_plan(42));
+        let b = FaultInjector::new(full_plan(42));
+        for _ in 0..200 {
+            assert_eq!(a.defer_delivery(), b.defer_delivery());
+            assert_eq!(a.lose_wakeup(), b.lose_wakeup());
+            assert_eq!(a.spurious_wakeup(), b.spurious_wakeup());
+            let mut va: Vec<u32> = (0..8).collect();
+            let mut vb: Vec<u32> = (0..8).collect();
+            a.shuffle_batch(&mut va);
+            b.shuffle_batch(&mut vb);
+            assert_eq!(va, vb);
+        }
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultInjector::new(full_plan(1));
+        let b = FaultInjector::new(full_plan(2));
+        let da: Vec<bool> = (0..64).map(|_| a.defer_delivery()).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.defer_delivery()).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn budgets_are_bounded() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 3,
+            straggler: Some(StragglerFault {
+                prob: 1.0,
+                max_storms: 5,
+            }),
+            wakeup: Some(WakeupFault {
+                lose_prob: 1.0,
+                spurious_prob: 0.0,
+                max_lost: 4,
+            }),
+            ..FaultPlan::default()
+        });
+        let storms = (0..100).filter(|_| inj.straggler_hold()).count();
+        let lost = (0..100).filter(|_| inj.lose_wakeup()).count();
+        assert_eq!(storms, 5);
+        assert_eq!(lost, 4);
+        let c = inj.counts();
+        assert_eq!(c.stragglers, 5);
+        assert_eq!(c.lost_wakeups, 4);
+    }
+
+    #[test]
+    fn probabilities_roughly_hold() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 99,
+            delay: Some(DelayFault { prob: 0.3 }),
+            ..FaultPlan::default()
+        });
+        let hits = (0..10_000).filter(|_| inj.defer_delivery()).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let p = full_plan(0xC0FFEE);
+        let j = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, p);
+        // Missing optional sections deserialize to None.
+        let sparse: FaultPlan =
+            serde_json::from_str(r#"{"seed": 7, "delay": {"prob": 0.1}}"#).unwrap();
+        assert_eq!(sparse.seed, 7);
+        assert!(sparse.delay.is_some());
+        assert!(sparse.wakeup.is_none());
+        assert!(sparse.is_active());
+    }
+
+    #[test]
+    fn stall_dump_renders_every_section() {
+        let dump = StallDump {
+            reason: "no GVT progress for 2.0s".into(),
+            system: "GG-PDES-Async".into(),
+            gvt: "1.25".into(),
+            gvt_rounds: 17,
+            num_active: 3,
+            terminated: false,
+            round: RoundDump {
+                open: true,
+                id: 18,
+                participants: 4,
+                a_done: 3,
+                b_done: 0,
+                end_done: 0,
+                aware_claimed: false,
+            },
+            threads: vec![ThreadDump {
+                thread: 2,
+                phase: "parked".into(),
+                joined_round: Some(17),
+                queue_len: 5,
+                active: true,
+                subscribed: true,
+                sem_tokens: 0,
+                window_min: "inf".into(),
+                queue_min: "1.5".into(),
+            }],
+            fault_counts: FaultCounts {
+                lost_wakeups: 1,
+                ..FaultCounts::default()
+            },
+        };
+        let s = dump.to_string();
+        assert!(s.contains("liveness watchdog"));
+        assert!(s.contains("t2: phase=parked joined=17 qlen=5"));
+        assert!(s.contains("lost=1"));
+        assert!(s.contains("participants=4 a=3"));
+    }
+}

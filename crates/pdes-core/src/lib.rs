@@ -23,6 +23,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod ids;
 pub mod lp;
 pub mod mapping;
@@ -36,6 +37,10 @@ pub mod time;
 pub use config::{AdaptiveGvt, EngineConfig};
 pub use engine::{BatchOutcome, DeliverOutcome, Outbound, ThreadEngine};
 pub use event::{Event, EventKey, Msg};
+pub use faults::{
+    batch_has_uid_pairs, BackpressureFault, DelayFault, FaultCounts, FaultInjector, FaultPlan,
+    ReorderFault, RoundDump, StallDump, StragglerFault, ThreadDump, WakeupFault,
+};
 pub use ids::{EventUid, LpId, SimThreadId};
 pub use mapping::{LpMap, MapKind};
 pub use model::{Model, SendCtx};

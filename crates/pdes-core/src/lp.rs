@@ -72,10 +72,7 @@ pub struct Lp<M: Model> {
 
 /// Order-independent 64-bit digest of an event key.
 pub fn key_digest(key: &EventKey) -> u64 {
-    let mut s = key
-        .recv_time
-        .ticks()
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let mut s = key.recv_time.ticks().wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ ((key.dst.0 as u64) << 32)
         ^ (key.uid.src.0 as u64)
         ^ key.uid.seq.rotate_left(17);
@@ -175,7 +172,11 @@ impl<M: Model> Lp<M> {
             rng: self.rng.clone(),
             send_seq: self.send_seq,
         });
-        self.since_snapshot = if take_snap { 0 } else { self.since_snapshot + 1 };
+        self.since_snapshot = if take_snap {
+            0
+        } else {
+            self.since_snapshot + 1
+        };
         let mut out = Vec::new();
         let mut ctx = SendCtx::new(
             self.id,
@@ -602,7 +603,10 @@ mod sparse_tests {
             lp.process(&m, ev(i as f64 + 1.0, i));
         }
         let snaps: Vec<bool> = lp.processed.iter().map(|e| e.pre.is_some()).collect();
-        assert_eq!(snaps, vec![true, false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            snaps,
+            vec![true, false, false, false, true, false, false, false, true]
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl<'a, P> SendCtx<'a, P> {
     /// delay is allowed and ordered after the current event by the tie-break
     /// on [`EventUid`].
     pub fn send(&mut self, dst: LpId, delay: f64, payload: P) {
-        self.send_at(dst, self.now.saturating_add(VirtualTime::from_f64(delay)), payload);
+        self.send_at(
+            dst,
+            self.now.saturating_add(VirtualTime::from_f64(delay)),
+            payload,
+        );
     }
 
     /// Schedule `payload` for `dst` at the absolute time `at` (≥ now).

@@ -141,9 +141,7 @@ impl Model for FanOut {
         }
     }
     fn state_digest(&self, s: &Vec<u64>) -> u64 {
-        s.iter().fold(0u64, |a, &x| {
-            a.rotate_left(7) ^ x
-        })
+        s.iter().fold(0u64, |a, &x| a.rotate_left(7) ^ x)
     }
 }
 

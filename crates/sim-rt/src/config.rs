@@ -59,7 +59,11 @@ impl SystemConfig {
     /// The six systems of Figures 2–4, all under constant affinity.
     pub const ALL_SIX: [SystemConfig; 6] = [
         SystemConfig::new(Scheduler::Baseline, GvtMode::Sync, AffinityPolicy::Constant),
-        SystemConfig::new(Scheduler::Baseline, GvtMode::Async, AffinityPolicy::Constant),
+        SystemConfig::new(
+            Scheduler::Baseline,
+            GvtMode::Async,
+            AffinityPolicy::Constant,
+        ),
         SystemConfig::new(Scheduler::DdPdes, GvtMode::Sync, AffinityPolicy::Constant),
         SystemConfig::new(Scheduler::DdPdes, GvtMode::Async, AffinityPolicy::Constant),
         SystemConfig::new(Scheduler::GgPdes, GvtMode::Sync, AffinityPolicy::Constant),

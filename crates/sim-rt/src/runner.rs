@@ -7,7 +7,10 @@ use crate::shared::Shared;
 use crate::simthread::SimThreadTask;
 use machine::{Machine, MachineConfig, Report, WorkTag};
 use metrics::RunMetrics;
-use pdes_core::{EngineConfig, LpId, LpMap, Model, SimThreadId, ThreadEngine};
+use pdes_core::{
+    EngineConfig, FaultInjector, FaultPlan, LpId, LpMap, Model, SimThreadId, StallDump,
+    ThreadEngine,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -21,8 +24,14 @@ pub struct SimResult {
     pub digests: Vec<u64>,
     /// GVT monotonicity violations (must be 0).
     pub gvt_regressions: u64,
-    /// Whether every task ran to completion (false if the time limit hit).
+    /// Whether every task ran to completion (false if the time limit hit,
+    /// the liveness watchdog tripped, or the machine deadlocked).
     pub completed: bool,
+    /// Structured diagnostic when the run stalled (liveness watchdog trip
+    /// or machine deadlock); `None` on a clean run.
+    pub stall: Option<StallDump>,
+    /// Fault injections actually performed (all zero without a plan).
+    pub fault_counts: pdes_core::FaultCounts,
     /// Scheduling-activity transitions `(virtual ns, thread, scheduled-in)`
     /// — the raw data behind a Fig.-1-style activity diagram.
     pub timeline: Vec<(u64, usize, bool)>,
@@ -49,6 +58,11 @@ pub struct RunConfig {
     pub cost: SimCost,
     /// Safety cap on virtual time (ns); `None` = unbounded.
     pub limit_ns: Option<u64>,
+    /// Fault-injection plan (empty ⇒ zero-cost pass-through).
+    pub faults: FaultPlan,
+    /// Liveness watchdog: abort with a diagnostic dump when GVT makes no
+    /// progress for this many *virtual* ns (`None` disables it).
+    pub watchdog_ns: Option<u64>,
 }
 
 impl RunConfig {
@@ -60,6 +74,8 @@ impl RunConfig {
             machine: MachineConfig::default(),
             cost: SimCost::default(),
             limit_ns: Some(120_000_000_000), // 120 virtual seconds
+            faults: FaultPlan::default(),
+            watchdog_ns: Some(10_000_000_000), // 10 virtual seconds
         }
     }
 
@@ -67,13 +83,28 @@ impl RunConfig {
         self.machine = m;
         self
     }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override (or disable, with `None`) the virtual-time watchdog bound.
+    pub fn with_watchdog_ns(mut self, bound: Option<u64>) -> Self {
+        self.watchdog_ns = bound;
+        self
+    }
 }
 
 /// Run `model` under the given configuration on the virtual machine.
 ///
+/// Never panics on a stalled or deadlocked run: the liveness watchdog (and
+/// the machine's deadlock detector) convert those into `completed == false`
+/// plus a structured [`SimResult::stall`] dump.
+///
 /// # Panics
-/// Panics on deadlock (a protocol bug — deterministic and reproducible) and
-/// on model/thread-count mismatches.
+/// Panics on model/thread-count mismatches.
 pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
     let num_threads = rc.num_threads;
     assert!(
@@ -93,7 +124,7 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
         rc.cost.clone(),
     )));
 
-    // Semaphores (`sem_locks`) and the DD lock.
+    // Semaphores (`sem_locks`), the DD lock, faults, and the watchdog.
     {
         let mut sh = shared.borrow_mut();
         for _ in 0..num_threads {
@@ -103,17 +134,14 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
         if matches!(rc.system.scheduler, Scheduler::DdPdes) {
             sh.dd_mutex = Some(machine.kernel().add_mutex());
         }
+        sh.set_faults(FaultInjector::new(rc.faults.clone()));
+        sh.watchdog_ns = rc.watchdog_ns;
     }
 
     // Build engines, seed initial events.
     let mut engines = Vec::with_capacity(num_threads);
     for t in 0..num_threads {
-        let mut eng = ThreadEngine::new(
-            Arc::clone(model),
-            map,
-            SimThreadId(t as u32),
-            &rc.engine,
-        );
+        let mut eng = ThreadEngine::new(Arc::clone(model), map, SimThreadId(t as u32), &rc.engine);
         let init = eng.take_init_events();
         let mut sh = shared.borrow_mut();
         for (dst, msg) in init {
@@ -158,12 +186,25 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
         machine.add_task(Box::new(ctrl), "controller", pin);
     }
 
-    let report = match machine.run(rc.limit_ns) {
-        Ok(r) => r,
-        Err(dl) => panic!(
-            "virtual machine deadlock in {} with {num_threads} threads: {dl}",
-            rc.system.name()
-        ),
+    let (report, deadlocked) = match machine.run(rc.limit_ns) {
+        Ok(r) => (r, false),
+        Err(dl) => {
+            // Every task is blocked — a protocol wedge (e.g. a lost wake-up
+            // parking the whole group). Salvage the report and capture a
+            // structured dump instead of panicking the process.
+            let mut sh = shared.borrow_mut();
+            if sh.stall.is_none() {
+                let tokens: Vec<u32> = sh
+                    .sems
+                    .iter()
+                    .map(|&s| machine.kernel_ref().sem_state(s).0)
+                    .collect();
+                let reason = format!("virtual machine deadlock: {dl}");
+                sh.stall = Some(sh.build_stall_dump(&reason, &tokens));
+            }
+            drop(sh);
+            (machine.report_now(), true)
+        }
     };
 
     let sh = shared.borrow();
@@ -175,7 +216,10 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
 
     let mut digests: Vec<(LpId, u64)> = sh.final_digests.iter().flatten().copied().collect();
     digests.sort_by_key(|&(lp, _)| lp);
-    let completed = report.tasks.iter().all(|t| t.finished);
+    let completed = !deadlocked && sh.stall.is_none() && report.tasks.iter().all(|t| t.finished);
+    if let Some(dump) = &sh.stall {
+        eprintln!("{dump}");
+    }
     if !completed {
         // Diagnose what pinned the GVT (or what stalled the run).
         eprintln!(
@@ -200,7 +244,10 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
             if sh.round.open && sh.round.participant[i] {
                 eprintln!(
                     "  participant t{i}: phase={} active={} subscribed={} qlen={}",
-                    sh.dbg_phase[i], sh.active[i], sh.subscribed[i], sh.queues[i].len()
+                    sh.dbg_phase[i],
+                    sh.active[i],
+                    sh.subscribed[i],
+                    sh.queues[i].len()
                 );
             }
             if !sh.window_send_min[i].is_infinite() || !sh.queue_min[i].is_infinite() {
@@ -221,6 +268,8 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
         gvt_regressions: sh.gvt_regressions,
         digests: digests.into_iter().map(|(_, d)| d).collect(),
         timeline: sh.timeline.clone(),
+        stall: sh.stall.clone(),
+        fault_counts: sh.faults.counts(),
         report,
         completed,
     }

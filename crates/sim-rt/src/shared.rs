@@ -11,7 +11,10 @@
 use crate::config::{SimCost, SystemConfig};
 use machine::{MutexId, SemId};
 use metrics::RunMetrics;
-use pdes_core::{EventKey, Msg, ThreadStats, VirtualTime};
+use pdes_core::{
+    batch_has_uid_pairs, EventKey, EventUid, FaultInjector, Msg, RoundDump, StallDump, ThreadDump,
+    ThreadStats, VirtualTime,
+};
 use std::collections::VecDeque;
 
 /// Deferred kernel operations produced while the shared state is borrowed;
@@ -172,6 +175,15 @@ pub struct Shared<P> {
     pub dbg_window_write: Vec<(u64, bool, usize, usize)>,
     /// Debug: last observed control-loop phase per thread.
     pub dbg_phase: Vec<&'static str>,
+    /// Debug: last round id each thread joined.
+    pub dbg_joined: Vec<Option<u64>>,
+    /// Fault-injection plan (inert by default).
+    pub faults: FaultInjector,
+    /// Virtual-time liveness bound: abort when GVT makes no progress for
+    /// this many virtual ns (`None` disables the watchdog).
+    pub watchdog_ns: Option<u64>,
+    /// Set by the virtual-time liveness watchdog when it aborts the run.
+    pub stall: Option<StallDump>,
     /// Activity timeline: `(virtual ns, thread, scheduled-in?)` transitions,
     /// recorded at de-scheduling and reactivation (capped; see
     /// [`TIMELINE_CAP`]).
@@ -216,8 +228,17 @@ impl<P> Shared<P> {
             final_digests: vec![Vec::new(); num_threads],
             dbg_window_write: vec![(0, false, 0, 0); num_threads],
             dbg_phase: vec!["init"; num_threads],
+            dbg_joined: vec![None; num_threads],
+            faults: FaultInjector::disabled(),
+            watchdog_ns: None,
+            stall: None,
             timeline: Vec::new(),
         }
+    }
+
+    /// Attach a fault injector (before the run starts).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     // ---- message routing --------------------------------------------------
@@ -231,8 +252,12 @@ impl<P> Shared<P> {
         }
         if t < self.window_send_min[sender] {
             self.window_send_min[sender] = t;
-            self.dbg_window_write[sender] =
-                (self.round.id, self.round.open, self.round.a_done, self.round.b_done);
+            self.dbg_window_write[sender] = (
+                self.round.id,
+                self.round.open,
+                self.round.a_done,
+                self.round.b_done,
+            );
         }
         self.queues[dst].push_back(msg);
     }
@@ -242,7 +267,74 @@ impl<P> Shared<P> {
     /// own fold from now on).
     pub fn drain(&mut self, me: usize) -> VecDeque<Msg<P>> {
         self.queue_min[me] = VirtualTime::INFINITY;
-        std::mem::take(&mut self.queues[me])
+        let mut out = std::mem::take(&mut self.queues[me]);
+        if self.faults.is_enabled() {
+            self.chaos_filter(me, &mut out);
+        }
+        out
+    }
+
+    /// Fault injection on a drained batch: per-message deferral, a bounded
+    /// straggler hold-back of the batch minimum, and adversarial shuffling.
+    /// Held-back messages re-enter this thread's own queue *within this
+    /// call*, restoring their `queue_min` coverage before any GVT
+    /// computation can observe the reset above — so the deferral is
+    /// invisible to the transient-message invariant (trivially, here: the
+    /// virtual machine is single-threaded).
+    /// Per-uid FIFO is the one ordering contract chaos must respect (an
+    /// anti-message and its re-sent positive twin may never swap places):
+    /// once one message of a uid is deferred, every later same-uid message
+    /// defers with it; a straggler hold drags same-uid companions along and
+    /// skips uids that already have a deferred member; shuffling skips
+    /// batches containing same-uid pairs. Re-queued messages land in the
+    /// (just-emptied) queue ahead of all future arrivals, so deferral never
+    /// reorders across drains either.
+    fn chaos_filter(&mut self, me: usize, out: &mut VecDeque<Msg<P>>) {
+        let mut deferred_uids: Vec<EventUid> = Vec::new();
+        for _ in 0..out.len() {
+            let m = out.pop_front().expect("bounded by entry len");
+            let uid = m.key().uid;
+            if deferred_uids.contains(&uid) || self.faults.defer_delivery() {
+                deferred_uids.push(uid);
+                self.requeue(me, m);
+            } else {
+                out.push_back(m);
+            }
+        }
+        if out.len() > 1 {
+            let min_i = out
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !deferred_uids.contains(&m.key().uid))
+                .min_by_key(|(_, m)| m.recv_time().ticks())
+                .map(|(i, _)| i);
+            if let Some(min_i) = min_i {
+                if self.faults.straggler_hold() {
+                    let uid = out[min_i].key().uid;
+                    let mut i = min_i;
+                    while i < out.len() {
+                        if out[i].key().uid == uid {
+                            let m = out.remove(i).expect("index in range");
+                            self.requeue(me, m);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let batch = out.make_contiguous();
+        if !batch_has_uid_pairs(batch) {
+            self.faults.shuffle_batch(batch);
+        }
+    }
+
+    fn requeue(&mut self, me: usize, m: Msg<P>) {
+        let t = m.recv_time();
+        if t < self.queue_min[me] {
+            self.queue_min[me] = t;
+        }
+        self.queues[me].push_back(m);
     }
 
     // ---- GVT round protocol ------------------------------------------------
@@ -252,8 +344,11 @@ impl<P> Shared<P> {
     pub fn ensure_round_open(&mut self, me: usize) -> bool {
         if !self.round.open {
             if std::env::var_os("GG_TRACE").is_some() {
-                eprintln!("[trace] t{me} OPEN round {} (subscribed={})", self.round.id,
-                    self.subscribed.iter().filter(|&&x| x).count());
+                eprintln!(
+                    "[trace] t{me} OPEN round {} (subscribed={})",
+                    self.round.id,
+                    self.subscribed.iter().filter(|&&x| x).count()
+                );
             }
             self.round.open = true;
             self.round.participant.copy_from_slice(&self.subscribed);
@@ -332,8 +427,10 @@ impl<P> Shared<P> {
     pub fn end_phase(&mut self, me: usize) -> bool {
         self.round.end_done += 1;
         if std::env::var_os("GG_TRACE").is_some() {
-            eprintln!("[trace] t{me} END round {} ({}/{})", self.round.id,
-                self.round.end_done, self.round.participants);
+            eprintln!(
+                "[trace] t{me} END round {} ({}/{})",
+                self.round.id, self.round.end_done, self.round.participants
+            );
         }
         if self.round.end_done == self.round.participants {
             self.round.open = false;
@@ -356,8 +453,21 @@ impl<P> Shared<P> {
                     self.active[i] = true;
                     self.subscribed[i] = true;
                     self.num_active += 1;
-                    ops.push(Op::Post(i));
+                    // Lost wake-up fault: the bookkeeping above happened but
+                    // the `sem_post` never goes out — the thread stays parked
+                    // while the protocol believes it is running. (Termination
+                    // wake-ups in `release_all_for_termination` are exempt.)
+                    if !self.faults.lose_wakeup() {
+                        ops.push(Op::Post(i));
+                    }
                     n += 1;
+                }
+            }
+            if self.faults.spurious_wakeup() {
+                // Post a thread that was *not* activated: its task must
+                // re-park rather than trust the token.
+                if let Some(i) = (0..self.num_threads).find(|&i| !self.active[i]) {
+                    ops.push(Op::Post(i));
                 }
             }
         }
@@ -477,6 +587,50 @@ impl<P> Shared<P> {
             if !self.active[i] {
                 ops.push(Op::Post(i));
             }
+        }
+    }
+
+    /// Snapshot everything a stall post-mortem needs. `sem_tokens[i]` is the
+    /// token count of thread `i`'s scheduling semaphore (gathered by the
+    /// caller, which can reach the kernel).
+    pub fn build_stall_dump(&self, reason: &str, sem_tokens: &[u32]) -> StallDump {
+        let fmt_vt = |t: VirtualTime| {
+            if t.is_infinite() {
+                "inf".to_string()
+            } else {
+                t.to_string()
+            }
+        };
+        StallDump {
+            reason: reason.into(),
+            system: self.sys.name(),
+            gvt: self.gvt.to_string(),
+            gvt_rounds: self.gvt_rounds,
+            num_active: self.num_active,
+            terminated: self.terminated,
+            round: RoundDump {
+                open: self.round.open,
+                id: self.round.id,
+                participants: self.round.participants,
+                a_done: self.round.a_done,
+                b_done: self.round.b_done,
+                end_done: self.round.end_done,
+                aware_claimed: self.round.aware_claimed,
+            },
+            threads: (0..self.num_threads)
+                .map(|i| ThreadDump {
+                    thread: i,
+                    phase: self.dbg_phase[i].into(),
+                    joined_round: self.dbg_joined[i],
+                    queue_len: self.queues[i].len(),
+                    active: self.active[i],
+                    subscribed: self.subscribed[i],
+                    sem_tokens: sem_tokens.get(i).copied().unwrap_or(0),
+                    window_min: fmt_vt(self.window_send_min[i]),
+                    queue_min: fmt_vt(self.queue_min[i]),
+                })
+                .collect(),
+            fault_counts: self.faults.counts(),
         }
     }
 

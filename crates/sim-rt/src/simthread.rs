@@ -61,6 +61,10 @@ pub struct SimThreadTask<M: Model> {
     joined_round: Option<u64>,
     /// Wall time when the thread joined the current round.
     round_enter_ns: u64,
+    /// Liveness watchdog: last observed (gvt_rounds, gvt).
+    wd_last: (u64, pdes_core::VirtualTime),
+    /// Virtual time of the last watchdog observation change.
+    wd_last_change_ns: u64,
     outbox: Vec<Outbound<M::Payload>>,
     /// Scratch for kernel ops queued while `shared` is borrowed.
     ops: Vec<Op>,
@@ -86,9 +90,46 @@ impl<M: Model> SimThreadTask<M> {
             active_flag: true,
             joined_round: None,
             round_enter_ns: 0,
+            wd_last: (0, pdes_core::VirtualTime::ZERO),
+            wd_last_change_ns: 0,
             outbox: Vec::new(),
             ops: Vec::new(),
         }
+    }
+
+    /// Virtual-time liveness watchdog: trip when neither `gvt_rounds` nor
+    /// `gvt` has changed within the configured bound of virtual time.
+    /// Returns `true` when this call tripped — the run is then torn down
+    /// (dump captured, everyone woken, this task heading to `Finishing`).
+    fn watchdog_check(&mut self, sh: &mut Shared<M::Payload>, now: u64, ctx: &Ctx<'_>) -> bool {
+        let Some(bound) = sh.watchdog_ns else {
+            return false;
+        };
+        let obs = (sh.gvt_rounds, sh.gvt);
+        if obs != self.wd_last {
+            self.wd_last = obs;
+            self.wd_last_change_ns = now;
+            return false;
+        }
+        if sh.terminated || now.saturating_sub(self.wd_last_change_ns) <= bound {
+            return false;
+        }
+        let sem_tokens: Vec<u32> = sh.sems.iter().map(|&s| ctx.sem_state(s).0).collect();
+        let reason = format!(
+            "no GVT progress for {} virtual ns (bound {bound})",
+            now - self.wd_last_change_ns
+        );
+        sh.stall = Some(sh.build_stall_dump(&reason, &sem_tokens));
+        sh.terminated = true;
+        sh.controller_exit = true;
+        // Emergency drain: wake *every* thread — including one wrongly
+        // marked active by a lost wake-up, which the normal termination
+        // broadcast (inactive threads only) would strand in `sem_wait`.
+        for i in 0..sh.num_threads {
+            self.ops.push(Op::Post(i));
+        }
+        self.phase = Phase::Finishing;
+        true
     }
 
     /// One main-loop cycle: drain the input queue, process a batch, route
@@ -103,7 +144,9 @@ impl<M: Model> SimThreadTask<M> {
             let d = self.engine.deliver(m, &mut self.outbox);
             rolled += d.rolled_back as u64;
         }
-        let batch = self.engine.process_batch(self.ecfg.batch_size, &mut self.outbox);
+        let batch = self
+            .engine
+            .process_batch(self.ecfg.batch_size, &mut self.outbox);
         let sends = self.outbox.len() as u64;
         for (dst, msg) in self.outbox.drain(..) {
             sh.push_msg(self.tid, dst.index(), msg);
@@ -112,7 +155,11 @@ impl<M: Model> SimThreadTask<M> {
 
         let idle = n_msgs == 0 && batch.processed == 0;
         // Algorithm 1, read_message_count: track consecutive empty cycles.
-        let cycles = if idle { c.idle_polls_per_step.max(1) } else { 1 };
+        let cycles = if idle {
+            c.idle_polls_per_step.max(1)
+        } else {
+            1
+        };
         if idle && !self.engine.has_live_pending() {
             self.zero_counter += cycles;
             if self.zero_counter > self.ecfg.zero_counter_threshold as u64 {
@@ -176,8 +223,7 @@ impl<M: Model> SimThreadTask<M> {
         } else if matches!(self.sys.scheduler, Scheduler::GgPdes) {
             // Algorithm 2 — the scan itself costs per entry.
             let activated = sh.activate(&mut self.ops);
-            cost += c.scan_per_thread / 4 * sh.num_threads as u64
-                + c.sched_op * activated as u64;
+            cost += c.scan_per_thread / 4 * sh.num_threads as u64 + c.sched_op * activated as u64;
         }
         cost
     }
@@ -271,6 +317,8 @@ impl<M: Model> Task for SimThreadTask<M> {
                 if sh.terminated {
                     self.phase = Phase::Finishing;
                     Step::work(sh.cost.phase_check, WorkTag::Gvt)
+                } else if self.watchdog_check(&mut sh, now, ctx) {
+                    Step::work(sh.cost.phase_check, WorkTag::Gvt)
                 } else {
                     let (cost, cycles, useful) = self.do_cycle(&mut sh);
                     self.cycles_since_gvt += cycles;
@@ -282,10 +330,9 @@ impl<M: Model> Task for SimThreadTask<M> {
                         && sh.round.participant[self.tid]
                         && self.joined_round != Some(sh.round.id);
                     let interval = match self.ecfg.adaptive_gvt {
-                        Some(a) => a.effective_interval(
-                            self.ecfg.gvt_interval,
-                            self.engine.history_len(),
-                        ),
+                        Some(a) => {
+                            a.effective_interval(self.ecfg.gvt_interval, self.engine.history_len())
+                        }
                         None => self.ecfg.gvt_interval,
                     };
                     if (self.cycles_since_gvt >= interval as u64 || round_waiting)
@@ -295,6 +342,7 @@ impl<M: Model> Task for SimThreadTask<M> {
                         let fresh = self.joined_round != Some(sh.round.id);
                         if participate && fresh {
                             self.joined_round = Some(sh.round.id);
+                            sh.dbg_joined[self.tid] = self.joined_round;
                             self.round_enter_ns = now;
                             self.phase = match self.sys.gvt {
                                 GvtMode::Async => Phase::AsyncA,
@@ -327,13 +375,33 @@ impl<M: Model> Task for SimThreadTask<M> {
                 let cost = self.drain_and_fold(&mut sh);
                 sh.round.a_done += 1;
                 if std::env::var_os("GG_TRACE").is_some() {
-                    eprintln!("[trace] t{} A round {} ({}/{})", self.tid, sh.round.id,
-                        sh.round.a_done, sh.round.participants);
+                    eprintln!(
+                        "[trace] t{} A round {} ({}/{})",
+                        self.tid, sh.round.id, sh.round.a_done, sh.round.participants
+                    );
                 }
                 self.phase = Phase::AsyncWaitA;
                 Step::work(cost, WorkTag::Gvt)
             }
             Phase::AsyncWaitA | Phase::AsyncWaitB => {
+                // Only an abnormal abort (watchdog trip, poisoned run) can
+                // terminate while a participant still waits mid-round —
+                // normal termination requires every `b_done` first. Escape
+                // instead of spinning on a count that will never arrive.
+                // The watchdog check also lives here: this *is* the stall
+                // loop under a lost wake-up (the round's snapshot includes
+                // a thread that is parked and will never fold).
+                if sh.terminated {
+                    self.phase = Phase::Finishing;
+                    drop(sh);
+                    self.apply_ops(ctx);
+                    return Step::work(self.shared.borrow().cost.phase_check, WorkTag::Gvt);
+                }
+                if self.watchdog_check(&mut sh, now, ctx) {
+                    drop(sh);
+                    self.apply_ops(ctx);
+                    return Step::work(self.shared.borrow().cost.phase_check, WorkTag::Gvt);
+                }
                 // The *Send* phase: keep simulating while peers catch up.
                 let (cost, _, useful) = self.do_cycle(&mut sh);
                 let check = sh.cost.phase_check;
@@ -432,6 +500,15 @@ impl<M: Model> Task for SimThreadTask<M> {
                 return Step::work(c, WorkTag::Sched);
             }
             Phase::Parked => {
+                // A wake token proves nothing by itself: a fault plan may
+                // post a parked thread without activating it (spurious
+                // wake-up). Re-park unless the activator marked us active
+                // or the run is over.
+                if !sh.terminated && !sh.active[self.tid] {
+                    let sem = sh.sems[self.tid];
+                    drop(sh);
+                    return Step::SemWait(sem);
+                }
                 // Woken: either reactivated (Algorithm 1 lines 14–17) or the
                 // simulation ended.
                 sh.on_wake(self.tid);

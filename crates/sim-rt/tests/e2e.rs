@@ -24,7 +24,11 @@ fn all_six_systems_match_oracle_on_balanced_phold() {
     let model = Arc::new(Phold::new(PholdConfig::balanced(threads, 4)));
     let ecfg = engine_cfg(8.0);
     let oracle = run_sequential(&model, &ecfg, None);
-    assert!(oracle.committed > 100, "oracle committed {}", oracle.committed);
+    assert!(
+        oracle.committed > 100,
+        "oracle committed {}",
+        oracle.committed
+    );
 
     for sys in SystemConfig::ALL_SIX {
         let rc = RunConfig::new(threads, ecfg.clone(), sys).with_machine(machine_small());
@@ -32,17 +36,24 @@ fn all_six_systems_match_oracle_on_balanced_phold() {
         assert!(r.completed, "{} did not finish", sys.name());
         assert_eq!(r.gvt_regressions, 0, "{} regressed GVT", sys.name());
         assert_eq!(
-            r.metrics.committed, oracle.committed,
+            r.metrics.committed,
+            oracle.committed,
             "{}: committed {} vs oracle {}",
-            sys.name(), r.metrics.committed, oracle.committed
+            sys.name(),
+            r.metrics.committed,
+            oracle.committed
         );
         assert_eq!(
-            r.metrics.commit_digest, oracle.commit_digest,
-            "{}: commit digest mismatch", sys.name()
+            r.metrics.commit_digest,
+            oracle.commit_digest,
+            "{}: commit digest mismatch",
+            sys.name()
         );
         assert_eq!(
-            r.digests, oracle.state_digests,
-            "{}: final LP states differ", sys.name()
+            r.digests,
+            oracle.state_digests,
+            "{}: final LP states differ",
+            sys.name()
         );
     }
 }
@@ -51,7 +62,11 @@ fn all_six_systems_match_oracle_on_balanced_phold() {
 fn imbalanced_phold_matches_oracle_and_deschedules() {
     let threads = 8;
     let model = Arc::new(Phold::new(PholdConfig::imbalanced(
-        threads, 4, 4, 12.0, LocalityPattern::Linear,
+        threads,
+        4,
+        4,
+        12.0,
+        LocalityPattern::Linear,
     )));
     // Short run: use an aggressive deactivation threshold so even the
     // barrier-GVT systems (whose idle threads park at barriers instead of
@@ -64,8 +79,10 @@ fn imbalanced_phold_matches_oracle_and_deschedules() {
         let r = run_sim(&model, &rc);
         assert!(r.completed, "{} did not finish", sys.name());
         assert_eq!(
-            r.metrics.commit_digest, oracle.commit_digest,
-            "{}: digest mismatch", sys.name()
+            r.metrics.commit_digest,
+            oracle.commit_digest,
+            "{}: digest mismatch",
+            sys.name()
         );
         if sys.demand_driven() {
             assert!(
@@ -81,7 +98,11 @@ fn imbalanced_phold_matches_oracle_and_deschedules() {
 fn sim_is_deterministic() {
     let threads = 4;
     let model = Arc::new(Phold::new(PholdConfig::imbalanced(
-        threads, 4, 2, 10.0, LocalityPattern::Linear,
+        threads,
+        4,
+        2,
+        10.0,
+        LocalityPattern::Linear,
     )));
     let ecfg = engine_cfg(10.0);
     let sys = SystemConfig::ALL_SIX[5]; // GG-PDES-Async
@@ -97,7 +118,11 @@ fn sim_is_deterministic() {
 fn activity_timeline_records_descheduling() {
     let threads = 8;
     let model = Arc::new(Phold::new(PholdConfig::imbalanced(
-        threads, 4, 4, 12.0, LocalityPattern::Linear,
+        threads,
+        4,
+        4,
+        12.0,
+        LocalityPattern::Linear,
     )));
     let ecfg = engine_cfg(12.0).with_zero_counter_threshold(60);
     let sys = SystemConfig::ALL_SIX[5]; // GG-PDES-Async

@@ -72,6 +72,20 @@ pub fn unpin(_tid: OsTid) -> bool {
     false
 }
 
+/// Log the first `sched_setaffinity` rejection (once per process — a host
+/// that rejects one pin typically rejects them all, and repeating the warning
+/// per GVT round would swamp the output). Callers also count every rejection
+/// in the `pin_failures` run metric.
+pub fn note_pin_failure(core: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: sched_setaffinity rejected core {core}; \
+             falling back to kernel scheduling (counted in pin_failures)"
+        );
+    });
+}
+
 /// Number of online cores.
 pub fn num_cores() -> usize {
     std::thread::available_parallelism()

@@ -19,6 +19,6 @@ pub mod shared;
 pub mod sync;
 pub mod worker;
 
-pub use runner::{run_threads, RtResult, RtRunConfig};
+pub use runner::{run_threads, RtResult, RtRunConfig, RunError};
 pub use shared::RtShared;
 pub use sync::{DynBarrier, Semaphore};

@@ -1,14 +1,23 @@
 //! Spawn, run, and collect a real-thread simulation.
+//!
+//! Robustness contract: [`run_threads`] returns `Err` — never hangs, never
+//! aborts the process — when a worker panics or the liveness watchdog
+//! detects that GVT has stopped advancing. Both paths poison every blocking
+//! primitive so sibling threads drain and join promptly, and the stall path
+//! carries a structured [`StallDump`] of per-thread state for post-mortems.
 
 use crate::affinity::num_cores;
 use crate::shared::RtShared;
 use crate::worker::{controller_loop, worker_loop, WorkerResult};
 use metrics::RunMetrics;
-use pdes_core::{EngineConfig, LpId, LpMap, Model, SimThreadId, ThreadEngine};
+use pdes_core::{
+    EngineConfig, FaultInjector, FaultPlan, LpId, LpMap, Model, SimThreadId, StallDump,
+    ThreadEngine,
+};
 use sim_rt::{Scheduler, SystemConfig};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration for a real-thread run.
 #[derive(Debug, Clone)]
@@ -18,6 +27,11 @@ pub struct RtRunConfig {
     pub system: SystemConfig,
     /// Cores used for the affinity policies (defaults to the host's count).
     pub pin_cores: usize,
+    /// Fault-injection plan (empty ⇒ zero-cost pass-through).
+    pub faults: FaultPlan,
+    /// Wall-clock bound on GVT progress before the liveness watchdog trips
+    /// (`None` disables the watchdog entirely).
+    pub watchdog: Option<Duration>,
 }
 
 impl RtRunConfig {
@@ -27,7 +41,21 @@ impl RtRunConfig {
             engine,
             system,
             pin_cores: num_cores(),
+            faults: FaultPlan::default(),
+            watchdog: Some(Duration::from_secs(30)),
         }
+    }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override (or disable, with `None`) the liveness watchdog bound.
+    pub fn with_watchdog(mut self, bound: Option<Duration>) -> Self {
+        self.watchdog = bound;
+        self
     }
 }
 
@@ -38,18 +66,57 @@ pub struct RtResult {
     /// Final state digest of every LP, ordered by LP id.
     pub digests: Vec<u64>,
     pub gvt_regressions: u64,
+    /// Fault injections actually performed (all zero without a plan).
+    pub fault_counts: pdes_core::FaultCounts,
 }
 
-/// Run `model` on real threads. Blocks until the simulation completes.
-pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> RtResult {
+/// Why a real-thread run failed to complete.
+#[derive(Debug)]
+pub enum RunError {
+    /// The liveness watchdog saw no GVT progress within its bound; the run
+    /// was torn down and this dump captured where every thread was stuck.
+    Stalled(Box<StallDump>),
+    /// A worker thread panicked; siblings were woken and drained.
+    WorkerPanicked { thread: usize, message: String },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Stalled(dump) => write!(f, "{dump}"),
+            RunError::WorkerPanicked { thread, message } => {
+                write!(f, "worker thread {thread} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Render a panic payload (the two shapes `panic!` actually produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `model` on real threads. Blocks until the simulation completes,
+/// panics, or trips the liveness watchdog — it never hangs indefinitely
+/// while the watchdog is armed.
+pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> Result<RtResult, RunError> {
     let n = rc.num_threads;
     assert!(
         model.num_lps().is_multiple_of(n),
         "weak scaling requires LPs divisible by thread count"
     );
     let map = LpMap::new(model.num_lps(), n, rc.engine.mapping);
-    let shared: Arc<RtShared<M::Payload>> =
-        Arc::new(RtShared::new(n, rc.pin_cores, rc.engine.end_time));
+    let mut shared_init: RtShared<M::Payload> = RtShared::new(n, rc.pin_cores, rc.engine.end_time);
+    shared_init.set_faults(FaultInjector::new(rc.faults.clone()));
+    let shared = Arc::new(shared_init);
 
     // Build engines and pre-route initial events.
     let mut engines = Vec::with_capacity(n);
@@ -71,7 +138,20 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> RtResult {
         handles.push(
             std::thread::Builder::new()
                 .name(format!("sim{t}"))
-                .spawn(move || worker_loop(t, eng, sh, sys, ecfg, pin_cores))
+                .spawn(move || {
+                    // A panicking worker must not strand its siblings in
+                    // semaphores or barriers: poison everything, then report.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker_loop(t, eng, Arc::clone(&sh), sys, ecfg, pin_cores)
+                    }));
+                    match caught {
+                        Ok(r) => Ok(r),
+                        Err(payload) => {
+                            sh.poison_all();
+                            Err(panic_message(payload.as_ref()))
+                        }
+                    }
+                })
                 .expect("spawn worker"),
         );
     }
@@ -87,15 +167,79 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> RtResult {
         None
     };
 
+    // Liveness watchdog: sample (gvt, gvt_rounds) and trip when neither has
+    // changed within the bound — the run is wedged, so capture a structured
+    // dump and poison every primitive instead of hanging in `join` below.
+    let monitor_exit = Arc::new(AtomicBool::new(false));
+    let monitor = rc.watchdog.map(|bound| {
+        let sh = Arc::clone(&shared);
+        let exit = Arc::clone(&monitor_exit);
+        let system = rc.system.name();
+        let tick = (bound / 8).clamp(Duration::from_millis(5), Duration::from_millis(500));
+        std::thread::Builder::new()
+            .name("watchdog".into())
+            .spawn(move || -> Option<Box<StallDump>> {
+                let mut last = (0u64, 0u64);
+                let mut last_change = Instant::now();
+                loop {
+                    std::thread::park_timeout(tick);
+                    if exit.load(Ordering::Acquire) || sh.terminated.load(Ordering::Acquire) {
+                        return None;
+                    }
+                    let now = (sh.gvt().ticks(), sh.gvt_rounds.load(Ordering::Acquire));
+                    if now != last {
+                        last = now;
+                        last_change = Instant::now();
+                        continue;
+                    }
+                    if last_change.elapsed() < bound {
+                        continue;
+                    }
+                    let reason = format!(
+                        "no GVT progress for {:.1}s (bound {:.1}s)",
+                        last_change.elapsed().as_secs_f64(),
+                        bound.as_secs_f64()
+                    );
+                    let dump = Box::new(sh.build_stall_dump(&reason, &system));
+                    sh.watchdog_tripped.store(true, Ordering::Release);
+                    sh.poison_all();
+                    return Some(dump);
+                }
+            })
+            .expect("spawn watchdog")
+    });
+
     let mut results: Vec<WorkerResult> = Vec::with_capacity(n);
-    for h in handles {
-        results.push(h.join().expect("worker panicked"));
+    let mut first_panic: Option<(usize, String)> = None;
+    for (t, h) in handles.into_iter().enumerate() {
+        match h.join().expect("worker join") {
+            Ok(r) => results.push(r),
+            Err(message) => {
+                if first_panic.is_none() {
+                    first_panic = Some((t, message));
+                }
+            }
+        }
     }
     shared.controller_exit.store(true, Ordering::Release);
     if let Some(c) = controller {
         c.join().expect("controller panicked");
     }
+    monitor_exit.store(true, Ordering::Release);
+    let stall = monitor.and_then(|m| {
+        m.thread().unpark();
+        m.join().expect("watchdog panicked")
+    });
     let wall = start.elapsed();
+
+    // Panic beats stall: a panicked worker stops folding minima, so a
+    // watchdog trip during teardown is a symptom, not the cause.
+    if let Some((thread, message)) = first_panic {
+        return Err(RunError::WorkerPanicked { thread, message });
+    }
+    if let Some(dump) = stall {
+        return Err(RunError::Stalled(dump));
+    }
 
     let mut total = pdes_core::ThreadStats::default();
     let mut digests: Vec<(LpId, u64)> = Vec::new();
@@ -119,11 +263,13 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> RtResult {
         gvt_cpu_secs: shared.gvt_wall_ns.load(Ordering::Acquire) as f64 * 1e-9,
         max_descheduled: shared.max_descheduled.load(Ordering::Acquire),
         commit_digest: total.commit_digest,
+        pin_failures: shared.aff.lock().pin_failures,
         ..Default::default()
     };
-    RtResult {
+    Ok(RtResult {
         metrics,
         digests: digests.into_iter().map(|(_, d)| d).collect(),
         gvt_regressions: shared.gvt_regressions.load(Ordering::Acquire),
-    }
+        fault_counts: shared.faults.counts(),
+    })
 }

@@ -13,8 +13,30 @@ use crate::sync::{DynBarrier, Semaphore};
 use crossbeam::queue::SegQueue;
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
-use pdes_core::{Msg, VirtualTime};
+use pdes_core::{
+    batch_has_uid_pairs, EventUid, FaultInjector, Msg, RoundDump, StallDump, ThreadDump,
+    VirtualTime,
+};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Control-loop phase labels published by workers for stall diagnostics;
+/// [`RtShared::dbg_phase`] holds indices into this table.
+pub const PHASE_NAMES: [&str; 13] = [
+    "cycle",
+    "gvt-a",
+    "gvt-send-a",
+    "gvt-b",
+    "gvt-send-b",
+    "gvt-aware",
+    "gvt-end",
+    "parked",
+    "done",
+    "sync-bar0",
+    "sync-bar1",
+    "sync-bar2",
+    "dd-deact",
+];
 
 /// Atomic fetch-min over `VirtualTime` ticks.
 fn fetch_min(cell: &AtomicU64, t: VirtualTime) {
@@ -76,6 +98,26 @@ pub struct RtShared<P> {
     pub gvt_wall_ns: AtomicU64,
     pub max_descheduled: AtomicUsize,
     pub gvt_regressions: AtomicU64,
+
+    // ---- fault injection & liveness diagnostics ----
+    /// The chaos hooks (inert unless a fault plan was configured).
+    pub faults: FaultInjector,
+    /// Per-thread chaos hold-back buffer: messages deferred by a faulty
+    /// drain wait here and are delivered at the *front* of the next drain.
+    /// They stay inside `queue_len`/`queue_min` accounting, and — being
+    /// older than anything still in the queue — redelivering them first
+    /// preserves per-uid FIFO order. Only thread `i` touches `held[i]`, so
+    /// the mutex is uncontended.
+    held: Vec<CachePadded<Mutex<VecDeque<Msg<P>>>>>,
+    /// Set once the liveness watchdog fired (the run's result becomes an
+    /// error carrying the stall dump).
+    pub watchdog_tripped: AtomicBool,
+    /// Last control-loop phase each worker reported (index into
+    /// [`PHASE_NAMES`]).
+    pub dbg_phase: Vec<CachePadded<AtomicUsize>>,
+    /// Round id each worker last folded into, stored as `id + 1`
+    /// (0 = never joined).
+    pub dbg_joined: Vec<AtomicU64>,
 }
 
 impl<P> RtShared<P> {
@@ -125,7 +167,34 @@ impl<P> RtShared<P> {
             gvt_wall_ns: AtomicU64::new(0),
             max_descheduled: AtomicUsize::new(0),
             gvt_regressions: AtomicU64::new(0),
+            faults: FaultInjector::disabled(),
+            held: (0..num_threads)
+                .map(|_| CachePadded::new(Mutex::new(VecDeque::new())))
+                .collect(),
+            watchdog_tripped: AtomicBool::new(false),
+            dbg_phase: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            dbg_joined: (0..num_threads).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// Install the fault injector (before the shared state is published to
+    /// worker threads).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Publish the worker's control-loop phase (index into [`PHASE_NAMES`]).
+    #[inline]
+    pub fn set_phase(&self, me: usize, phase: usize) {
+        self.dbg_phase[me].store(phase, Ordering::Relaxed);
+    }
+
+    /// Publish the round id the worker last folded into.
+    #[inline]
+    pub fn note_joined(&self, me: usize, id: u64) {
+        self.dbg_joined[me].store(id + 1, Ordering::Relaxed);
     }
 
     /// Current GVT estimate.
@@ -136,9 +205,30 @@ impl<P> RtShared<P> {
     /// Send a message: the window minimum is published *before* the push so
     /// the event is covered by GVT accounting at every instant (see module
     /// docs of `sim_rt::shared` for the coverage argument).
+    ///
+    /// Under a backpressure fault plan the destination queue is bounded: a
+    /// sender over capacity retries with escalating backoff before pushing
+    /// anyway (messages are never dropped, so correctness is unaffected).
     pub fn push_msg(&self, sender: usize, dst: usize, msg: Msg<P>) {
         let t = msg.recv_time();
         fetch_min(&self.window_min[sender], t);
+        if let Some(bp) = self.faults.backpressure() {
+            let mut retries = 0u64;
+            for attempt in 0..bp.max_retries {
+                if self.queue_len[dst].load(Ordering::Acquire) < bp.capacity
+                    || self.terminated.load(Ordering::Acquire)
+                {
+                    break;
+                }
+                retries += 1;
+                if attempt < 2 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(10u64 << attempt.min(10)));
+                }
+            }
+            self.faults.note_backpressure_retries(retries);
+        }
         self.queues[dst].push(msg);
         fetch_min(&self.queue_min[dst], t);
         self.queue_len[dst].fetch_add(1, Ordering::AcqRel);
@@ -149,6 +239,9 @@ impl<P> RtShared<P> {
         // Reset the minimum first: pushes racing with this drain re-publish
         // their minimum afterwards (or are covered by the sender's window).
         self.queue_min[me].store(u64::MAX, Ordering::Release);
+        if self.faults.is_enabled() {
+            return self.drain_with_faults(me, out);
+        }
         let mut n = 0;
         while let Some(m) = self.queues[me].pop() {
             out.push(m);
@@ -158,6 +251,88 @@ impl<P> RtShared<P> {
             self.queue_len[me].fetch_sub(n, Ordering::AcqRel);
         }
         n
+    }
+
+    /// Chaos drain: messages may be held back (delay / straggler storms)
+    /// and the delivered batch may be adversarially reordered.
+    ///
+    /// Held-back messages go to `held[me]`, a per-thread side buffer that is
+    /// delivered at the *front* of the next drain — they cannot simply be
+    /// re-pushed onto the `SegQueue`, where they would land *behind*
+    /// concurrently pushed newer messages and could overtake a same-uid
+    /// successor (e.g. a re-sent positive passing its deferred anti). Held
+    /// messages never leave `queue_len`/`queue_min` accounting, so GVT keeps
+    /// covering them; only `me` drains this queue, so the reset-then-restore
+    /// of `queue_min` cannot race another drain. Pops are bounded by the
+    /// queue length at entry, and held messages redeliver unconditionally,
+    /// so no message is deferred for more than one drain per decision.
+    ///
+    /// Per-uid FIFO is the one ordering contract chaos must respect (the
+    /// pending set tolerates any interleaving *between* uids): once one
+    /// message of a uid is held back, every later same-uid message in the
+    /// batch is held back with it, and batches containing same-uid pairs
+    /// are exempt from shuffling.
+    fn drain_with_faults(&self, me: usize, out: &mut Vec<Msg<P>>) -> usize {
+        let base = out.len();
+        let mut held = self.held[me].lock();
+        // Redeliver earlier hold-backs first: they are older than anything
+        // still in the queue, so this preserves arrival order.
+        let redelivered = held.len();
+        out.extend(held.drain(..));
+        let cap = self.queues[me].len();
+        let mut popped = 0usize;
+        let mut moved = 0usize;
+        let mut deferred_uids: Vec<EventUid> = Vec::new();
+        while popped < cap {
+            let Some(m) = self.queues[me].pop() else {
+                break;
+            };
+            popped += 1;
+            let uid = m.key().uid;
+            if deferred_uids.contains(&uid) || self.faults.defer_delivery() {
+                deferred_uids.push(uid);
+                fetch_min(&self.queue_min[me], m.recv_time());
+                held.push_back(m);
+                moved += 1;
+            } else {
+                out.push(m);
+            }
+        }
+        // Straggler storm: hold back the minimum-timestamp message (plus any
+        // later same-uid companion) while the rest of its batch delivers, so
+        // it later arrives in the destination's past and forces a rollback.
+        // A uid that already has a deferred member is ineligible — holding
+        // its earlier member now would slot it *behind* the later one.
+        if out.len() > base + 1 {
+            let min_at = (base..out.len())
+                .filter(|&i| !deferred_uids.contains(&out[i].key().uid))
+                .min_by_key(|&i| out[i].recv_time().ticks());
+            if let Some(min_at) = min_at {
+                if self.faults.straggler_hold() {
+                    let uid = out[min_at].key().uid;
+                    let mut i = min_at;
+                    while i < out.len() {
+                        if out[i].key().uid == uid {
+                            let m = out.remove(i);
+                            fetch_min(&self.queue_min[me], m.recv_time());
+                            held.push_back(m);
+                            moved += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let batch = &mut out[base..];
+        if !batch_has_uid_pairs(batch) {
+            self.faults.shuffle_batch(batch);
+        }
+        let delivered = redelivered + popped - moved;
+        if delivered > 0 {
+            self.queue_len[me].fetch_sub(delivered, Ordering::AcqRel);
+        }
+        delivered
     }
 
     /// Fold a thread's local minimum and its send window into the round.
@@ -252,8 +427,25 @@ impl<P> RtShared<P> {
                     self.active[i].store(true, Ordering::Release);
                     m.subscribed[i] = true;
                     self.num_active.fetch_add(1, Ordering::AcqRel);
-                    self.sems[i].post();
+                    if self.faults.lose_wakeup() {
+                        // Lost wake-up: the thread is marked active but its
+                        // semaphore is never posted — it stays parked, the
+                        // round it now belongs to can never complete, and
+                        // the liveness watchdog must catch the stall.
+                    } else {
+                        self.sems[i].post();
+                    }
                     n += 1;
+                }
+            }
+            // Spurious wake-up: post a thread that was *not* activated; the
+            // worker's parked loop must re-check its active flag and go back
+            // to sleep.
+            if self.faults.spurious_wakeup() {
+                if let Some(i) =
+                    (0..self.num_threads).find(|&i| !self.active[i].load(Ordering::Acquire))
+                {
+                    self.sems[i].post();
                 }
             }
         }
@@ -289,12 +481,81 @@ impl<P> RtShared<P> {
     }
 
     /// Wake everyone for termination and stop the DD controller.
+    ///
+    /// Termination wake-ups are exempt from wake-up faults: losing them
+    /// would turn every completed chaos run into a watchdog trip and mask
+    /// the interesting (mid-run) stalls.
     pub fn release_all_for_termination(&self) {
         self.controller_exit.store(true, Ordering::Release);
         for i in 0..self.num_threads {
             if !self.active[i].load(Ordering::Acquire) {
                 self.sems[i].post();
             }
+        }
+    }
+
+    /// Emergency drain: mark the run terminated and make every blocking
+    /// primitive permanently non-blocking, so all workers can observe
+    /// `terminated` and exit. Called by the liveness watchdog on a trip and
+    /// by the panic guard of a dying worker.
+    pub fn poison_all(&self) {
+        self.terminated.store(true, Ordering::Release);
+        self.controller_exit.store(true, Ordering::Release);
+        for s in &self.sems {
+            s.poison();
+        }
+        for b in &self.bars {
+            b.poison();
+        }
+    }
+
+    /// Snapshot everything a stall post-mortem needs.
+    pub fn build_stall_dump(&self, reason: &str, system: &str) -> StallDump {
+        let m = self.membership.lock();
+        let fmt_vt = |cell: &AtomicU64| {
+            let v = cell.load(Ordering::Acquire);
+            if v == u64::MAX {
+                "inf".to_string()
+            } else {
+                VirtualTime::from_ticks(v).to_string()
+            }
+        };
+        StallDump {
+            reason: reason.into(),
+            system: system.into(),
+            gvt: self.gvt().to_string(),
+            gvt_rounds: self.gvt_rounds.load(Ordering::Acquire),
+            num_active: self.num_active.load(Ordering::Acquire),
+            terminated: self.terminated.load(Ordering::Acquire),
+            round: RoundDump {
+                open: m.open,
+                id: m.id,
+                participants: m.participants,
+                a_done: self.a_done.load(Ordering::Acquire),
+                b_done: self.b_done.load(Ordering::Acquire),
+                end_done: self.end_done.load(Ordering::Acquire),
+                aware_claimed: self.aware_claimed.load(Ordering::Acquire),
+            },
+            threads: (0..self.num_threads)
+                .map(|i| ThreadDump {
+                    thread: i,
+                    phase: PHASE_NAMES[self.dbg_phase[i]
+                        .load(Ordering::Relaxed)
+                        .min(PHASE_NAMES.len() - 1)]
+                    .into(),
+                    joined_round: match self.dbg_joined[i].load(Ordering::Relaxed) {
+                        0 => None,
+                        id => Some(id - 1),
+                    },
+                    queue_len: self.queue_len[i].load(Ordering::Acquire),
+                    active: self.active[i].load(Ordering::Acquire),
+                    subscribed: m.subscribed[i],
+                    sem_tokens: self.sems[i].tokens(),
+                    window_min: fmt_vt(&self.window_min[i]),
+                    queue_min: fmt_vt(&self.queue_min[i]),
+                })
+                .collect(),
+            fault_counts: self.faults.counts(),
         }
     }
 }
@@ -305,10 +566,13 @@ mod tests {
     use pdes_core::{EventKey, EventUid, LpId};
 
     fn msg(t: f64) -> Msg<()> {
+        // Distinct uid per timestamp: chaos filters deliberately refuse to
+        // split or reorder same-uid messages, which is not what these tests
+        // exercise.
         Msg::Anti(EventKey {
             recv_time: VirtualTime::from_f64(t),
             dst: LpId(0),
-            uid: EventUid::new(LpId(0), 0),
+            uid: EventUid::new(LpId(0), t.to_bits()),
         })
     }
 
@@ -381,6 +645,152 @@ mod tests {
         assert!(s.deactivate_self(0, id));
         // …but thread 1 may not park for a round it has not completed.
         assert!(!s.deactivate_self(1, id.wrapping_sub(1)));
+    }
+
+    #[test]
+    fn faulty_drain_keeps_deferred_messages_covered() {
+        let mut s = shared(2);
+        s.set_faults(pdes_core::FaultInjector::new(pdes_core::FaultPlan {
+            seed: 1,
+            delay: Some(pdes_core::DelayFault { prob: 1.0 }),
+            ..pdes_core::FaultPlan::default()
+        }));
+        s.push_msg(0, 1, msg(5.0));
+        s.push_msg(0, 1, msg(3.0));
+        let mut out = Vec::new();
+        // Everything defers: nothing delivered, queue accounting intact.
+        assert_eq!(s.drain(1, &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(s.queue_len[1].load(Ordering::Acquire), 2);
+        // The held-back minimum still pins GVT.
+        s.try_join_round(0);
+        s.fold_min(0, VirtualTime::INFINITY);
+        assert!(s.compute_gvt() <= VirtualTime::from_f64(3.0));
+    }
+
+    #[test]
+    fn straggler_hold_keeps_minimum_resident() {
+        let mut s = shared(2);
+        s.set_faults(pdes_core::FaultInjector::new(pdes_core::FaultPlan {
+            seed: 2,
+            straggler: Some(pdes_core::StragglerFault {
+                prob: 1.0,
+                max_storms: 1,
+            }),
+            ..pdes_core::FaultPlan::default()
+        }));
+        s.push_msg(0, 1, msg(5.0));
+        s.push_msg(0, 1, msg(3.0));
+        s.push_msg(0, 1, msg(7.0));
+        let mut out = Vec::new();
+        assert_eq!(s.drain(1, &mut out), 2, "minimum held back");
+        assert!(out
+            .iter()
+            .all(|m| m.recv_time() > VirtualTime::from_f64(3.5)));
+        assert_eq!(s.queue_len[1].load(Ordering::Acquire), 1);
+        // Budget exhausted: the straggler delivers on the next drain.
+        out.clear();
+        assert_eq!(s.drain(1, &mut out), 1);
+        assert_eq!(out[0].recv_time(), VirtualTime::from_f64(3.0));
+    }
+
+    #[test]
+    fn lost_wakeup_leaves_thread_parked_but_active() {
+        let mut s = shared(3);
+        s.set_faults(pdes_core::FaultInjector::new(pdes_core::FaultPlan {
+            seed: 3,
+            wakeup: Some(pdes_core::WakeupFault {
+                lose_prob: 1.0,
+                spurious_prob: 0.0,
+                max_lost: 8,
+            }),
+            ..pdes_core::FaultPlan::default()
+        }));
+        assert!(s.deactivate_self(2, 0));
+        s.push_msg(0, 2, msg(1.0));
+        assert_eq!(s.activate(), 1);
+        assert!(s.active[2].load(Ordering::Acquire), "marked active");
+        assert!(!s.sems[2].try_wait(), "but the wake token was lost");
+    }
+
+    #[test]
+    fn cancel_then_resend_pairs_keep_their_order() {
+        // An anti-message followed by the re-sent positive twin (same uid)
+        // models rollback's cancel-then-resend on one channel. No chaos
+        // filter may swap them: the pending set panics on a positive that
+        // arrives twice without its anti in between.
+        let mut s = shared(2);
+        s.set_faults(pdes_core::FaultInjector::new(pdes_core::FaultPlan {
+            seed: 4,
+            delay: Some(pdes_core::DelayFault { prob: 0.5 }),
+            reorder: Some(pdes_core::ReorderFault { prob: 1.0 }),
+            ..pdes_core::FaultPlan::default()
+        }));
+        let k = EventKey {
+            recv_time: VirtualTime::from_f64(2.0),
+            dst: LpId(0),
+            uid: EventUid::new(LpId(1), 9),
+        };
+        for round in 0..32u64 {
+            s.push_msg(0, 1, msg(100.0 + round as f64)); // distinct-uid decoy
+            s.push_msg(0, 1, Msg::Anti(k));
+            s.push_msg(
+                0,
+                1,
+                Msg::Event(pdes_core::Event {
+                    key: k,
+                    send_time: VirtualTime::from_f64(0.0),
+                    payload: (),
+                }),
+            );
+            let mut seen = Vec::new();
+            for _ in 0..8 {
+                let mut out = Vec::new();
+                s.drain(1, &mut out);
+                seen.extend(out.iter().filter(|m| m.key() == k).map(|m| m.is_anti()));
+                if seen.len() == 2 {
+                    break;
+                }
+            }
+            assert_eq!(
+                seen,
+                [true, false],
+                "round {round}: anti must precede its re-sent positive"
+            );
+        }
+    }
+
+    #[test]
+    fn stall_dump_reflects_shared_state() {
+        let s = shared(2);
+        s.try_join_round(0);
+        s.push_msg(0, 1, msg(2.5));
+        s.set_phase(1, 7); // parked
+        s.note_joined(1, 4);
+        let d = s.build_stall_dump("test stall", "GG-PDES-Async");
+        assert_eq!(d.round.participants, 2);
+        assert!(d.round.open);
+        assert_eq!(d.threads[1].phase, "parked");
+        assert_eq!(d.threads[1].joined_round, Some(4));
+        assert_eq!(d.threads[1].queue_len, 1);
+        assert_eq!(d.threads[0].joined_round, None);
+        let text = d.to_string();
+        assert!(text.contains("test stall"));
+        assert!(text.contains("qlen=1"));
+    }
+
+    #[test]
+    fn poison_all_unblocks_everything() {
+        let s = std::sync::Arc::new(shared(2));
+        let s2 = std::sync::Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            s2.sems[0].wait();
+            s2.bars[0].wait()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        s.poison_all();
+        h.join().expect("join");
+        assert!(s.terminated.load(Ordering::Acquire));
     }
 
     #[test]

@@ -8,48 +8,76 @@ use parking_lot::{Condvar, Mutex};
 /// A counting semaphore saturating at a cap (binary with `cap = 1`), built
 /// on parking-lot primitives — `sem_wait` blocks without consuming CPU,
 /// which is exactly the de-scheduling the paper relies on.
+///
+/// The semaphore can be *poisoned* (by the liveness watchdog or a panicking
+/// sibling): a poisoned semaphore never blocks again — every current and
+/// future `wait` returns immediately without consuming a token, so a stalled
+/// run can always be drained instead of hanging in `join`.
 pub struct Semaphore {
-    state: Mutex<u32>,
+    state: Mutex<SemState>,
     cap: u32,
     cv: Condvar,
+}
+
+struct SemState {
+    count: u32,
+    poisoned: bool,
 }
 
 impl Semaphore {
     pub fn new(initial: u32, cap: u32) -> Self {
         assert!(cap >= 1 && initial <= cap);
         Semaphore {
-            state: Mutex::new(initial),
+            state: Mutex::new(SemState {
+                count: initial,
+                poisoned: false,
+            }),
             cap,
             cv: Condvar::new(),
         }
     }
 
-    /// Block until the count is positive, then decrement.
+    /// Block until the count is positive, then decrement. Returns
+    /// immediately (without decrementing) once poisoned.
     pub fn wait(&self) {
-        let mut count = self.state.lock();
-        while *count == 0 {
-            self.cv.wait(&mut count);
+        let mut s = self.state.lock();
+        while s.count == 0 && !s.poisoned {
+            self.cv.wait(&mut s);
         }
-        *count -= 1;
+        if !s.poisoned {
+            s.count -= 1;
+        }
     }
 
     /// Increment (saturating) and wake one waiter.
     pub fn post(&self) {
-        let mut count = self.state.lock();
-        *count = (*count + 1).min(self.cap);
-        drop(count);
+        let mut s = self.state.lock();
+        s.count = (s.count + 1).min(self.cap);
+        drop(s);
         self.cv.notify_one();
     }
 
     /// Non-blocking acquire attempt.
     pub fn try_wait(&self) -> bool {
-        let mut count = self.state.lock();
-        if *count > 0 {
-            *count -= 1;
+        let mut s = self.state.lock();
+        if s.count > 0 {
+            s.count -= 1;
             true
         } else {
             false
         }
+    }
+
+    /// Make every current and future `wait` return immediately (emergency
+    /// drain for watchdog trips and panic unwinding).
+    pub fn poison(&self) {
+        self.state.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Tokens currently held (diagnostics).
+    pub fn tokens(&self) -> u32 {
+        self.state.lock().count
     }
 }
 
@@ -65,6 +93,7 @@ struct BarrierState {
     expected: usize,
     arrived: usize,
     generation: u64,
+    poisoned: bool,
 }
 
 impl DynBarrier {
@@ -75,6 +104,7 @@ impl DynBarrier {
                 expected,
                 arrived: 0,
                 generation: 0,
+                poisoned: false,
             }),
             cv: Condvar::new(),
         }
@@ -82,8 +112,13 @@ impl DynBarrier {
 
     /// Arrive and block until the current generation completes. Returns
     /// `true` for exactly one arriver per generation (the "serial" thread).
+    /// A poisoned barrier never blocks: every arrival passes straight
+    /// through as a non-serial waiter.
     pub fn wait(&self) -> bool {
         let mut s = self.inner.lock();
+        if s.poisoned {
+            return false;
+        }
         let gen = s.generation;
         s.arrived += 1;
         if s.arrived >= s.expected {
@@ -93,10 +128,17 @@ impl DynBarrier {
             self.cv.notify_all();
             return true;
         }
-        while s.generation == gen {
+        while s.generation == gen && !s.poisoned {
             self.cv.wait(&mut s);
         }
         false
+    }
+
+    /// Release every waiter and make all future arrivals pass through
+    /// (emergency drain for watchdog trips and panic unwinding).
+    pub fn poison(&self) {
+        self.inner.lock().poisoned = true;
+        self.cv.notify_all();
     }
 
     /// Change the expected count, completing the generation if the change
@@ -181,6 +223,31 @@ mod tests {
         // Two of three "leave": expected drops to 1, completing the round.
         bar.set_expected(1);
         h.join().expect("join");
+    }
+
+    #[test]
+    fn poisoned_semaphore_releases_waiter_and_never_blocks() {
+        let sem = Arc::new(Semaphore::new(0, 1));
+        let s2 = Arc::clone(&sem);
+        let h = std::thread::spawn(move || s2.wait());
+        std::thread::sleep(Duration::from_millis(30));
+        sem.poison();
+        h.join().expect("join");
+        // Future waits return immediately and keep any tokens intact.
+        sem.post();
+        sem.wait();
+        assert_eq!(sem.tokens(), 1);
+    }
+
+    #[test]
+    fn poisoned_barrier_releases_waiters() {
+        let bar = Arc::new(DynBarrier::new(3));
+        let b = Arc::clone(&bar);
+        let h = std::thread::spawn(move || b.wait());
+        std::thread::sleep(Duration::from_millis(30));
+        bar.poison();
+        assert!(!h.join().expect("join"), "poisoned release is non-serial");
+        assert!(!bar.wait(), "future arrivals pass straight through");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The per-thread worker: the ROSS main loop plus GVT rounds and
 //! demand-driven scheduling, executed inline on a real OS thread.
 
-use crate::affinity::{current_tid, pin_to_core, OsTid};
+use crate::affinity::{current_tid, note_pin_failure, pin_to_core, OsTid};
 use crate::shared::RtShared;
 use pdes_core::{EngineConfig, LpId, Model, Msg, Outbound, ThreadEngine, VirtualTime};
 use sim_rt::{AffinityPolicy, GvtMode, Scheduler, SystemConfig};
@@ -15,6 +15,10 @@ pub struct AffinityState {
     pub num_cores: usize,
     pub core_load: Vec<u32>,
     pub core_of: Vec<Option<usize>>,
+    /// `sched_setaffinity` rejections (the pin is still *recorded* in the
+    /// load tables so placement stays deterministic; only the syscall
+    /// failed, leaving the thread on kernel scheduling).
+    pub pin_failures: u64,
 }
 
 impl AffinityState {
@@ -23,6 +27,7 @@ impl AffinityState {
             num_cores: num_cores.max(1),
             core_load: vec![0; num_cores.max(1)],
             core_of: vec![None; num_threads],
+            pin_failures: 0,
         }
     }
 
@@ -48,7 +53,10 @@ impl AffinityState {
             }
             self.core_of[t] = Some(best);
             self.core_load[best] += 1;
-            pin_to_core(tids[t], best);
+            if !pin_to_core(tids[t], best) {
+                self.pin_failures += 1;
+                note_pin_failure(best);
+            }
             pinned += 1;
         }
         pinned
@@ -73,7 +81,11 @@ pub fn worker_loop<M: Model>(
     sh.os_tids[me].store(current_tid().0, Ordering::Release);
     if sys.affinity == AffinityPolicy::Constant {
         // Algorithm 3: round-robin constant pinning at setup.
-        pin_to_core(current_tid(), me % pin_cores.max(1));
+        let core = me % pin_cores.max(1);
+        if !pin_to_core(current_tid(), core) {
+            note_pin_failure(core);
+            sh.aff.lock().pin_failures += 1;
+        }
     }
 
     let mut inbox: Vec<Msg<M::Payload>> = Vec::new();
@@ -123,6 +135,7 @@ pub fn worker_loop<M: Model>(
     };
 
     'main: loop {
+        sh.set_phase(me, 0); // cycle
         if sh.terminated.load(Ordering::Acquire) {
             break;
         }
@@ -152,6 +165,7 @@ pub fn worker_loop<M: Model>(
             continue;
         }
         joined = Some(id);
+        sh.note_joined(me, id);
         cycles_since_gvt = 0;
         let enter = Instant::now();
 
@@ -159,12 +173,18 @@ pub fn worker_loop<M: Model>(
         match sys.gvt {
             GvtMode::Async => {
                 // Phase A.
+                sh.set_phase(me, 1); // gvt-a
                 drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
                 sh.fold_min(me, engine.local_min());
                 sh.a_done.fetch_add(1, Ordering::AcqRel);
                 let parts = sh.participants();
                 // Phase Send: simulate while peers record their minima.
-                while sh.a_done.load(Ordering::Acquire) < parts {
+                // Escape on `terminated` so a watchdog trip (or poisoned
+                // sibling) cannot strand this spin forever.
+                sh.set_phase(me, 2); // gvt-send-a
+                while sh.a_done.load(Ordering::Acquire) < parts
+                    && !sh.terminated.load(Ordering::Acquire)
+                {
                     cycle(
                         &mut engine,
                         &mut inbox,
@@ -176,10 +196,14 @@ pub fn worker_loop<M: Model>(
                     );
                 }
                 // Phase B.
+                sh.set_phase(me, 3); // gvt-b
                 drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
                 sh.fold_min(me, engine.local_min());
                 sh.b_done.fetch_add(1, Ordering::AcqRel);
-                while sh.b_done.load(Ordering::Acquire) < parts {
+                sh.set_phase(me, 4); // gvt-send-b
+                while sh.b_done.load(Ordering::Acquire) < parts
+                    && !sh.terminated.load(Ordering::Acquire)
+                {
                     cycle(
                         &mut engine,
                         &mut inbox,
@@ -191,6 +215,7 @@ pub fn worker_loop<M: Model>(
                     );
                 }
                 // Phase Aware: first thread through becomes pseudo-controller.
+                sh.set_phase(me, 5); // gvt-aware
                 if sh
                     .aware_claimed
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
@@ -200,9 +225,11 @@ pub fn worker_loop<M: Model>(
                 }
             }
             GvtMode::Sync => {
+                sh.set_phase(me, 9); // sync-bar0
                 sh.bars[0].wait();
                 drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
                 sh.fold_min(me, engine.local_min());
+                sh.set_phase(me, 10); // sync-bar1
                 sh.bars[1].wait();
                 if sh
                     .aware_claimed
@@ -211,11 +238,13 @@ pub fn worker_loop<M: Model>(
                 {
                     aware_duties(&sh, sys);
                 }
+                sh.set_phase(me, 11); // sync-bar2
                 sh.bars[2].wait();
             }
         }
 
         // Phase End.
+        sh.set_phase(me, 6); // gvt-end
         engine.fossil_collect(sh.gvt());
         sh.gvt_wall_ns
             .fetch_add(enter.elapsed().as_nanos() as u64, Ordering::AcqRel);
@@ -243,6 +272,7 @@ pub fn worker_loop<M: Model>(
             let parked = match sys.scheduler {
                 Scheduler::GgPdes => sh.deactivate_self(me, id),
                 Scheduler::DdPdes => {
+                    sh.set_phase(me, 12); // dd-deact
                     let _g = sh.dd_lock.lock();
                     if sh.terminated.load(Ordering::Acquire) {
                         break 'main;
@@ -252,7 +282,17 @@ pub fn worker_loop<M: Model>(
                 Scheduler::Baseline => unreachable!("baseline never deactivates"),
             };
             if parked {
+                sh.set_phase(me, 7); // parked
                 sh.sems[me].wait();
+                // A wake token proves nothing by itself: a fault plan may
+                // post a parked thread *without* activating it (spurious
+                // wake-up). Only `active[me]` — set by the activator before
+                // the post — or termination legitimises leaving the park.
+                while !sh.active[me].load(Ordering::Acquire)
+                    && !sh.terminated.load(Ordering::Acquire)
+                {
+                    sh.sems[me].wait();
+                }
                 // Algorithm 1 lines 14–17: reintegrate.
                 zero_counter = 0;
                 active_flag = true;
@@ -264,6 +304,7 @@ pub fn worker_loop<M: Model>(
         }
     }
 
+    sh.set_phase(me, 8); // done
     engine.finalize();
     WorkerResult {
         stats: engine.stats().clone(),

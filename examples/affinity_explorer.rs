@@ -24,15 +24,17 @@ fn run(pattern: LocalityPattern) {
         .with_gvt_interval(25)
         .with_zero_counter_threshold(250);
 
-    println!("{pattern:?} locality — active group of a 1-4 PHOLD, {threads} threads, 4 cores × 2 SMT:");
+    println!(
+        "{pattern:?} locality — active group of a 1-4 PHOLD, {threads} threads, 4 cores × 2 SMT:"
+    );
     for policy in [
         AffinityPolicy::NoAffinity,
         AffinityPolicy::Constant,
         AffinityPolicy::Dynamic,
     ] {
         let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, policy);
-        let rc = RunConfig::new(threads, engine.clone(), sys)
-            .with_machine(MachineConfig::small(4, 2));
+        let rc =
+            RunConfig::new(threads, engine.clone(), sys).with_machine(MachineConfig::small(4, 2));
         let r = run_sim(&model, &rc);
         println!(
             "  {:<22} {:>14.0} events/s   ({} migrations, {} ctx switches)",

@@ -41,11 +41,12 @@ fn main() {
         "system", "events/s", "rollbacks", "descheduled", "GVT s/round"
     );
     for sys in SystemConfig::HEADLINE {
-        let rc = RunConfig::new(threads, engine.clone(), sys)
-            .with_machine(MachineConfig::small(8, 2));
+        let rc =
+            RunConfig::new(threads, engine.clone(), sys).with_machine(MachineConfig::small(8, 2));
         let r = run_sim(&model, &rc);
         assert_eq!(
-            r.metrics.commit_digest, oracle.commit_digest,
+            r.metrics.commit_digest,
+            oracle.commit_digest,
             "{} diverged from the oracle",
             sys.name()
         );

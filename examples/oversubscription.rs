@@ -37,7 +37,11 @@ fn main() {
 
         let mut row = format!("{threads:>8} {:>6}x", mult);
         for sys in [
-            SystemConfig::new(Scheduler::Baseline, GvtMode::Async, AffinityPolicy::Constant),
+            SystemConfig::new(
+                Scheduler::Baseline,
+                GvtMode::Async,
+                AffinityPolicy::Constant,
+            ),
             SystemConfig::new(Scheduler::DdPdes, GvtMode::Async, AffinityPolicy::Constant),
             SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant),
         ] {

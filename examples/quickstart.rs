@@ -33,8 +33,8 @@ fn main() {
 
     // An 8-core × 2-SMT virtual machine (deterministic — same seed, same
     // answer, on any host).
-    let rc = RunConfig::new(threads, engine.clone(), system)
-        .with_machine(MachineConfig::small(8, 2));
+    let rc =
+        RunConfig::new(threads, engine.clone(), system).with_machine(MachineConfig::small(8, 2));
 
     println!("running {} with {threads} threads…", system.name());
     let result = run_sim(&model, &rc);
@@ -48,7 +48,10 @@ fn main() {
     println!("  committed events      : {}", m.committed);
     println!("  processed (incl. undone): {}", m.processed);
     println!("  rolled back           : {}", m.rolled_back);
-    println!("  committed event rate  : {:.0} events/s", m.committed_event_rate());
+    println!(
+        "  committed event rate  : {:.0} events/s",
+        m.committed_event_rate()
+    );
     println!("  GVT rounds            : {}", m.gvt_rounds);
     println!("  max threads de-scheduled: {}", m.max_descheduled);
     println!("  virtual wall clock    : {:.3} ms", m.wall_secs * 1e3);

@@ -22,8 +22,7 @@ fn main() {
         let mut cfg = TrafficConfig::new(threads, 16, gradient);
         cfg.mapping = MapKind::Block;
         let model = Arc::new(Traffic::new(cfg));
-        let center = model
-            .start_events(pdes_core::LpId((model.num_lps() / 2) as u32));
+        let center = model.start_events(pdes_core::LpId((model.num_lps() / 2) as u32));
         println!(
             "gradient {gradient}: {} intersections on a {}-wide torus, ~{center} starting vehicles at the centre",
             model.num_lps(),

@@ -8,7 +8,16 @@
 //!        [--end T] [--seed S] [--cores N] [--smt N]
 //!        [--snapshot-period K] [--optimism-window W]
 //!        [--runtime vm|threads] [--verify] [--json]
+//!        [--chaos-seed S] [--chaos-plan FILE.json] [--watchdog-secs T]
 //! ```
+//!
+//! Chaos harness: `--chaos-seed S` enables the default fault mix (delays,
+//! reordering, straggler storms, backpressure) with deterministic decision
+//! streams derived from `S`; `--chaos-plan FILE.json` loads a full
+//! `FaultPlan` instead. `--watchdog-secs T` bounds GVT progress (wall-clock
+//! seconds on `--runtime threads`, virtual seconds on `vm`; `0` disables) —
+//! a stalled run exits with a per-thread diagnostic dump rather than
+//! hanging.
 
 use ggpdes::prelude::*;
 use std::sync::Arc;
@@ -31,6 +40,9 @@ struct Args {
     runtime: String,
     verify: bool,
     json: bool,
+    chaos_seed: Option<u64>,
+    chaos_plan: Option<String>,
+    watchdog_secs: Option<f64>,
 }
 
 impl Default for Args {
@@ -52,6 +64,9 @@ impl Default for Args {
             runtime: "vm".into(),
             verify: false,
             json: false,
+            chaos_seed: None,
+            chaos_plan: None,
+            watchdog_secs: None,
         }
     }
 }
@@ -79,10 +94,15 @@ fn parse_args() -> Args {
             "--cores" => a.cores = val().parse().expect("--cores"),
             "--smt" => a.smt = val().parse().expect("--smt"),
             "--snapshot-period" => a.snapshot_period = val().parse().expect("--snapshot-period"),
-            "--optimism-window" => a.optimism_window = Some(val().parse().expect("--optimism-window")),
+            "--optimism-window" => {
+                a.optimism_window = Some(val().parse().expect("--optimism-window"))
+            }
             "--runtime" => a.runtime = val(),
             "--verify" => a.verify = true,
             "--json" => a.json = true,
+            "--chaos-seed" => a.chaos_seed = Some(val().parse().expect("--chaos-seed")),
+            "--chaos-plan" => a.chaos_plan = Some(val()),
+            "--watchdog-secs" => a.watchdog_secs = Some(val().parse().expect("--watchdog-secs")),
             "--help" | "-h" => {
                 println!("see module docs: cargo doc --open -p ggpdes");
                 std::process::exit(0);
@@ -124,12 +144,34 @@ fn report(m: &RunMetrics, json: bool) {
     println!("LPs                   : {}", m.lps);
     println!("committed events      : {}", m.committed);
     println!("processed events      : {}", m.processed);
-    println!("rolled back           : {} ({:.1}%)", m.rolled_back, m.rollback_ratio() * 100.0);
-    println!("committed event rate  : {:.0} events/s", m.committed_event_rate());
+    println!(
+        "rolled back           : {} ({:.1}%)",
+        m.rolled_back,
+        m.rollback_ratio() * 100.0
+    );
+    println!(
+        "committed event rate  : {:.0} events/s",
+        m.committed_event_rate()
+    );
     println!("GVT rounds            : {}", m.gvt_rounds);
     println!("GVT s/round (Σthreads): {:.6}", m.gvt_secs_per_round());
     println!("max de-scheduled      : {}", m.max_descheduled);
     println!("wall seconds          : {:.4}", m.wall_secs);
+}
+
+/// Resolve the fault plan from `--chaos-plan` (full JSON) or `--chaos-seed`
+/// (the default chaos mix); empty plan otherwise.
+fn fault_plan(a: &Args) -> FaultPlan {
+    if let Some(path) = &a.chaos_plan {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--chaos-plan {path}: {e}"));
+        return serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("--chaos-plan {path}: bad FaultPlan JSON: {e}"));
+    }
+    if let Some(seed) = a.chaos_seed {
+        return FaultPlan::chaos(seed);
+    }
+    FaultPlan::default()
 }
 
 fn run<M: Model>(model: Arc<M>, a: &Args) {
@@ -153,16 +195,41 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                 MachineConfig::small(a.cores, a.smt)
             };
             mc.quantum = 50_000;
-            let rc = sim_rt::RunConfig::new(a.threads, ecfg.clone(), sys).with_machine(mc);
+            let watchdog_ns = match a.watchdog_secs {
+                Some(s) if s <= 0.0 => None,
+                Some(s) => Some((s * 1e9) as u64),
+                None => Some(10_000_000_000),
+            };
+            let rc = sim_rt::RunConfig::new(a.threads, ecfg.clone(), sys)
+                .with_machine(mc)
+                .with_faults(fault_plan(a))
+                .with_watchdog_ns(watchdog_ns);
             let r = sim_rt::run_sim(&model, &rc);
+            if let Some(dump) = &r.stall {
+                eprintln!("{dump}");
+                std::process::exit(1);
+            }
             if !r.completed {
                 eprintln!("warning: virtual time limit hit before completion");
             }
             r.metrics
         }
         "threads" => {
-            let rc = thread_rt::RtRunConfig::new(a.threads, ecfg.clone(), sys);
-            thread_rt::run_threads(&model, &rc).metrics
+            let watchdog = match a.watchdog_secs {
+                Some(s) if s <= 0.0 => None,
+                Some(s) => Some(std::time::Duration::from_secs_f64(s)),
+                None => Some(std::time::Duration::from_secs(30)),
+            };
+            let rc = thread_rt::RtRunConfig::new(a.threads, ecfg.clone(), sys)
+                .with_faults(fault_plan(a))
+                .with_watchdog(watchdog);
+            match thread_rt::run_threads(&model, &rc) {
+                Ok(r) => r.metrics,
+                Err(err) => {
+                    eprintln!("{err}");
+                    std::process::exit(1);
+                }
+            }
         }
         other => panic!("unknown runtime '{other}' (vm|threads)"),
     };
@@ -185,7 +252,13 @@ fn main() {
             let cfg = if a.imbalance <= 1 {
                 PholdConfig::balanced(a.threads, a.lps)
             } else {
-                PholdConfig::imbalanced(a.threads, a.lps, a.imbalance, a.end, LocalityPattern::Linear)
+                PholdConfig::imbalanced(
+                    a.threads,
+                    a.lps,
+                    a.imbalance,
+                    a.end,
+                    LocalityPattern::Linear,
+                )
             };
             run(Arc::new(Phold::new(cfg)), &a);
         }

@@ -64,8 +64,9 @@ pub mod prelude {
         Traffic, TrafficConfig,
     };
     pub use pdes_core::{
-        run_sequential, AdaptiveGvt, DetRng, EngineConfig, Event, EventKey, LpId, LpMap, MapKind, Model, Msg,
-        SendCtx, SequentialResult, SimThreadId, ThreadStats, VirtualTime,
+        run_sequential, AdaptiveGvt, DetRng, EngineConfig, Event, EventKey, FaultPlan, LpId, LpMap,
+        MapKind, Model, Msg, SendCtx, SequentialResult, SimThreadId, StallDump, ThreadStats,
+        VirtualTime,
     };
     pub use sim_rt::{
         run_sim, AffinityPolicy, GvtMode, RunConfig, Scheduler, SimCost, SimResult, SystemConfig,

@@ -22,7 +22,10 @@ fn check_model<M: Model>(model: Arc<M>, threads: usize, ecfg: EngineConfig, labe
     let rc = RunConfig::new(threads, ecfg.clone(), sys).with_machine(MachineConfig::small(4, 2));
     let vm = sim_rt::run_sim(&model, &rc);
     assert!(vm.completed, "{label}: vm run did not complete");
-    assert_eq!(vm.metrics.committed, oracle.committed, "{label}: vm committed");
+    assert_eq!(
+        vm.metrics.committed, oracle.committed,
+        "{label}: vm committed"
+    );
     assert_eq!(
         vm.metrics.commit_digest, oracle.commit_digest,
         "{label}: vm digest"
@@ -31,8 +34,11 @@ fn check_model<M: Model>(model: Arc<M>, threads: usize, ecfg: EngineConfig, labe
 
     // Real threads.
     let rt_rc = thread_rt::RtRunConfig::new(threads, ecfg, sys);
-    let rt = thread_rt::run_threads(&model, &rt_rc);
-    assert_eq!(rt.metrics.committed, oracle.committed, "{label}: rt committed");
+    let rt = thread_rt::run_threads(&model, &rt_rc).expect("run completes");
+    assert_eq!(
+        rt.metrics.committed, oracle.committed,
+        "{label}: rt committed"
+    );
     assert_eq!(
         rt.metrics.commit_digest, oracle.commit_digest,
         "{label}: rt digest"
@@ -86,8 +92,8 @@ fn every_system_agrees_on_every_model_via_vm() {
     )));
     let oracle = run_sequential(&phold, &ecfg, None);
     for sys in SystemConfig::ALL_SIX {
-        let rc = RunConfig::new(threads, ecfg.clone(), sys)
-            .with_machine(MachineConfig::small(2, 2));
+        let rc =
+            RunConfig::new(threads, ecfg.clone(), sys).with_machine(MachineConfig::small(2, 2));
         let r = sim_rt::run_sim(&phold, &rc);
         assert_eq!(
             r.metrics.commit_digest,

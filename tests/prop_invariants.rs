@@ -7,10 +7,13 @@ use std::sync::Arc;
 
 fn arb_phold() -> impl Strategy<Value = (usize, usize, usize, u64)> {
     // (threads, lps_per_thread, groups k, seed)
-    (2usize..=8, 2usize..=6, prop::sample::select(vec![1usize, 2, 4]), any::<u64>()).prop_filter(
-        "threads divisible by groups",
-        |(t, _, k, _)| t % k == 0,
+    (
+        2usize..=8,
+        2usize..=6,
+        prop::sample::select(vec![1usize, 2, 4]),
+        any::<u64>(),
     )
+        .prop_filter("threads divisible by groups", |(t, _, k, _)| t % k == 0)
 }
 
 proptest! {
@@ -134,6 +137,48 @@ proptest! {
         let rc = RunConfig::new(threads, ecfg, sys).with_machine(MachineConfig::small(2, 2));
         let r = sim_rt::run_sim(&model, &rc);
         prop_assert!(r.completed);
+        prop_assert_eq!(r.metrics.commit_digest, oracle.commit_digest);
+        prop_assert_eq!(r.digests, oracle.state_digests);
+    }
+
+    /// Random *safe* fault plans (delivery delays, adversarial reordering,
+    /// straggler storms): GVT never regresses, the run completes, and the
+    /// committed trace still equals the sequential oracle's.
+    #[test]
+    fn gvt_never_regresses_under_random_fault_plans(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        delay in 0.0f64..0.35,
+        reorder in 0.0f64..1.0,
+        straggler in 0.0f64..0.15,
+    ) {
+        let threads = 4;
+        let model = Arc::new(Phold::new(PholdConfig::imbalanced(
+            threads, 4, 2, 5.0, LocalityPattern::Linear,
+        )));
+        let ecfg = EngineConfig::default()
+            .with_end_time(5.0)
+            .with_seed(seed)
+            .with_gvt_interval(15)
+            .with_zero_counter_threshold(60);
+        let oracle = run_sequential(&model, &ecfg, None);
+        let plan = FaultPlan {
+            seed: fault_seed,
+            delay: Some(ggpdes::pdes_core::DelayFault { prob: delay }),
+            reorder: Some(ggpdes::pdes_core::ReorderFault { prob: reorder }),
+            straggler: Some(ggpdes::pdes_core::StragglerFault {
+                prob: straggler,
+                max_storms: 8,
+            }),
+            ..FaultPlan::default()
+        };
+        let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+        let rc = RunConfig::new(threads, ecfg, sys)
+            .with_machine(MachineConfig::small(2, 2))
+            .with_faults(plan);
+        let r = sim_rt::run_sim(&model, &rc);
+        prop_assert!(r.completed, "stalled under a safe plan: {:?}", r.stall);
+        prop_assert_eq!(r.gvt_regressions, 0);
         prop_assert_eq!(r.metrics.commit_digest, oracle.commit_digest);
         prop_assert_eq!(r.digests, oracle.state_digests);
     }

@@ -36,7 +36,10 @@ fn gg_wins_on_oversubscribed_imbalanced_phold() {
     let base_sync = rate(&model, threads, SystemConfig::ALL_SIX[0], machine.clone());
     let base_async = rate(&model, threads, SystemConfig::ALL_SIX[1], machine);
     assert!(gg > base_sync, "GG {gg:.0} vs Baseline-Sync {base_sync:.0}");
-    assert!(gg > base_async, "GG {gg:.0} vs Baseline-Async {base_async:.0}");
+    assert!(
+        gg > base_async,
+        "GG {gg:.0} vs Baseline-Async {base_async:.0}"
+    );
     assert!(gg > dd, "GG {gg:.0} vs DD {dd:.0}");
 }
 
@@ -48,7 +51,12 @@ fn dynamic_affinity_beats_constant_on_strided_locality() {
     let threads = 32;
     let model = imbalanced(threads, 4, LocalityPattern::Strided);
     let mk = |p| SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, p);
-    let dynamic = rate(&model, threads, mk(AffinityPolicy::Dynamic), machine.clone());
+    let dynamic = rate(
+        &model,
+        threads,
+        mk(AffinityPolicy::Dynamic),
+        machine.clone(),
+    );
     let constant = rate(&model, threads, mk(AffinityPolicy::Constant), machine);
     assert!(
         dynamic > constant * 1.5,
@@ -64,7 +72,12 @@ fn dynamic_affinity_competitive_on_linear_locality() {
     let threads = 32;
     let model = imbalanced(threads, 4, LocalityPattern::Linear);
     let mk = |p| SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, p);
-    let dynamic = rate(&model, threads, mk(AffinityPolicy::Dynamic), machine.clone());
+    let dynamic = rate(
+        &model,
+        threads,
+        mk(AffinityPolicy::Dynamic),
+        machine.clone(),
+    );
     let constant = rate(&model, threads, mk(AffinityPolicy::Constant), machine);
     assert!(
         dynamic > constant * 0.7,

@@ -1,0 +1,155 @@
+//! Minimal `crossbeam` stand-in: an unbounded MPMC FIFO queue and a
+//! cache-line-padded cell. The queue trades crossbeam's lock-free segments
+//! for a mutexed `VecDeque` — identical semantics, adequate throughput for
+//! this workspace's message rates.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    impl<T> std::fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SegQueue(len={})", self.len())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            for i in 0..10 {
+                q.push(i);
+            }
+            for i in 0..10 {
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert!(q.pop().is_none());
+        }
+
+        #[test]
+        fn concurrent_push_pop_conserves_items() {
+            let q = Arc::new(SegQueue::new());
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..1000 {
+                            q.push(p * 1000 + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in producers {
+                h.join().unwrap();
+            }
+            let mut seen = vec![false; 4000];
+            while let Some(v) = q.pop() {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+}
+
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes to avoid false sharing.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn alignment_is_128() {
+            assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        }
+
+        #[test]
+        fn deref_roundtrip() {
+            let mut c = CachePadded::new(7u32);
+            *c += 1;
+            assert_eq!(*c, 8);
+            assert_eq!(c.into_inner(), 8);
+        }
+    }
+}

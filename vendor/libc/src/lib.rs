@@ -1,0 +1,83 @@
+//! Minimal `libc` stand-in: just enough for `sched_setaffinity`-based CPU
+//! pinning and `gettid`. Only the Linux pieces this workspace touches are
+//! declared; everything is a direct FFI binding to the platform libc.
+
+#![allow(non_camel_case_types, non_snake_case, non_upper_case_globals)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type pid_t = i32;
+pub type size_t = usize;
+
+/// Size in bits of the kernel CPU mask (glibc default).
+pub const CPU_SETSIZE: c_int = 1024;
+
+/// `gettid` syscall number.
+#[cfg(target_arch = "x86_64")]
+pub const SYS_gettid: c_long = 186;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_gettid: c_long = 178;
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub const SYS_gettid: c_long = -1;
+
+/// CPU affinity mask, bit-per-cpu, matching glibc's `cpu_set_t` layout.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; (CPU_SETSIZE as usize) / 64],
+}
+
+/// Clear every CPU in the mask.
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    for w in set.bits.iter_mut() {
+        *w = 0;
+    }
+}
+
+/// Add `cpu` to the mask (out-of-range indices are ignored, as in glibc).
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+/// `true` if `cpu` is in the mask.
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_set_and_test() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe {
+            CPU_ZERO(&mut set);
+            assert!(!CPU_ISSET(3, &set));
+            CPU_SET(3, &mut set);
+            assert!(CPU_ISSET(3, &set));
+            // Out-of-range operations are silent no-ops.
+            CPU_SET(1 << 20, &mut set);
+            assert!(!CPU_ISSET(1 << 20, &set));
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn gettid_via_syscall_is_positive() {
+        let tid = unsafe { syscall(SYS_gettid) };
+        assert!(tid > 0);
+    }
+}

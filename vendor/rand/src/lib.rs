@@ -1,0 +1,83 @@
+//! Minimal `rand` stand-in. The workspace implements its own generator
+//! (`pdes_core::DetRng`) and only needs the trait plumbing: a fallible core
+//! trait to implement, and an infallible facade blanket-implemented for any
+//! generator whose error type is uninhabited.
+
+pub mod rand_core {
+    pub use core::convert::Infallible;
+
+    /// Fallible random-source core: the one trait generators implement.
+    pub trait TryRng {
+        type Error;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+use rand_core::{Infallible, TryRng};
+
+/// Infallible convenience facade, blanket-implemented for every
+/// [`TryRng`] whose error is [`Infallible`].
+pub trait Rng: TryRng<Error = Infallible> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => (),
+            Err(e) => match e {},
+        }
+    }
+}
+
+impl<T: TryRng<Error = Infallible> + ?Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl TryRng for Counter {
+        type Error = Infallible;
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok(self.try_next_u64()? as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 += 1;
+            Ok(self.0)
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for b in dest {
+                *b = self.try_next_u64()? as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn facade_delegates_to_core() {
+        let mut c = Counter(0);
+        assert_eq!(c.next_u64(), 1);
+        assert_eq!(c.next_u32(), 2);
+        let mut buf = [0u8; 3];
+        c.fill_bytes(&mut buf);
+        assert_eq!(buf, [3, 4, 5]);
+    }
+}

@@ -1,0 +1,518 @@
+//! Minimal `serde_derive` stand-in: `#[derive(Serialize, Deserialize)]` for
+//! structs and enums, targeting the `Value`-tree traits of the vendored
+//! `serde` crate with serde's external tagging conventions.
+//!
+//! Implemented without `syn`/`quote` (offline build): the item is parsed
+//! directly from the `proc_macro::TokenStream`, and the generated impl is
+//! assembled as source text and re-parsed. Supported shapes — everything
+//! this workspace derives on:
+//!
+//! * named-field structs, tuple structs (newtype transparency for one
+//!   field), unit structs;
+//! * enums with unit, tuple, and named-field variants;
+//! * simple type generics (`Event<P>`), which gain `serde` bounds.
+//!
+//! `#[serde(...)]` attributes are not supported and are rejected loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skip `#[...]` attributes, rejecting `#[serde(...)]`.
+    fn skip_attrs(&mut self) {
+        while self.is_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                debug_assert_eq!(g.delimiter(), Delimiter::Bracket);
+                let body = g.stream().to_string();
+                assert!(
+                    !body.starts_with("serde"),
+                    "vendored serde_derive does not support #[serde(...)] attributes"
+                );
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skip tokens until a top-level `,` (consumed) or the end, tracking
+    /// `<...>` nesting so commas inside generic arguments don't split.
+    fn skip_until_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+
+    let keyword = c.expect_ident();
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("serde_derive: expected struct or enum, got `{other}`"),
+    };
+    let name = c.expect_ident();
+    let generics = parse_generics(&mut c);
+
+    // Skip a possible `where` clause: everything up to the body/semicolon.
+    while !c.at_end() {
+        match c.peek() {
+            Some(TokenTree::Group(g))
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break,
+            _ => {
+                c.next();
+            }
+        }
+    }
+
+    let kind = if is_enum {
+        let body = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        };
+        ItemKind::Enum(parse_variants(body))
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Struct(Fields::Unit),
+            other => panic!("serde_derive: expected struct body, got {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Parse `<...>` after the type name, returning the type-parameter names.
+/// Lifetimes and const parameters are not supported (nothing in this
+/// workspace derives with them).
+fn parse_generics(c: &mut Cursor) -> Vec<String> {
+    let mut params = Vec::new();
+    if !c.is_punct('<') {
+        return params;
+    }
+    c.next();
+    let mut depth = 1i32;
+    let mut segment_start = true;
+    while let Some(t) = c.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => segment_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetime parameters are not supported")
+            }
+            TokenTree::Ident(i) if segment_start && depth == 1 => {
+                let word = i.to_string();
+                assert!(
+                    word != "const",
+                    "serde_derive: const parameters are not supported"
+                );
+                params.push(word);
+                segment_start = false;
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        fields.push(c.expect_ident());
+        assert!(
+            c.is_punct(':'),
+            "serde_derive: expected `:` after field name"
+        );
+        c.next();
+        c.skip_until_comma();
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        count += 1;
+        c.skip_until_comma();
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                c.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        c.skip_until_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl serde::{} for {} {{\n", trait_name, item.name)
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> serde::{} for {}<{}> {{\n",
+            bounds.join(", "),
+            trait_name,
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\n");
+    out.push_str(&impl_header(item, "Serialize"));
+    out.push_str("    fn to_value(&self) -> serde::Value {\n");
+    match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            out.push_str(&format!(
+                "        let mut fields: Vec<(String, serde::Value)> = Vec::with_capacity({});\n",
+                fields.len()
+            ));
+            for f in fields {
+                out.push_str(&format!(
+                    "        fields.push((String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            out.push_str("        serde::Value::Object(fields)\n");
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            out.push_str("        serde::Serialize::to_value(&self.0)\n");
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            out.push_str(&format!(
+                "        serde::Value::Array(vec![{}])\n",
+                elems.join(", ")
+            ));
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            out.push_str("        serde::Value::Null\n");
+        }
+        ItemKind::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                let name = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            Self::{name} => serde::Value::String(String::from(\"{name}\")),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            Self::{name}(f0) => serde::Value::Object(vec![(String::from(\"{name}\"), serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            Self::{name}({}) => serde::Value::Object(vec![(String::from(\"{name}\"), serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            Self::{name} {{ {binds} }} => serde::Value::Object(vec![(String::from(\"{name}\"), serde::Value::Object(vec![{}]))]),\n",
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\n");
+    out.push_str(&impl_header(item, "Deserialize"));
+    out.push_str(
+        "    fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::Error> {\n",
+    );
+    match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            out.push_str("        Ok(Self {\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "            {f}: serde::de::field(value, \"{f}\")?,\n"
+                ));
+            }
+            out.push_str("        })\n");
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            out.push_str("        Ok(Self(serde::Deserialize::from_value(value)?))\n");
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            out.push_str(&format!(
+                "        let items = serde::de::seq(value, {n})?;\n"
+            ));
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            out.push_str(&format!("        Ok(Self({}))\n", elems.join(", ")));
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            out.push_str("        match value {\n");
+            out.push_str("            serde::Value::Null => Ok(Self),\n");
+            out.push_str(
+                "            other => Err(serde::Error::msg(format!(\"expected null, got {other:?}\"))),\n",
+            );
+            out.push_str("        }\n");
+        }
+        ItemKind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+            out.push_str("        match value {\n");
+            if !unit.is_empty() {
+                out.push_str("            serde::Value::String(tag) => match tag.as_str() {\n");
+                for v in &unit {
+                    let name = &v.name;
+                    out.push_str(&format!(
+                        "                \"{name}\" => Ok(Self::{name}),\n"
+                    ));
+                }
+                out.push_str(
+                    "                other => Err(serde::Error::msg(format!(\"unknown variant `{other}`\"))),\n",
+                );
+                out.push_str("            },\n");
+            }
+            if !payload.is_empty() {
+                out.push_str(
+                    "            serde::Value::Object(fields) if fields.len() == 1 => {\n",
+                );
+                out.push_str("                let (tag, inner) = &fields[0];\n");
+                out.push_str("                match tag.as_str() {\n");
+                for v in &payload {
+                    let name = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => out.push_str(&format!(
+                            "                    \"{name}\" => Ok(Self::{name}(serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            out.push_str(&format!(
+                                "                    \"{name}\" => {{\n                        let items = serde::de::seq(inner, {n})?;\n                        Ok(Self::{name}({}))\n                    }}\n",
+                                elems.join(", ")
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let elems: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: serde::de::field(inner, \"{f}\")?"))
+                                .collect();
+                            out.push_str(&format!(
+                                "                    \"{name}\" => Ok(Self::{name} {{ {} }}),\n",
+                                elems.join(", ")
+                            ));
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                }
+                out.push_str(
+                    "                    other => Err(serde::Error::msg(format!(\"unknown variant `{other}`\"))),\n",
+                );
+                out.push_str("                }\n");
+                out.push_str("            }\n");
+            }
+            out.push_str(
+                "            other => Err(serde::Error::msg(format!(\"invalid enum value: {other:?}\"))),\n",
+            );
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}

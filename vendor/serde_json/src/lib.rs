@@ -1,0 +1,449 @@
+//! Minimal `serde_json` stand-in: a JSON printer and parser for the
+//! vendored `serde::Value` tree.
+//!
+//! Numbers are kept exact where JSON allows: `u64`/`i64` print all digits
+//! and parse back losslessly, and floats rely on Rust's shortest
+//! round-trip `Display`, so `to_string` → `from_str` is value-preserving.
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a human-readable, two-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+/// Parse a JSON document into a [`Value`] tree.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // Rust's Display for f64 is the shortest representation that
+        // round-trips, which is exactly what a JSON writer needs.
+        out.push_str(&f.to_string());
+    } else {
+        // JSON has no NaN/Infinity; serde_json emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        other => {
+                            return Err(Error::msg(format!(
+                                "invalid escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a whole UTF-8 sequence at once.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    /// Parse the `XXXX` of a `\uXXXX` escape (cursor on the `u`), handling
+    /// surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        self.pos += 1; // consume `u`
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a following `\uXXXX` low surrogate.
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                if self.peek() == Some(b'u') {
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if (0xDC00..0xE000).contains(&lo) {
+                        let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        return char::from_u32(cp).ok_or_else(|| Error::msg("invalid surrogate"));
+                    }
+                }
+            }
+            return Err(Error::msg("lone high surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| Error::msg("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::msg("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_document_roundtrip() {
+        let v = Value::Object(vec![
+            (String::from("name"), Value::String(String::from("a\"b"))),
+            (String::from("big"), Value::UInt(u64::MAX)),
+            (String::from("neg"), Value::Int(-17)),
+            (String::from("pi"), Value::Float(std::f64::consts::PI)),
+            (
+                String::from("arr"),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            (String::from("empty"), Value::Object(vec![])),
+        ]);
+        let s = to_string(&DirectValue(v.clone())).unwrap();
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses_back() {
+        let v = Value::Object(vec![(
+            String::from("xs"),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+        )]);
+        let s = to_string_pretty(&DirectValue(v.clone())).unwrap();
+        assert!(s.contains("\n  \"xs\": [\n"));
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn float_display_roundtrips() {
+        for f in [0.0, 1.0, 0.1, 1e-9, 123456.789, f64::MAX] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, f, "via {s}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse(r#""aé😀b""#).unwrap();
+        assert_eq!(v, Value::String(String::from("aé😀b")));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("1 2").is_err());
+        assert!(parse("{\"a\":}").is_err());
+    }
+
+    /// Serialize wrapper handing a pre-built tree straight through.
+    struct DirectValue(Value);
+
+    impl serde::Serialize for DirectValue {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
