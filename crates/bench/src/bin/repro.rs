@@ -19,12 +19,31 @@ use std::collections::BTreeSet;
 use std::io::Write;
 use std::time::Instant;
 
+const TARGETS: [&str; 12] = [
+    "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a",
+    "fig7b", "tables",
+];
+
+/// Print a usage error and exit non-zero — a bad flag or an unwritable
+/// output directory is an operator mistake, not a bug worth a backtrace.
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: error: {msg}");
+    eprintln!("usage: repro [TARGETS] [--scale quick|default|knl] [--out DIR]");
+    std::process::exit(2);
+}
+
 fn write_outputs(dir: &str, name: &str, table: &Table) {
-    std::fs::create_dir_all(dir).expect("create output dir");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        fail(&format!("cannot create output dir '{dir}': {e}"));
+    }
     let csv = format!("{dir}/{name}.csv");
-    std::fs::write(&csv, table.to_csv()).expect("write csv");
+    if let Err(e) = std::fs::write(&csv, table.to_csv()) {
+        fail(&format!("cannot write '{csv}': {e}"));
+    }
     let json = format!("{dir}/{name}.json");
-    std::fs::write(&json, table.to_json()).expect("write json");
+    if let Err(e) = std::fs::write(&json, table.to_json()) {
+        fail(&format!("cannot write '{json}': {e}"));
+    }
 }
 
 fn emit(dir: &str, fig: &Figure) {
@@ -41,21 +60,34 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                let v = it.next().expect("--scale needs a value");
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--scale needs a value (quick|default|knl)"));
                 scale = Scale::by_name(v)
-                    .unwrap_or_else(|| panic!("unknown scale '{v}' (quick|default|knl)"));
+                    .unwrap_or_else(|| fail(&format!("unknown scale '{v}' (quick|default|knl)")));
             }
-            "--out" => out_dir = it.next().expect("--out needs a value").clone(),
-            other => {
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .unwrap_or_else(|| fail("--out needs a value (an output directory)"))
+                    .clone();
+            }
+            other if other.starts_with('-') => {
+                fail(&format!("unknown flag '{other}'"));
+            }
+            other if other == "all" || TARGETS.contains(&other) => {
                 targets.insert(other.to_string());
+            }
+            other => {
+                fail(&format!(
+                    "unknown target '{other}' (expected one of: {} all)",
+                    TARGETS.join(" ")
+                ));
             }
         }
     }
     if targets.is_empty() || targets.contains("all") {
-        for t in [
-            "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b",
-            "fig7a", "fig7b", "tables",
-        ] {
+        for t in TARGETS {
             targets.insert(t.to_string());
         }
         targets.remove("all");
@@ -128,5 +160,7 @@ fn main() {
     }
 
     println!("# total {:.1}s", t0.elapsed().as_secs_f64());
-    std::io::stdout().flush().expect("flush");
+    if let Err(e) = std::io::stdout().flush() {
+        fail(&format!("cannot flush stdout: {e}"));
+    }
 }

@@ -23,7 +23,7 @@ pub enum Stage {
 }
 
 /// Household state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Household {
     pub agents: Vec<Stage>,
     /// Contact events received (including ones that found no susceptible).
@@ -33,7 +33,7 @@ pub struct Household {
 }
 
 /// Event payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EpiEvent {
     /// An exposure attempt arriving from another household.
     Contact,
@@ -126,7 +126,7 @@ impl Epidemics {
     }
 
     pub fn map(&self) -> LpMap {
-        self.map
+        self.map.clone()
     }
 
     pub fn schedule(&self) -> &ActivitySchedule {

@@ -79,7 +79,7 @@ impl Phold {
     }
 
     pub fn map(&self) -> LpMap {
-        self.map
+        self.map.clone()
     }
 
     /// Draw the next hop: delay and destination (in the group active at the

@@ -30,7 +30,7 @@ impl Dir {
 }
 
 /// Event payload: the life cycle of one vehicle hop.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TrafficEvent {
     /// A vehicle arrives at the intersection.
     Arrival,
@@ -41,7 +41,7 @@ pub enum TrafficEvent {
 }
 
 /// Per-intersection state.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Intersection {
     pub arrivals: u64,
     pub departures: u64,
@@ -135,7 +135,7 @@ impl Traffic {
     }
 
     pub fn map(&self) -> LpMap {
-        self.map
+        self.map.clone()
     }
 
     /// Grid coordinates of an LP (row-major layout).

@@ -1,0 +1,313 @@
+//! GVT-aligned checkpoint/restart.
+//!
+//! Everything at or below GVT is irrevocably committed — fossil collection
+//! already relies on that — so a GVT round is a natural *consistent cut*:
+//!
+//! * each LP's committed state (its state, RNG stream, and send-sequence
+//!   counter immediately after the last event with receive time `< gvt`);
+//! * every positive event with `send_time < gvt` and `recv_time ≥ gvt`.
+//!   Such an event's sender is committed and will never re-send it, so it
+//!   must be saved. Events with `send_time ≥ gvt` are *dropped*: their
+//!   senders re-execute after a restore and deterministically re-send them
+//!   with identical [`crate::ids::EventUid`]s (send-sequence counters are
+//!   part of the saved state). Anti-messages never cross the cut — they
+//!   always target events sent at or above GVT.
+//!
+//! A restore therefore reproduces the exact optimistic frontier the run had
+//! at that GVT, and a recovered run commits the same event trace as an
+//! uninterrupted one — the headline invariant enforced by the recovery test
+//! suites. The checkpoint also carries the LP→thread map (a recovery may
+//! restore under a *different* map after a worker death) and the fault
+//! injector's [`FaultCursor`] so scripted chaos resumes rather than
+//! replaying from the start.
+//!
+//! On-disk format is the workspace's vendored JSON; writes go through a
+//! temp-file + rename so readers never observe a torn checkpoint.
+
+use crate::event::Event;
+use crate::faults::FaultCursor;
+use crate::ids::LpId;
+use crate::mapping::LpMap;
+use crate::rng::DetRng;
+use crate::time::VirtualTime;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One LP's committed-side snapshot at the checkpoint's GVT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpCheckpoint<S> {
+    pub lp: LpId,
+    /// Model state after every event with `recv_time < gvt`.
+    pub state: S,
+    /// RNG stream position at the same point.
+    pub rng: DetRng,
+    /// Send-sequence counter at the same point (re-executed sends reproduce
+    /// their original event UIDs).
+    pub send_seq: u64,
+    /// Events committed so far (metrics continuity across a restore).
+    pub committed: u64,
+    /// XOR-fold of committed event-key digests so far.
+    pub commit_digest: u64,
+    /// Receive time of the LP's last committed event.
+    pub lvt: VirtualTime,
+}
+
+/// One engine's contribution to a cut: its LP snapshots plus the pending
+/// events crossing the cut that are queued on it.
+pub type CutSnapshot<S, P> = (Vec<LpCheckpoint<S>>, Vec<Event<P>>);
+
+/// A consistent cut of the whole simulation at one GVT value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint<S, P> {
+    /// The GVT this cut was taken at.
+    pub gvt: VirtualTime,
+    /// GVT rounds completed when the cut was taken.
+    pub gvt_rounds: u64,
+    /// Committed snapshot of every LP, in LP order.
+    pub lps: Vec<LpCheckpoint<S>>,
+    /// In-flight events crossing the cut: `send_time < gvt ≤ recv_time`.
+    pub events: Vec<Event<P>>,
+    /// The LP→thread map the run was using (a restore may override it).
+    pub map: LpMap,
+    /// Fault-injector resume position (`None` when chaos is disabled).
+    pub cursor: Option<FaultCursor>,
+}
+
+impl<S, P> Checkpoint<S, P> {
+    /// Total committed events across all LPs at the cut.
+    pub fn total_committed(&self) -> u64 {
+        self.lps.iter().map(|l| l.committed).sum()
+    }
+
+    /// XOR-fold of all LPs' commit digests at the cut.
+    pub fn commit_digest(&self) -> u64 {
+        self.lps.iter().fold(0, |d, l| d ^ l.commit_digest)
+    }
+}
+
+/// Recovery policy for a supervised run (shared by both runtimes'
+/// supervisors): how many times to restore-and-retry after a worker death
+/// before degrading to the sequential engine.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Maximum recovery attempts before degrading to sequential execution.
+    pub max_recoveries: u32,
+    /// Base backoff; attempt `k` sleeps `backoff << (k-1)` (wall-clock
+    /// runtimes only — the virtual machine recovers without sleeping).
+    pub backoff: std::time::Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_recoveries: 3,
+            backoff: std::time::Duration::from_millis(25),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    pub fn new(max_recoveries: u32) -> Self {
+        SupervisorConfig {
+            max_recoveries,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_backoff(mut self, backoff: std::time::Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem-level failure (open/write/rename/read).
+    Io {
+        path: std::path::PathBuf,
+        source: std::io::Error,
+    },
+    /// The file exists but does not parse as a checkpoint (truncated,
+    /// corrupt, or a different schema).
+    Corrupt {
+        path: std::path::PathBuf,
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint {}: {source}", path.display())
+            }
+            CheckpointError::Corrupt { path, detail } => {
+                write!(
+                    f,
+                    "checkpoint {}: not a valid checkpoint ({detail})",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            CheckpointError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl<S: Serialize, P: Serialize> Checkpoint<S, P> {
+    /// Serialize to the vendored JSON text format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization is infallible")
+    }
+
+    /// Atomically write the checkpoint to `path`: serialize to
+    /// `<path>.tmp` in the same directory, then rename into place, so a
+    /// reader (or a crash mid-write) never sees a torn file.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io_err = |source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+}
+
+impl<S: Deserialize, P: Deserialize> Checkpoint<S, P> {
+    /// Parse a checkpoint from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Read a checkpoint back from `path`. A missing file is an `Io` error;
+    /// a truncated or corrupt file is reported as `Corrupt` with the parse
+    /// detail — never a panic.
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Self::from_json(&text).map_err(|e| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKey;
+    use crate::ids::EventUid;
+    use crate::mapping::MapKind;
+
+    fn sample() -> Checkpoint<u64, ()> {
+        let t = VirtualTime::from_f64;
+        Checkpoint {
+            gvt: t(4.0),
+            gvt_rounds: 17,
+            lps: vec![
+                LpCheckpoint {
+                    lp: LpId(0),
+                    state: 11,
+                    rng: DetRng::for_lp(9, LpId(0)),
+                    send_seq: 5,
+                    committed: 3,
+                    commit_digest: 0xABCD,
+                    lvt: t(3.5),
+                },
+                LpCheckpoint {
+                    lp: LpId(1),
+                    state: 22,
+                    rng: DetRng::for_lp(9, LpId(1)),
+                    send_seq: 2,
+                    committed: 1,
+                    commit_digest: 0x1234,
+                    lvt: t(2.0),
+                },
+            ],
+            events: vec![Event {
+                key: EventKey {
+                    recv_time: t(4.5),
+                    dst: LpId(1),
+                    uid: EventUid::new(LpId(0), 4),
+                },
+                send_time: t(3.5),
+                payload: (),
+            }],
+            map: LpMap::new(2, 2, MapKind::RoundRobin),
+            cursor: Some(FaultCursor {
+                seq: vec![1, 2, 3, 4, 5],
+                storms_left: 7,
+                lost_left: 0,
+                kills_fired: vec![true, false],
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let ck = sample();
+        let back = Checkpoint::<u64, ()>::from_json(&ck.to_json()).expect("round trip");
+        assert_eq!(back, ck);
+        assert_eq!(back.total_committed(), 4);
+        assert_eq!(back.commit_digest(), 0xABCD ^ 0x1234);
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join("ggpdes-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic_write_then_read.ckpt");
+        let ck = sample();
+        ck.write_atomic(&path).expect("write");
+        // The temp file must not linger after the rename.
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        let back = Checkpoint::<u64, ()>::read(&path).expect("read");
+        assert_eq!(back, ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_clear_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("ggpdes-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.ckpt");
+        let full = sample().to_json();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match Checkpoint::<u64, ()>::read(&path) {
+            Err(CheckpointError::Corrupt { detail, .. }) => {
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = std::path::Path::new("/nonexistent-dir-xyz/nope.ckpt");
+        match Checkpoint::<u64, ()>::read(path) {
+            Err(CheckpointError::Io { .. }) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_path() {
+        let path = std::path::Path::new("/nonexistent-dir-xyz/nope.ckpt");
+        let err = Checkpoint::<u64, ()>::read(path).unwrap_err();
+        assert!(err.to_string().contains("nope.ckpt"));
+    }
+}

@@ -7,10 +7,11 @@
 //! on real threads) wrap it with queues, scheduling, GVT protocols, and cost
 //! accounting — the *event semantics* live here and are identical in both.
 
+use crate::checkpoint::{CutSnapshot, LpCheckpoint};
 use crate::config::EngineConfig;
-use crate::event::{EventKey, Msg};
+use crate::event::{Event, EventKey, Msg};
 use crate::ids::{LpId, SimThreadId};
-use crate::lp::{key_digest, Lp};
+use crate::lp::{key_digest, Lp, Snapshot};
 use crate::mapping::LpMap;
 use crate::model::Model;
 use crate::pending::{CancelOutcome, InsertOutcome, PendingSet};
@@ -322,6 +323,95 @@ impl<M: Model> ThreadEngine<M> {
         self.stats.commit_digest = self.lps.iter().fold(0, |d, lp| d ^ lp.commit_digest);
     }
 
+    /// This engine's contribution to a GVT-aligned checkpoint. **Must run
+    /// right after `fossil_collect(gvt)`** so every LP's committed frontier
+    /// sits exactly at the cut.
+    ///
+    /// Returns the committed snapshot of every owned LP plus all events
+    /// crossing the cut (`send_time < gvt ≤ recv_time`): their senders are
+    /// committed and will never re-send them. Events with `send_time ≥ gvt`
+    /// are deliberately *excluded* — the restored run re-executes their
+    /// senders and deterministically re-sends them with identical UIDs.
+    pub fn snapshot_at_gvt(&self, gvt: VirtualTime) -> CutSnapshot<M::State, M::Payload> {
+        let mut lps = Vec::with_capacity(self.lps.len());
+        let mut events = Vec::new();
+        for lp in &self.lps {
+            debug_assert!(
+                lp.processed
+                    .front()
+                    .is_none_or(|e| e.event.key.recv_time >= gvt),
+                "snapshot_at_gvt requires fossil_collect({gvt}) first"
+            );
+            let snap = lp.committed_snapshot();
+            lps.push(LpCheckpoint {
+                lp: lp.id,
+                state: snap.state,
+                rng: snap.rng,
+                send_seq: snap.send_seq,
+                committed: lp.committed,
+                commit_digest: lp.commit_digest,
+                lvt: lp.committed_lvt,
+            });
+            // Uncommitted-but-processed events whose senders are committed:
+            // the restored run cannot regenerate them.
+            for entry in &lp.processed {
+                if entry.event.send_time < gvt {
+                    events.push(entry.event.clone());
+                }
+            }
+        }
+        for ev in self.pending.iter() {
+            if ev.send_time < gvt {
+                events.push(ev.clone());
+            }
+        }
+        (lps, events)
+    }
+
+    /// Reset this engine to a checkpointed cut at `gvt`: every owned LP is
+    /// restored from its [`LpCheckpoint`] and the pending set is re-seeded
+    /// with the cut-crossing events owned by this thread (`events` may hold
+    /// the whole checkpoint's list — others are skipped). The engine's map
+    /// decides ownership, so a recovery can restore under a *different*
+    /// (rebalanced) map than the one the checkpoint was taken with.
+    ///
+    /// Commit counters and digests continue from the cut, so a recovered
+    /// run's totals line up with an uninterrupted one.
+    pub fn restore(
+        &mut self,
+        lps: &[LpCheckpoint<M::State>],
+        events: &[Event<M::Payload>],
+        gvt: VirtualTime,
+    ) {
+        for lck in lps {
+            if self.map.thread_of(lck.lp) != self.tid {
+                continue;
+            }
+            self.lp_slot(lck.lp).restore_from(
+                Snapshot {
+                    state: lck.state.clone(),
+                    rng: lck.rng.clone(),
+                    send_seq: lck.send_seq,
+                },
+                lck.committed,
+                lck.commit_digest,
+                lck.lvt,
+            );
+        }
+        self.pending = PendingSet::new();
+        for ev in events {
+            if self.map.thread_of(ev.dst()) != self.tid {
+                continue;
+            }
+            let r = self.pending.insert(ev.clone());
+            debug_assert_eq!(r, InsertOutcome::Inserted);
+        }
+        self.gvt_hint = gvt.min(self.end_time);
+        self.stats = ThreadStats::default();
+        self.stats.committed = self.lps.iter().map(|lp| lp.committed).sum();
+        self.stats.commit_digest = self.lps.iter().fold(0, |d, lp| d ^ lp.commit_digest);
+    }
+
     /// Total uncommitted history length across LPs (memory pressure metric).
     pub fn history_len(&self) -> usize {
         self.lps.iter().map(|lp| lp.history_len()).sum()
@@ -530,6 +620,53 @@ mod tests {
         assert_eq!(early + rest, eng.stats().committed);
         assert_eq!(eng.stats().committed, eng.stats().processed);
         assert_eq!(eng.history_len(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identical_run() {
+        let model = Arc::new(Ping { n: 4 });
+        let map = LpMap::new(4, 1, crate::mapping::MapKind::RoundRobin);
+        let c = cfg(10.0);
+
+        // Uninterrupted reference run.
+        let reference = single_thread_run(4, 10.0);
+
+        // Interrupted run: process a few batches, checkpoint at GVT = the
+        // pending minimum, then throw the engine away.
+        let mut eng = ThreadEngine::new(Arc::clone(&model), map.clone(), SimThreadId(0), &c);
+        let mut outbox = Vec::new();
+        for (_, msg) in eng.take_init_events() {
+            eng.deliver(msg, &mut outbox);
+        }
+        for _ in 0..2 {
+            eng.process_batch(2, &mut outbox);
+        }
+        let gvt = eng.local_min();
+        assert!(gvt > VirtualTime::ZERO && gvt < VirtualTime::from_f64(10.0));
+        eng.fossil_collect(gvt);
+        let (lcks, events) = eng.snapshot_at_gvt(gvt);
+        assert_eq!(lcks.len(), 4);
+        drop(eng);
+
+        // A fresh engine restored from the checkpoint finishes the run and
+        // matches the reference bit-for-bit.
+        let mut eng = ThreadEngine::new(model, map, SimThreadId(0), &c);
+        eng.restore(&lcks, &events, gvt);
+        assert_eq!(
+            eng.stats().committed,
+            lcks.iter().map(|l| l.committed).sum::<u64>()
+        );
+        loop {
+            if eng.process_batch(8, &mut outbox).processed == 0 {
+                break;
+            }
+        }
+        assert!(outbox.is_empty());
+        eng.finalize();
+        assert_eq!(eng.stats().committed, reference.stats().committed);
+        assert_eq!(eng.stats().commit_digest, reference.stats().commit_digest);
+        assert_eq!(eng.state_digests(), reference.state_digests());
+        assert_eq!(eng.pending_digest(), reference.pending_digest());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   being activated);
 //! * **backpressure** — input queues behave as bounded: a sender whose
 //!   destination queue is over capacity retries with backoff before pushing
-//!   (messages are never dropped).
+//!   (messages are never dropped);
+//! * **kills** — scripted worker death ([`FaultKind::WorkerKill`]): a named
+//!   thread dies at a given work-cycle count, exercising the checkpoint /
+//!   restore / supervision path end to end.
 //!
 //! The first three perturb only *delivery order and timing*; Time Warp must
 //! absorb them and still commit exactly the sequential oracle's trace. Lost
@@ -93,6 +96,17 @@ pub struct BackpressureFault {
     pub max_retries: u32,
 }
 
+/// A scripted catastrophic fault. Unlike the probabilistic faults these are
+/// *scheduled*: each entry fires exactly once per injector lifetime, which
+/// keeps kill-and-recover runs fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Worker `thread` dies once it has executed `at_cycle` work cycles
+    /// (on real threads: a panic in the worker loop; on the virtual machine:
+    /// a simulated task death). Fires at most once.
+    WorkerKill { thread: usize, at_cycle: u64 },
+}
+
 /// A complete, serde-configurable chaos plan. The default plan is empty and
 /// injects nothing.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -103,6 +117,8 @@ pub struct FaultPlan {
     pub straggler: Option<StragglerFault>,
     pub wakeup: Option<WakeupFault>,
     pub backpressure: Option<BackpressureFault>,
+    /// Scripted catastrophic faults (worker kills). `None` ≡ empty.
+    pub kills: Option<Vec<FaultKind>>,
 }
 
 impl FaultPlan {
@@ -113,6 +129,7 @@ impl FaultPlan {
             || self.straggler.is_some()
             || self.wakeup.is_some()
             || self.backpressure.is_some()
+            || self.kills.as_ref().is_some_and(|k| !k.is_empty())
     }
 
     /// A moderate all-safe plan (delay + reorder + straggler storms, no
@@ -131,7 +148,16 @@ impl FaultPlan {
                 capacity: 4096,
                 max_retries: 8,
             }),
+            kills: None,
         }
+    }
+
+    /// Add a scripted worker kill to the plan.
+    pub fn with_kill(mut self, thread: usize, at_cycle: u64) -> Self {
+        self.kills
+            .get_or_insert_with(Vec::new)
+            .push(FaultKind::WorkerKill { thread, at_cycle });
+        self
     }
 }
 
@@ -158,6 +184,23 @@ pub struct FaultCounts {
     pub lost_wakeups: u64,
     pub spurious_wakeups: u64,
     pub backpressure_retries: u64,
+    /// Scripted worker kills fired.
+    pub kills: u64,
+}
+
+/// Resumable position of an injector's decision state: per-site stream
+/// positions, remaining budgets, and which scripted kills already fired.
+/// Stored inside a [`crate::checkpoint::Checkpoint`] so a restored run
+/// replays the *remaining* chaos rather than starting the plan over (which
+/// would, e.g., re-fire a kill forever).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCursor {
+    /// Per-site decision-stream positions, indexed by `Site`.
+    pub seq: Vec<u64>,
+    pub storms_left: u64,
+    pub lost_left: u64,
+    /// `fired` flag per entry of the plan's `kills` list.
+    pub kills_fired: Vec<bool>,
 }
 
 struct FaultState {
@@ -165,7 +208,9 @@ struct FaultState {
     seq: [AtomicU64; NUM_SITES],
     storms_left: AtomicU64,
     lost_left: AtomicU64,
-    counts: [AtomicU64; 6],
+    kills: Vec<FaultKind>,
+    kills_fired: Vec<AtomicU64>,
+    counts: [AtomicU64; 7],
 }
 
 /// The runtime hook object built from a [`FaultPlan`]. Shareable across
@@ -202,15 +247,69 @@ impl FaultInjector {
         }
         let storms = plan.straggler.map_or(0, |s| s.max_storms);
         let lost = plan.wakeup.map_or(0, |w| w.max_lost);
+        let kills = plan.kills.clone().unwrap_or_default();
+        let kills_fired = kills.iter().map(|_| AtomicU64::new(0)).collect();
         FaultInjector {
             state: Some(Box::new(FaultState {
                 plan,
                 seq: Default::default(),
                 storms_left: AtomicU64::new(storms),
                 lost_left: AtomicU64::new(lost),
+                kills,
+                kills_fired,
                 counts: Default::default(),
             })),
         }
+    }
+
+    /// Build the injector for `plan` resumed at `cursor` (from a
+    /// checkpoint): decision streams continue where they left off, budgets
+    /// keep their remaining allowance, and already-fired kills stay fired.
+    pub fn with_cursor(plan: FaultPlan, cursor: &FaultCursor) -> Self {
+        let inj = Self::new(plan);
+        if let Some(st) = &inj.state {
+            for (i, s) in st.seq.iter().enumerate() {
+                s.store(cursor.seq.get(i).copied().unwrap_or(0), Ordering::Relaxed);
+            }
+            st.storms_left.store(cursor.storms_left, Ordering::Relaxed);
+            st.lost_left.store(cursor.lost_left, Ordering::Relaxed);
+            for (i, fired) in st.kills_fired.iter().enumerate() {
+                if cursor.kills_fired.get(i).copied().unwrap_or(false) {
+                    fired.store(1, Ordering::Relaxed);
+                }
+            }
+        }
+        inj
+    }
+
+    /// Snapshot the injector's resumable position (for a checkpoint).
+    /// `None` when the injector is disabled.
+    pub fn cursor(&self) -> Option<FaultCursor> {
+        let st = self.state.as_ref()?;
+        Some(FaultCursor {
+            seq: st.seq.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
+            storms_left: st.storms_left.load(Ordering::Relaxed),
+            lost_left: st.lost_left.load(Ordering::Relaxed),
+            kills_fired: st
+                .kills_fired
+                .iter()
+                .map(|f| f.load(Ordering::Relaxed) != 0)
+                .collect(),
+        })
+    }
+
+    /// Mark the first unconsumed kill targeting `thread` as fired, so a
+    /// supervised restart does not re-trigger the same scripted death.
+    /// Returns whether an entry was consumed.
+    pub fn consume_kill(&self, thread: usize) -> bool {
+        let Some(st) = &self.state else { return false };
+        for (k, fired) in st.kills.iter().zip(&st.kills_fired) {
+            let FaultKind::WorkerKill { thread: t, .. } = *k;
+            if t == thread && fired.swap(1, Ordering::Relaxed) == 0 {
+                return true;
+            }
+        }
+        false
     }
 
     #[inline]
@@ -337,6 +436,28 @@ impl FaultInjector {
         hit
     }
 
+    /// Should worker `thread` die now, having completed `cycle` work
+    /// cycles? Each scripted kill fires at most once per injector lifetime
+    /// (restores carry the fired flags forward via [`FaultCursor`]).
+    #[inline]
+    pub fn should_kill(&self, thread: usize, cycle: u64) -> bool {
+        let Some(st) = &self.state else { return false };
+        if st.kills.is_empty() {
+            return false;
+        }
+        for (k, fired) in st.kills.iter().zip(&st.kills_fired) {
+            let FaultKind::WorkerKill {
+                thread: t,
+                at_cycle,
+            } = *k;
+            if t == thread && cycle >= at_cycle && fired.swap(1, Ordering::Relaxed) == 0 {
+                Self::bump(st, 6, 1);
+                return true;
+            }
+        }
+        false
+    }
+
     /// The bounded-queue parameters, if backpressure is configured.
     #[inline]
     pub fn backpressure(&self) -> Option<BackpressureFault> {
@@ -363,6 +484,7 @@ impl FaultInjector {
                 lost_wakeups: st.counts[3].load(Ordering::Relaxed),
                 spurious_wakeups: st.counts[4].load(Ordering::Relaxed),
                 backpressure_retries: st.counts[5].load(Ordering::Relaxed),
+                kills: st.counts[6].load(Ordering::Relaxed),
             },
         }
     }
@@ -471,13 +593,14 @@ impl std::fmt::Display for StallDump {
         }
         write!(
             f,
-            "faults: delayed={} reordered={} stragglers={} lost={} spurious={} bp_retries={}",
+            "faults: delayed={} reordered={} stragglers={} lost={} spurious={} bp_retries={} kills={}",
             self.fault_counts.delayed,
             self.fault_counts.reordered,
             self.fault_counts.stragglers,
             self.fault_counts.lost_wakeups,
             self.fault_counts.spurious_wakeups,
-            self.fault_counts.backpressure_retries
+            self.fault_counts.backpressure_retries,
+            self.fault_counts.kills
         )
     }
 }
@@ -504,6 +627,10 @@ mod tests {
                 capacity: 8,
                 max_retries: 3,
             }),
+            kills: Some(vec![FaultKind::WorkerKill {
+                thread: 1,
+                at_cycle: 50,
+            }]),
         }
     }
 
@@ -596,6 +723,72 @@ mod tests {
         assert!(sparse.delay.is_some());
         assert!(sparse.wakeup.is_none());
         assert!(sparse.is_active());
+    }
+
+    #[test]
+    fn scripted_kill_fires_once_at_cycle() {
+        let plan = FaultPlan::default().with_kill(2, 100);
+        assert!(plan.is_active());
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.should_kill(2, 99), "not yet due");
+        assert!(!inj.should_kill(1, 500), "wrong thread");
+        assert!(inj.should_kill(2, 100), "due now");
+        assert!(!inj.should_kill(2, 101), "fires at most once");
+        assert_eq!(inj.counts().kills, 1);
+    }
+
+    #[test]
+    fn cursor_resumes_streams_budgets_and_kills() {
+        let plan = full_plan(0xFEED);
+        let a = FaultInjector::new(plan.clone());
+        // Burn some decisions and budget, and fire the kill.
+        for _ in 0..37 {
+            a.defer_delivery();
+            a.straggler_hold();
+            a.lose_wakeup();
+        }
+        assert!(a.should_kill(1, 50));
+        let cur = a.cursor().expect("enabled injector has a cursor");
+
+        // A resumed twin must continue exactly where `a` is...
+        let b = FaultInjector::with_cursor(plan.clone(), &cur);
+        for _ in 0..64 {
+            assert_eq!(a.defer_delivery(), b.defer_delivery());
+            assert_eq!(a.straggler_hold(), b.straggler_hold());
+            assert_eq!(a.lose_wakeup(), b.lose_wakeup());
+        }
+        // ...and the already-fired kill stays fired.
+        assert!(!b.should_kill(1, 500));
+
+        // A fresh injector from the same plan, by contrast, re-fires it.
+        let fresh = FaultInjector::new(plan);
+        assert!(fresh.should_kill(1, 500));
+    }
+
+    #[test]
+    fn consume_kill_marks_first_matching_entry() {
+        let plan = FaultPlan::default().with_kill(0, 10).with_kill(0, 10);
+        let inj = FaultInjector::new(plan);
+        assert!(inj.consume_kill(0), "first entry consumed");
+        assert!(inj.should_kill(0, 10), "second entry still live");
+        assert!(!inj.should_kill(0, 10), "both spent");
+        assert!(!inj.consume_kill(0), "nothing left to consume");
+        assert!(!inj.consume_kill(3), "no such thread in the plan");
+    }
+
+    #[test]
+    fn cursor_serde_round_trips() {
+        let plan = full_plan(11);
+        let inj = FaultInjector::new(plan);
+        for _ in 0..13 {
+            inj.defer_delivery();
+        }
+        inj.should_kill(1, 64);
+        let cur = inj.cursor().unwrap();
+        let j = serde_json::to_string(&cur).unwrap();
+        let back: FaultCursor = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, cur);
+        assert_eq!(back.kills_fired, vec![true]);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! rolled-back state, event ordering is total, and no wall-clock or
 //! hash-iteration order leaks into results.
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -34,17 +35,19 @@ pub mod sequential;
 pub mod stats;
 pub mod time;
 
+pub use checkpoint::{Checkpoint, CheckpointError, LpCheckpoint, SupervisorConfig};
 pub use config::{AdaptiveGvt, EngineConfig};
 pub use engine::{BatchOutcome, DeliverOutcome, Outbound, ThreadEngine};
 pub use event::{Event, EventKey, Msg};
 pub use faults::{
-    batch_has_uid_pairs, BackpressureFault, DelayFault, FaultCounts, FaultInjector, FaultPlan,
-    ReorderFault, RoundDump, StallDump, StragglerFault, ThreadDump, WakeupFault,
+    batch_has_uid_pairs, BackpressureFault, DelayFault, FaultCounts, FaultCursor, FaultInjector,
+    FaultKind, FaultPlan, ReorderFault, RoundDump, StallDump, StragglerFault, ThreadDump,
+    WakeupFault,
 };
 pub use ids::{EventUid, LpId, SimThreadId};
 pub use mapping::{LpMap, MapKind};
 pub use model::{Model, SendCtx};
 pub use rng::DetRng;
-pub use sequential::{run_sequential, SequentialResult};
+pub use sequential::{run_sequential, run_sequential_from, SequentialResult};
 pub use stats::ThreadStats;
 pub use time::VirtualTime;

@@ -63,6 +63,9 @@ pub struct Lp<M: Model> {
     /// XOR-fold of key digests of committed events (order-independent trace
     /// digest; compared against the sequential oracle).
     pub commit_digest: u64,
+    /// Receive time of the last committed event (the LP's position on the
+    /// committed side of the GVT cut; what a checkpoint records as its LVT).
+    pub committed_lvt: VirtualTime,
     /// Snapshot every k-th processed event (1 = copy state saving, the
     /// classical Time Warp default).
     snapshot_every: u32,
@@ -98,6 +101,7 @@ impl<M: Model> Lp<M> {
             processed: VecDeque::new(),
             committed: 0,
             commit_digest: 0,
+            committed_lvt: VirtualTime::ZERO,
             snapshot_every: period,
             since_snapshot: 0,
         }
@@ -344,6 +348,7 @@ impl<M: Model> Lp<M> {
         for _ in 0..cut {
             let entry = self.processed.pop_front().expect("cut <= len");
             self.commit_digest ^= key_digest(&entry.event.key);
+            self.committed_lvt = entry.event.key.recv_time;
         }
         self.committed += cut as u64;
         cut as u64
@@ -353,6 +358,46 @@ impl<M: Model> Lp<M> {
     /// the end time, so all processed events are final).
     pub fn commit_all(&mut self, model: &M) -> u64 {
         self.fossil_collect(model, VirtualTime::INFINITY)
+    }
+
+    /// The LP's state on the *committed* side of the GVT cut: the snapshot
+    /// immediately after its last committed event.
+    ///
+    /// Valid right after `fossil_collect(gvt)`: if any uncommitted entries
+    /// remain, the first one carries a (possibly just materialized) snapshot
+    /// whose pre-state is exactly the committed state; with no uncommitted
+    /// history the current state *is* the committed state.
+    pub fn committed_snapshot(&self) -> Snapshot<M::State> {
+        match self.processed.front() {
+            Some(first) => first
+                .pre
+                .clone()
+                .expect("the first retained entry always carries a snapshot"),
+            None => Snapshot {
+                state: self.state.clone(),
+                rng: self.rng.clone(),
+                send_seq: self.send_seq,
+            },
+        }
+    }
+
+    /// Reset the LP to a checkpointed committed state: no speculative
+    /// history, counters and digests continuing from the cut.
+    pub fn restore_from(
+        &mut self,
+        snap: Snapshot<M::State>,
+        committed: u64,
+        commit_digest: u64,
+        committed_lvt: VirtualTime,
+    ) {
+        self.state = snap.state;
+        self.rng = snap.rng;
+        self.send_seq = snap.send_seq;
+        self.processed.clear();
+        self.since_snapshot = 0;
+        self.committed = committed;
+        self.commit_digest = commit_digest;
+        self.committed_lvt = committed_lvt;
     }
 
     /// Digest of the LP's current model state.
@@ -500,6 +545,49 @@ mod tests {
         assert_eq!(lp.commit_all(&m), 2);
         assert_eq!(lp.committed, 3);
         assert_eq!(lp.history_len(), 0);
+    }
+
+    #[test]
+    fn committed_snapshot_and_restore_resume_identically() {
+        let m = Counter;
+        let mut lp = Lp::new(&m, LpId(1), 7);
+        let e1 = ev(1.0, 1, 0, 0, 1);
+        let e2 = ev(2.0, 1, 0, 1, 2);
+        let e3 = ev(3.0, 1, 0, 2, 3);
+        lp.process(&m, e1);
+        let committed_state = lp.state;
+        let out2 = lp.process(&m, e2.clone());
+        let out3 = lp.process(&m, e3.clone());
+        lp.fossil_collect(&m, VirtualTime::from_f64(1.5));
+        assert_eq!(lp.committed_lvt, VirtualTime::from_f64(1.0));
+
+        // The committed snapshot is the state right after e1...
+        let snap = lp.committed_snapshot();
+        assert_eq!(snap.state, committed_state);
+
+        // ...and a fresh LP restored from it replays e2/e3 bit-for-bit.
+        let mut fresh = Lp::new(&m, LpId(1), 999); // wrong seed, overwritten
+        fresh.restore_from(snap, lp.committed, lp.commit_digest, lp.committed_lvt);
+        assert_eq!(fresh.committed, 1);
+        assert_eq!(fresh.history_len(), 0);
+        assert_eq!(fresh.process(&m, e2), out2);
+        assert_eq!(fresh.process(&m, e3), out3);
+        lp.commit_all(&m);
+        fresh.commit_all(&m);
+        assert_eq!(fresh.state, lp.state);
+        assert_eq!(fresh.commit_digest, lp.commit_digest);
+        assert_eq!(fresh.committed, lp.committed);
+    }
+
+    #[test]
+    fn committed_snapshot_with_empty_history_is_current_state() {
+        let m = Counter;
+        let mut lp = Lp::new(&m, LpId(1), 7);
+        lp.process(&m, ev(1.0, 1, 0, 0, 1));
+        lp.commit_all(&m);
+        let snap = lp.committed_snapshot();
+        assert_eq!(snap.state, lp.state);
+        assert_eq!(snap.send_seq, lp.send_seq);
     }
 
     #[test]

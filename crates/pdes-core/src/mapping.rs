@@ -3,11 +3,16 @@
 //! ROSS maps LPs to simulation threads round-robin (`lp % num_threads`);
 //! a block mapping (`lp / lps_per_thread`) is provided for experiments that
 //! need contiguous LP blocks per thread. The mapping is immutable for the
-//! lifetime of a simulation — the engines under study do *demand-driven
-//! scheduling of threads onto cores*, not LP migration.
+//! lifetime of a simulation *run* — the engines under study do
+//! *demand-driven scheduling of threads onto cores*, not LP migration.
+//! Recovery is the one exception: when a worker dies, the supervisor
+//! restarts the run from a checkpoint under a new map built by
+//! [`LpMap::rebalanced_without`], which folds the dead thread's LPs onto the
+//! survivors via an explicit assignment table.
 
 use crate::ids::{LpId, SimThreadId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Mapping strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -20,11 +25,20 @@ pub enum MapKind {
 }
 
 /// Immutable LP → thread map.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Normally a pure function of `(num_lps, num_threads, kind)`. After a
+/// recovery the map instead carries an explicit per-LP assignment table
+/// (`assign`), which overrides `kind` — this is how a dead worker's LPs are
+/// folded onto the survivors without disturbing the formula-based fast path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LpMap {
     pub num_lps: u32,
     pub num_threads: u32,
     pub kind: MapKind,
+    /// Explicit owner per LP (`assign[lp] = thread`); `None` for the
+    /// formula-based maps. Shared so clones handed to every engine stay
+    /// cheap.
+    pub assign: Option<Arc<Vec<u32>>>,
 }
 
 impl LpMap {
@@ -39,13 +53,104 @@ impl LpMap {
             num_lps: num_lps as u32,
             num_threads: num_threads as u32,
             kind,
+            assign: None,
         }
+    }
+
+    /// Build a map from an explicit per-LP owner table. Every thread in
+    /// `0..num_threads` must own at least one LP.
+    pub fn with_assignment(num_threads: usize, assign: Vec<u32>) -> Self {
+        assert!(!assign.is_empty(), "need at least one LP");
+        assert!(num_threads > 0, "need at least one thread");
+        let mut owned = vec![false; num_threads];
+        for (lp, &t) in assign.iter().enumerate() {
+            assert!(
+                (t as usize) < num_threads,
+                "LP {lp} assigned to out-of-range thread {t}"
+            );
+            owned[t as usize] = true;
+        }
+        assert!(
+            owned.iter().all(|&o| o),
+            "every thread must own at least one LP"
+        );
+        LpMap {
+            num_lps: assign.len() as u32,
+            num_threads: num_threads as u32,
+            kind: MapKind::RoundRobin,
+            assign: Some(Arc::new(assign)),
+        }
+    }
+
+    /// Derive the map a recovered run uses after thread `dead` is removed:
+    /// survivors keep their LPs (re-indexed past the gap) and the dead
+    /// thread's LPs go greedily to the least-loaded survivor. `load[t]` is a
+    /// relative work estimate per *old* thread id (e.g. committed-event
+    /// counts); zeros are fine.
+    ///
+    /// # Panics
+    /// Panics if this map has fewer than two threads — there is no survivor
+    /// to remap onto.
+    pub fn rebalanced_without(&self, dead: SimThreadId, load: &[u64]) -> LpMap {
+        let old_n = self.num_threads as usize;
+        assert!(old_n >= 2, "cannot remap with no surviving thread");
+        assert!(dead.index() < old_n, "dead thread {dead} out of range");
+        let new_id = |old: u32| -> u32 {
+            if old > dead.0 {
+                old - 1
+            } else {
+                old
+            }
+        };
+        let mut assign = vec![0u32; self.num_lps as usize];
+        let mut moved = Vec::new();
+        for lp in (0..self.num_lps).map(LpId) {
+            let owner = self.thread_of(lp);
+            if owner == dead {
+                moved.push(lp);
+            } else {
+                assign[lp.index()] = new_id(owner.0);
+            }
+        }
+        // Greedy least-loaded placement of the orphaned LPs. Each placed LP
+        // adds the dead thread's mean per-LP load (at least 1) so a burst of
+        // orphans spreads out instead of piling onto one survivor.
+        let mut running: Vec<u64> = (0..old_n as u32)
+            .filter(|&t| t != dead.0)
+            .map(|t| load.get(t as usize).copied().unwrap_or(0))
+            .collect();
+        let per_lp = load
+            .get(dead.index())
+            .copied()
+            .unwrap_or(0)
+            .checked_div(moved.len() as u64)
+            .unwrap_or(0)
+            .max(1);
+        for lp in moved {
+            let (tgt, _) = running
+                .iter()
+                .enumerate()
+                .min_by_key(|&(t, &l)| (l, t))
+                .expect("at least one survivor");
+            assign[lp.index()] = tgt as u32;
+            running[tgt] += per_lp;
+        }
+        LpMap::with_assignment(old_n - 1, assign)
+    }
+
+    /// `true` when the map carries an explicit assignment table (recovery).
+    #[inline]
+    pub fn is_assigned(&self) -> bool {
+        self.assign.is_some()
     }
 
     /// Owning thread of `lp`.
     #[inline]
     pub fn thread_of(&self, lp: LpId) -> SimThreadId {
         debug_assert!(lp.0 < self.num_lps, "LP {lp} out of range");
+        if let Some(assign) = &self.assign {
+            return SimThreadId(assign[lp.index()]);
+        }
         match self.kind {
             MapKind::RoundRobin => SimThreadId(lp.0 % self.num_threads),
             MapKind::Block => {
@@ -116,5 +221,61 @@ mod tests {
     #[should_panic(expected = "fewer LPs")]
     fn more_threads_than_lps_rejected() {
         LpMap::new(2, 4, MapKind::RoundRobin);
+    }
+
+    #[test]
+    fn assignment_table_overrides_formula() {
+        let m = LpMap::with_assignment(2, vec![1, 1, 0, 1]);
+        assert!(m.is_assigned());
+        assert_eq!(m.thread_of(LpId(0)), SimThreadId(1));
+        assert_eq!(m.thread_of(LpId(2)), SimThreadId(0));
+        assert_eq!(m.lps_of(SimThreadId(1)), vec![LpId(0), LpId(1), LpId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one LP")]
+    fn assignment_must_cover_every_thread() {
+        // thread 2 owns nothing
+        LpMap::with_assignment(3, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn rebalance_moves_dead_threads_lps_to_survivors() {
+        let m = LpMap::new(8, 4, MapKind::RoundRobin);
+        let load = [100, 10, 100, 100]; // thread 1 dies; thread 1's old load unused
+        let r = m.rebalanced_without(SimThreadId(1), &load);
+        assert_eq!(r.num_threads, 3);
+        assert_eq!(r.num_lps, 8);
+        // Survivors keep their LPs under re-indexed ids.
+        assert_eq!(r.thread_of(LpId(0)), SimThreadId(0)); // was thread 0
+        assert_eq!(r.thread_of(LpId(2)), SimThreadId(1)); // was thread 2
+        assert_eq!(r.thread_of(LpId(3)), SimThreadId(2)); // was thread 3
+                                                          // Every LP still has exactly one owner.
+        let total: usize = (0..3).map(|t| r.lps_of(SimThreadId(t)).len()).sum();
+        assert_eq!(total, 8);
+        // The dead thread's LPs (1 and 5) landed on survivors.
+        for lp in [LpId(1), LpId(5)] {
+            assert!(r.thread_of(lp).index() < 3);
+        }
+    }
+
+    #[test]
+    fn rebalance_prefers_least_loaded_survivor() {
+        let m = LpMap::new(4, 4, MapKind::RoundRobin);
+        // Thread 3 dies; thread 2 is by far the least loaded survivor.
+        let r = m.rebalanced_without(SimThreadId(3), &[1000, 1000, 1, 7]);
+        assert_eq!(r.thread_of(LpId(3)), SimThreadId(2));
+    }
+
+    #[test]
+    fn map_serde_round_trips_with_assignment() {
+        for m in [
+            LpMap::new(8, 4, MapKind::Block),
+            LpMap::with_assignment(2, vec![0, 1, 1, 0]),
+        ] {
+            let v = serde::Serialize::to_value(&m);
+            let back: LpMap = serde::Deserialize::from_value(&v).expect("round trip");
+            assert_eq!(back, m);
+        }
     }
 }

@@ -103,10 +103,12 @@ impl<'a, P> SendCtx<'a, P> {
 /// and event, `handle_event` must make the same draws and sends. All
 /// randomness must come from `ctx.rng()`.
 pub trait Model: Send + Sync + 'static {
-    /// Per-LP mutable state. Cloned into rollback snapshots.
-    type State: Clone + Send + std::fmt::Debug + 'static;
-    /// Event payload.
-    type Payload: Clone + Send + std::fmt::Debug + 'static;
+    /// Per-LP mutable state. Cloned into rollback snapshots and serialized
+    /// into GVT-aligned checkpoints (see [`crate::checkpoint`]).
+    type State: Clone + Send + std::fmt::Debug + serde::Serialize + serde::Deserialize + 'static;
+    /// Event payload. Serialized with the above-GVT pending events of a
+    /// checkpoint.
+    type Payload: Clone + Send + std::fmt::Debug + serde::Serialize + serde::Deserialize + 'static;
 
     /// Total number of LPs in the simulation.
     fn num_lps(&self) -> usize;

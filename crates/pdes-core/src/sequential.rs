@@ -6,10 +6,11 @@
 //! LP in the same final state. Integration tests compare the digests
 //! produced here with those of `sim-rt` and `thread-rt` runs.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::EngineConfig;
 use crate::event::Msg;
 use crate::ids::LpId;
-use crate::lp::{key_digest, Lp};
+use crate::lp::{key_digest, Lp, Snapshot};
 use crate::mapping::LpMap;
 use crate::model::Model;
 use crate::pending::PendingSet;
@@ -55,10 +56,65 @@ pub fn run_sequential<M: Model>(
         }
     }
     let _ = map; // mapping does not matter sequentially; kept for symmetry
+    finish_sequential(model, cfg, max_events, lps, pending)
+}
 
-    let mut committed = 0u64;
-    let mut commit_digest = 0u64;
-    let mut final_lvt = VirtualTime::ZERO;
+/// Resume a sequential run from a GVT-aligned [`Checkpoint`] — the graceful
+/// degradation path: when supervised parallel recovery is exhausted, the run
+/// still completes from the last consistent cut with no speculation at all.
+/// The committed totals continue from the cut, so the final result equals an
+/// uninterrupted [`run_sequential`] of the same model and config.
+pub fn run_sequential_from<M: Model>(
+    model: &Arc<M>,
+    cfg: &EngineConfig,
+    ckpt: &Checkpoint<M::State, M::Payload>,
+    max_events: Option<u64>,
+) -> SequentialResult {
+    let num_lps = model.num_lps();
+    assert_eq!(
+        ckpt.lps.len(),
+        num_lps,
+        "checkpoint has {} LPs but the model has {num_lps}",
+        ckpt.lps.len()
+    );
+    let mut lps: Vec<Lp<M>> = (0..num_lps)
+        .map(|i| Lp::new(model.as_ref(), LpId(i as u32), cfg.seed))
+        .collect();
+    for lck in &ckpt.lps {
+        lps[lck.lp.index()].restore_from(
+            Snapshot {
+                state: lck.state.clone(),
+                rng: lck.rng.clone(),
+                send_seq: lck.send_seq,
+            },
+            lck.committed,
+            lck.commit_digest,
+            lck.lvt,
+        );
+    }
+    let mut pending: PendingSet<M::Payload> = PendingSet::new();
+    for ev in &ckpt.events {
+        pending.insert(ev.clone());
+    }
+    finish_sequential(model, cfg, max_events, lps, pending)
+}
+
+/// The shared event loop: drain `pending` in key order until `cfg.end_time`,
+/// starting from whatever committed position `lps` carry.
+fn finish_sequential<M: Model>(
+    model: &Arc<M>,
+    cfg: &EngineConfig,
+    max_events: Option<u64>,
+    mut lps: Vec<Lp<M>>,
+    mut pending: PendingSet<M::Payload>,
+) -> SequentialResult {
+    let mut committed: u64 = lps.iter().map(|lp| lp.committed).sum();
+    let mut commit_digest: u64 = lps.iter().fold(0, |d, lp| d ^ lp.commit_digest);
+    let mut final_lvt: VirtualTime = lps
+        .iter()
+        .map(|lp| lp.committed_lvt)
+        .max()
+        .unwrap_or(VirtualTime::ZERO);
     loop {
         if let Some(cap) = max_events {
             if committed >= cap {
@@ -184,6 +240,44 @@ mod tests {
         let cfg = EngineConfig::default().with_end_time(1e6);
         let r = run_sequential(&model, &cfg, Some(100));
         assert_eq!(r.committed, 100);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_matches_uninterrupted_run() {
+        use crate::engine::ThreadEngine;
+        use crate::ids::SimThreadId;
+        use crate::mapping::MapKind;
+
+        let model = Arc::new(Ring { n: 8 });
+        let cfg = EngineConfig::default().with_end_time(50.0).with_seed(11);
+        let full = run_sequential(&model, &cfg, None);
+
+        // Build a mid-run checkpoint with a single-thread engine.
+        let map = LpMap::new(8, 1, MapKind::RoundRobin);
+        let mut eng = ThreadEngine::new(Arc::clone(&model), map.clone(), SimThreadId(0), &cfg);
+        let mut outbox = Vec::new();
+        for (_, msg) in eng.take_init_events() {
+            eng.deliver(msg, &mut outbox);
+        }
+        for _ in 0..5 {
+            eng.process_batch(16, &mut outbox);
+        }
+        let gvt = eng.local_min();
+        assert!(gvt < cfg.end_time, "checkpoint must be mid-run");
+        eng.fossil_collect(gvt);
+        let (lps, events) = eng.snapshot_at_gvt(gvt);
+        let ckpt = Checkpoint {
+            gvt,
+            gvt_rounds: 1,
+            lps,
+            events,
+            map,
+            cursor: None,
+        };
+        assert!(ckpt.total_committed() > 0, "cut must not be at genesis");
+
+        let resumed = run_sequential_from(&model, &cfg, &ckpt, None);
+        assert_eq!(resumed, full);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Checkpoint assembly for the virtual-machine runtime.
+//!
+//! Each participant of an armed GVT round deposits its engine's share of the
+//! cut during Phase End; the deposit completing the round assembles the
+//! [`Checkpoint`] — LP snapshots in LP order, crossing events in key order —
+//! and (optionally) persists it with an atomic rename. The machine is
+//! single-threaded, so a plain `RefCell`-wrapped store replaces the
+//! mutex-guarded sink the real-thread runtime uses; the protocol is the same.
+
+use pdes_core::{Checkpoint, Event, FaultCursor, LpCheckpoint, LpMap, Model};
+use std::path::PathBuf;
+
+/// Accumulates per-thread cut deposits and keeps the newest assembled
+/// checkpoint of the run.
+pub struct VmCkptStore<M: Model> {
+    path: Option<PathBuf>,
+    map: LpMap,
+    /// Round id the current partial deposits belong to.
+    round: u64,
+    deposits: usize,
+    lps: Vec<LpCheckpoint<M::State>>,
+    events: Vec<Event<M::Payload>>,
+    latest: Option<Checkpoint<M::State, M::Payload>>,
+}
+
+impl<M: Model> VmCkptStore<M> {
+    pub fn new(path: Option<PathBuf>, map: LpMap) -> Self {
+        VmCkptStore {
+            path,
+            map,
+            round: 0,
+            deposits: 0,
+            lps: Vec::new(),
+            events: Vec::new(),
+            latest: None,
+        }
+    }
+
+    /// One participant's share of round `round`'s cut. Partial deposits from
+    /// an earlier aborted round are discarded on the first deposit of a
+    /// newer one. Returns whether this deposit completed a checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deposit(
+        &mut self,
+        round: u64,
+        gvt: pdes_core::VirtualTime,
+        gvt_rounds: u64,
+        lps: Vec<LpCheckpoint<M::State>>,
+        events: Vec<Event<M::Payload>>,
+        expected: usize,
+        cursor: Option<FaultCursor>,
+    ) -> bool {
+        if self.deposits > 0 && self.round != round {
+            self.deposits = 0;
+            self.lps.clear();
+            self.events.clear();
+        }
+        self.round = round;
+        self.deposits += 1;
+        self.lps.extend(lps);
+        self.events.extend(events);
+        if self.deposits < expected {
+            return false;
+        }
+        let mut lps = std::mem::take(&mut self.lps);
+        let mut events = std::mem::take(&mut self.events);
+        self.deposits = 0;
+        lps.sort_by_key(|l| l.lp);
+        events.sort_by_key(|e| e.key);
+        let ck = Checkpoint {
+            gvt,
+            gvt_rounds,
+            lps,
+            events,
+            map: self.map.clone(),
+            cursor,
+        };
+        if let Some(path) = &self.path {
+            if let Err(e) = ck.write_atomic(path) {
+                // Persisting is best-effort; the in-memory cut still counts.
+                eprintln!("[checkpoint] {e}");
+            }
+        }
+        self.latest = Some(ck);
+        true
+    }
+
+    /// The newest fully assembled checkpoint, if any.
+    pub fn latest(&self) -> Option<Checkpoint<M::State, M::Payload>> {
+        self.latest.clone()
+    }
+}

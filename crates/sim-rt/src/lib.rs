@@ -15,13 +15,17 @@
 //! (open / phase-A folds / End completions) to stderr; incomplete runs
 //! print a diagnostic dump of the round state and any stuck GVT minima.
 
+pub mod ckpt;
 pub mod config;
 pub mod controller;
 pub mod runner;
 pub mod shared;
 pub mod simthread;
+pub mod supervisor;
 
+pub use ckpt::VmCkptStore;
 pub use config::{AffinityPolicy, GvtMode, Scheduler, SimCost, SystemConfig};
-pub use runner::{run_sim, RunConfig, SimResult};
+pub use runner::{run_sim, run_sim_resumable, RunConfig, SimAttempt, SimResult};
 pub use shared::{AffinityTables, Shared};
 pub use simthread::SimThreadTask;
+pub use supervisor::{run_sim_supervised, VmRecovered, VmSupervisedRun};

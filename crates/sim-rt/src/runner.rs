@@ -1,6 +1,7 @@
 //! The experiment runner: wires a model, a system configuration, and a
 //! virtual machine together, runs the simulation, and collects metrics.
 
+use crate::ckpt::VmCkptStore;
 use crate::config::{AffinityPolicy, Scheduler, SimCost, SystemConfig};
 use crate::controller::ControllerTask;
 use crate::shared::Shared;
@@ -8,10 +9,11 @@ use crate::simthread::SimThreadTask;
 use machine::{Machine, MachineConfig, Report, WorkTag};
 use metrics::RunMetrics;
 use pdes_core::{
-    EngineConfig, FaultInjector, FaultPlan, LpId, LpMap, Model, SimThreadId, StallDump,
+    Checkpoint, EngineConfig, FaultInjector, FaultPlan, LpId, LpMap, Model, SimThreadId, StallDump,
     ThreadEngine,
 };
 use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -35,6 +37,8 @@ pub struct SimResult {
     /// Scheduling-activity transitions `(virtual ns, thread, scheduled-in)`
     /// — the raw data behind a Fig.-1-style activity diagram.
     pub timeline: Vec<(u64, usize, bool)>,
+    /// Thread felled by a scripted worker kill (`completed` is then false).
+    pub killed: Option<usize>,
 }
 
 impl SimResult {
@@ -63,6 +67,12 @@ pub struct RunConfig {
     /// Liveness watchdog: abort with a diagnostic dump when GVT makes no
     /// progress for this many *virtual* ns (`None` disables it).
     pub watchdog_ns: Option<u64>,
+    /// Take a GVT-aligned checkpoint every this many GVT rounds
+    /// (0 disables checkpointing).
+    pub checkpoint_every_gvt: u64,
+    /// Also persist each checkpoint here (atomic rename-into-place);
+    /// `None` keeps checkpoints in memory only.
+    pub checkpoint_path: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -76,6 +86,8 @@ impl RunConfig {
             limit_ns: Some(120_000_000_000), // 120 virtual seconds
             faults: FaultPlan::default(),
             watchdog_ns: Some(10_000_000_000), // 10 virtual seconds
+            checkpoint_every_gvt: 0,
+            checkpoint_path: None,
         }
     }
 
@@ -95,6 +107,28 @@ impl RunConfig {
         self.watchdog_ns = bound;
         self
     }
+
+    /// Take a GVT-aligned checkpoint every `every` GVT rounds (0 disables).
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every_gvt = every;
+        self
+    }
+
+    /// Persist checkpoints to `path` (atomic rename-into-place).
+    pub fn with_checkpoint_path(mut self, path: PathBuf) -> Self {
+        self.checkpoint_path = Some(path);
+        self
+    }
+}
+
+/// One attempt of a (possibly supervised) virtual-machine run: the result
+/// plus what a supervisor needs to recover a failure — the newest assembled
+/// checkpoint and the per-thread committed loads (survivor state is not
+/// discarded when the attempt failed).
+pub struct SimAttempt<M: Model> {
+    pub result: SimResult,
+    pub checkpoint: Option<Checkpoint<M::State, M::Payload>>,
+    pub thread_loads: Vec<u64>,
 }
 
 /// Run `model` under the given configuration on the virtual machine.
@@ -106,13 +140,42 @@ impl RunConfig {
 /// # Panics
 /// Panics on model/thread-count mismatches.
 pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
+    run_sim_resumable(model, rc, None, None).result
+}
+
+/// Run one attempt, optionally resuming from a GVT-aligned checkpoint and
+/// with a pre-seeded fault injector (the supervisor restores fault-stream
+/// cursors and consumes the kill that felled the previous attempt before
+/// handing the injector in).
+///
+/// When `resume` is given, its map — not the formula map — assigns LPs to
+/// threads, `rc.num_threads` must match the map, and the weak-scaling
+/// divisibility requirement is waived (recovered maps are deliberately
+/// uneven).
+pub fn run_sim_resumable<M: Model>(
+    model: &Arc<M>,
+    rc: &RunConfig,
+    resume: Option<&Checkpoint<M::State, M::Payload>>,
+    faults: Option<FaultInjector>,
+) -> SimAttempt<M> {
     let num_threads = rc.num_threads;
-    assert!(
-        model.num_lps().is_multiple_of(num_threads),
-        "weak scaling requires LPs ({}) divisible by threads ({num_threads})",
-        model.num_lps()
-    );
-    let map = LpMap::new(model.num_lps(), num_threads, rc.engine.mapping);
+    let map = match resume {
+        Some(c) => {
+            assert_eq!(
+                c.map.num_threads as usize, num_threads,
+                "checkpoint map threads must match the run config"
+            );
+            c.map.clone()
+        }
+        None => {
+            assert!(
+                model.num_lps().is_multiple_of(num_threads),
+                "weak scaling requires LPs ({}) divisible by threads ({num_threads})",
+                model.num_lps()
+            );
+            LpMap::new(model.num_lps(), num_threads, rc.engine.mapping)
+        }
+    };
     let num_cores = rc.machine.num_cores;
 
     let mut machine = Machine::new(rc.machine.clone());
@@ -134,18 +197,48 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
         if matches!(rc.system.scheduler, Scheduler::DdPdes) {
             sh.dd_mutex = Some(machine.kernel().add_mutex());
         }
-        sh.set_faults(FaultInjector::new(rc.faults.clone()));
+        sh.set_faults(faults.unwrap_or_else(|| FaultInjector::new(rc.faults.clone())));
         sh.watchdog_ns = rc.watchdog_ns;
+        sh.ckpt_every = rc.checkpoint_every_gvt;
+        if let Some(c) = resume {
+            // Resume mid-stream: GVT and the round cadence continue from the
+            // cut instead of restarting at zero.
+            sh.gvt = c.gvt;
+            sh.gvt_rounds = c.gvt_rounds;
+        }
     }
+    let store: Rc<RefCell<VmCkptStore<M>>> = Rc::new(RefCell::new(VmCkptStore::new(
+        if rc.checkpoint_every_gvt > 0 {
+            rc.checkpoint_path.clone()
+        } else {
+            None
+        },
+        map.clone(),
+    )));
 
-    // Build engines, seed initial events.
+    // Build engines; a fresh run pre-routes the initial events, a resumed
+    // run instead restores each engine's share of the cut (initial events
+    // are already part of the checkpoint's history).
     let mut engines = Vec::with_capacity(num_threads);
     for t in 0..num_threads {
-        let mut eng = ThreadEngine::new(Arc::clone(model), map, SimThreadId(t as u32), &rc.engine);
-        let init = eng.take_init_events();
-        let mut sh = shared.borrow_mut();
-        for (dst, msg) in init {
-            sh.push_msg(t, dst.index(), msg);
+        let mut eng = ThreadEngine::new(
+            Arc::clone(model),
+            map.clone(),
+            SimThreadId(t as u32),
+            &rc.engine,
+        );
+        match resume {
+            Some(c) => {
+                eng.take_init_events();
+                eng.restore(&c.lps, &c.events, c.gvt);
+            }
+            None => {
+                let init = eng.take_init_events();
+                let mut sh = shared.borrow_mut();
+                for (dst, msg) in init {
+                    sh.push_msg(t, dst.index(), msg);
+                }
+            }
         }
         engines.push(eng);
     }
@@ -172,7 +265,14 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
             AffinityPolicy::Constant => Some(t % sim_cores),
             AffinityPolicy::NoAffinity | AffinityPolicy::Dynamic => None,
         };
-        let task = SimThreadTask::new(t, eng, Rc::clone(&shared), rc.system, rc.engine.clone());
+        let task = SimThreadTask::new(
+            t,
+            eng,
+            Rc::clone(&shared),
+            rc.system,
+            rc.engine.clone(),
+            Rc::clone(&store),
+        );
         let id = machine.add_task(Box::new(task), format!("sim{t}"), pin);
         assert_eq!(id.index(), t, "task ids must equal thread ids");
     }
@@ -216,11 +316,14 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
 
     let mut digests: Vec<(LpId, u64)> = sh.final_digests.iter().flatten().copied().collect();
     digests.sort_by_key(|&(lp, _)| lp);
-    let completed = !deadlocked && sh.stall.is_none() && report.tasks.iter().all(|t| t.finished);
+    let completed = !deadlocked
+        && sh.stall.is_none()
+        && sh.killed.is_none()
+        && report.tasks.iter().all(|t| t.finished);
     if let Some(dump) = &sh.stall {
         eprintln!("{dump}");
     }
-    if !completed {
+    if !completed && sh.killed.is_none() {
         // Diagnose what pinned the GVT (or what stalled the run).
         eprintln!(
             "[run_sim diag] {} T={num_threads}: gvt={} rounds={} active={} terminated={}",
@@ -263,14 +366,29 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
         }
     }
 
-    SimResult {
+    // Survivor state outlives a failed attempt: per-thread committed loads
+    // feed the supervisor's LP remap (the killed thread reports 0).
+    let thread_loads: Vec<u64> = sh
+        .final_stats
+        .iter()
+        .map(|s| s.as_ref().map_or(0, |st| st.committed))
+        .collect();
+    let result = SimResult {
         metrics: m,
         gvt_regressions: sh.gvt_regressions,
         digests: digests.into_iter().map(|(_, d)| d).collect(),
         timeline: sh.timeline.clone(),
         stall: sh.stall.clone(),
         fault_counts: sh.faults.counts(),
+        killed: sh.killed,
         report,
         completed,
+    };
+    drop(sh);
+    let checkpoint = store.borrow().latest();
+    SimAttempt {
+        result,
+        checkpoint,
+        thread_loads,
     }
 }

@@ -154,6 +154,15 @@ pub struct Shared<P> {
     pub terminated: bool,
     pub round: Round,
 
+    /// Take a GVT-aligned checkpoint every this many rounds (0 = disabled).
+    pub ckpt_every: u64,
+    /// Round id currently armed for a checkpoint, if any. Every thread is
+    /// force-subscribed into an armed round so the cut covers all engines.
+    pub ckpt_round: Option<u64>,
+    /// Thread felled by a scripted [`pdes_core::FaultKind::WorkerKill`];
+    /// the run is torn down and reported as failed for the supervisor.
+    pub killed: Option<usize>,
+
     pub aff: AffinityTables,
 
     /// DD-PDES global scheduling lock.
@@ -218,6 +227,9 @@ impl<P> Shared<P> {
             gvt_rounds: 0,
             terminated: false,
             round: Round::new(num_threads),
+            ckpt_every: 0,
+            ckpt_round: None,
+            killed: None,
             aff: AffinityTables::new(num_cores, num_threads),
             dd_mutex: None,
             controller_exit: false,
@@ -339,10 +351,38 @@ impl<P> Shared<P> {
 
     // ---- GVT round protocol ------------------------------------------------
 
+    /// Take every queued message for `me` *without* the chaos filter — the
+    /// checkpoint drain at Phase End of an armed round must capture every
+    /// in-flight message below the cut, so scripted deferral is exempt here
+    /// (exactly as the real-thread runtime's clean drain).
+    pub fn drain_clean(&mut self, me: usize) -> VecDeque<Msg<P>> {
+        self.queue_min[me] = VirtualTime::INFINITY;
+        std::mem::take(&mut self.queues[me])
+    }
+
     /// Open a new round if none is open; snapshot the participant set.
     /// Returns whether `me` participates in the (now) open round.
-    pub fn ensure_round_open(&mut self, me: usize) -> bool {
+    ///
+    /// When the checkpoint cadence lands on the opening round, every thread
+    /// is force-subscribed (and parked threads force-woken, chaos-exempt)
+    /// *before* the participant snapshot, so the armed round's cut covers
+    /// every engine.
+    pub fn ensure_round_open(&mut self, me: usize, ops: &mut Vec<Op>) -> bool {
         if !self.round.open {
+            let arm = self.ckpt_every > 0
+                && !self.terminated
+                && (self.gvt_rounds + 1).is_multiple_of(self.ckpt_every);
+            if arm {
+                for i in 0..self.num_threads {
+                    self.subscribed[i] = true;
+                    if !self.active[i] {
+                        self.active[i] = true;
+                        self.num_active += 1;
+                        ops.push(Op::Post(i));
+                    }
+                }
+                self.ckpt_round = Some(self.round.id);
+            }
             if std::env::var_os("GG_TRACE").is_some() {
                 eprintln!(
                     "[trace] t{me} OPEN round {} (subscribed={})",
@@ -713,7 +753,7 @@ mod tests {
     fn round_snapshot_freezes_participants() {
         let mut s = mk(4, 2);
         s.subscribed[3] = false;
-        assert!(s.ensure_round_open(0));
+        assert!(s.ensure_round_open(0, &mut Vec::new()));
         assert_eq!(s.round.participants, 3);
         // Subscribing mid-round does not join the current round.
         s.subscribed[3] = true;
@@ -723,7 +763,7 @@ mod tests {
     #[test]
     fn gvt_includes_parked_queue_and_windows() {
         let mut s = mk(3, 2);
-        s.ensure_round_open(0);
+        s.ensure_round_open(0, &mut Vec::new());
         s.fold_min(0, VirtualTime::from_f64(10.0));
         s.fold_min(1, VirtualTime::from_f64(12.0));
         // Thread 2 is inactive with a parked message at t=4.
@@ -738,10 +778,10 @@ mod tests {
     #[test]
     fn gvt_regression_is_counted_not_applied() {
         let mut s = mk(1, 1);
-        s.ensure_round_open(0);
+        s.ensure_round_open(0, &mut Vec::new());
         s.fold_min(0, VirtualTime::from_f64(10.0));
         s.compute_gvt();
-        s.ensure_round_open(0);
+        s.ensure_round_open(0, &mut Vec::new());
         s.fold_min(0, VirtualTime::from_f64(5.0));
         let g = s.compute_gvt();
         assert_eq!(g, VirtualTime::from_f64(10.0), "gvt must not regress");
@@ -751,7 +791,7 @@ mod tests {
     #[test]
     fn gvt_past_end_terminates() {
         let mut s = mk(1, 1);
-        s.ensure_round_open(0);
+        s.ensure_round_open(0, &mut Vec::new());
         let g = s.compute_gvt(); // everything empty → ∞
         assert!(g.is_infinite());
         assert!(s.terminated);
@@ -761,7 +801,7 @@ mod tests {
     fn barrier_parks_until_last_arrival() {
         let mut s = mk(3, 2);
         for i in 0..3 {
-            s.ensure_round_open(i);
+            s.ensure_round_open(i, &mut Vec::new());
         }
         let mut ops = Vec::new();
         assert_eq!(s.barrier_arrive(0, 0, &mut ops), Arrive::Park);
@@ -774,13 +814,13 @@ mod tests {
     #[test]
     fn aware_claim_is_exclusive_per_round() {
         let mut s = mk(2, 2);
-        s.ensure_round_open(0);
+        s.ensure_round_open(0, &mut Vec::new());
         assert!(s.claim_aware(0));
         assert!(!s.claim_aware(1));
         // End closes; next round claimable again.
         assert!(!s.end_phase(0));
         assert!(s.end_phase(1));
-        s.ensure_round_open(0);
+        s.ensure_round_open(0, &mut Vec::new());
         assert!(s.claim_aware(1));
     }
 

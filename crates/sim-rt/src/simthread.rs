@@ -9,6 +9,7 @@
 //! activation happens in Aware (pseudo-controller), deactivation in End;
 //! synchronous rounds use three blocking barrier points instead.
 
+use crate::ckpt::VmCkptStore;
 use crate::config::{AffinityPolicy, GvtMode, Scheduler, SystemConfig};
 use crate::shared::{Arrive, Op, Shared};
 use machine::{Ctx, Step, Task, WorkTag};
@@ -39,6 +40,9 @@ enum Phase {
     Parked,
     /// Commit remaining history and report stats.
     Finishing,
+    /// Felled by a scripted worker kill: report nothing, just exit — the
+    /// thread's uncommitted work is lost, exactly like a real crash.
+    Dead,
 }
 
 /// One simulation thread.
@@ -68,6 +72,10 @@ pub struct SimThreadTask<M: Model> {
     outbox: Vec<Outbound<M::Payload>>,
     /// Scratch for kernel ops queued while `shared` is borrowed.
     ops: Vec<Op>,
+    /// Checkpoint deposit store (shared by all sim threads of the run).
+    ckpt: Rc<RefCell<VmCkptStore<M>>>,
+    /// Work cycles completed — the clock scripted worker kills fire on.
+    total_cycles: u64,
 }
 
 impl<M: Model> SimThreadTask<M> {
@@ -77,6 +85,7 @@ impl<M: Model> SimThreadTask<M> {
         shared: Rc<RefCell<Shared<M::Payload>>>,
         sys: SystemConfig,
         ecfg: EngineConfig,
+        ckpt: Rc<RefCell<VmCkptStore<M>>>,
     ) -> Self {
         SimThreadTask {
             tid,
@@ -94,6 +103,8 @@ impl<M: Model> SimThreadTask<M> {
             wd_last_change_ns: 0,
             outbox: Vec::new(),
             ops: Vec::new(),
+            ckpt,
+            total_cycles: 0,
         }
     }
 
@@ -130,6 +141,13 @@ impl<M: Model> SimThreadTask<M> {
         }
         self.phase = Phase::Finishing;
         true
+    }
+
+    /// Advance this task's work-cycle counter and ask the fault injector
+    /// whether a scripted kill fires at the new count.
+    fn tick_kill_clock(&mut self, sh: &Shared<M::Payload>) -> bool {
+        self.total_cycles += 1;
+        sh.faults.should_kill(self.tid, self.total_cycles)
     }
 
     /// One main-loop cycle: drain the input queue, process a batch, route
@@ -233,7 +251,40 @@ impl<M: Model> SimThreadTask<M> {
     fn end_duties(&mut self, sh: &mut Shared<M::Payload>, now: u64) -> (u64, Step) {
         let c = sh.cost.clone();
         let mut cost = c.gvt_phase;
-        self.engine.fossil_collect(sh.gvt);
+        if sh.ckpt_round == Some(sh.round.id) && !sh.terminated {
+            // Armed round: this thread's share of the consistent cut. The
+            // claimant computed the round's GVT before any participant can
+            // reach End (single-threaded machine, Aware precedes End), so
+            // `sh.gvt` is final here. Drain the input queue chaos-exempt and
+            // deliver, so every in-flight message below the cut is inside
+            // the engine before the snapshot; messages at or above GVT are
+            // delivered too but excluded from the cut (their senders re-send
+            // them deterministically after a restore).
+            let msgs = sh.drain_clean(self.tid);
+            let n = msgs.len() as u64;
+            self.outbox.clear();
+            for m in msgs {
+                self.engine.deliver(m, &mut self.outbox);
+            }
+            for (dst, msg) in self.outbox.drain(..) {
+                sh.push_msg(self.tid, dst.index(), msg);
+            }
+            let g = sh.gvt;
+            self.engine.fossil_collect(g);
+            let (lps, events) = self.engine.snapshot_at_gvt(g);
+            cost += c.gvt_phase + c.recv_msg * n + c.proc_event * lps.len() as u64;
+            self.ckpt.borrow_mut().deposit(
+                sh.round.id,
+                g,
+                sh.gvt_rounds,
+                lps,
+                events,
+                sh.round.participants,
+                sh.faults.cursor(),
+            );
+        } else {
+            self.engine.fossil_collect(sh.gvt);
+        }
         sh.gvt_wall_in_round += now.saturating_sub(self.round_enter_ns);
         let deact = !sh.terminated && self.wants_deactivation(sh);
         let closed = sh.end_phase(self.tid);
@@ -311,6 +362,7 @@ impl<M: Model> Task for SimThreadTask<M> {
             Phase::DdDoDeact => "DdDoDeact",
             Phase::Parked => "Parked",
             Phase::Finishing => "Finishing",
+            Phase::Dead => "Dead",
         };
         let step = match self.phase {
             Phase::Cycle => {
@@ -319,6 +371,21 @@ impl<M: Model> Task for SimThreadTask<M> {
                     Step::work(sh.cost.phase_check, WorkTag::Gvt)
                 } else if self.watchdog_check(&mut sh, now, ctx) {
                     Step::work(sh.cost.phase_check, WorkTag::Gvt)
+                } else if self.tick_kill_clock(&sh) {
+                    // Scripted worker death: tear the run down exactly as a
+                    // crash would — uncommitted work on this thread is lost,
+                    // siblings are woken to drain, and the runner reports the
+                    // attempt as failed so a supervisor can recover it.
+                    sh.killed = Some(self.tid);
+                    sh.terminated = true;
+                    sh.controller_exit = true;
+                    for i in 0..sh.num_threads {
+                        if i != self.tid {
+                            self.ops.push(Op::Post(i));
+                        }
+                    }
+                    self.phase = Phase::Dead;
+                    Step::work(sh.cost.phase_check, WorkTag::Sched)
                 } else {
                     let (cost, cycles, useful) = self.do_cycle(&mut sh);
                     self.cycles_since_gvt += cycles;
@@ -338,7 +405,7 @@ impl<M: Model> Task for SimThreadTask<M> {
                     if (self.cycles_since_gvt >= interval as u64 || round_waiting)
                         && sh.subscribed[self.tid]
                     {
-                        let participate = sh.ensure_round_open(self.tid);
+                        let participate = sh.ensure_round_open(self.tid, &mut self.ops);
                         let fresh = self.joined_round != Some(sh.round.id);
                         if participate && fresh {
                             self.joined_round = Some(sh.round.id);
@@ -484,6 +551,20 @@ impl<M: Model> Task for SimThreadTask<M> {
                     self.phase = Phase::Finishing;
                     return Step::work(self.shared.borrow().cost.sched_op, WorkTag::Sched);
                 }
+                // An armed checkpoint round force-subscribed us while we
+                // waited for the lock: its participant snapshot now includes
+                // this thread, so parking would wedge the round. Abort the
+                // deactivation and go fold into the round instead.
+                if sh.round.open
+                    && sh.round.participant[self.tid]
+                    && self.joined_round != Some(sh.round.id)
+                {
+                    sh.subscribed[self.tid] = true;
+                    drop(sh);
+                    ctx.mutex_unlock(m);
+                    self.phase = Phase::Cycle;
+                    return Step::work(self.shared.borrow().cost.sched_op, WorkTag::Sched);
+                }
                 let ok = sh.dd_finalize_deact(self.tid);
                 if ok {
                     sh.record_transition(now, self.tid, false);
@@ -531,9 +612,19 @@ impl<M: Model> Task for SimThreadTask<M> {
             }
 
             Phase::Finishing => {
+                if std::env::var_os("GG_TRACE").is_some() {
+                    eprintln!(
+                        "[trace] t{} finishing after {} cycles",
+                        self.tid, self.total_cycles
+                    );
+                }
                 self.engine.finalize();
                 sh.final_stats[self.tid] = Some(self.engine.stats().clone());
                 sh.final_digests[self.tid] = self.engine.state_digests();
+                drop(sh);
+                return Step::Done;
+            }
+            Phase::Dead => {
                 drop(sh);
                 return Step::Done;
             }

@@ -1,0 +1,148 @@
+//! Supervised virtual-machine execution: the same bounded-recovery loop as
+//! the real-thread runtime, in virtual time.
+//!
+//! A scripted worker kill tears an attempt down ([`SimResult::killed`]); the
+//! supervisor restores the newest GVT-aligned checkpoint, remaps the dead
+//! thread's LPs onto the survivors, and resumes one thread smaller. When
+//! `max_recoveries` is exhausted the run degrades to the sequential engine
+//! from the last cut — a supervised run always completes. No wall-clock
+//! backoff is applied: the machine is deterministic and single-threaded, so
+//! sleeping would only slow the host down.
+
+use crate::runner::{run_sim_resumable, RunConfig, SimResult};
+use pdes_core::{
+    run_sequential, run_sequential_from, Checkpoint, FaultInjector, Model, SequentialResult,
+    SimThreadId, SupervisorConfig,
+};
+use std::sync::Arc;
+
+/// How a supervised virtual-machine run finished.
+// The parallel result dwarfs the sequential one; a supervised run yields
+// exactly one outcome, so boxing would only complicate every caller.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum VmRecovered {
+    /// The simulated parallel runtime completed (possibly after recoveries).
+    Parallel(SimResult),
+    /// Recovery was exhausted; the sequential engine finished the run from
+    /// the last checkpoint (or from genesis when none existed).
+    Sequential(SequentialResult),
+}
+
+impl VmRecovered {
+    pub fn committed(&self) -> u64 {
+        match self {
+            VmRecovered::Parallel(r) => r.metrics.committed,
+            VmRecovered::Sequential(s) => s.committed,
+        }
+    }
+
+    pub fn commit_digest(&self) -> u64 {
+        match self {
+            VmRecovered::Parallel(r) => r.metrics.commit_digest,
+            VmRecovered::Sequential(s) => s.commit_digest,
+        }
+    }
+
+    /// Final per-LP state digests, in LP order.
+    pub fn state_digests(&self) -> &[u64] {
+        match self {
+            VmRecovered::Parallel(r) => &r.digests,
+            VmRecovered::Sequential(s) => &s.state_digests,
+        }
+    }
+}
+
+/// Outcome of a supervised run — always a completed simulation.
+#[derive(Debug, Clone)]
+pub struct VmSupervisedRun {
+    pub outcome: VmRecovered,
+    /// Recoveries performed (0 = first attempt succeeded).
+    pub recoveries: u32,
+    /// Whether the run fell back to the sequential engine.
+    pub degraded: bool,
+    /// One line per failed attempt, for operators and tests.
+    pub log: Vec<String>,
+}
+
+impl VmSupervisedRun {
+    pub fn completed_parallel(&self) -> bool {
+        matches!(self.outcome, VmRecovered::Parallel(_))
+    }
+}
+
+/// Run `model` on the virtual machine under supervision. Mirrors
+/// `thread_rt::run_supervised`; see that module for the recovery contract.
+pub fn run_sim_supervised<M: Model>(
+    model: &Arc<M>,
+    rc: &RunConfig,
+    sup: &SupervisorConfig,
+) -> VmSupervisedRun {
+    let mut cfg = rc.clone();
+    let mut ckpt: Option<Checkpoint<M::State, M::Payload>> = None;
+    // Kills consumed since the newest checkpoint's fault cursor was taken
+    // (reset when a fresher checkpoint arrives — its cursor embeds them).
+    let mut consumed: Vec<usize> = Vec::new();
+    let mut recoveries = 0u32;
+    let mut log = Vec::new();
+
+    loop {
+        let injector = match ckpt.as_ref().and_then(|c| c.cursor.as_ref()) {
+            Some(cur) => FaultInjector::with_cursor(cfg.faults.clone(), cur),
+            None => FaultInjector::new(cfg.faults.clone()),
+        };
+        for &t in &consumed {
+            injector.consume_kill(t);
+        }
+        let attempt = run_sim_resumable(model, &cfg, ckpt.as_ref(), Some(injector));
+        let loads = attempt.thread_loads;
+        if let Some(c) = attempt.checkpoint {
+            ckpt = Some(c);
+            consumed.clear();
+        }
+        if attempt.result.completed {
+            return VmSupervisedRun {
+                outcome: VmRecovered::Parallel(attempt.result),
+                recoveries,
+                degraded: false,
+                log,
+            };
+        }
+        let killed = attempt.result.killed;
+        log.push(format!(
+            "attempt {} failed: {}",
+            recoveries + 1,
+            match killed {
+                Some(t) => format!("worker {t} killed (scripted fault)"),
+                None => "stalled (virtual-time watchdog or deadlock)".to_string(),
+            }
+        ));
+        if recoveries >= sup.max_recoveries {
+            // Graceful degradation: finish sequentially from the last cut.
+            let seq = match &ckpt {
+                Some(c) => run_sequential_from(model, &cfg.engine, c, None),
+                None => run_sequential(model, &cfg.engine, None),
+            };
+            log.push("recovery budget exhausted; degraded to sequential".into());
+            return VmSupervisedRun {
+                outcome: VmRecovered::Sequential(seq),
+                recoveries,
+                degraded: true,
+                log,
+            };
+        }
+        recoveries += 1;
+        if let Some(dead) = killed {
+            consumed.push(dead);
+            // Remap the dead thread's LPs onto the survivors when there is a
+            // checkpoint to resume under the new map; a pre-checkpoint
+            // failure just restarts from genesis on the original map.
+            if cfg.num_threads > 1 {
+                if let Some(c) = &mut ckpt {
+                    c.map = c.map.rebalanced_without(SimThreadId(dead as u32), &loads);
+                    cfg.num_threads -= 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed checkpoint assembly for the real-thread runtime.
+//!
+//! [`RtShared`](crate::shared::RtShared) carries only the *coordination*
+//! scalars of an armed checkpoint round (cadence, armed round id, the
+//! published cut GVT) because it is generic over the payload alone. The
+//! per-thread snapshots are typed by the model's state as well, so they flow
+//! through this separate sink: every participant of an armed round deposits
+//! its engine's cut here, and the last depositor assembles the full
+//! [`Checkpoint`], retains it in memory for the supervisor, and (when a path
+//! is configured) writes it to disk atomically.
+
+use parking_lot::Mutex;
+use pdes_core::{Checkpoint, Event, FaultInjector, LpCheckpoint, LpMap, Model, VirtualTime};
+use std::path::PathBuf;
+
+struct Deposit<M: Model> {
+    round: u64,
+    lps: Vec<LpCheckpoint<M::State>>,
+    events: Vec<Event<M::Payload>>,
+}
+
+/// Shared checkpoint sink of one run attempt.
+pub struct CkptSink<M: Model> {
+    /// Destination for atomic on-disk checkpoints (`None` = memory only).
+    pub path: Option<PathBuf>,
+    map: LpMap,
+    deposits: Mutex<Vec<Deposit<M>>>,
+    latest: Mutex<Option<Checkpoint<M::State, M::Payload>>>,
+}
+
+impl<M: Model> CkptSink<M> {
+    pub fn new(path: Option<PathBuf>, map: LpMap) -> Self {
+        CkptSink {
+            path,
+            map,
+            deposits: Mutex::new(Vec::new()),
+            latest: Mutex::new(None),
+        }
+    }
+
+    /// Deposit one participant's cut for the armed round `round`. The
+    /// depositor completing the set (`expected` participants) assembles and
+    /// publishes the checkpoint; returns whether this call assembled it.
+    ///
+    /// Deposits from an earlier round that never completed (a participant
+    /// died mid-round) are discarded here: rounds are serialized, so any
+    /// entry with a different round id is dead.
+    #[allow(clippy::too_many_arguments)] // one call site, all cut components
+    pub fn deposit(
+        &self,
+        round: u64,
+        gvt: VirtualTime,
+        gvt_rounds: u64,
+        lps: Vec<LpCheckpoint<M::State>>,
+        events: Vec<Event<M::Payload>>,
+        expected: usize,
+        faults: &FaultInjector,
+    ) -> bool {
+        let mut deps = self.deposits.lock();
+        deps.retain(|d| d.round == round);
+        deps.push(Deposit { round, lps, events });
+        if deps.len() < expected {
+            return false;
+        }
+        let mut all_lps = Vec::new();
+        let mut all_events = Vec::new();
+        for mut d in deps.drain(..) {
+            all_lps.append(&mut d.lps);
+            all_events.append(&mut d.events);
+        }
+        // Deposit order is a thread race; sort so the assembled checkpoint
+        // is identical across runs.
+        all_lps.sort_by_key(|l| l.lp);
+        all_events.sort_by_key(|e| e.key);
+        let ckpt = Checkpoint {
+            gvt,
+            gvt_rounds,
+            lps: all_lps,
+            events: all_events,
+            map: self.map.clone(),
+            cursor: faults.cursor(),
+        };
+        if let Some(path) = &self.path {
+            if let Err(e) = ckpt.write_atomic(path) {
+                eprintln!("[checkpoint] write failed (run continues): {e}");
+            }
+        }
+        *self.latest.lock() = Some(ckpt);
+        true
+    }
+
+    /// The newest fully assembled checkpoint of this attempt, if any.
+    pub fn latest(&self) -> Option<Checkpoint<M::State, M::Payload>> {
+        self.latest.lock().clone()
+    }
+}

@@ -14,11 +14,15 @@
 //! lock-free); see DESIGN.md.
 
 pub mod affinity;
+pub mod ckpt;
 pub mod runner;
 pub mod shared;
+pub mod supervisor;
 pub mod sync;
 pub mod worker;
 
-pub use runner::{run_threads, RtResult, RtRunConfig, RunError};
+pub use ckpt::CkptSink;
+pub use runner::{run_threads, run_threads_resumable, RtAttempt, RtResult, RtRunConfig, RunError};
 pub use shared::RtShared;
+pub use supervisor::{run_supervised, Recovered, SupervisedRun, SupervisorConfig};
 pub use sync::{DynBarrier, Semaphore};

@@ -7,14 +7,16 @@
 //! carries a structured [`StallDump`] of per-thread state for post-mortems.
 
 use crate::affinity::num_cores;
+use crate::ckpt::CkptSink;
 use crate::shared::RtShared;
 use crate::worker::{controller_loop, worker_loop, WorkerResult};
 use metrics::RunMetrics;
 use pdes_core::{
-    EngineConfig, FaultInjector, FaultPlan, LpId, LpMap, Model, SimThreadId, StallDump,
+    Checkpoint, EngineConfig, FaultInjector, FaultPlan, LpId, LpMap, Model, SimThreadId, StallDump,
     ThreadEngine,
 };
 use sim_rt::{Scheduler, SystemConfig};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -32,6 +34,12 @@ pub struct RtRunConfig {
     /// Wall-clock bound on GVT progress before the liveness watchdog trips
     /// (`None` disables the watchdog entirely).
     pub watchdog: Option<Duration>,
+    /// Take a GVT-aligned checkpoint every this many GVT rounds
+    /// (0 disables checkpointing).
+    pub checkpoint_every_gvt: u64,
+    /// Also persist each checkpoint here (atomic rename-into-place);
+    /// `None` keeps checkpoints in memory only.
+    pub checkpoint_path: Option<PathBuf>,
 }
 
 impl RtRunConfig {
@@ -43,6 +51,8 @@ impl RtRunConfig {
             pin_cores: num_cores(),
             faults: FaultPlan::default(),
             watchdog: Some(Duration::from_secs(30)),
+            checkpoint_every_gvt: 0,
+            checkpoint_path: None,
         }
     }
 
@@ -55,6 +65,18 @@ impl RtRunConfig {
     /// Override (or disable, with `None`) the liveness watchdog bound.
     pub fn with_watchdog(mut self, bound: Option<Duration>) -> Self {
         self.watchdog = bound;
+        self
+    }
+
+    /// Take a GVT-aligned checkpoint every `every` GVT rounds (0 disables).
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every_gvt = every;
+        self
+    }
+
+    /// Persist checkpoints to `path` (atomic rename-into-place).
+    pub fn with_checkpoint_path(mut self, path: PathBuf) -> Self {
+        self.checkpoint_path = Some(path);
         self
     }
 }
@@ -104,26 +126,94 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// One attempt of a (possibly supervised) real-thread run: the outcome plus
+/// everything the supervisor needs to recover from a failure — the newest
+/// checkpoint this attempt assembled and the per-thread committed-event
+/// loads, which survive even when the attempt itself errored (joined worker
+/// state is *not* discarded on failure; the load vector drives the LP remap
+/// onto survivors).
+pub struct RtAttempt<M: Model> {
+    pub outcome: Result<RtResult, RunError>,
+    pub checkpoint: Option<Checkpoint<M::State, M::Payload>>,
+    pub thread_loads: Vec<u64>,
+}
+
 /// Run `model` on real threads. Blocks until the simulation completes,
 /// panics, or trips the liveness watchdog — it never hangs indefinitely
 /// while the watchdog is armed.
 pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> Result<RtResult, RunError> {
-    let n = rc.num_threads;
-    assert!(
-        model.num_lps().is_multiple_of(n),
-        "weak scaling requires LPs divisible by thread count"
-    );
-    let map = LpMap::new(model.num_lps(), n, rc.engine.mapping);
-    let mut shared_init: RtShared<M::Payload> = RtShared::new(n, rc.pin_cores, rc.engine.end_time);
-    shared_init.set_faults(FaultInjector::new(rc.faults.clone()));
-    let shared = Arc::new(shared_init);
+    run_threads_resumable(model, rc, None, None).outcome
+}
 
-    // Build engines and pre-route initial events.
+/// Run one attempt, optionally resuming from a GVT-aligned checkpoint and
+/// with a pre-seeded fault injector (the supervisor restores fault-stream
+/// cursors and consumes the kill that felled the previous attempt before
+/// handing the injector in).
+///
+/// When `resume` is given, its map — not the formula map — assigns LPs to
+/// threads, `rc.num_threads` must match the map, and the weak-scaling
+/// divisibility requirement is waived (recovered maps are deliberately
+/// uneven).
+pub fn run_threads_resumable<M: Model>(
+    model: &Arc<M>,
+    rc: &RtRunConfig,
+    resume: Option<&Checkpoint<M::State, M::Payload>>,
+    faults: Option<FaultInjector>,
+) -> RtAttempt<M> {
+    let n = rc.num_threads;
+    let map = match resume {
+        Some(c) => {
+            assert_eq!(
+                c.map.num_threads as usize, n,
+                "checkpoint map threads must match the run config"
+            );
+            c.map.clone()
+        }
+        None => {
+            assert!(
+                model.num_lps().is_multiple_of(n),
+                "weak scaling requires LPs divisible by thread count"
+            );
+            LpMap::new(model.num_lps(), n, rc.engine.mapping)
+        }
+    };
+    let mut shared_init: RtShared<M::Payload> = RtShared::new(n, rc.pin_cores, rc.engine.end_time);
+    shared_init.set_faults(faults.unwrap_or_else(|| FaultInjector::new(rc.faults.clone())));
+    shared_init.set_checkpoint_every(rc.checkpoint_every_gvt);
+    if let Some(c) = resume {
+        shared_init.seed_gvt(c.gvt, c.gvt_rounds);
+    }
+    let shared = Arc::new(shared_init);
+    let sink: Arc<CkptSink<M>> = Arc::new(CkptSink::new(
+        if rc.checkpoint_every_gvt > 0 {
+            rc.checkpoint_path.clone()
+        } else {
+            None
+        },
+        map.clone(),
+    ));
+
+    // Build engines; a fresh run pre-routes the initial events, a resumed
+    // run instead restores each engine's share of the cut (initial events
+    // are already part of the checkpoint's history).
     let mut engines = Vec::with_capacity(n);
     for t in 0..n {
-        let mut eng = ThreadEngine::new(Arc::clone(model), map, SimThreadId(t as u32), &rc.engine);
-        for (dst, msg) in eng.take_init_events() {
-            shared.push_msg(t, dst.index(), msg);
+        let mut eng = ThreadEngine::new(
+            Arc::clone(model),
+            map.clone(),
+            SimThreadId(t as u32),
+            &rc.engine,
+        );
+        match resume {
+            Some(c) => {
+                eng.take_init_events();
+                eng.restore(&c.lps, &c.events, c.gvt);
+            }
+            None => {
+                for (dst, msg) in eng.take_init_events() {
+                    shared.push_msg(t, dst.index(), msg);
+                }
+            }
         }
         engines.push(eng);
     }
@@ -135,6 +225,7 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> Result<RtResul
         let sys = rc.system;
         let ecfg = rc.engine.clone();
         let pin_cores = rc.pin_cores;
+        let ck = Arc::clone(&sink);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("sim{t}"))
@@ -142,7 +233,7 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> Result<RtResul
                     // A panicking worker must not strand its siblings in
                     // semaphores or barriers: poison everything, then report.
                     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        worker_loop(t, eng, Arc::clone(&sh), sys, ecfg, pin_cores)
+                        worker_loop(t, eng, Arc::clone(&sh), sys, ecfg, pin_cores, ck)
                     }));
                     match caught {
                         Ok(r) => Ok(r),
@@ -209,11 +300,11 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> Result<RtResul
             .expect("spawn watchdog")
     });
 
-    let mut results: Vec<WorkerResult> = Vec::with_capacity(n);
+    let mut results: Vec<Option<WorkerResult>> = (0..n).map(|_| None).collect();
     let mut first_panic: Option<(usize, String)> = None;
     for (t, h) in handles.into_iter().enumerate() {
         match h.join().expect("worker join") {
-            Ok(r) => results.push(r),
+            Ok(r) => results[t] = Some(r),
             Err(message) => {
                 if first_panic.is_none() {
                     first_panic = Some((t, message));
@@ -232,18 +323,35 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> Result<RtResul
     });
     let wall = start.elapsed();
 
+    // Survivor state outlives a failed attempt: the per-thread committed
+    // loads feed the supervisor's LP remap, and the newest assembled
+    // checkpoint is what it restores from.
+    let thread_loads: Vec<u64> = results
+        .iter()
+        .map(|r| r.as_ref().map_or(0, |w| w.stats.committed))
+        .collect();
+    let checkpoint = sink.latest();
+
     // Panic beats stall: a panicked worker stops folding minima, so a
     // watchdog trip during teardown is a symptom, not the cause.
     if let Some((thread, message)) = first_panic {
-        return Err(RunError::WorkerPanicked { thread, message });
+        return RtAttempt {
+            outcome: Err(RunError::WorkerPanicked { thread, message }),
+            checkpoint,
+            thread_loads,
+        };
     }
     if let Some(dump) = stall {
-        return Err(RunError::Stalled(dump));
+        return RtAttempt {
+            outcome: Err(RunError::Stalled(dump)),
+            checkpoint,
+            thread_loads,
+        };
     }
 
     let mut total = pdes_core::ThreadStats::default();
     let mut digests: Vec<(LpId, u64)> = Vec::new();
-    for r in &results {
+    for r in results.iter().flatten() {
         total.merge(&r.stats);
         digests.extend(r.digests.iter().copied());
     }
@@ -266,10 +374,14 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> Result<RtResul
         pin_failures: shared.aff.lock().pin_failures,
         ..Default::default()
     };
-    Ok(RtResult {
-        metrics,
-        digests: digests.into_iter().map(|(_, d)| d).collect(),
-        gvt_regressions: shared.gvt_regressions.load(Ordering::Acquire),
-        fault_counts: shared.faults.counts(),
-    })
+    RtAttempt {
+        outcome: Ok(RtResult {
+            metrics,
+            digests: digests.into_iter().map(|(_, d)| d).collect(),
+            gvt_regressions: shared.gvt_regressions.load(Ordering::Acquire),
+            fault_counts: shared.faults.counts(),
+        }),
+        checkpoint,
+        thread_loads,
+    }
 }

@@ -87,6 +87,17 @@ pub struct RtShared<P> {
     /// Synchronous-mode rendezvous points (three per round).
     pub bars: [DynBarrier; 3],
 
+    // ---- GVT-aligned checkpointing ----
+    /// Checkpoint cadence in GVT rounds (0 = disabled).
+    ckpt_every: u64,
+    /// Round id armed for a checkpoint, stored as `id + 1` (0 = none).
+    /// Armed rounds force-wake every parked thread so the cut covers all
+    /// engines.
+    ckpt_armed: AtomicU64,
+    /// Set by the round's pseudo-controller once the checkpoint GVT is
+    /// published; End-phase participants wait on it before snapshotting.
+    ckpt_ready: AtomicBool,
+
     // ---- DD-PDES ----
     pub dd_lock: Mutex<()>,
     pub controller_exit: AtomicBool,
@@ -156,6 +167,9 @@ impl<P> RtShared<P> {
             gvt: AtomicU64::new(0),
             gvt_rounds: AtomicU64::new(0),
             terminated: AtomicBool::new(false),
+            ckpt_every: 0,
+            ckpt_armed: AtomicU64::new(0),
+            ckpt_ready: AtomicBool::new(false),
             bars: [
                 DynBarrier::new(num_threads),
                 DynBarrier::new(num_threads),
@@ -183,6 +197,40 @@ impl<P> RtShared<P> {
     /// worker threads).
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    /// Configure the checkpoint cadence in GVT rounds (0 disables; before
+    /// the shared state is published to worker threads).
+    pub fn set_checkpoint_every(&mut self, every: u64) {
+        self.ckpt_every = every;
+    }
+
+    /// Seed GVT state from a checkpoint (before the shared state is
+    /// published to worker threads): restored runs resume both the GVT
+    /// estimate and the round counter so the checkpoint cadence continues.
+    pub fn seed_gvt(&mut self, gvt: VirtualTime, rounds: u64) {
+        self.gvt = AtomicU64::new(gvt.ticks());
+        self.gvt_rounds = AtomicU64::new(rounds);
+    }
+
+    /// Whether round `id` was armed for a checkpoint at open time.
+    #[inline]
+    pub fn ckpt_armed_for(&self, id: u64) -> bool {
+        self.ckpt_armed.load(Ordering::Acquire) == id + 1
+    }
+
+    /// Whether the armed round's checkpoint GVT has been published.
+    #[inline]
+    pub fn ckpt_ready(&self) -> bool {
+        self.ckpt_ready.load(Ordering::Acquire)
+    }
+
+    /// Pseudo-controller half of the checkpoint handshake: after
+    /// `compute_gvt`, release the End-phase participants of an armed round.
+    pub fn ckpt_publish_if_armed(&self, id: u64) {
+        if self.ckpt_armed_for(id) {
+            self.ckpt_ready.store(true, Ordering::Release);
+        }
     }
 
     /// Publish the worker's control-loop phase (index into [`PHASE_NAMES`]).
@@ -335,6 +383,31 @@ impl<P> RtShared<P> {
         delivered
     }
 
+    /// Chaos-exempt drain for checkpoint cuts: flush the hold-back buffer
+    /// and the whole input queue into `out`, with no deferral, reordering,
+    /// or straggler holds. Every message sent before the cut GVT was folded
+    /// into that GVT (send windows publish before the push), so after this
+    /// drain the engine holds every cut-crossing event; anything pushed
+    /// later carries a send time at or above the cut and stays queued for
+    /// the ongoing run.
+    pub fn drain_clean(&self, me: usize, out: &mut Vec<Msg<P>>) -> usize {
+        self.queue_min[me].store(u64::MAX, Ordering::Release);
+        let mut n = 0;
+        {
+            let mut held = self.held[me].lock();
+            n += held.len();
+            out.extend(held.drain(..));
+        }
+        while let Some(m) = self.queues[me].pop() {
+            out.push(m);
+            n += 1;
+        }
+        if n > 0 {
+            self.queue_len[me].fetch_sub(n, Ordering::AcqRel);
+        }
+        n
+    }
+
     /// Fold a thread's local minimum and its send window into the round.
     pub fn fold_min(&self, me: usize, local: VirtualTime) {
         let w = self.window_min[me].swap(u64::MAX, Ordering::AcqRel);
@@ -371,6 +444,29 @@ impl<P> RtShared<P> {
         let mut m = self.membership.lock();
         if !m.open {
             m.open = true;
+            // Arm a checkpoint round on cadence: force-wake every parked
+            // thread first, so the round's participant set — and therefore
+            // the cut — covers every engine's committed state. The wake-ups
+            // are exempt from wake-up faults, like termination wake-ups:
+            // losing one would wedge the armed round rather than exercise
+            // anything interesting.
+            let arm = self.ckpt_every > 0
+                && !self.terminated.load(Ordering::Acquire)
+                && (self.gvt_rounds.load(Ordering::Acquire) + 1).is_multiple_of(self.ckpt_every);
+            if arm {
+                for i in 0..self.num_threads {
+                    if !m.subscribed[i] {
+                        m.subscribed[i] = true;
+                    }
+                    if !self.active[i].load(Ordering::Acquire) {
+                        self.active[i].store(true, Ordering::Release);
+                        self.num_active.fetch_add(1, Ordering::AcqRel);
+                        self.sems[i].post();
+                    }
+                }
+                self.ckpt_ready.store(false, Ordering::Release);
+                self.ckpt_armed.store(m.id + 1, Ordering::Release);
+            }
             let subscribed = m.subscribed.clone();
             m.participant.copy_from_slice(&subscribed);
             m.participants = subscribed.iter().filter(|&&s| s).count();

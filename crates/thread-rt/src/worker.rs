@@ -2,6 +2,7 @@
 //! demand-driven scheduling, executed inline on a real OS thread.
 
 use crate::affinity::{current_tid, note_pin_failure, pin_to_core, OsTid};
+use crate::ckpt::CkptSink;
 use crate::shared::RtShared;
 use pdes_core::{EngineConfig, LpId, Model, Msg, Outbound, ThreadEngine, VirtualTime};
 use sim_rt::{AffinityPolicy, GvtMode, Scheduler, SystemConfig};
@@ -77,6 +78,7 @@ pub fn worker_loop<M: Model>(
     sys: SystemConfig,
     ecfg: EngineConfig,
     pin_cores: usize,
+    ckpt: Arc<CkptSink<M>>,
 ) -> WorkerResult {
     sh.os_tids[me].store(current_tid().0, Ordering::Release);
     if sys.affinity == AffinityPolicy::Constant {
@@ -91,6 +93,7 @@ pub fn worker_loop<M: Model>(
     let mut inbox: Vec<Msg<M::Payload>> = Vec::new();
     let mut outbox: Vec<Outbound<M::Payload>> = Vec::new();
     let mut cycles_since_gvt: u64 = 0;
+    let mut total_cycles: u64 = 0;
     let mut zero_counter: u64 = 0;
     let mut active_flag = true;
     let mut joined: Option<u64> = None;
@@ -138,6 +141,13 @@ pub fn worker_loop<M: Model>(
         sh.set_phase(me, 0); // cycle
         if sh.terminated.load(Ordering::Acquire) {
             break;
+        }
+        total_cycles += 1;
+        if sh.faults.should_kill(me, total_cycles) {
+            // Scripted worker death: the panic unwinds through the runner's
+            // catch guard, which poisons the shared state and reports
+            // `RunError::WorkerPanicked` for the supervisor to recover from.
+            panic!("fault-injected worker kill (thread {me}, cycle {total_cycles})");
         }
         cycle(
             &mut engine,
@@ -221,7 +231,7 @@ pub fn worker_loop<M: Model>(
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    aware_duties(&sh, sys);
+                    aware_duties(&sh, sys, id);
                 }
             }
             GvtMode::Sync => {
@@ -236,7 +246,7 @@ pub fn worker_loop<M: Model>(
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    aware_duties(&sh, sys);
+                    aware_duties(&sh, sys, id);
                 }
                 sh.set_phase(me, 11); // sync-bar2
                 sh.bars[2].wait();
@@ -245,7 +255,46 @@ pub fn worker_loop<M: Model>(
 
         // Phase End.
         sh.set_phase(me, 6); // gvt-end
-        engine.fossil_collect(sh.gvt());
+        if sh.ckpt_armed_for(id) {
+            // The round was armed for a checkpoint at open time (with every
+            // thread force-woken into the participant set). Wait for the
+            // pseudo-controller to publish the cut GVT, then capture a
+            // consistent cut: a chaos-exempt drain first pulls in every
+            // cut-crossing message (all of them are queued by now — any
+            // event processed after the phase-B folds has recv ≥ GVT, so its
+            // sends do too), fossil collection pins the committed state at
+            // the cut, and the snapshot is deposited for assembly.
+            while !sh.ckpt_ready() && !sh.terminated.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            if sh.ckpt_ready() {
+                inbox.clear();
+                sh.drain_clean(me, &mut inbox);
+                outbox.clear();
+                for m in inbox.drain(..) {
+                    engine.deliver(m, &mut outbox);
+                }
+                for (dst, msg) in outbox.drain(..) {
+                    sh.push_msg(me, dst.index(), msg);
+                }
+                let g = sh.gvt();
+                engine.fossil_collect(g);
+                let (lps, events) = engine.snapshot_at_gvt(g);
+                ckpt.deposit(
+                    id,
+                    g,
+                    sh.gvt_rounds.load(Ordering::Acquire),
+                    lps,
+                    events,
+                    sh.participants(),
+                    &sh.faults,
+                );
+            } else {
+                engine.fossil_collect(sh.gvt());
+            }
+        } else {
+            engine.fossil_collect(sh.gvt());
+        }
         sh.gvt_wall_ns
             .fetch_add(enter.elapsed().as_nanos() as u64, Ordering::AcqRel);
         let terminated = sh.terminated.load(Ordering::Acquire);
@@ -332,9 +381,12 @@ fn drain_deliver<M: Model>(
 }
 
 /// Pseudo-controller duties: GVT, termination broadcast, activation.
-fn aware_duties<P>(sh: &RtShared<P>, sys: SystemConfig) {
+fn aware_duties<P>(sh: &RtShared<P>, sys: SystemConfig, id: u64) {
     let gvt = sh.compute_gvt();
     let _ = gvt;
+    // Unblock End-phase snapshotters even when this GVT also terminates the
+    // run — the final cut is still a valid (if redundant) checkpoint.
+    sh.ckpt_publish_if_armed(id);
     if sh.terminated.load(Ordering::Acquire) {
         sh.release_all_for_termination();
     } else if matches!(sys.scheduler, Scheduler::GgPdes) {

@@ -257,3 +257,66 @@ fn worker_panic_is_reported_not_hung() {
         Ok(_) => panic!("the bomb must go off"),
     }
 }
+
+/// Panic beats stall: a dead worker freezes GVT, so the liveness watchdog
+/// *will* trip while the siblings are being torn down — but the root cause
+/// is the panic, and that is what the runner must report. (The watchdog
+/// trip is load-bearing here: it is what unwedges the siblings so `join`
+/// returns at all.)
+#[test]
+fn worker_panic_beats_watchdog_stall() {
+    struct EarlyBomb {
+        inner: Phold,
+    }
+    impl pdes_core::Model for EarlyBomb {
+        type Payload = <Phold as pdes_core::Model>::Payload;
+        type State = <Phold as pdes_core::Model>::State;
+        fn num_lps(&self) -> usize {
+            self.inner.num_lps()
+        }
+        fn init_state(&self, lp: pdes_core::LpId) -> Self::State {
+            self.inner.init_state(lp)
+        }
+        fn init_events(
+            &self,
+            lp: pdes_core::LpId,
+            state: &mut Self::State,
+            ctx: &mut pdes_core::SendCtx<'_, Self::Payload>,
+        ) {
+            self.inner.init_events(lp, state, ctx)
+        }
+        fn handle_event(
+            &self,
+            lp: pdes_core::LpId,
+            state: &mut Self::State,
+            payload: &Self::Payload,
+            ctx: &mut pdes_core::SendCtx<'_, Self::Payload>,
+        ) {
+            // Die on LP 0's very first post-genesis event: GVT never
+            // advances, so the watchdog is guaranteed to fire afterwards.
+            if lp.0 == 0 && ctx.now() > pdes_core::VirtualTime::ZERO {
+                panic!("early injected panic");
+            }
+            self.inner.handle_event(lp, state, payload, ctx)
+        }
+        fn state_digest(&self, state: &Self::State) -> u64 {
+            self.inner.state_digest(state)
+        }
+    }
+    let threads = 4;
+    let model = Arc::new(EarlyBomb {
+        inner: Phold::new(PholdConfig::balanced(threads, 4)),
+    });
+    let ecfg = engine_cfg(8.0);
+    let rc =
+        RtRunConfig::new(threads, ecfg, gg_async()).with_watchdog(Some(Duration::from_millis(300)));
+    match run_threads(&model, &rc) {
+        Err(RunError::WorkerPanicked { message, .. }) => {
+            assert!(message.contains("early injected panic"), "got: {message}");
+        }
+        Err(RunError::Stalled(dump)) => {
+            panic!("watchdog trip masked the worker panic: {dump}")
+        }
+        Ok(_) => panic!("the bomb must go off"),
+    }
+}

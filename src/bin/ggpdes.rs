@@ -9,6 +9,7 @@
 //!        [--snapshot-period K] [--optimism-window W]
 //!        [--runtime vm|threads] [--verify] [--json]
 //!        [--chaos-seed S] [--chaos-plan FILE.json] [--watchdog-secs T]
+//!        [--checkpoint-every-gvt N] [--checkpoint-path FILE] [--max-recoveries N]
 //! ```
 //!
 //! Chaos harness: `--chaos-seed S` enables the default fault mix (delays,
@@ -18,6 +19,13 @@
 //! seconds on `--runtime threads`, virtual seconds on `vm`; `0` disables) —
 //! a stalled run exits with a per-thread diagnostic dump rather than
 //! hanging.
+//!
+//! Recovery: `--checkpoint-every-gvt N` takes a GVT-aligned consistent cut
+//! every `N` GVT rounds (written atomically to `--checkpoint-path` when
+//! given) and runs under a supervisor that restores the newest cut after a
+//! worker is lost, remapping its LPs onto the survivors. `--max-recoveries N`
+//! (default 3) bounds the retries; on exhaustion the run degrades to the
+//! sequential engine from the last cut and still completes.
 
 use ggpdes::prelude::*;
 use std::sync::Arc;
@@ -43,6 +51,9 @@ struct Args {
     chaos_seed: Option<u64>,
     chaos_plan: Option<String>,
     watchdog_secs: Option<f64>,
+    checkpoint_every_gvt: u64,
+    checkpoint_path: Option<String>,
+    max_recoveries: Option<u32>,
 }
 
 impl Default for Args {
@@ -67,6 +78,9 @@ impl Default for Args {
             chaos_seed: None,
             chaos_plan: None,
             watchdog_secs: None,
+            checkpoint_every_gvt: 0,
+            checkpoint_path: None,
+            max_recoveries: None,
         }
     }
 }
@@ -103,6 +117,11 @@ fn parse_args() -> Args {
             "--chaos-seed" => a.chaos_seed = Some(val().parse().expect("--chaos-seed")),
             "--chaos-plan" => a.chaos_plan = Some(val()),
             "--watchdog-secs" => a.watchdog_secs = Some(val().parse().expect("--watchdog-secs")),
+            "--checkpoint-every-gvt" => {
+                a.checkpoint_every_gvt = val().parse().expect("--checkpoint-every-gvt")
+            }
+            "--checkpoint-path" => a.checkpoint_path = Some(val()),
+            "--max-recoveries" => a.max_recoveries = Some(val().parse().expect("--max-recoveries")),
             "--help" | "-h" => {
                 println!("see module docs: cargo doc --open -p ggpdes");
                 std::process::exit(0);
@@ -174,6 +193,35 @@ fn fault_plan(a: &Args) -> FaultPlan {
     FaultPlan::default()
 }
 
+/// Report a run that degraded to the sequential engine (no `RunMetrics` —
+/// the parallel attempt was abandoned), verify it if asked, and exit 0.
+fn finish_degraded<M: Model>(
+    seq: &SequentialResult,
+    model: &Arc<M>,
+    ecfg: &EngineConfig,
+    a: &Args,
+) -> ! {
+    if a.verify {
+        let oracle = run_sequential(model, ecfg, None);
+        assert_eq!(
+            seq.commit_digest, oracle.commit_digest,
+            "degraded run diverged from the sequential oracle!"
+        );
+        eprintln!("verify: committed trace matches the sequential oracle ✓");
+    }
+    if a.json {
+        println!(
+            "{{\"degraded\":true,\"committed\":{},\"commit_digest\":{}}}",
+            seq.committed, seq.commit_digest
+        );
+    } else {
+        println!("degraded to sequential     : yes");
+        println!("committed events           : {}", seq.committed);
+        println!("commit digest              : {:#018x}", seq.commit_digest);
+    }
+    std::process::exit(0);
+}
+
 fn run<M: Model>(model: Arc<M>, a: &Args) {
     let ecfg = EngineConfig::default()
         .with_end_time(a.end)
@@ -183,6 +231,16 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
         .with_snapshot_period(a.snapshot_period)
         .with_optimism_window(a.optimism_window);
     let sys = system_of(a);
+    // Checkpointing or an explicit retry budget opts the run into the
+    // supervisor (which also needs checkpoints to recover from, so a bare
+    // --max-recoveries enables a per-round cut).
+    let supervised = a.checkpoint_every_gvt > 0 || a.max_recoveries.is_some();
+    let ckpt_every = if supervised {
+        a.checkpoint_every_gvt.max(1)
+    } else {
+        0
+    };
+    let sup = pdes_core::SupervisorConfig::new(a.max_recoveries.unwrap_or(3));
 
     let metrics = match a.runtime.as_str() {
         "vm" => {
@@ -200,19 +258,37 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                 Some(s) => Some((s * 1e9) as u64),
                 None => Some(10_000_000_000),
             };
-            let rc = sim_rt::RunConfig::new(a.threads, ecfg.clone(), sys)
+            let mut rc = sim_rt::RunConfig::new(a.threads, ecfg.clone(), sys)
                 .with_machine(mc)
                 .with_faults(fault_plan(a))
-                .with_watchdog_ns(watchdog_ns);
-            let r = sim_rt::run_sim(&model, &rc);
-            if let Some(dump) = &r.stall {
-                eprintln!("{dump}");
-                std::process::exit(1);
+                .with_watchdog_ns(watchdog_ns)
+                .with_checkpoint_every(ckpt_every);
+            if let Some(p) = &a.checkpoint_path {
+                rc = rc.with_checkpoint_path(p.into());
             }
-            if !r.completed {
-                eprintln!("warning: virtual time limit hit before completion");
+            if supervised {
+                let s = sim_rt::run_sim_supervised(&model, &rc, &sup);
+                for line in &s.log {
+                    eprintln!("supervisor: {line}");
+                }
+                if s.recoveries > 0 {
+                    eprintln!("supervisor: completed after {} recovery(ies)", s.recoveries);
+                }
+                match s.outcome {
+                    sim_rt::VmRecovered::Parallel(r) => r.metrics,
+                    sim_rt::VmRecovered::Sequential(seq) => finish_degraded(&seq, &model, &ecfg, a),
+                }
+            } else {
+                let r = sim_rt::run_sim(&model, &rc);
+                if let Some(dump) = &r.stall {
+                    eprintln!("{dump}");
+                    std::process::exit(1);
+                }
+                if !r.completed {
+                    eprintln!("warning: virtual time limit hit before completion");
+                }
+                r.metrics
             }
-            r.metrics
         }
         "threads" => {
             let watchdog = match a.watchdog_secs {
@@ -220,14 +296,34 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                 Some(s) => Some(std::time::Duration::from_secs_f64(s)),
                 None => Some(std::time::Duration::from_secs(30)),
             };
-            let rc = thread_rt::RtRunConfig::new(a.threads, ecfg.clone(), sys)
+            let mut rc = thread_rt::RtRunConfig::new(a.threads, ecfg.clone(), sys)
                 .with_faults(fault_plan(a))
-                .with_watchdog(watchdog);
-            match thread_rt::run_threads(&model, &rc) {
-                Ok(r) => r.metrics,
-                Err(err) => {
-                    eprintln!("{err}");
-                    std::process::exit(1);
+                .with_watchdog(watchdog)
+                .with_checkpoint_every(ckpt_every);
+            if let Some(p) = &a.checkpoint_path {
+                rc = rc.with_checkpoint_path(p.into());
+            }
+            if supervised {
+                let s = thread_rt::run_supervised(&model, &rc, &sup);
+                for line in &s.log {
+                    eprintln!("supervisor: {line}");
+                }
+                if s.recoveries > 0 {
+                    eprintln!("supervisor: completed after {} recovery(ies)", s.recoveries);
+                }
+                match s.outcome {
+                    thread_rt::Recovered::Parallel(r) => r.metrics,
+                    thread_rt::Recovered::Sequential(seq) => {
+                        finish_degraded(&seq, &model, &ecfg, a)
+                    }
+                }
+            } else {
+                match thread_rt::run_threads(&model, &rc) {
+                    Ok(r) => r.metrics,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        std::process::exit(1);
+                    }
                 }
             }
         }
