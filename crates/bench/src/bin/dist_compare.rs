@@ -1,0 +1,178 @@
+//! Scripted runtime comparison: the sequential oracle, the 2-thread
+//! shared-memory runtime, and the 2-shard distributed runtime on the same
+//! balanced PHOLD workload, emitted as one JSON document (`BENCH_<n>.json`
+//! at the repo root — the repo's perf trajectory across PRs).
+//!
+//! ```text
+//! dist_compare [--out FILE] [--end T] [--seed S] [--parts N] [--lps-per N] [--repeat R]
+//! ```
+//!
+//! Every run must commit the sequential trace (`equivalence: true` in the
+//! output) — a perf number from a diverged run is worthless. Wall time is
+//! the best of `--repeat` runs (default 3), which filters scheduler noise
+//! without hiding cold-start costs in an average.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dist_rt::{run_loopback, DistConfig, Transport};
+use models::{Phold, PholdConfig};
+use pdes_core::{run_sequential, EngineConfig};
+use sim_rt::{AffinityPolicy, GvtMode, Scheduler, SystemConfig};
+
+struct Opts {
+    out: String,
+    end: f64,
+    seed: u64,
+    parts: usize,
+    lps_per: usize,
+    repeat: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            out: "BENCH_3.json".into(),
+            end: 120.0,
+            seed: 0x5EED,
+            parts: 2,
+            lps_per: 256,
+            repeat: 3,
+        }
+    }
+}
+
+fn parse() -> Opts {
+    let mut o = Opts::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--out" => o.out = val().clone(),
+            "--end" => o.end = val().parse().expect("--end"),
+            "--seed" => o.seed = val().parse().expect("--seed"),
+            "--parts" => o.parts = val().parse().expect("--parts"),
+            "--lps-per" => o.lps_per = val().parse().expect("--lps-per"),
+            "--repeat" => o.repeat = val().parse::<usize>().expect("--repeat").max(1),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    o
+}
+
+struct Run {
+    runtime: &'static str,
+    wall_secs: f64,
+    committed: u64,
+    commit_digest: u64,
+}
+
+impl Run {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"runtime\": \"{}\", \"wall_secs\": {:.6}, \"committed\": {}, \
+             \"committed_per_sec\": {:.0}, \"commit_digest\": \"{:#018x}\"}}",
+            self.runtime,
+            self.wall_secs,
+            self.committed,
+            self.committed as f64 / self.wall_secs,
+            self.commit_digest,
+        )
+    }
+}
+
+/// Best-of-N wall time around `f`, which returns `(committed, digest)`.
+fn best_of(repeat: usize, mut f: impl FnMut() -> (u64, u64)) -> (f64, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut last = (0, 0);
+    for _ in 0..repeat {
+        let t0 = Instant::now();
+        last = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, last.0, last.1)
+}
+
+fn main() {
+    let o = parse();
+    let model = Arc::new(Phold::new(PholdConfig::balanced(o.parts, o.lps_per)));
+    let lps = o.parts * o.lps_per;
+    let ecfg = EngineConfig::default()
+        .with_end_time(o.end)
+        .with_seed(o.seed)
+        .with_gvt_interval(25)
+        .with_zero_counter_threshold(250)
+        .with_optimism_window(Some(4.0));
+    let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+
+    let (wall, committed, digest) = best_of(o.repeat, || {
+        let r = run_sequential(&model, &ecfg, None);
+        (r.committed, r.commit_digest)
+    });
+    let seq = Run {
+        runtime: "sequential",
+        wall_secs: wall,
+        committed,
+        commit_digest: digest,
+    };
+    eprintln!(
+        "sequential : {:.3}s, {} committed",
+        seq.wall_secs, seq.committed
+    );
+
+    let (wall, committed, digest) = best_of(o.repeat, || {
+        let rc = thread_rt::RtRunConfig::new(o.parts, ecfg.clone(), sys);
+        let r = thread_rt::run_threads(&model, &rc).expect("thread run completes");
+        (r.metrics.committed, r.metrics.commit_digest)
+    });
+    let thr = Run {
+        runtime: "thread-rt-2",
+        wall_secs: wall,
+        committed,
+        commit_digest: digest,
+    };
+    eprintln!(
+        "thread-rt  : {:.3}s, {} committed",
+        thr.wall_secs, thr.committed
+    );
+
+    let (wall, committed, digest) = best_of(o.repeat, || {
+        let dcfg = DistConfig {
+            shards: o.parts,
+            transport: Transport::Tcp,
+            ..DistConfig::default()
+        };
+        let r = run_loopback(Arc::clone(&model), &ecfg, &dcfg).expect("dist run completes");
+        (r.metrics.committed, r.metrics.commit_digest)
+    });
+    let dist = Run {
+        runtime: "dist-rt-2shard-tcp",
+        wall_secs: wall,
+        committed,
+        commit_digest: digest,
+    };
+    eprintln!(
+        "dist-rt    : {:.3}s, {} committed",
+        dist.wall_secs, dist.committed
+    );
+
+    let runs = [seq, thr, dist];
+    let equivalence = runs
+        .iter()
+        .all(|r| r.committed == runs[0].committed && r.commit_digest == runs[0].commit_digest);
+    assert!(equivalence, "a runtime diverged from the sequential oracle");
+
+    let body = runs.iter().map(Run::json).collect::<Vec<_>>().join(",\n");
+    let doc = format!(
+        "{{\n  \"bench\": \"runtime-comparison\",\n  \"model\": \"phold-balanced\",\n  \
+         \"lps\": {lps},\n  \"end_time\": {end},\n  \"seed\": {seed},\n  \
+         \"repeat\": {repeat},\n  \"runs\": [\n{body}\n  ],\n  \
+         \"equivalence\": {equivalence}\n}}\n",
+        end = o.end,
+        seed = o.seed,
+        repeat = o.repeat,
+    );
+    std::fs::write(&o.out, &doc).unwrap_or_else(|e| panic!("write {}: {e}", o.out));
+    println!("wrote {}", o.out);
+}

@@ -1,0 +1,109 @@
+//! Bridging a multi-threaded shard's [`thread_rt::RtShared`] to the
+//! distributed mesh.
+//!
+//! `thread-rt` routes messages by **global** simulation-thread id once a
+//! [`thread_rt::RemoteBoundary`] is installed: ids inside the shard's
+//! window go to local queues, everything else lands here. [`LinkBoundary`]
+//! translates the global thread id to the owning shard (via
+//! [`ShardMap::shard_of_thread`]) and stages the message for the node's
+//! link layer; [`RemoteBoundary::remote_min`] reports the cluster GVT so
+//! the shard's local GVT computation can never run ahead of the mesh.
+//!
+//! The current [`crate::node::ShardNode`] drives a single engine per shard,
+//! so this adapter is exercised by integration tests as the contract for a
+//! future threads-inside-shards composition rather than wired into the node
+//! loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pdes_core::{Msg, ShardMap, SimThreadId, VirtualTime};
+use thread_rt::RemoteBoundary;
+
+/// Stages out-of-shard messages, resolved to destination shards, and
+/// mirrors the mesh GVT into the shard's local GVT computation.
+pub struct LinkBoundary<P> {
+    map: ShardMap,
+    my_shard: usize,
+    /// `(sender local thread, destination shard, message)` in send order.
+    staged: Mutex<Vec<(usize, usize, Msg<P>)>>,
+    /// Mesh GVT floor in ticks (`u64::MAX` = no remote constraint yet).
+    remote_min_ticks: AtomicU64,
+}
+
+impl<P> LinkBoundary<P> {
+    pub fn new(map: ShardMap, my_shard: usize) -> LinkBoundary<P> {
+        LinkBoundary {
+            map,
+            my_shard,
+            staged: Mutex::new(Vec::new()),
+            remote_min_ticks: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Drain everything staged since the last call, in send order.
+    pub fn drain(&self) -> Vec<(usize, usize, Msg<P>)> {
+        std::mem::take(&mut *self.staged.lock().expect("boundary poisoned"))
+    }
+
+    /// Publish the latest cluster GVT (ticks) into the shard.
+    pub fn set_remote_min(&self, ticks: u64) {
+        self.remote_min_ticks.store(ticks, Ordering::Release);
+    }
+}
+
+impl<P: Send> RemoteBoundary<P> for LinkBoundary<P> {
+    fn send_remote(&self, from_local: usize, dst: SimThreadId, msg: Msg<P>) {
+        let shard = self.map.shard_of_thread(dst);
+        debug_assert_ne!(
+            shard, self.my_shard,
+            "in-shard thread {dst} routed to the remote boundary"
+        );
+        self.staged
+            .lock()
+            .expect("boundary poisoned")
+            .push((from_local, shard, msg));
+    }
+
+    fn remote_min(&self) -> VirtualTime {
+        VirtualTime(self.remote_min_ticks.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdes_core::{EventKey, EventUid, LpId, MapKind};
+
+    fn anti(t: u64, dst: u32) -> Msg<u8> {
+        Msg::Anti(EventKey {
+            recv_time: VirtualTime::from_ticks(t),
+            dst: LpId(dst),
+            uid: EventUid::new(LpId(0), 1),
+        })
+    }
+
+    #[test]
+    fn resolves_global_threads_to_shards() {
+        // 8 LPs, 2 shards x 2 threads: global threads 0-1 are shard 0,
+        // 2-3 are shard 1.
+        let map = ShardMap::new(8, 2, 2, MapKind::Block);
+        let b: LinkBoundary<u8> = LinkBoundary::new(map, 0);
+        b.send_remote(1, SimThreadId(2), anti(10, 4));
+        b.send_remote(0, SimThreadId(3), anti(20, 5));
+        let staged = b.drain();
+        assert_eq!(staged.len(), 2);
+        assert_eq!((staged[0].0, staged[0].1), (1, 1));
+        assert_eq!((staged[1].0, staged[1].1), (0, 1));
+        assert!(b.drain().is_empty(), "drain must consume");
+    }
+
+    #[test]
+    fn remote_min_defaults_open_and_tracks_updates() {
+        let map = ShardMap::new(4, 2, 1, MapKind::Block);
+        let b: LinkBoundary<u8> = LinkBoundary::new(map, 0);
+        assert!(b.remote_min().is_infinite());
+        b.set_remote_min(123);
+        assert_eq!(b.remote_min().ticks(), 123);
+    }
+}

@@ -1,0 +1,585 @@
+//! Cluster launchers: loopback (threads over memory or TCP links), a
+//! kill-and-recover supervisor, the deterministic stepped harness, and the
+//! single-shard entry point for real multi-process runs.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use metrics::RunMetrics;
+use pdes_core::{Checkpoint, EngineConfig, LinkFaultPlan, LinkFaults, LpId, LpMap, Model};
+
+use crate::link::{read_hello, spawn_tcp_reader, write_hello, Inbox, MemTx, ReliableLink, TcpTx};
+use crate::node::{CkptSlot, DistError, NodeConfig, NodeOutcome, ShardNode};
+
+/// How loopback shards talk to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// In-process memory links (deterministic-friendly, TSan-friendly).
+    Mem,
+    /// Real TCP sockets on localhost.
+    Tcp,
+}
+
+/// Configuration of a whole distributed run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    pub shards: usize,
+    pub transport: Transport,
+    /// Per-directed-link fault plan (delay / drop / duplicate), seeded.
+    pub link_faults: Option<LinkFaultPlan>,
+    /// Scripted shard kills: `(shard, nth GVT publish observed)` — counted
+    /// in protocol progress so the kill is deterministic across hosts.
+    pub kills: Vec<(usize, u64)>,
+    /// Recovery attempts the supervisor may spend on kills.
+    pub max_recoveries: u32,
+    /// Checkpoint cut every this many GVT rounds (0 = never).
+    pub ckpt_every_rounds: u64,
+    /// Cycles between GVT round starts.
+    pub gvt_interval_cycles: u64,
+    /// Cycles between wave re-polls.
+    pub wave_interval_cycles: u64,
+    /// GVT-liveness watchdog per shard.
+    pub watchdog: Option<Duration>,
+    /// TCP mesh setup deadline.
+    pub mesh_timeout: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            shards: 2,
+            transport: Transport::Mem,
+            link_faults: None,
+            kills: Vec::new(),
+            max_recoveries: 0,
+            ckpt_every_rounds: 0,
+            gvt_interval_cycles: 32,
+            wave_interval_cycles: 4,
+            watchdog: Some(Duration::from_secs(10)),
+            mesh_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The assembled outcome of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    pub metrics: RunMetrics,
+    /// Final per-LP state digests, ascending by LP.
+    pub state_digests: Vec<(LpId, u64)>,
+    /// XOR-fold of per-shard unprocessed-event digests.
+    pub pending_digest: u64,
+    /// Final published GVT (ticks).
+    pub gvt: u64,
+    /// Clamped GVT regressions (should be 0).
+    pub regressions: u64,
+    /// Kill recoveries performed.
+    pub recoveries: u32,
+    /// Whether the last recovery restored from an assembled checkpoint cut
+    /// (as opposed to replaying from the start).
+    pub used_checkpoint: bool,
+}
+
+fn node_cfg(dcfg: &DistConfig, shard: usize) -> NodeConfig {
+    NodeConfig {
+        gvt_interval_cycles: dcfg.gvt_interval_cycles,
+        wave_interval_cycles: dcfg.wave_interval_cycles,
+        ckpt_every_rounds: dcfg.ckpt_every_rounds,
+        watchdog: dcfg.watchdog,
+        kill_at: dcfg
+            .kills
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, at)| *at),
+    }
+}
+
+fn link_faults_for(plan: &Option<LinkFaultPlan>, src: usize, dst: usize) -> Option<LinkFaults> {
+    plan.as_ref()
+        .filter(|p| p.is_active())
+        .map(|p| LinkFaults::new(p, src, dst))
+}
+
+/// Build shard `i`'s links over shared in-memory inboxes.
+fn mem_links(
+    i: usize,
+    inboxes: &[Arc<Inbox>],
+    plan: &Option<LinkFaultPlan>,
+) -> Vec<Option<ReliableLink>> {
+    (0..inboxes.len())
+        .map(|j| {
+            (j != i).then(|| {
+                ReliableLink::new(
+                    Box::new(MemTx {
+                        peer_inbox: Arc::clone(&inboxes[j]),
+                        from: i,
+                    }),
+                    link_faults_for(plan, i, j),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Full-mesh TCP handshake for shard `shard`: connect to every lower shard
+/// (retrying until `timeout`), accept from every higher one, exchanging the
+/// raw `Hello` shard-id preamble. Returns one stream per peer.
+pub fn tcp_mesh(
+    shard: usize,
+    num_shards: usize,
+    listener: TcpListener,
+    connect_addrs: &[SocketAddr],
+    timeout: Duration,
+) -> Result<Vec<Option<TcpStream>>, DistError> {
+    assert!(
+        connect_addrs.len() >= shard,
+        "need an address per lower shard"
+    );
+    let deadline = Instant::now() + timeout;
+    let mut streams: Vec<Option<TcpStream>> = (0..num_shards).map(|_| None).collect();
+    let timeout_err = |what: String| DistError::ConnectTimeout {
+        shard,
+        detail: what,
+    };
+    for (j, addr) in connect_addrs.iter().enumerate().take(shard) {
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(timeout_err(format!(
+                            "shard {j} at {addr} never accepted: {e}"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        stream.set_nodelay(true)?;
+        let mut stream = stream;
+        write_hello(&mut stream, shard)?;
+        streams[j] = Some(stream);
+    }
+    listener.set_nonblocking(true)?;
+    let mut expected = num_shards - shard - 1;
+    while expected > 0 {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+                stream.set_nonblocking(false)?;
+                let mut stream = stream;
+                let peer = read_hello(&mut stream)?;
+                if peer <= shard || peer >= num_shards {
+                    return Err(DistError::Protocol {
+                        shard,
+                        detail: format!("bogus Hello from shard {peer}"),
+                    });
+                }
+                if streams[peer].replace(stream).is_some() {
+                    return Err(DistError::Protocol {
+                        shard,
+                        detail: format!("shard {peer} connected twice"),
+                    });
+                }
+                stream_clear_timeout(&mut streams, peer)?;
+                expected -= 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(timeout_err(format!(
+                        "{expected} higher shard(s) never connected"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(DistError::Io(e)),
+        }
+    }
+    Ok(streams)
+}
+
+fn stream_clear_timeout(streams: &mut [Option<TcpStream>], peer: usize) -> Result<(), DistError> {
+    streams[peer]
+        .as_ref()
+        .expect("just inserted")
+        .set_read_timeout(None)?;
+    Ok(())
+}
+
+/// Turn handshake streams into reliable links + reader threads feeding
+/// `inbox`.
+fn tcp_links(
+    i: usize,
+    streams: Vec<Option<TcpStream>>,
+    inbox: &Arc<Inbox>,
+    plan: &Option<LinkFaultPlan>,
+) -> Result<Vec<Option<ReliableLink>>, DistError> {
+    let mut links = Vec::with_capacity(streams.len());
+    for (j, s) in streams.into_iter().enumerate() {
+        match s {
+            None => links.push(None),
+            Some(stream) => {
+                let reader = stream.try_clone()?;
+                spawn_tcp_reader(reader, j, Arc::clone(inbox));
+                links.push(Some(ReliableLink::new(
+                    Box::new(TcpTx { stream }),
+                    link_faults_for(plan, i, j),
+                )));
+            }
+        }
+    }
+    Ok(links)
+}
+
+/// Assemble the coordinator's [`NodeOutcome`] into a [`DistResult`].
+fn assemble_result(out: NodeOutcome, shards: usize, lps: usize, wall_secs: f64) -> DistResult {
+    let metrics = RunMetrics {
+        system: "GG-PDES-Dist".to_string(),
+        threads: shards,
+        lps,
+        wall_secs,
+        committed: out.totals.committed,
+        processed: out.totals.processed,
+        rolled_back: out.totals.rolled_back,
+        rollbacks: out.totals.rollbacks,
+        antis_sent: out.totals.antis_sent,
+        gvt_rounds: out.gvt_rounds,
+        max_descheduled: out.max_parked as usize,
+        commit_digest: out.totals.commit_digest,
+        ..Default::default()
+    };
+    DistResult {
+        metrics,
+        state_digests: out.state_digests,
+        pending_digest: out.pending_digest,
+        gvt: out.gvt,
+        regressions: out.regressions,
+        recoveries: 0,
+        used_checkpoint: false,
+    }
+}
+
+/// Run the whole simulation as `dcfg.shards` loopback shards (one thread
+/// each) and supervise scripted kills: a killed cohort is torn down and
+/// every shard is restored from the latest assembled checkpoint cut (or
+/// replayed from the start if none exists yet).
+pub fn run_loopback<M: Model>(
+    model: Arc<M>,
+    ecfg: &EngineConfig,
+    dcfg: &DistConfig,
+) -> Result<DistResult, DistError> {
+    let n = dcfg.shards;
+    assert!(n >= 1, "need at least one shard");
+    let num_lps = model.num_lps();
+    let flat_map = LpMap::new(num_lps, n, ecfg.mapping);
+    let slot: CkptSlot<M> = Arc::new(Mutex::new(None));
+    let t0 = Instant::now();
+    let mut dcfg = dcfg.clone();
+    let mut recoveries = 0u32;
+    let mut used_checkpoint = false;
+    loop {
+        let abort = Arc::new(AtomicBool::new(false));
+        let restore: Option<Checkpoint<M::State, M::Payload>> =
+            slot.lock().expect("ckpt slot poisoned").clone();
+        if recoveries > 0 && restore.is_some() {
+            used_checkpoint = true;
+        }
+        // For the memory transport every inbox is shared up-front; TCP
+        // shards bind their listeners here and handshake inside their
+        // threads.
+        let inboxes: Vec<Arc<Inbox>> = (0..n).map(|_| Inbox::new()).collect();
+        let mut listeners: Vec<Option<TcpListener>> = Vec::new();
+        let mut addrs: Vec<SocketAddr> = Vec::new();
+        if dcfg.transport == Transport::Tcp {
+            for _ in 0..n {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                addrs.push(l.local_addr()?);
+                listeners.push(Some(l));
+            }
+        }
+        let results: Vec<(Result<(), DistError>, Option<NodeOutcome>)> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for i in 0..n {
+                let model = Arc::clone(&model);
+                let flat_map = flat_map.clone();
+                let abort = Arc::clone(&abort);
+                let slot = Arc::clone(&slot);
+                let restore = restore.clone();
+                let dcfg = &dcfg;
+                let inboxes = &inboxes;
+                let addrs = &addrs;
+                let listener = listeners.get_mut(i).and_then(|l| l.take());
+                handles.push(s.spawn(move || {
+                    let build = || -> Result<ShardNode<M>, DistError> {
+                        let (inbox, links) = match dcfg.transport {
+                            Transport::Mem => (
+                                Arc::clone(&inboxes[i]),
+                                mem_links(i, inboxes, &dcfg.link_faults),
+                            ),
+                            Transport::Tcp => {
+                                let streams = tcp_mesh(
+                                    i,
+                                    n,
+                                    listener.expect("listener bound"),
+                                    addrs,
+                                    dcfg.mesh_timeout,
+                                )?;
+                                let inbox = Inbox::new();
+                                let links = tcp_links(i, streams, &inbox, &dcfg.link_faults)?;
+                                (inbox, links)
+                            }
+                        };
+                        let mut node = ShardNode::new(
+                            model,
+                            flat_map,
+                            i,
+                            n,
+                            ecfg,
+                            node_cfg(dcfg, i),
+                            links,
+                            inbox,
+                            (i == 0).then(|| Arc::clone(&slot)),
+                            Some(Arc::clone(&abort)),
+                        );
+                        match &restore {
+                            Some(ck) => node.restore(ck),
+                            None => node.bootstrap()?,
+                        }
+                        Ok(node)
+                    };
+                    match build() {
+                        Ok(mut node) => {
+                            let r = node.run();
+                            if r.is_err() {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            (r, node.take_outcome())
+                        }
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            (Err(e), None)
+                        }
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        let mut killed: Vec<usize> = Vec::new();
+        let mut outcome: Option<NodeOutcome> = None;
+        let mut hard_err: Option<DistError> = None;
+        for (r, out) in results {
+            match r {
+                Ok(()) => {
+                    if let Some(o) = out {
+                        outcome = Some(o);
+                    }
+                }
+                Err(DistError::Killed { shard }) => killed.push(shard),
+                // Collateral of a kill elsewhere in the cohort.
+                Err(DistError::Aborted { .. }) if hard_err.is_none() => {}
+                Err(e) if hard_err.is_none() => hard_err = Some(e),
+                Err(_) => {}
+            }
+        }
+        if killed.is_empty() {
+            if let Some(e) = hard_err {
+                return Err(e);
+            }
+            let out = outcome.ok_or(DistError::Protocol {
+                shard: 0,
+                detail: "coordinator finished without an outcome".to_string(),
+            })?;
+            let mut res = assemble_result(out, n, num_lps, t0.elapsed().as_secs_f64());
+            res.recoveries = recoveries;
+            res.used_checkpoint = used_checkpoint;
+            return Ok(res);
+        }
+        recoveries += killed.len() as u32;
+        if recoveries > dcfg.max_recoveries {
+            return Err(DistError::RecoveryExhausted {
+                attempts: recoveries,
+                last: format!("shard(s) {killed:?} killed"),
+            });
+        }
+        // A fired kill does not repeat.
+        dcfg.kills.retain(|(s, _)| !killed.contains(s));
+    }
+}
+
+/// One shard of a real multi-process run (the CLI's `--listen/--connect`
+/// path). Shard `shard` connects to `connect` (the listen addresses of
+/// shards `0..shard`, in order) and accepts the higher shards on `listen`.
+/// Returns the assembled [`DistResult`] on the coordinator, `None` on
+/// workers.
+pub struct ProcessOpts {
+    pub shards: usize,
+    pub shard: usize,
+    pub listen: String,
+    pub connect: Vec<String>,
+    pub dcfg: DistConfig,
+}
+
+pub fn run_shard_process<M: Model>(
+    model: Arc<M>,
+    ecfg: &EngineConfig,
+    opts: &ProcessOpts,
+) -> Result<Option<DistResult>, DistError> {
+    let n = opts.shards;
+    assert!(opts.shard < n, "shard id out of range");
+    assert_eq!(
+        opts.connect.len(),
+        opts.shard,
+        "need exactly one --connect per lower shard"
+    );
+    let num_lps = model.num_lps();
+    let flat_map = LpMap::new(num_lps, n, ecfg.mapping);
+    let listener = TcpListener::bind(&opts.listen)?;
+    let mut addrs = Vec::with_capacity(opts.connect.len());
+    for a in &opts.connect {
+        let resolved = a.to_socket_addrs()?.next().ok_or_else(|| {
+            DistError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{a} resolves to no address"),
+            ))
+        })?;
+        addrs.push(resolved);
+    }
+    let t0 = Instant::now();
+    let streams = tcp_mesh(opts.shard, n, listener, &addrs, opts.dcfg.mesh_timeout)?;
+    let inbox = Inbox::new();
+    let links = tcp_links(opts.shard, streams, &inbox, &opts.dcfg.link_faults)?;
+    let slot: CkptSlot<M> = Arc::new(Mutex::new(None));
+    let mut node = ShardNode::new(
+        model,
+        flat_map,
+        opts.shard,
+        n,
+        ecfg,
+        node_cfg(&opts.dcfg, opts.shard),
+        links,
+        inbox,
+        (opts.shard == 0).then(|| Arc::clone(&slot)),
+        None,
+    );
+    node.bootstrap()?;
+    node.run()?;
+    Ok(node
+        .take_outcome()
+        .map(|out| assemble_result(out, n, num_lps, t0.elapsed().as_secs_f64())))
+}
+
+/// Deterministic single-threaded cluster over memory links: every sweep
+/// steps each shard once, round-robin, and checks the GVT safety invariant
+/// (`published GVT <= every engine's pending minimum`) after every step.
+/// This is the harness the GVT property tests drive.
+pub struct SteppedCluster<M: Model> {
+    nodes: Vec<ShardNode<M>>,
+    slot: CkptSlot<M>,
+    /// Per-shard history of published GVT values (monotonicity checks).
+    pub gvt_history: Vec<Vec<u64>>,
+}
+
+impl<M: Model> SteppedCluster<M> {
+    pub fn new(
+        model: Arc<M>,
+        ecfg: &EngineConfig,
+        dcfg: &DistConfig,
+    ) -> Result<SteppedCluster<M>, DistError> {
+        assert_eq!(
+            dcfg.transport,
+            Transport::Mem,
+            "stepped clusters are memory-linked"
+        );
+        let n = dcfg.shards;
+        let num_lps = model.num_lps();
+        let flat_map = LpMap::new(num_lps, n, ecfg.mapping);
+        let slot: CkptSlot<M> = Arc::new(Mutex::new(None));
+        let inboxes: Vec<Arc<Inbox>> = (0..n).map(|_| Inbox::new()).collect();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut ncfg = node_cfg(dcfg, i);
+            ncfg.watchdog = None; // wall clock has no meaning here
+            let mut node = ShardNode::new(
+                Arc::clone(&model),
+                flat_map.clone(),
+                i,
+                n,
+                ecfg,
+                ncfg,
+                mem_links(i, &inboxes, &dcfg.link_faults),
+                Arc::clone(&inboxes[i]),
+                (i == 0).then(|| Arc::clone(&slot)),
+                None,
+            );
+            node.bootstrap()?;
+            nodes.push(node);
+        }
+        Ok(SteppedCluster {
+            gvt_history: vec![Vec::new(); nodes.len()],
+            nodes,
+            slot,
+        })
+    }
+
+    /// Step every unfinished shard once. Returns `true` when all are done.
+    pub fn sweep(&mut self) -> Result<bool, DistError> {
+        let mut all_done = true;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if node.finished() {
+                continue;
+            }
+            node.step()?;
+            // Safety: the published GVT never exceeds the true minimum —
+            // in particular never this engine's own pending minimum.
+            let (gvt, lmin) = (node.gvt(), node.local_min_ticks());
+            if gvt > lmin {
+                return Err(DistError::Protocol {
+                    shard: i,
+                    detail: format!("GVT {gvt} exceeds shard pending minimum {lmin}"),
+                });
+            }
+            match self.gvt_history[i].last() {
+                Some(&prev) if prev > gvt => {
+                    return Err(DistError::Protocol {
+                        shard: i,
+                        detail: format!("GVT regressed {prev} -> {gvt}"),
+                    });
+                }
+                Some(&prev) if prev == gvt => {}
+                _ => self.gvt_history[i].push(gvt),
+            }
+            if !node.finished() {
+                all_done = false;
+            }
+        }
+        Ok(all_done)
+    }
+
+    /// Sweep to completion (bounded) and return the coordinator's outcome.
+    pub fn run_to_completion(&mut self, max_sweeps: u64) -> Result<NodeOutcome, DistError> {
+        for _ in 0..max_sweeps {
+            if self.sweep()? {
+                let out = self.nodes[0].take_outcome().ok_or(DistError::Protocol {
+                    shard: 0,
+                    detail: "finished without a coordinator outcome".to_string(),
+                })?;
+                return Ok(out);
+            }
+        }
+        Err(DistError::Stalled {
+            shard: 0,
+            detail: format!("not finished after {max_sweeps} sweeps"),
+        })
+    }
+
+    /// The latest assembled checkpoint, if any round was armed.
+    pub fn latest_checkpoint(&self) -> Option<Checkpoint<M::State, M::Payload>> {
+        self.slot.lock().expect("ckpt slot poisoned").clone()
+    }
+}

@@ -1,0 +1,57 @@
+//! # ggpdes-dist-rt — the engine across shards
+//!
+//! A multi-shard distributed runtime: the simulation is partitioned into
+//! `N` shards, each running a [`pdes_core::ThreadEngine`] over its slice of
+//! LPs and exchanging remote events / anti-messages over length-prefixed
+//! frames on TCP sockets (or in-memory links for deterministic tests).
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`wire`] — a compact binary codec over the vendored serde data model
+//!   plus `u32`-length-prefixed framing.
+//! - [`link`] — a reliable, in-order link layer (sequence numbers, cumulative
+//!   acks, retransmission, dedup) over an unreliable packet transport. Link
+//!   faults ([`pdes_core::LinkFaultPlan`]) — delay, drop, duplicate — are
+//!   injected *below* this layer, so the retransmission machinery is what
+//!   keeps the simulation correct under them.
+//! - [`gvt`] — asynchronous Mattern-style distributed GVT: an epoch-colored
+//!   cut per round, per-link white send/receive counters, and a coordinator
+//!   that re-polls (waves) until the counters match — no global barrier, and
+//!   shards keep processing while a round is in flight.
+//! - [`node`] — one shard: pumps links, delivers remote messages into its
+//!   engine, processes batches, participates in GVT rounds, contributes
+//!   per-shard cuts to distributed checkpoints, and de-schedules itself when
+//!   it holds no live work (demand-driven throttling at shard granularity).
+//! - [`launcher`] — loopback cluster launchers (threads over memory or TCP
+//!   links), a kill-and-recover supervisor that restores every shard from
+//!   the latest assembled checkpoint cut, and a deterministic single-threaded
+//!   [`launcher::SteppedCluster`] for property tests.
+//! - [`boundary`] — a [`thread_rt::RemoteBoundary`] adapter so a future
+//!   multi-threaded shard can route out-of-shard sends through these links.
+//!
+//! ## Correctness contract
+//!
+//! Every distributed run must commit the exact sequential-oracle trace:
+//! identical commit digest, per-LP state digests, and pending digest — at
+//! any shard count, under link faults, and across a kill-and-recover.
+//! The distributed GVT is monotonically non-decreasing and never exceeds
+//! the true global minimum (a delivered message below the published GVT is
+//! a protocol error, not a silent wrong answer).
+
+pub mod boundary;
+pub mod gvt;
+pub mod launcher;
+pub mod link;
+pub mod node;
+pub mod proto;
+pub mod wire;
+
+pub use boundary::LinkBoundary;
+pub use gvt::{Coordinator, GvtTracker, RoundClosure};
+pub use launcher::{
+    run_loopback, run_shard_process, DistConfig, DistResult, ProcessOpts, SteppedCluster, Transport,
+};
+pub use link::{FrameTx, Inbox, MemTx, Packet, ReliableLink, TcpTx};
+pub use node::{DistError, NodeOutcome, ShardNode};
+pub use proto::Frame;
+pub use wire::WireError;

@@ -1,0 +1,898 @@
+//! One shard of the distributed runtime.
+//!
+//! A [`ShardNode`] owns a [`ThreadEngine`] over its slice of LPs and a
+//! [`ReliableLink`] per peer. Its [`ShardNode::step`] is one cycle of the
+//! main loop — drain the inbox, drive GVT rounds (coordinator only),
+//! process a batch, pump the links — and is public so the deterministic
+//! [`crate::launcher::SteppedCluster`] can interleave shards round-robin.
+//! [`ShardNode::run`] wraps `step` with inbox parking and a wall-clock
+//! GVT-liveness watchdog for real (threaded / multi-process) runs.
+//!
+//! ## Demand-driven shard throttling
+//!
+//! On every GVT publish the node re-evaluates demand: a shard whose engine
+//! holds no live pending work parks itself — it stops taking batches (and,
+//! under [`ShardNode::run`], blocks on its inbox) until an inbound event
+//! re-creates demand. This is the paper's demand-driven deactivation
+//! applied at shard granularity: quiet inbound links and an empty pending
+//! set mean the shard consumes no CPU until a remote event arrives.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pdes_core::{
+    Checkpoint, EngineConfig, Event, LpCheckpoint, LpId, LpMap, Model, Msg, Outbound, ThreadEngine,
+    ThreadStats, VirtualTime,
+};
+
+use crate::gvt::{Coordinator, GvtTracker, RoundClosure, ShardReport};
+use crate::link::{Inbox, ReliableLink};
+use crate::proto::Frame;
+use crate::wire::{self, WireError};
+
+/// Why a distributed run stopped before producing a result.
+#[derive(Debug)]
+pub enum DistError {
+    /// Transport failure (socket error, peer hangup mid-run).
+    Io(std::io::Error),
+    /// Frame/packet decoding failure.
+    Wire(WireError),
+    /// Protocol invariant violated — includes GVT overshoot (a delivered
+    /// message below the published GVT), the one error that must never be
+    /// silent.
+    Protocol { shard: usize, detail: String },
+    /// The GVT-liveness watchdog expired: no round completed in time.
+    Stalled { shard: usize, detail: String },
+    /// Scripted fault: this shard was killed at its programmed cycle.
+    Killed { shard: usize },
+    /// Another shard in the cohort failed; this one aborted cleanly.
+    Aborted { shard: usize },
+    /// Mesh setup gave up: a peer never accepted/connected in time.
+    ConnectTimeout { shard: usize, detail: String },
+    /// The recovery supervisor ran out of attempts.
+    RecoveryExhausted { attempts: u32, last: String },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "link i/o error: {e}"),
+            DistError::Wire(e) => write!(f, "wire error: {e}"),
+            DistError::Protocol { shard, detail } => {
+                write!(f, "protocol violation on shard {shard}: {detail}")
+            }
+            DistError::Stalled { shard, detail } => {
+                write!(f, "shard {shard} stalled: {detail}")
+            }
+            DistError::Killed { shard } => write!(f, "shard {shard} killed (scripted fault)"),
+            DistError::Aborted { shard } => write!(f, "shard {shard} aborted"),
+            DistError::ConnectTimeout { shard, detail } => {
+                write!(f, "shard {shard} mesh setup timed out: {detail}")
+            }
+            DistError::RecoveryExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "recovery exhausted after {attempts} attempts; last error: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> Self {
+        DistError::Wire(e)
+    }
+}
+
+/// Lifecycle phase of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Phase {
+    /// Normal simulation: batches, GVT rounds, checkpoints.
+    Running,
+    /// `Publish{terminate}` seen: no more batches, but keep pumping and
+    /// delivering until the coordinator proves the links drained.
+    Draining,
+    /// `Finish` seen, engine finalized, `Done` sent: flush remaining acks.
+    Flushing,
+    /// All done.
+    Done,
+}
+
+/// What one [`ShardNode::step`] accomplished (parking hint for `run`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// Frames handled or events processed — keep going.
+    Progress,
+    /// Nothing to do this cycle — safe to block on the inbox briefly.
+    Idle,
+    /// The node's role in the run is complete.
+    Finished,
+}
+
+/// A worker's final contribution, also assembled by the coordinator.
+#[derive(Debug, Clone)]
+struct DoneData {
+    stats: ThreadStats,
+    digests: Vec<(LpId, u64)>,
+    pending_digest: u64,
+    parked: u64,
+}
+
+/// The coordinator's assembled outcome of a whole distributed run.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// Per-shard stats merged into totals.
+    pub totals: ThreadStats,
+    /// Final per-LP state digests, ascending by LP.
+    pub state_digests: Vec<(LpId, u64)>,
+    /// XOR-fold of per-shard pending digests.
+    pub pending_digest: u64,
+    /// GVT rounds completed.
+    pub gvt_rounds: u64,
+    /// Final published GVT (ticks).
+    pub gvt: u64,
+    /// Raw-minimum regressions clamped by the coordinator (should be 0).
+    pub regressions: u64,
+    /// Maximum shards simultaneously parked by demand throttling (lower
+    /// bound: folded from per-shard episode counts).
+    pub max_parked: u64,
+}
+
+/// Tuning knobs a node needs beyond the engine's own [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Cycles between GVT round starts (coordinator pacing).
+    pub gvt_interval_cycles: u64,
+    /// Cycles between wave re-polls within a round.
+    pub wave_interval_cycles: u64,
+    /// Take a checkpoint cut every this many GVT rounds (0 = never).
+    pub ckpt_every_rounds: u64,
+    /// Wall-clock GVT-liveness watchdog for [`ShardNode::run`].
+    pub watchdog: Option<Duration>,
+    /// Scripted fault: die upon observing the `n`th GVT publish. Counted in
+    /// protocol progress, not step cycles, so the kill lands at the same
+    /// point of the simulation regardless of host speed or scheduling.
+    pub kill_at: Option<u64>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            gvt_interval_cycles: 32,
+            wave_interval_cycles: 4,
+            ckpt_every_rounds: 0,
+            watchdog: Some(Duration::from_secs(10)),
+            kill_at: None,
+        }
+    }
+}
+
+/// Shared slot the coordinator publishes assembled checkpoints into; the
+/// launcher's recovery path restores every shard from it.
+pub type CkptSlot<M> = Arc<Mutex<Option<Checkpoint<<M as Model>::State, <M as Model>::Payload>>>>;
+
+/// One shard's contribution to a checkpoint cut: its LP checkpoints plus
+/// the in-flight events it owns at the cut.
+type ShardCut<M> = (
+    Vec<LpCheckpoint<<M as Model>::State>>,
+    Vec<Event<<M as Model>::Payload>>,
+);
+
+/// One shard: engine + links + GVT tracker (+ coordinator on shard 0).
+pub struct ShardNode<M: Model> {
+    pub shard: usize,
+    n: usize,
+    engine: ThreadEngine<M>,
+    /// `links[p]` is the reliable link to shard `p` (`None` for self).
+    links: Vec<Option<ReliableLink>>,
+    inbox: Arc<Inbox>,
+    tracker: GvtTracker,
+    coord: Option<Coordinator>,
+    cfg: NodeConfig,
+    end_ticks: u64,
+    /// Last published GVT (ticks) as seen by this node.
+    gvt: u64,
+    cycles: u64,
+    /// GVT publishes this node has observed (scripted-kill clock).
+    publishes_seen: u64,
+    phase: Phase,
+    /// Demand throttle: parked shards take no batches.
+    parked: bool,
+    parked_episodes: u64,
+    /// Set while a `Publish{terminate}` has been seen by the coordinator.
+    terminated: bool,
+    /// Coordinator: round the terminate was published in.
+    terminate_round: Option<u64>,
+    // Round pacing (cycle counters, deterministic in stepped mode).
+    round_due_at: u64,
+    wave_due_at: Option<u64>,
+    pending_wave: Option<(u64, u64)>, // (round, wave) to broadcast when due
+    // Coordinator: checkpoint assembly.
+    cut_parts: Vec<Option<ShardCut<M>>>,
+    cut_round: Option<(u64, u64)>, // (round, gvt_ticks)
+    last_cut_done: Option<u64>,
+    ckpt_slot: Option<CkptSlot<M>>,
+    flat_map: LpMap,
+    // Coordinator: done collection.
+    dones: Vec<Option<DoneData>>,
+    outcome: Option<NodeOutcome>,
+    /// Cohort-wide abort flag (set by a dying shard, checked by all).
+    abort: Option<Arc<AtomicBool>>,
+    // Watchdog.
+    last_liveness: Instant,
+    /// Cycles of ack-flushing after `Done` before calling it quits.
+    flush_left: u64,
+    outbox: Vec<Outbound<M::Payload>>,
+}
+
+impl<M: Model> ShardNode<M> {
+    /// Build one shard node. `flat_map` maps every LP to its owning shard
+    /// (`SimThreadId(shard)`); `links[p]` must be `Some` exactly for
+    /// `p != shard`. Shard 0 becomes the coordinator and needs `ckpt_slot`
+    /// when checkpoints are armed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        model: Arc<M>,
+        flat_map: LpMap,
+        shard: usize,
+        num_shards: usize,
+        ecfg: &EngineConfig,
+        ncfg: NodeConfig,
+        links: Vec<Option<ReliableLink>>,
+        inbox: Arc<Inbox>,
+        ckpt_slot: Option<CkptSlot<M>>,
+        abort: Option<Arc<AtomicBool>>,
+    ) -> ShardNode<M> {
+        assert_eq!(links.len(), num_shards);
+        assert!(links[shard].is_none(), "no link to self");
+        let engine = ThreadEngine::new(
+            Arc::clone(&model),
+            flat_map.clone(),
+            pdes_core::SimThreadId(shard as u32),
+            ecfg,
+        );
+        ShardNode {
+            shard,
+            n: num_shards,
+            engine,
+            links,
+            inbox,
+            tracker: GvtTracker::new(num_shards),
+            coord: (shard == 0).then(|| Coordinator::new(num_shards)),
+            cfg: ncfg,
+            end_ticks: ecfg.end_time.ticks(),
+            gvt: 0,
+            cycles: 0,
+            publishes_seen: 0,
+            phase: Phase::Running,
+            parked: false,
+            parked_episodes: 0,
+            terminated: false,
+            terminate_round: None,
+            round_due_at: 0,
+            wave_due_at: None,
+            pending_wave: None,
+            cut_parts: vec![None; num_shards],
+            cut_round: None,
+            last_cut_done: None,
+            ckpt_slot,
+            flat_map,
+            dones: vec![None; num_shards],
+            outcome: None,
+            abort,
+            last_liveness: Instant::now(),
+            flush_left: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Published GVT (ticks) as seen by this node.
+    pub fn gvt(&self) -> u64 {
+        self.gvt
+    }
+
+    /// The engine's pending minimum (ticks) — for invariant checks.
+    pub fn local_min_ticks(&self) -> u64 {
+        self.engine.local_min().ticks()
+    }
+
+    /// `true` once the node's role in the run is complete.
+    pub fn finished(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// The coordinator's assembled run outcome (present after it finishes).
+    pub fn take_outcome(&mut self) -> Option<NodeOutcome> {
+        self.outcome.take()
+    }
+
+    /// Restore this shard from a checkpointed global cut (recovery path).
+    /// The engine filters `ck.lps` / `ck.events` by ownership itself.
+    pub fn restore(&mut self, ck: &Checkpoint<M::State, M::Payload>) {
+        self.engine.restore(&ck.lps, &ck.events, ck.gvt);
+        self.gvt = ck.gvt.ticks();
+        if let Some(c) = &mut self.coord {
+            c.gvt = ck.gvt.ticks();
+            c.rounds_done = ck.gvt_rounds;
+        }
+        self.round_due_at = self.cfg.gvt_interval_cycles;
+    }
+
+    /// Route this shard's initial events (fresh starts only — a restored
+    /// run's events live in the checkpoint).
+    pub fn bootstrap(&mut self) -> Result<(), DistError> {
+        let init = self.engine.take_init_events();
+        for (tid, msg) in init {
+            let dst = tid.index();
+            if dst == self.shard {
+                let mut outbox = std::mem::take(&mut self.outbox);
+                self.engine.deliver(msg, &mut outbox);
+                self.outbox = outbox;
+            } else {
+                self.send_sim(dst, msg)?;
+            }
+        }
+        self.route_outbox()
+    }
+
+    fn send_frame(
+        &mut self,
+        peer: usize,
+        frame: &Frame<M::State, M::Payload>,
+    ) -> Result<(), DistError> {
+        let bytes = wire::to_bytes(frame);
+        let link = self.links[peer]
+            .as_mut()
+            .unwrap_or_else(|| panic!("no link {} -> {peer}", self.shard));
+        match link.send(&bytes) {
+            Ok(()) => Ok(()),
+            // A broken pipe while flushing final acks is not an error: the
+            // peer already finished and hung up.
+            Err(_) if self.phase >= Phase::Flushing => Ok(()),
+            Err(e) => Err(DistError::Io(e)),
+        }
+    }
+
+    fn send_sim(&mut self, peer: usize, msg: Msg<M::Payload>) -> Result<(), DistError> {
+        let tag = self.tracker.note_sent(peer);
+        self.send_frame(peer, &Frame::Sim { tag, msg })
+    }
+
+    /// Drain the engine outbox: color and ship remote messages. Send order
+    /// MUST be preserved — an anti-message overtaking the re-send of its
+    /// twin (or vice versa) would insert a duplicate key at the receiver.
+    fn route_outbox(&mut self) -> Result<(), DistError> {
+        let out = std::mem::take(&mut self.outbox);
+        for (tid, msg) in out {
+            let dst = tid.index();
+            debug_assert_ne!(dst, self.shard, "engine outbox never holds local msgs");
+            self.send_sim(dst, msg)?;
+        }
+        Ok(())
+    }
+
+    fn protocol_err(&self, detail: impl Into<String>) -> DistError {
+        DistError::Protocol {
+            shard: self.shard,
+            detail: detail.into(),
+        }
+    }
+
+    /// One main-loop cycle.
+    pub fn step(&mut self) -> Result<StepStatus, DistError> {
+        if self.phase == Phase::Done {
+            return Ok(StepStatus::Finished);
+        }
+        if let Some(abort) = &self.abort {
+            if abort.load(Ordering::Relaxed)
+                && self.cfg.kill_at.is_none_or(|at| self.publishes_seen < at)
+            {
+                return Err(DistError::Aborted { shard: self.shard });
+            }
+        }
+        self.cycles += 1;
+
+        let mut progress = false;
+
+        // 1. Drain the inbox through the reliable links into frame handling.
+        for (peer, bytes) in self.inbox.drain() {
+            progress = true;
+            if bytes.is_empty() {
+                // Link-closed sentinel from a TCP reader.
+                if self.phase >= Phase::Draining {
+                    continue;
+                }
+                return Err(DistError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    format!("shard {peer} hung up mid-run"),
+                )));
+            }
+            if self.links[peer].is_none() {
+                return Err(self.protocol_err(format!("packet from unlinked peer {peer}")));
+            }
+            let link = self.links[peer].as_mut().expect("checked above");
+            let frames = link.on_packet(&bytes)?;
+            for fb in frames {
+                let frame: Frame<M::State, M::Payload> = wire::from_bytes(&fb)?;
+                self.handle_frame(peer, frame)?;
+            }
+        }
+
+        // 2. Coordinator: drive rounds.
+        self.drive_rounds()?;
+
+        // 3. Simulate.
+        if self.phase == Phase::Running && !self.parked {
+            let mut outbox = std::mem::take(&mut self.outbox);
+            let out = self.engine.process_batch(self.engine_batch(), &mut outbox);
+            self.outbox = outbox;
+            self.route_outbox()?;
+            if out.processed > 0 {
+                progress = true;
+            }
+            // Demand check between publishes: new local work un-parks; a
+            // shard that just went empty waits for the next publish to park
+            // (publish is the scheduling decision point).
+        } else if self.phase == Phase::Running && self.parked && self.engine.has_live_pending() {
+            self.parked = false;
+            progress = true;
+        }
+
+        // 4. Pump every link (acks, retransmits, delayed releases).
+        for p in 0..self.n {
+            if let Some(link) = self.links[p].as_mut() {
+                match link.pump() {
+                    Ok(()) => {}
+                    Err(_) if self.phase >= Phase::Flushing => {}
+                    Err(e) => return Err(DistError::Io(e)),
+                }
+            }
+        }
+
+        // 5. Flushing: stay until every outgoing frame is acked (the `Done`
+        // must reach the coordinator; the coordinator must collect all of
+        // them), plus a short grace for reactive acks to peers.
+        if self.phase == Phase::Flushing {
+            self.flush_left = self.flush_left.saturating_sub(1);
+            let drained = self.links.iter().flatten().all(|l| l.drained());
+            if drained && self.flush_left == 0 && (self.coord.is_none() || self.outcome.is_some()) {
+                self.phase = Phase::Done;
+                return Ok(StepStatus::Finished);
+            }
+            return Ok(StepStatus::Progress);
+        }
+
+        Ok(if progress {
+            StepStatus::Progress
+        } else {
+            StepStatus::Idle
+        })
+    }
+
+    fn engine_batch(&self) -> usize {
+        // The engine already bounds optimism by gvt_hint + window; the batch
+        // size only controls how often the node services its links.
+        64
+    }
+
+    /// Coordinator-only: open rounds on schedule, re-poll waves when due.
+    fn drive_rounds(&mut self) -> Result<(), DistError> {
+        if self.coord.is_none() || self.phase > Phase::Draining {
+            return Ok(());
+        }
+        // Broadcast a due wave re-poll.
+        if let (Some((round, wave)), Some(due)) = (self.pending_wave, self.wave_due_at) {
+            if self.cycles >= due {
+                self.pending_wave = None;
+                self.wave_due_at = None;
+                self.broadcast_start(round, wave)?;
+            }
+        }
+        let in_flight = self.coord.as_ref().expect("coordinator").round.is_some();
+        if !in_flight && self.cycles >= self.round_due_at {
+            let armed = self.phase == Phase::Running
+                && self.cfg.ckpt_every_rounds > 0
+                && (self.coord.as_ref().expect("coordinator").rounds_done + 1)
+                    .is_multiple_of(self.cfg.ckpt_every_rounds);
+            let round = self.coord.as_mut().expect("coordinator").start_round(armed);
+            self.broadcast_start(round, 0)?;
+        }
+        Ok(())
+    }
+
+    fn broadcast_start(&mut self, round: u64, wave: u64) -> Result<(), DistError> {
+        let armed = self.coord.as_ref().expect("coordinator").armed;
+        let f = Frame::Start { round, wave, armed };
+        for p in 0..self.n {
+            if p != self.shard {
+                self.send_frame(p, &f)?;
+            }
+        }
+        // The coordinator is also a shard: handle its own Start inline.
+        self.handle_frame(self.shard, f)
+    }
+
+    fn handle_frame(
+        &mut self,
+        peer: usize,
+        frame: Frame<M::State, M::Payload>,
+    ) -> Result<(), DistError> {
+        match frame {
+            Frame::Hello { .. } => Err(self.protocol_err("Hello inside the reliable stream")),
+            Frame::Sim { tag, msg } => self.handle_sim(peer, tag, msg),
+            Frame::Start { round, wave, .. } => self.handle_start(round, wave),
+            Frame::Report {
+                round,
+                wave,
+                shard,
+                pending_min,
+                late_min,
+                white_sent,
+                white_recvd,
+            } => self.handle_report(
+                round,
+                shard as usize,
+                ShardReport {
+                    wave,
+                    pending_min,
+                    late_min,
+                    white_sent,
+                    white_recvd,
+                },
+            ),
+            Frame::Publish {
+                round,
+                gvt,
+                armed,
+                terminate,
+            } => self.handle_publish(round, gvt, armed, terminate),
+            Frame::Finish => self.handle_finish(),
+            Frame::CutPart {
+                round,
+                shard,
+                lps,
+                events,
+            } => self.handle_cut_part(round, shard as usize, lps, events),
+            Frame::Done {
+                shard,
+                stats,
+                digests,
+                pending_digest,
+                parked,
+            } => self.handle_done(
+                shard as usize,
+                DoneData {
+                    stats,
+                    digests,
+                    pending_digest,
+                    parked,
+                },
+            ),
+        }
+    }
+
+    fn handle_sim(&mut self, peer: usize, tag: u64, msg: Msg<M::Payload>) -> Result<(), DistError> {
+        let recv_ticks = msg.recv_time().ticks();
+        self.tracker.note_recvd(peer, tag, recv_ticks);
+        match self.phase {
+            Phase::Running | Phase::Draining => {
+                // THE safety check: a message below the published GVT means
+                // the distributed GVT overshot the true global minimum.
+                if recv_ticks < self.gvt {
+                    return Err(self.protocol_err(format!(
+                        "GVT overshoot: message at t={recv_ticks} below published gvt={}",
+                        self.gvt
+                    )));
+                }
+                if self.parked {
+                    // Inbound demand re-activates a parked shard.
+                    self.parked = false;
+                }
+                let mut outbox = std::mem::take(&mut self.outbox);
+                self.engine.deliver(msg, &mut outbox);
+                self.outbox = outbox;
+                self.route_outbox()
+            }
+            // After finalize, nothing may touch the engine; the drain round
+            // proved no such message can exist.
+            Phase::Flushing | Phase::Done => {
+                Err(self.protocol_err(format!("Sim frame from shard {peer} after Finish")))
+            }
+        }
+    }
+
+    fn handle_start(&mut self, round: u64, wave: u64) -> Result<(), DistError> {
+        // Round traffic counts as liveness: long multi-wave rounds must not
+        // trip a participant's watchdog.
+        self.last_liveness = Instant::now();
+        if wave == 0 {
+            self.tracker
+                .take_cut(round, self.engine.local_min().ticks());
+        }
+        let (pending_min, late_min, white_sent, white_recvd) = self.tracker.report();
+        let rep = Frame::Report {
+            round,
+            wave,
+            shard: self.shard as u64,
+            pending_min,
+            late_min,
+            white_sent,
+            white_recvd,
+        };
+        if self.shard == 0 {
+            self.handle_frame(0, rep)
+        } else {
+            self.send_frame(0, &rep)
+        }
+    }
+
+    fn handle_report(
+        &mut self,
+        round: u64,
+        shard: usize,
+        rep: ShardReport,
+    ) -> Result<(), DistError> {
+        let Some(coord) = self.coord.as_mut() else {
+            return Err(self.protocol_err("Report received by non-coordinator"));
+        };
+        match coord.on_report(round, shard, rep) {
+            RoundClosure::Pending => Ok(()),
+            RoundClosure::NextWave(wave) => {
+                // Pace the re-poll: give late whites a few cycles to land.
+                self.pending_wave = Some((round, wave));
+                self.wave_due_at = Some(self.cycles + self.cfg.wave_interval_cycles);
+                Ok(())
+            }
+            RoundClosure::Publish { gvt } => {
+                let armed = coord.armed;
+                let was_terminated = self.terminated;
+                let terminate = gvt >= self.end_ticks;
+                self.terminated = self.terminated || terminate;
+                if terminate && self.terminate_round.is_none() {
+                    self.terminate_round = Some(round);
+                }
+                self.round_due_at = self.cycles + self.cfg.gvt_interval_cycles;
+                // A matched round that started after termination proves the
+                // links are drained: nobody processed during it, so nothing
+                // is in flight any more. Publish, then Finish.
+                let drained = was_terminated && self.terminate_round.is_some_and(|tr| round > tr);
+                let pub_frame = Frame::Publish {
+                    round,
+                    gvt,
+                    armed,
+                    terminate,
+                };
+                for p in 1..self.n {
+                    self.send_frame(p, &pub_frame)?;
+                }
+                self.handle_frame(self.shard, pub_frame)?;
+                if drained {
+                    // Every data frame is proven delivered; run teardown on
+                    // the clean transport so it converges under any fault
+                    // plan.
+                    for link in self.links.iter_mut().flatten() {
+                        link.clear_faults();
+                    }
+                    for p in 1..self.n {
+                        self.send_frame(p, &Frame::Finish)?;
+                    }
+                    self.handle_frame(self.shard, Frame::Finish)?;
+                } else if self.terminated {
+                    // Drain round: start immediately, no pacing needed.
+                    self.round_due_at = self.cycles;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn handle_publish(
+        &mut self,
+        round: u64,
+        gvt: u64,
+        armed: bool,
+        terminate: bool,
+    ) -> Result<(), DistError> {
+        if gvt < self.gvt {
+            return Err(self.protocol_err(format!("published GVT regressed: {gvt} < {}", self.gvt)));
+        }
+        self.publishes_seen += 1;
+        // The scripted kill dies on *receipt* of the fatal publish, before
+        // applying it — deterministic in protocol progress, not wall clock.
+        if self.cfg.kill_at.is_some_and(|at| self.publishes_seen >= at)
+            && self.phase == Phase::Running
+        {
+            if let Some(abort) = &self.abort {
+                abort.store(true, Ordering::Relaxed);
+            }
+            return Err(DistError::Killed { shard: self.shard });
+        }
+        self.gvt = gvt;
+        self.last_liveness = Instant::now();
+        let vt = VirtualTime::from_ticks(gvt);
+        self.engine.fossil_collect(vt);
+        if armed && self.phase == Phase::Running {
+            // Every white of this round was delivered before the publish,
+            // and every red is above the cut's minima — the engine sits
+            // exactly on a consistent global cut at `gvt`.
+            let (lps, events) = self.engine.snapshot_at_gvt(vt);
+            let part = Frame::CutPart {
+                round,
+                shard: self.shard as u64,
+                lps,
+                events,
+            };
+            if self.shard == 0 {
+                self.handle_frame(0, part)?;
+            } else {
+                self.send_frame(0, &part)?;
+            }
+        }
+        if terminate {
+            self.phase = Phase::Draining;
+        } else if self.phase == Phase::Running {
+            // The GVT publish is the demand-driven scheduling point: a
+            // shard with no live work parks until an event re-creates
+            // demand.
+            let demand = self.engine.has_live_pending();
+            if !demand && !self.parked {
+                self.parked = true;
+                self.parked_episodes += 1;
+            } else if demand {
+                self.parked = false;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_cut_part(
+        &mut self,
+        round: u64,
+        shard: usize,
+        lps: Vec<LpCheckpoint<M::State>>,
+        events: Vec<Event<M::Payload>>,
+    ) -> Result<(), DistError> {
+        if self.coord.is_none() {
+            return Err(self.protocol_err("CutPart received by non-coordinator"));
+        }
+        match self.cut_round {
+            Some((r, _)) if r == round => {}
+            // A straggler part of an older, abandoned cut: drop it rather
+            // than clobbering the assembly in progress.
+            Some((r, _)) if r > round => return Ok(()),
+            _ if self.last_cut_done.is_some_and(|r| round <= r) => return Ok(()),
+            _ => {
+                self.cut_round = Some((round, self.gvt));
+                self.cut_parts = vec![None; self.n];
+            }
+        }
+        if self.cut_parts[shard].replace((lps, events)).is_some() {
+            return Err(
+                self.protocol_err(format!("shard {shard} sent two CutParts for round {round}"))
+            );
+        }
+        if self.cut_parts.iter().all(|p| p.is_some()) {
+            let (r, gvt_ticks) = self.cut_round.take().expect("cut in progress");
+            self.last_cut_done = Some(r);
+            let parts = std::mem::take(&mut self.cut_parts)
+                .into_iter()
+                .map(|p| p.expect("all parts present"))
+                .collect();
+            let rounds = self.coord.as_ref().expect("coordinator").rounds_done;
+            let ck = Checkpoint::assemble(
+                VirtualTime::from_ticks(gvt_ticks),
+                rounds,
+                self.flat_map.clone(),
+                parts,
+                None,
+            )
+            .map_err(|e| self.protocol_err(format!("inconsistent cut: {e}")))?;
+            self.cut_parts = vec![None; self.n];
+            if let Some(slot) = &self.ckpt_slot {
+                *slot.lock().expect("ckpt slot poisoned") = Some(ck);
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_finish(&mut self) -> Result<(), DistError> {
+        if self.phase != Phase::Draining {
+            return Err(self.protocol_err(format!("Finish in phase {:?}", self.phase)));
+        }
+        for link in self.links.iter_mut().flatten() {
+            link.clear_faults();
+        }
+        self.engine.finalize();
+        let done = Frame::Done {
+            shard: self.shard as u64,
+            stats: self.engine.stats().clone(),
+            digests: self.engine.state_digests(),
+            pending_digest: self.engine.pending_digest(),
+            parked: self.parked_episodes,
+        };
+        self.phase = Phase::Flushing;
+        self.flush_left = 16;
+        if self.shard == 0 {
+            self.handle_frame(0, done)
+        } else {
+            self.send_frame(0, &done)
+        }
+    }
+
+    fn handle_done(&mut self, shard: usize, d: DoneData) -> Result<(), DistError> {
+        let Some(coord) = self.coord.as_ref() else {
+            return Err(self.protocol_err("Done received by non-coordinator"));
+        };
+        if self.dones[shard].replace(d).is_some() {
+            return Err(self.protocol_err(format!("shard {shard} reported Done twice")));
+        }
+        if self.dones.iter().all(|d| d.is_some()) {
+            let mut totals = ThreadStats::default();
+            let mut state_digests = Vec::new();
+            let mut pending_digest = 0u64;
+            let mut max_parked = 0u64;
+            for d in self.dones.iter().flatten() {
+                totals.merge(&d.stats);
+                state_digests.extend(d.digests.iter().copied());
+                pending_digest ^= d.pending_digest;
+                max_parked = max_parked.max(d.parked);
+            }
+            state_digests.sort_by_key(|(lp, _)| *lp);
+            self.outcome = Some(NodeOutcome {
+                totals,
+                state_digests,
+                pending_digest,
+                gvt_rounds: coord.rounds_done,
+                gvt: coord.gvt,
+                regressions: coord.regressions,
+                max_parked,
+            });
+        }
+        Ok(())
+    }
+
+    /// Threaded main loop: step until finished, parking on the inbox when
+    /// idle and enforcing the GVT-liveness watchdog.
+    pub fn run(&mut self) -> Result<(), DistError> {
+        self.last_liveness = Instant::now();
+        loop {
+            if let Some(limit) = self.cfg.watchdog {
+                if self.last_liveness.elapsed() > limit {
+                    return Err(DistError::Stalled {
+                        shard: self.shard,
+                        detail: format!(
+                            "no GVT liveness for {:.1}s (gvt={}, phase {:?})",
+                            limit.as_secs_f64(),
+                            self.gvt,
+                            self.phase
+                        ),
+                    });
+                }
+            }
+            match self.step()? {
+                StepStatus::Finished => return Ok(()),
+                StepStatus::Progress => {}
+                StepStatus::Idle => {
+                    // Park briefly: woken by any inbound packet. The short
+                    // coordinator timeout keeps round pacing alive.
+                    let wait = if self.coord.is_some() {
+                        Duration::from_micros(200)
+                    } else {
+                        Duration::from_millis(2)
+                    };
+                    self.inbox.wait_nonempty(wait);
+                }
+            }
+        }
+    }
+}

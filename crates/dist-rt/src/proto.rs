@@ -1,0 +1,176 @@
+//! The inter-shard frame protocol.
+//!
+//! Every frame travels through the reliable link layer ([`crate::link`]),
+//! so the protocol can assume in-order, exactly-once delivery per directed
+//! link. The only exception is [`Frame::Hello`], which is exchanged raw
+//! during TCP mesh setup, *before* the reliable layer starts.
+
+use pdes_core::{Event, LpCheckpoint, LpId, Msg, ThreadStats};
+use serde::{Deserialize, Serialize};
+
+/// One protocol frame. `S`/`P` are the model's state and payload types.
+///
+/// GVT frames speak in **ticks** ([`pdes_core::VirtualTime::ticks`]) rather
+/// than `f64` so the wire never rounds a timestamp.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Frame<S, P> {
+    /// TCP handshake: the connecting side announces its shard id. Never
+    /// sent through the reliable layer.
+    Hello { shard: u64 },
+    /// A simulation message (positive event or anti-message), colored with
+    /// the sender's GVT epoch at send time: `tag <= r` means the message is
+    /// *white* for round `r` (sent before the sender's round-`r` cut).
+    Sim { tag: u64, msg: Msg<P> },
+    /// Coordinator → all: open round `round` (wave 0 cuts the epoch) or
+    /// re-poll it (`wave > 0`). `armed` rounds take a checkpoint cut on
+    /// publish.
+    Start { round: u64, wave: u64, armed: bool },
+    /// Shard → coordinator: the shard's round contribution. `pending_min`
+    /// is frozen at the wave-0 cut; `late_min` folds every white message
+    /// that arrived *after* the cut; `white_sent`/`white_recvd` are the
+    /// per-peer white message counters (`white_sent` frozen at the cut,
+    /// `white_recvd` fresh at every wave so late arrivals eventually match).
+    Report {
+        round: u64,
+        wave: u64,
+        shard: u64,
+        pending_min: u64,
+        late_min: u64,
+        white_sent: Vec<u64>,
+        white_recvd: Vec<u64>,
+    },
+    /// Coordinator → all: the round's GVT (ticks). `armed` requests a
+    /// checkpoint cut at this GVT; `terminate` announces `gvt >= end_time`.
+    Publish {
+        round: u64,
+        gvt: u64,
+        armed: bool,
+        terminate: bool,
+    },
+    /// Coordinator → all: every link is provably drained (a full round
+    /// matched after termination with nobody processing); finalize and
+    /// report [`Frame::Done`].
+    Finish,
+    /// Shard → coordinator: this shard's contribution to the round's
+    /// checkpoint cut (its LP snapshots plus cut-crossing events).
+    CutPart {
+        round: u64,
+        shard: u64,
+        lps: Vec<LpCheckpoint<S>>,
+        events: Vec<Event<P>>,
+    },
+    /// Shard → coordinator: final statistics and digests after `finalize`.
+    Done {
+        shard: u64,
+        stats: ThreadStats,
+        digests: Vec<(LpId, u64)>,
+        pending_digest: u64,
+        parked: u64,
+    },
+}
+
+impl<S, P> Frame<S, P> {
+    /// Short human name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::Sim { .. } => "Sim",
+            Frame::Start { .. } => "Start",
+            Frame::Report { .. } => "Report",
+            Frame::Publish { .. } => "Publish",
+            Frame::Finish => "Finish",
+            Frame::CutPart { .. } => "CutPart",
+            Frame::Done { .. } => "Done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{from_bytes, to_bytes};
+    use pdes_core::{EventKey, EventUid, VirtualTime};
+
+    type F = Frame<u32, u8>;
+
+    fn key(t: u64, dst: u32) -> EventKey {
+        EventKey {
+            recv_time: VirtualTime::from_ticks(t),
+            dst: LpId(dst),
+            uid: EventUid::new(LpId(0), 7),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_wire() {
+        let frames: Vec<F> = vec![
+            Frame::Hello { shard: 3 },
+            Frame::Sim {
+                tag: 2,
+                msg: Msg::Event(Event {
+                    key: key(99, 1),
+                    send_time: VirtualTime::from_ticks(42),
+                    payload: 5,
+                }),
+            },
+            Frame::Sim {
+                tag: 0,
+                msg: Msg::Anti(key(7, 0)),
+            },
+            Frame::Start {
+                round: 4,
+                wave: 1,
+                armed: true,
+            },
+            Frame::Report {
+                round: 4,
+                wave: 1,
+                shard: 2,
+                pending_min: 1000,
+                late_min: u64::MAX,
+                white_sent: vec![3, 0, 1],
+                white_recvd: vec![0, 2, 2],
+            },
+            Frame::Publish {
+                round: 4,
+                gvt: 900,
+                armed: false,
+                terminate: false,
+            },
+            Frame::Finish,
+            Frame::Done {
+                shard: 1,
+                stats: ThreadStats {
+                    processed: 10,
+                    committed: 9,
+                    commit_digest: 0xDEAD,
+                    ..Default::default()
+                },
+                digests: vec![(LpId(2), 11), (LpId(3), 12)],
+                pending_digest: 0xBEEF,
+                parked: 2,
+            },
+        ];
+        for f in frames {
+            let bytes = to_bytes(&f);
+            let back: F = from_bytes(&bytes).expect("decode");
+            assert_eq!(format!("{f:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn cut_part_round_trips() {
+        let f: F = Frame::CutPart {
+            round: 9,
+            shard: 0,
+            lps: vec![],
+            events: vec![Event {
+                key: key(5, 2),
+                send_time: VirtualTime::ZERO,
+                payload: 1,
+            }],
+        };
+        let back: F = from_bytes(&to_bytes(&f)).expect("decode");
+        assert_eq!(format!("{f:?}"), format!("{back:?}"));
+    }
+}

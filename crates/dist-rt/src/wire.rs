@@ -1,0 +1,365 @@
+//! Compact binary wire format.
+//!
+//! Frames on the shard links carry serde-derived values (events,
+//! anti-messages, GVT control traffic, checkpoint cuts). The vendored serde
+//! reduces every `Serialize` type to a [`Value`] tree; this module encodes
+//! that tree as a tagged binary stream — one tag byte per node, LEB128
+//! varints for unsigned integers and lengths, zigzag varints for signed
+//! integers, IEEE-754 bits little-endian for floats. The encoding is
+//! canonical (no map-order or whitespace freedom), so identical values
+//! produce identical bytes on every shard — a property the equivalence
+//! digests rely on.
+//!
+//! On the socket each encoded value travels as one *frame*: a `u32`
+//! little-endian byte length followed by the payload. A length cap rejects
+//! corrupt prefixes before they turn into multi-gigabyte allocations.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Upper bound on a single frame's payload (checkpoint cuts of large runs
+/// stay well under this; anything bigger is a corrupt length prefix).
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// A malformed byte stream (truncated, bad tag, bad UTF-8, trailing bytes)
+/// or a structurally valid value that does not match the expected type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_UINT: u8 = 3;
+const TAG_INT: u8 = 4;
+const TAG_FLOAT: u8 = 5;
+const TAG_STRING: u8 = 6;
+const TAG_ARRAY: u8 = 7;
+const TAG_OBJECT: u8 = 8;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| WireError("truncated varint".into()))?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(WireError("varint longer than 10 bytes".into()))
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append the canonical encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::UInt(u) => {
+            out.push(TAG_UINT);
+            put_varint(out, *u);
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            put_varint(out, zigzag(*i));
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(TAG_STRING);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(fields) => {
+            out.push(TAG_OBJECT);
+            put_varint(out, fields.len() as u64);
+            for (k, val) in fields {
+                put_varint(out, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+fn get_len(buf: &[u8], pos: &mut usize, what: &str) -> Result<usize, WireError> {
+    let n = get_varint(buf, pos)?;
+    let n = usize::try_from(n).map_err(|_| WireError(format!("{what} length overflows")))?;
+    // A length can never exceed the bytes that remain: this rejects corrupt
+    // prefixes before any allocation is sized from them.
+    if n > buf.len() - *pos {
+        return Err(WireError(format!(
+            "{what} length {n} exceeds remaining {} bytes",
+            buf.len() - *pos
+        )));
+    }
+    Ok(n)
+}
+
+fn get_str(buf: &[u8], pos: &mut usize, what: &str) -> Result<String, WireError> {
+    let n = get_len(buf, pos, what)?;
+    let s = std::str::from_utf8(&buf[*pos..*pos + n])
+        .map_err(|e| WireError(format!("{what} is not UTF-8: {e}")))?
+        .to_owned();
+    *pos += n;
+    Ok(s)
+}
+
+/// Decode one value starting at `pos`, advancing it.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value, WireError> {
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| WireError("truncated value tag".into()))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_UINT => Ok(Value::UInt(get_varint(buf, pos)?)),
+        TAG_INT => Ok(Value::Int(unzigzag(get_varint(buf, pos)?))),
+        TAG_FLOAT => {
+            let end = *pos + 8;
+            let bytes: [u8; 8] = buf
+                .get(*pos..end)
+                .ok_or_else(|| WireError("truncated float".into()))?
+                .try_into()
+                .expect("slice is 8 bytes");
+            *pos = end;
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(bytes))))
+        }
+        TAG_STRING => Ok(Value::String(get_str(buf, pos, "string")?)),
+        TAG_ARRAY => {
+            let n = get_len(buf, pos, "array")?;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(decode_value(buf, pos)?);
+            }
+            Ok(Value::Array(items))
+        }
+        TAG_OBJECT => {
+            let n = get_len(buf, pos, "object")?;
+            let mut fields = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let k = get_str(buf, pos, "object key")?;
+                let v = decode_value(buf, pos)?;
+                fields.push((k, v));
+            }
+            Ok(Value::Object(fields))
+        }
+        other => Err(WireError(format!("unknown value tag {other}"))),
+    }
+}
+
+/// Serialize `t` to its canonical frame payload.
+pub fn to_bytes<T: Serialize>(t: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_value(&t.to_value(), &mut out);
+    out
+}
+
+/// Parse a frame payload back into `T`. Trailing bytes are an error — a
+/// frame carries exactly one value.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut pos = 0;
+    let v = decode_value(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(WireError(format!(
+            "{} trailing bytes after value",
+            bytes.len() - pos
+        )));
+    }
+    T::from_value(&v).map_err(|e| WireError(format!("shape mismatch: {e}")))
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on a clean EOF at a frame
+/// boundary; corrupt lengths and mid-frame EOFs are errors.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let mut bytes = Vec::new();
+        encode_value(v, &mut bytes);
+        let mut pos = 0;
+        let back = decode_value(&bytes, &mut pos).expect("decode");
+        assert_eq!(pos, bytes.len());
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(&Value::Null);
+        round_trip(&Value::Bool(true));
+        round_trip(&Value::Bool(false));
+        for u in [0u64, 1, 127, 128, 300, u64::MAX] {
+            round_trip(&Value::UInt(u));
+        }
+        for i in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            round_trip(&Value::Int(i));
+        }
+        for f in [0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE] {
+            round_trip(&Value::Float(f));
+        }
+        round_trip(&Value::String("héllo".into()));
+    }
+
+    #[test]
+    fn nested_values_round_trip() {
+        round_trip(&Value::Array(vec![
+            Value::UInt(7),
+            Value::Object(vec![
+                ("k".into(), Value::Null),
+                ("xs".into(), Value::Array(vec![Value::Int(-3)])),
+            ]),
+        ]));
+    }
+
+    #[test]
+    fn typed_round_trip_through_derive() {
+        // An Event is the hot wire type; round-trip it end to end.
+        use pdes_core::{Event, EventKey, EventUid, LpId, VirtualTime};
+        let ev = Event {
+            key: EventKey {
+                recv_time: VirtualTime::from_f64(3.25),
+                dst: LpId(7),
+                uid: EventUid::new(LpId(2), 99),
+            },
+            send_time: VirtualTime::from_f64(1.5),
+            payload: 42u64,
+        };
+        let bytes = to_bytes(&ev);
+        let back: Event<u64> = from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        use pdes_core::{EventKey, EventUid, LpId, Msg, VirtualTime};
+        let m: Msg<u32> = Msg::Anti(EventKey {
+            recv_time: VirtualTime::from_f64(9.0),
+            dst: LpId(1),
+            uid: EventUid::new(LpId(0), 3),
+        });
+        assert_eq!(to_bytes(&m), to_bytes(&m.clone()));
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic() {
+        let mut bytes = Vec::new();
+        encode_value(
+            &Value::Array(vec![Value::String("abcdef".into()), Value::UInt(1 << 40)]),
+            &mut bytes,
+        );
+        for cut in 0..bytes.len() {
+            let mut pos = 0;
+            assert!(
+                decode_value(&bytes[..cut], &mut pos).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        // Array claiming u64::MAX elements in a 3-byte buffer.
+        let mut bytes = vec![TAG_ARRAY];
+        put_varint(&mut bytes, u64::MAX);
+        let mut pos = 0;
+        let err = decode_value(&bytes, &mut pos).unwrap_err();
+        assert!(err.0.contains("exceeds remaining"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&5u64);
+        bytes.push(0);
+        assert!(from_bytes::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"beta").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"beta"[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_length_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+}

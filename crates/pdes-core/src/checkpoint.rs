@@ -74,6 +74,49 @@ pub struct Checkpoint<S, P> {
 }
 
 impl<S, P> Checkpoint<S, P> {
+    /// Assemble per-shard cut contributions (each shard's LP snapshots and
+    /// cut-crossing events, taken at the *same* GVT) into one global cut.
+    /// Validates that the parts cover every LP of `map` exactly once —
+    /// a missing or doubled LP means the shards disagreed about the cut and
+    /// the checkpoint would be silently wrong.
+    pub fn assemble(
+        gvt: VirtualTime,
+        gvt_rounds: u64,
+        map: LpMap,
+        parts: Vec<CutSnapshot<S, P>>,
+        cursor: Option<FaultCursor>,
+    ) -> Result<Self, String> {
+        let mut lps = Vec::with_capacity(map.num_lps as usize);
+        let mut events = Vec::new();
+        for (part_lps, part_events) in parts {
+            lps.extend(part_lps);
+            events.extend(part_events);
+        }
+        lps.sort_by_key(|l| l.lp);
+        let mut seen = vec![false; map.num_lps as usize];
+        for l in &lps {
+            let i = l.lp.index();
+            if i >= seen.len() {
+                return Err(format!("cut names LP {} outside the map", l.lp));
+            }
+            if std::mem::replace(&mut seen[i], true) {
+                return Err(format!("LP {} appears in two shard cuts", l.lp));
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("no shard cut covers LP {missing}"));
+        }
+        events.sort_by_key(|e| e.key);
+        Ok(Checkpoint {
+            gvt,
+            gvt_rounds,
+            lps,
+            events,
+            map,
+            cursor,
+        })
+    }
+
     /// Total committed events across all LPs at the cut.
     pub fn total_committed(&self) -> u64 {
         self.lps.iter().map(|l| l.committed).sum()
@@ -254,6 +297,65 @@ mod tests {
                 kills_fired: vec![true, false],
             }),
         }
+    }
+
+    fn lp_ck(lp: u32) -> LpCheckpoint<u64> {
+        LpCheckpoint {
+            lp: LpId(lp),
+            state: u64::from(lp) * 10,
+            rng: DetRng::for_lp(9, LpId(lp)),
+            send_seq: 1,
+            committed: 2,
+            commit_digest: u64::from(lp) << 8,
+            lvt: VirtualTime::from_f64(1.0),
+        }
+    }
+
+    #[test]
+    fn assemble_merges_shard_cuts_in_lp_and_key_order() {
+        let t = VirtualTime::from_f64;
+        let ev = |send: f64, recv: f64, dst: u32, seq: u64| Event {
+            key: EventKey {
+                recv_time: t(recv),
+                dst: LpId(dst),
+                uid: EventUid::new(LpId(0), seq),
+            },
+            send_time: t(send),
+            payload: (),
+        };
+        // Shard cuts arrive unordered; LPs interleave round-robin.
+        let parts: Vec<CutSnapshot<u64, ()>> = vec![
+            (vec![lp_ck(1), lp_ck(3)], vec![ev(1.0, 5.0, 1, 2)]),
+            (vec![lp_ck(2), lp_ck(0)], vec![ev(1.5, 4.0, 0, 1)]),
+        ];
+        let map = LpMap::new(4, 2, MapKind::RoundRobin);
+        let ck = Checkpoint::assemble(t(2.0), 3, map, parts, None).expect("assemble");
+        assert_eq!(
+            ck.lps.iter().map(|l| l.lp.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(ck.events[0].key.recv_time, t(4.0));
+        assert_eq!(ck.total_committed(), 8);
+    }
+
+    #[test]
+    fn assemble_rejects_missing_and_duplicate_lps() {
+        let map = || LpMap::new(3, 3, MapKind::RoundRobin);
+        let t = VirtualTime::from_f64(1.0);
+        let missing: Vec<CutSnapshot<u64, ()>> =
+            vec![(vec![lp_ck(0)], vec![]), (vec![lp_ck(2)], vec![])];
+        let err = Checkpoint::assemble(t, 1, map(), missing, None).unwrap_err();
+        assert!(err.contains("no shard cut covers LP 1"), "{err}");
+        let doubled: Vec<CutSnapshot<u64, ()>> = vec![
+            (vec![lp_ck(0), lp_ck(1)], vec![]),
+            (vec![lp_ck(1), lp_ck(2)], vec![]),
+        ];
+        let err = Checkpoint::assemble(t, 1, map(), doubled, None).unwrap_err();
+        assert!(err.contains("two shard cuts"), "{err}");
+        let stray: Vec<CutSnapshot<u64, ()>> =
+            vec![(vec![lp_ck(0), lp_ck(1), lp_ck(2), lp_ck(7)], vec![])];
+        let err = Checkpoint::assemble(t, 1, map(), stray, None).unwrap_err();
+        assert!(err.contains("outside the map"), "{err}");
     }
 
     #[test]

@@ -35,17 +35,17 @@ pub mod sequential;
 pub mod stats;
 pub mod time;
 
-pub use checkpoint::{Checkpoint, CheckpointError, LpCheckpoint, SupervisorConfig};
+pub use checkpoint::{Checkpoint, CheckpointError, CutSnapshot, LpCheckpoint, SupervisorConfig};
 pub use config::{AdaptiveGvt, EngineConfig};
 pub use engine::{BatchOutcome, DeliverOutcome, Outbound, ThreadEngine};
 pub use event::{Event, EventKey, Msg};
 pub use faults::{
     batch_has_uid_pairs, BackpressureFault, DelayFault, FaultCounts, FaultCursor, FaultInjector,
-    FaultKind, FaultPlan, ReorderFault, RoundDump, StallDump, StragglerFault, ThreadDump,
-    WakeupFault,
+    FaultKind, FaultPlan, LinkAction, LinkDelayFault, LinkDropFault, LinkDupFault, LinkFaultPlan,
+    LinkFaults, ReorderFault, RoundDump, StallDump, StragglerFault, ThreadDump, WakeupFault,
 };
 pub use ids::{EventUid, LpId, SimThreadId};
-pub use mapping::{LpMap, MapKind};
+pub use mapping::{LpMap, MapKind, ShardMap};
 pub use model::{Model, SendCtx};
 pub use rng::DetRng;
 pub use sequential::{run_sequential, run_sequential_from, SequentialResult};

@@ -21,8 +21,9 @@ pub mod supervisor;
 pub mod sync;
 pub mod worker;
 
+pub use affinity::AffinityState;
 pub use ckpt::CkptSink;
 pub use runner::{run_threads, run_threads_resumable, RtAttempt, RtResult, RtRunConfig, RunError};
-pub use shared::RtShared;
+pub use shared::{RemoteBoundary, RtShared};
 pub use supervisor::{run_supervised, Recovered, SupervisedRun, SupervisorConfig};
 pub use sync::{DynBarrier, Semaphore};

@@ -14,11 +14,32 @@ use crossbeam::queue::SegQueue;
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use pdes_core::{
-    batch_has_uid_pairs, EventUid, FaultInjector, Msg, RoundDump, StallDump, ThreadDump,
-    VirtualTime,
+    batch_has_uid_pairs, EventUid, FaultInjector, Msg, RoundDump, SimThreadId, StallDump,
+    ThreadDump, VirtualTime,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Hook at the event-routing boundary for destinations outside this
+/// process — the distributed runtime's entry point into `thread-rt`.
+///
+/// When a boundary is installed, the shared state treats its thread indices
+/// as a *window* `[base, base + num_threads)` of a larger global thread
+/// space: [`RtShared::push_msg`] forwards any message whose destination
+/// falls outside the window to `send_remote` (with the destination's
+/// *global* id), and every GVT computation folds in `remote_min` — the
+/// boundary's lower bound on remote in-flight messages and peer progress —
+/// so a locally computed GVT can never run ahead of the cluster.
+pub trait RemoteBoundary<P>: Send + Sync {
+    /// Forward a message from local thread `from_local` to global thread
+    /// `dst` on another shard.
+    fn send_remote(&self, from_local: usize, dst: SimThreadId, msg: Msg<P>);
+    /// Lower bound over everything the local shard cannot see: remote
+    /// pending sets and in-flight wire messages. `VirtualTime::INFINITY`
+    /// when the cluster has drained.
+    fn remote_min(&self) -> VirtualTime;
+}
 
 /// Control-loop phase labels published by workers for stall diagnostics;
 /// [`RtShared::dbg_phase`] holds indices into this table.
@@ -102,8 +123,15 @@ pub struct RtShared<P> {
     pub dd_lock: Mutex<()>,
     pub controller_exit: AtomicBool,
 
+    // ---- distributed shard window ----
+    /// First global thread id of this process's window (0 when the run is
+    /// not sharded).
+    thread_base: usize,
+    /// Routing + GVT hook for destinations outside the window.
+    remote: Option<Arc<dyn RemoteBoundary<P>>>,
+
     // ---- affinity (dynamic) ----
-    pub aff: Mutex<crate::worker::AffinityState>,
+    pub aff: Mutex<crate::affinity::AffinityState>,
 
     // ---- metrics ----
     pub gvt_wall_ns: AtomicU64,
@@ -177,7 +205,9 @@ impl<P> RtShared<P> {
             ],
             dd_lock: Mutex::new(()),
             controller_exit: AtomicBool::new(false),
-            aff: Mutex::new(crate::worker::AffinityState::new(num_cores, num_threads)),
+            thread_base: 0,
+            remote: None,
+            aff: Mutex::new(crate::affinity::AffinityState::new(num_cores, num_threads)),
             gvt_wall_ns: AtomicU64::new(0),
             max_descheduled: AtomicUsize::new(0),
             gvt_regressions: AtomicU64::new(0),
@@ -197,6 +227,16 @@ impl<P> RtShared<P> {
     /// worker threads).
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    /// Install a remote boundary (before the shared state is published to
+    /// worker threads): this process's threads become the window
+    /// `[base, base + num_threads)` of the global thread space, and
+    /// [`Self::push_msg`] / [`Self::compute_gvt`] route through `remote` for
+    /// everything outside it.
+    pub fn set_remote_boundary(&mut self, base: usize, remote: Arc<dyn RemoteBoundary<P>>) {
+        self.thread_base = base;
+        self.remote = Some(remote);
     }
 
     /// Configure the checkpoint cadence in GVT rounds (0 disables; before
@@ -260,6 +300,26 @@ impl<P> RtShared<P> {
     pub fn push_msg(&self, sender: usize, dst: usize, msg: Msg<P>) {
         let t = msg.recv_time();
         fetch_min(&self.window_min[sender], t);
+        // Shard window: with a remote boundary installed `dst` is a *global*
+        // thread id. Out-of-window messages leave through the boundary — the
+        // window minimum above was published first, so the message stays
+        // covered by local GVT accounting until the boundary's own counters
+        // (folded in via `remote_min`) take over.
+        if let Some(remote) = &self.remote {
+            let lo = self.thread_base;
+            let hi = lo + self.num_threads;
+            if dst < lo || dst >= hi {
+                remote.send_remote(sender, SimThreadId(dst as u32), msg);
+                return;
+            }
+            return self.push_local(dst - lo, msg);
+        }
+        self.push_local(dst, msg);
+    }
+
+    /// Enqueue on a local (window-relative) destination.
+    fn push_local(&self, dst: usize, msg: Msg<P>) {
+        let t = msg.recv_time();
         if let Some(bp) = self.faults.backpressure() {
             let mut retries = 0u64;
             for attempt in 0..bp.max_retries {
@@ -423,6 +483,11 @@ impl<P> RtShared<P> {
             g = g
                 .min(self.window_min[i].load(Ordering::Acquire))
                 .min(self.queue_min[i].load(Ordering::Acquire));
+        }
+        // Sharded runs: the cluster-wide floor (remote pending sets and
+        // in-flight wire messages) caps the local estimate.
+        if let Some(remote) = &self.remote {
+            g = g.min(remote.remote_min().ticks());
         }
         let old = self.gvt.load(Ordering::Acquire);
         if g < old {
@@ -674,6 +739,83 @@ mod tests {
 
     fn shared(n: usize) -> RtShared<()> {
         RtShared::new(n, 2, VirtualTime::from_f64(100.0))
+    }
+
+    /// Recording fake for the distributed boundary.
+    struct FakeBoundary {
+        sent: Mutex<Vec<(usize, SimThreadId, VirtualTime)>>,
+        min: AtomicU64,
+    }
+
+    impl FakeBoundary {
+        fn new() -> Self {
+            FakeBoundary {
+                sent: Mutex::new(Vec::new()),
+                min: AtomicU64::new(u64::MAX),
+            }
+        }
+    }
+
+    impl RemoteBoundary<()> for FakeBoundary {
+        fn send_remote(&self, from_local: usize, dst: SimThreadId, msg: Msg<()>) {
+            self.sent.lock().push((from_local, dst, msg.recv_time()));
+        }
+        fn remote_min(&self) -> VirtualTime {
+            VirtualTime::from_ticks(self.min.load(Ordering::Acquire))
+        }
+    }
+
+    #[test]
+    fn remote_boundary_routes_out_of_window_messages() {
+        let remote = Arc::new(FakeBoundary::new());
+        let mut s = shared(2);
+        // This process owns global threads 2 and 3.
+        s.set_remote_boundary(2, remote.clone());
+        s.push_msg(0, 3, msg(5.0)); // in-window → local queue 1
+        s.push_msg(0, 0, msg(6.0)); // below the window → remote
+        s.push_msg(1, 5, msg(7.0)); // above the window → remote
+        assert_eq!(s.queue_len[1].load(Ordering::Acquire), 1);
+        assert_eq!(s.queue_len[0].load(Ordering::Acquire), 0);
+        let sent = remote.sent.lock();
+        assert_eq!(sent.len(), 2);
+        assert_eq!(sent[0].0, 0);
+        assert_eq!(sent[0].1, SimThreadId(0));
+        assert_eq!(sent[1].1, SimThreadId(5));
+    }
+
+    #[test]
+    fn remote_send_stays_covered_by_sender_window() {
+        // Until the boundary's own accounting takes over, an outbound
+        // message must hold local GVT down via the sender's send window.
+        let remote = Arc::new(FakeBoundary::new());
+        let mut s = shared(2);
+        s.set_remote_boundary(0, remote);
+        s.try_join_round(0);
+        s.push_msg(0, 7, msg(3.0)); // leaves the process
+        let g = s.compute_gvt();
+        assert!(g <= VirtualTime::from_f64(3.0), "got {g}");
+    }
+
+    #[test]
+    fn compute_gvt_folds_remote_min() {
+        let remote = Arc::new(FakeBoundary::new());
+        let mut s = shared(2);
+        s.set_remote_boundary(0, remote.clone());
+        s.try_join_round(0);
+        s.fold_min(0, VirtualTime::from_f64(10.0));
+        s.fold_min(1, VirtualTime::from_f64(12.0));
+        // A peer shard still holds work at t=2: the local estimate is capped.
+        remote
+            .min
+            .store(VirtualTime::from_f64(2.0).ticks(), Ordering::Release);
+        assert_eq!(s.compute_gvt(), VirtualTime::from_f64(2.0));
+        // Once the cluster drains, the local bound wins again (monotone:
+        // the next round can only raise the estimate).
+        remote.min.store(u64::MAX, Ordering::Release);
+        s.try_join_round(0);
+        s.fold_min(0, VirtualTime::from_f64(10.0));
+        s.fold_min(1, VirtualTime::from_f64(12.0));
+        assert_eq!(s.compute_gvt(), VirtualTime::from_f64(10.0));
     }
 
     #[test]

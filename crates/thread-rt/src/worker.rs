@@ -10,59 +10,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Dynamic-affinity tables for the real runtime (Algorithm 4 state).
-#[derive(Debug)]
-pub struct AffinityState {
-    pub num_cores: usize,
-    pub core_load: Vec<u32>,
-    pub core_of: Vec<Option<usize>>,
-    /// `sched_setaffinity` rejections (the pin is still *recorded* in the
-    /// load tables so placement stays deterministic; only the syscall
-    /// failed, leaving the thread on kernel scheduling).
-    pub pin_failures: u64,
-}
-
-impl AffinityState {
-    pub fn new(num_cores: usize, num_threads: usize) -> Self {
-        AffinityState {
-            num_cores: num_cores.max(1),
-            core_load: vec![0; num_cores.max(1)],
-            core_of: vec![None; num_threads],
-            pin_failures: 0,
-        }
-    }
-
-    pub fn clear(&mut self, thread: usize) {
-        if let Some(c) = self.core_of[thread].take() {
-            self.core_load[c] -= 1;
-        }
-    }
-
-    /// Pin every active-but-unpinned thread to the least-loaded core.
-    #[allow(clippy::needless_range_loop)] // t indexes three parallel arrays
-    pub fn assign(&mut self, active: impl Fn(usize) -> bool, tids: &[OsTid]) -> usize {
-        let mut pinned = 0;
-        for t in 0..self.core_of.len() {
-            if !active(t) || self.core_of[t].is_some() {
-                continue;
-            }
-            let mut best = 0;
-            for c in 1..self.num_cores {
-                if self.core_load[c] < self.core_load[best] {
-                    best = c;
-                }
-            }
-            self.core_of[t] = Some(best);
-            self.core_load[best] += 1;
-            if !pin_to_core(tids[t], best) {
-                self.pin_failures += 1;
-                note_pin_failure(best);
-            }
-            pinned += 1;
-        }
-        pinned
-    }
-}
+pub use crate::affinity::AffinityState;
 
 /// Result of one worker thread.
 pub struct WorkerResult {

@@ -7,10 +7,29 @@
 //!        [--threads N] [--lps-per-thread N] [--imbalance K]
 //!        [--end T] [--seed S] [--cores N] [--smt N]
 //!        [--snapshot-period K] [--optimism-window W]
-//!        [--runtime vm|threads] [--verify] [--json]
+//!        [--runtime vm|threads|dist] [--verify] [--json] [--stats-json FILE]
 //!        [--chaos-seed S] [--chaos-plan FILE.json] [--watchdog-secs T]
 //!        [--checkpoint-every-gvt N] [--checkpoint-path FILE] [--max-recoveries N]
+//!        [--shards N] [--transport mem|tcp]
+//!        [--shard-id I --listen ADDR --connect ADDR ...] [--connect-timeout-secs T]
 //! ```
+//!
+//! Distributed runtime (`--runtime dist`): with only `--shards N` the whole
+//! cluster runs loopback in this process (one thread per shard, `--transport`
+//! selects memory or localhost-TCP links). With `--shard-id I --listen ADDR`
+//! the process runs exactly one shard of a real multi-process cluster: shard
+//! `I` listens on `ADDR`, dials one `--connect` address per lower shard
+//! (the listen addresses of shards `0..I`, in order), and accepts the higher
+//! shards. Shard 0 is the GVT coordinator and prints the final metrics;
+//! workers exit 0 silently. `--connect-timeout-secs` bounds the mesh
+//! handshake — a peer that never appears is a clean non-zero exit, not a
+//! hang. On `dist`, `--chaos-seed` selects the per-link fault plan
+//! (delay/drop/duplicate below the reliable layer) and
+//! `--checkpoint-every-gvt` arms distributed checkpoint cuts.
+//!
+//! `--stats-json FILE` additionally writes the final `RunMetrics` of any
+//! runtime to `FILE` as pretty-printed JSON (the same document `--json`
+//! prints to stdout).
 //!
 //! Chaos harness: `--chaos-seed S` enables the default fault mix (delays,
 //! reordering, straggler storms, backpressure) with deterministic decision
@@ -54,6 +73,13 @@ struct Args {
     checkpoint_every_gvt: u64,
     checkpoint_path: Option<String>,
     max_recoveries: Option<u32>,
+    stats_json: Option<String>,
+    shards: usize,
+    transport: String,
+    shard_id: Option<usize>,
+    listen: Option<String>,
+    connect: Vec<String>,
+    connect_timeout_secs: f64,
 }
 
 impl Default for Args {
@@ -81,8 +107,21 @@ impl Default for Args {
             checkpoint_every_gvt: 0,
             checkpoint_path: None,
             max_recoveries: None,
+            stats_json: None,
+            shards: 2,
+            transport: "tcp".into(),
+            shard_id: None,
+            listen: None,
+            connect: Vec::new(),
+            connect_timeout_secs: 10.0,
         }
     }
+}
+
+/// Friendly fatal: usage / validation errors exit 2, runtime failures exit 1.
+fn die(code: i32, msg: &str) -> ! {
+    eprintln!("ggpdes: {msg}");
+    std::process::exit(code);
 }
 
 fn parse_args() -> Args {
@@ -122,6 +161,27 @@ fn parse_args() -> Args {
             }
             "--checkpoint-path" => a.checkpoint_path = Some(val()),
             "--max-recoveries" => a.max_recoveries = Some(val().parse().expect("--max-recoveries")),
+            "--stats-json" => a.stats_json = Some(val()),
+            "--shards" => {
+                a.shards = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(2, &format!("--shards: {e}")))
+            }
+            "--transport" => a.transport = val(),
+            "--shard-id" => {
+                a.shard_id = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|e| die(2, &format!("--shard-id: {e}"))),
+                )
+            }
+            "--listen" => a.listen = Some(val()),
+            "--connect" => a.connect.push(val()),
+            "--connect-timeout-secs" => {
+                a.connect_timeout_secs = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(2, &format!("--connect-timeout-secs: {e}")))
+            }
             "--help" | "-h" => {
                 println!("see module docs: cargo doc --open -p ggpdes");
                 std::process::exit(0);
@@ -220,6 +280,140 @@ fn finish_degraded<M: Model>(
         println!("commit digest              : {:#018x}", seq.commit_digest);
     }
     std::process::exit(0);
+}
+
+/// The distributed runtime: loopback cluster by default, or one shard of a
+/// real multi-process mesh when `--shard-id`/`--listen`/`--connect` are
+/// given. Returns the coordinator's metrics; worker shards exit 0 here.
+fn run_dist<M: Model>(model: &Arc<M>, ecfg: &EngineConfig, a: &Args) -> RunMetrics {
+    use ggpdes::dist_rt::{self, DistError};
+    use std::net::ToSocketAddrs;
+    use std::time::Duration;
+
+    if a.shards == 0 {
+        die(2, "--shards must be at least 1");
+    }
+    let transport = match a.transport.as_str() {
+        "mem" => dist_rt::Transport::Mem,
+        "tcp" => dist_rt::Transport::Tcp,
+        other => die(2, &format!("unknown transport '{other}' (mem|tcp)")),
+    };
+    let watchdog = match a.watchdog_secs {
+        Some(s) if s <= 0.0 => None,
+        Some(s) => Some(Duration::from_secs_f64(s)),
+        None => Some(Duration::from_secs(30)),
+    };
+    if a.connect_timeout_secs.is_nan() || a.connect_timeout_secs <= 0.0 {
+        die(2, "--connect-timeout-secs must be positive");
+    }
+    let dcfg = dist_rt::DistConfig {
+        shards: a.shards,
+        transport,
+        link_faults: a.chaos_seed.map(pdes_core::LinkFaultPlan::chaos),
+        max_recoveries: a.max_recoveries.unwrap_or(0),
+        ckpt_every_rounds: a.checkpoint_every_gvt,
+        watchdog,
+        mesh_timeout: Duration::from_secs_f64(a.connect_timeout_secs),
+        ..dist_rt::DistConfig::default()
+    };
+
+    let finish = |r: dist_rt::DistResult| -> RunMetrics {
+        if r.recoveries > 0 {
+            eprintln!(
+                "dist: completed after {} recovery(ies){}",
+                r.recoveries,
+                if r.used_checkpoint {
+                    " from a checkpoint cut"
+                } else {
+                    " by replaying from the start"
+                }
+            );
+        }
+        r.metrics
+    };
+    let fail = |what: &str, e: DistError| -> ! {
+        match e {
+            DistError::ConnectTimeout { shard, detail } => die(
+                1,
+                &format!("{what}: shard {shard} mesh handshake timed out ({detail})"),
+            ),
+            e => die(1, &format!("{what}: {e}")),
+        }
+    };
+
+    let multi_process = a.shard_id.is_some() || a.listen.is_some() || !a.connect.is_empty();
+    if !multi_process {
+        // Loopback: the whole cluster in this process, one thread per shard.
+        return match dist_rt::run_loopback(Arc::clone(model), ecfg, &dcfg) {
+            Ok(r) => finish(r),
+            Err(e) => fail("dist loopback", e),
+        };
+    }
+
+    let shard = a.shard_id.unwrap_or_else(|| {
+        die(
+            2,
+            "--listen/--connect need --shard-id (which shard is this process?)",
+        )
+    });
+    if shard >= a.shards {
+        die(
+            2,
+            &format!("--shard-id {shard} out of range for --shards {}", a.shards),
+        );
+    }
+    let listen = a
+        .listen
+        .clone()
+        .unwrap_or_else(|| die(2, &format!("shard {shard} needs --listen ADDR")));
+    if listen
+        .to_socket_addrs()
+        .map(|mut i| i.next())
+        .ok()
+        .flatten()
+        .is_none()
+    {
+        die(
+            2,
+            &format!("--listen '{listen}' is not a valid endpoint (want HOST:PORT)"),
+        );
+    }
+    if a.connect.len() != shard {
+        die(
+            2,
+            &format!(
+                "shard {shard} needs exactly {shard} --connect address(es) — the \
+                 listen addresses of shards 0..{shard}, in order — got {}",
+                a.connect.len()
+            ),
+        );
+    }
+    for addr in &a.connect {
+        if addr
+            .to_socket_addrs()
+            .map(|mut i| i.next())
+            .ok()
+            .flatten()
+            .is_none()
+        {
+            die(
+                2,
+                &format!("--connect '{addr}' is not a valid endpoint (want HOST:PORT)"),
+            );
+        }
+    }
+    let opts = dist_rt::ProcessOpts {
+        shards: a.shards,
+        shard,
+        listen,
+        connect: a.connect.clone(),
+        dcfg,
+    };
+    match dist_rt::run_shard_process(Arc::clone(model), ecfg, &opts) {
+        Ok(Some(r)) => finish(r),
+        Ok(None) => std::process::exit(0), // worker shard: coordinator reports
+        Err(e) => fail(&format!("dist shard {shard}"), e),
+    }
 }
 
 fn run<M: Model>(model: Arc<M>, a: &Args) {
@@ -327,7 +521,8 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                 }
             }
         }
-        other => panic!("unknown runtime '{other}' (vm|threads)"),
+        "dist" => run_dist(&model, &ecfg, a),
+        other => die(2, &format!("unknown runtime '{other}' (vm|threads|dist)")),
     };
 
     if a.verify {
@@ -339,6 +534,12 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
         eprintln!("verify: committed trace matches the sequential oracle ✓");
     }
     report(&metrics, a.json);
+    if let Some(path) = &a.stats_json {
+        let text = serde_json::to_string_pretty(&metrics).expect("serialize metrics");
+        if let Err(e) = std::fs::write(path, text) {
+            die(1, &format!("--stats-json {path}: {e}"));
+        }
+    }
 }
 
 fn main() {

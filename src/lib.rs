@@ -17,6 +17,9 @@
 //!   scale on any host;
 //! * [`thread_rt`] — the same engine on real `std::thread`s with crossbeam
 //!   queues, parking-lot semaphores, and `sched_setaffinity`;
+//! * [`dist_rt`] — the engine partitioned into shards that exchange events
+//!   over reliable TCP/memory links, driven by an asynchronous
+//!   Mattern-style distributed GVT with checkpoint cuts and kill recovery;
 //! * [`metrics`] — committed-event-rate and GVT-timing reporting.
 //!
 //! ## Quickstart
@@ -48,6 +51,7 @@
 //! println!("{:.0} committed events/s", result.metrics.committed_event_rate());
 //! ```
 
+pub use dist_rt;
 pub use machine;
 pub use metrics;
 pub use models;
@@ -57,6 +61,7 @@ pub use thread_rt;
 
 /// The most commonly used items, re-exported.
 pub mod prelude {
+    pub use dist_rt::{run_loopback, DistConfig, DistError, DistResult, Transport};
     pub use machine::{CostModel, Machine, MachineConfig};
     pub use metrics::{RunMetrics, Series, Table};
     pub use models::{

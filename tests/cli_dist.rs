@@ -1,0 +1,240 @@
+//! End-to-end tests of the `ggpdes` binary's distributed runtime: the
+//! loopback launcher, the real multi-process `--listen/--connect` mesh,
+//! `--stats-json`, and the friendly failure modes (malformed endpoints,
+//! a peer that never connects) — all bounded, none may hang.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+const BIN: &str = env!("CARGO_BIN_EXE_ggpdes");
+
+/// Pull a string field out of a parsed metrics document.
+fn str_field<'a>(v: &'a Value, key: &str) -> &'a str {
+    match v.get(key) {
+        Some(Value::String(s)) => s,
+        other => panic!("field {key}: want a string, got {other:?}"),
+    }
+}
+
+/// Pull an unsigned field out of a parsed metrics document.
+fn uint_field(v: &Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Value::UInt(n)) => *n,
+        Some(Value::Int(n)) if *n >= 0 => *n as u64,
+        other => panic!("field {key}: want an unsigned number, got {other:?}"),
+    }
+}
+
+fn run_bounded(args: &[&str], limit: Duration) -> Output {
+    let t0 = Instant::now();
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn ggpdes");
+    loop {
+        if let Some(_status) = child.try_wait().expect("wait") {
+            return child.wait_with_output().expect("collect output");
+        }
+        assert!(
+            t0.elapsed() < limit,
+            "ggpdes {args:?} still running after {limit:?} — it must exit cleanly"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Grab a free localhost port by binding port 0 and dropping the listener.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind")
+        .local_addr()
+        .expect("addr")
+        .port()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ggpdes-cli-{name}-{}", std::process::id()));
+    p
+}
+
+#[test]
+fn loopback_dist_run_verifies_and_writes_stats_json() {
+    let stats = tmp_path("loopback.json");
+    let out = run_bounded(
+        &[
+            "--runtime",
+            "dist",
+            "--shards",
+            "2",
+            "--transport",
+            "mem",
+            "--threads",
+            "4",
+            "--lps-per-thread",
+            "4",
+            "--imbalance",
+            "1",
+            "--end",
+            "6",
+            "--verify",
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ],
+        Duration::from_secs(60),
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&stats).expect("stats file written");
+    std::fs::remove_file(&stats).ok();
+    let v = serde_json::parse(&text).expect("valid JSON");
+    assert_eq!(str_field(&v, "system"), "GG-PDES-Dist");
+    assert_eq!(
+        uint_field(&v, "threads"),
+        2,
+        "one metrics 'thread' per shard"
+    );
+    assert!(uint_field(&v, "committed") > 0);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("matches the sequential oracle"),
+        "--verify must have checked the oracle, stderr: {err}"
+    );
+}
+
+#[test]
+fn two_process_tcp_cluster_matches_between_launches() {
+    let (p0, p1) = (free_port(), free_port());
+    let l0 = format!("127.0.0.1:{p0}");
+    let l1 = format!("127.0.0.1:{p1}");
+    let common = [
+        "--runtime",
+        "dist",
+        "--shards",
+        "2",
+        "--threads",
+        "4",
+        "--lps-per-thread",
+        "4",
+        "--imbalance",
+        "1",
+        "--end",
+        "5",
+    ];
+    let mut w_args: Vec<&str> = common.to_vec();
+    w_args.extend(["--shard-id", "1", "--listen", &l1, "--connect", &l0]);
+    let worker = Command::new(BIN)
+        .args(&w_args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn worker shard");
+    let mut c_args: Vec<&str> = common.to_vec();
+    c_args.extend(["--shard-id", "0", "--listen", &l0, "--verify", "--json"]);
+    let coord = run_bounded(&c_args, Duration::from_secs(60));
+    let worker_out = worker.wait_with_output().expect("worker exits");
+    assert!(
+        coord.status.success(),
+        "coordinator stderr: {}",
+        String::from_utf8_lossy(&coord.stderr)
+    );
+    assert!(
+        worker_out.status.success(),
+        "worker stderr: {}",
+        String::from_utf8_lossy(&worker_out.stderr)
+    );
+    let v = serde_json::parse(&String::from_utf8_lossy(&coord.stdout)).expect("json");
+    assert_eq!(str_field(&v, "system"), "GG-PDES-Dist");
+    assert!(uint_field(&v, "committed") > 0);
+}
+
+#[test]
+fn malformed_endpoints_are_a_friendly_exit_2() {
+    for (what, args) in [
+        (
+            "bad listen",
+            vec![
+                "--shard-id",
+                "1",
+                "--listen",
+                "not-an-endpoint",
+                "--connect",
+                "127.0.0.1:1",
+            ],
+        ),
+        (
+            "bad connect",
+            vec![
+                "--shard-id",
+                "1",
+                "--listen",
+                "127.0.0.1:0",
+                "--connect",
+                "bogus:::",
+            ],
+        ),
+        (
+            "missing connect",
+            vec!["--shard-id", "1", "--listen", "127.0.0.1:0"],
+        ),
+        ("listen without shard id", vec!["--listen", "127.0.0.1:0"]),
+    ] {
+        let mut full = vec!["--runtime", "dist", "--shards", "2", "--end", "2"];
+        full.extend(args);
+        let out = run_bounded(&full, Duration::from_secs(30));
+        assert_eq!(out.status.code(), Some(2), "{what}: want exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.starts_with("ggpdes: "),
+            "{what}: friendly message, got {err}"
+        );
+    }
+}
+
+#[test]
+fn never_connecting_peer_exits_nonzero_within_the_timeout() {
+    // A port nobody listens on: the mesh handshake must give up at the
+    // configured deadline with a clean error, never hang.
+    let dead = format!("127.0.0.1:{}", free_port());
+    let listen = format!("127.0.0.1:{}", free_port());
+    let t0 = Instant::now();
+    let out = run_bounded(
+        &[
+            "--runtime",
+            "dist",
+            "--shards",
+            "2",
+            "--shard-id",
+            "1",
+            "--listen",
+            &listen,
+            "--connect",
+            &dead,
+            "--connect-timeout-secs",
+            "2",
+            "--end",
+            "2",
+        ],
+        Duration::from_secs(30),
+    );
+    assert_eq!(out.status.code(), Some(1), "timeout is a runtime failure");
+    assert!(
+        t0.elapsed() < Duration::from_secs(15),
+        "must exit near the 2s deadline, took {:?}",
+        t0.elapsed()
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("timed out"),
+        "mention the handshake timeout, got: {err}"
+    );
+}
