@@ -5,12 +5,19 @@
 //!
 //! ```text
 //! dist_compare [--out FILE] [--end T] [--seed S] [--parts N] [--lps-per N] [--repeat R]
+//!              [--baseline FILE] [--tolerance F] [--note TEXT]
 //! ```
 //!
 //! Every run must commit the sequential trace (`equivalence: true` in the
 //! output) — a perf number from a diverged run is worthless. Wall time is
 //! the best of `--repeat` runs (default 3), which filters scheduler noise
 //! without hiding cold-start costs in an average.
+//!
+//! `--baseline FILE` compares this run's per-runtime wall clocks against a
+//! previous `BENCH_<n>.json` and records the relative deltas plus a
+//! pass/fail verdict against `--tolerance` (default 0.02, i.e. ±2%) in a
+//! `telemetry_off_check` object — used by PR 4 to show that compiling the
+//! telemetry subsystem in (disabled) does not move the trajectory.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -27,6 +34,9 @@ struct Opts {
     parts: usize,
     lps_per: usize,
     repeat: usize,
+    baseline: Option<String>,
+    tolerance: f64,
+    note: Option<String>,
 }
 
 impl Default for Opts {
@@ -38,6 +48,9 @@ impl Default for Opts {
             parts: 2,
             lps_per: 256,
             repeat: 3,
+            baseline: None,
+            tolerance: 0.02,
+            note: None,
         }
     }
 }
@@ -55,6 +68,9 @@ fn parse() -> Opts {
             "--parts" => o.parts = val().parse().expect("--parts"),
             "--lps-per" => o.lps_per = val().parse().expect("--lps-per"),
             "--repeat" => o.repeat = val().parse::<usize>().expect("--repeat").max(1),
+            "--baseline" => o.baseline = Some(val().clone()),
+            "--tolerance" => o.tolerance = val().parse().expect("--tolerance"),
+            "--note" => o.note = Some(val().clone()),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -80,6 +96,66 @@ impl Run {
             self.commit_digest,
         )
     }
+}
+
+/// Compare this run's wall clocks against a previous `BENCH_<n>.json` and
+/// render the `telemetry_off_check` JSON object: per-runtime relative
+/// deltas and a verdict against `tolerance`. Runtimes absent from the
+/// baseline are skipped (the trajectory may gain runtimes over time).
+fn baseline_check(path: &str, runs: &[Run], tolerance: f64) -> String {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let doc = serde_json::parse(&raw).unwrap_or_else(|e| panic!("{path}: bad JSON: {e}"));
+    let base = match doc.get("runs") {
+        Some(serde::Value::Array(a)) => a,
+        _ => panic!("{path}: no runs array"),
+    };
+    let base_wall = |name: &str| -> Option<f64> {
+        base.iter()
+            .find(|r| matches!(r.get("runtime"), Some(serde::Value::String(s)) if s == name))
+            .and_then(|r| match r.get("wall_secs") {
+                Some(serde::Value::Float(f)) => Some(*f),
+                Some(serde::Value::UInt(u)) => Some(*u as f64),
+                Some(serde::Value::Int(i)) => Some(*i as f64),
+                _ => None,
+            })
+    };
+    let mut deltas = Vec::new();
+    let mut max_delta = f64::NEG_INFINITY;
+    for r in runs {
+        let Some(old) = base_wall(r.runtime) else {
+            eprintln!("baseline   : {} not in {path}, skipped", r.runtime);
+            continue;
+        };
+        let delta = (r.wall_secs - old) / old;
+        max_delta = max_delta.max(delta);
+        eprintln!(
+            "baseline   : {} {:.3}s -> {:.3}s ({:+.1}%)",
+            r.runtime,
+            old,
+            r.wall_secs,
+            delta * 100.0
+        );
+        deltas.push(format!(
+            "      {{\"runtime\": \"{}\", \"baseline_wall_secs\": {:.6}, \"delta\": {:.4}}}",
+            r.runtime, old, delta
+        ));
+    }
+    assert!(!deltas.is_empty(), "{path}: no comparable runtimes");
+    // One-sided: the check is "no runtime got slower than the baseline by
+    // more than `tolerance`" — a faster run trivially has no overhead.
+    let pass = max_delta <= tolerance;
+    eprintln!(
+        "baseline   : worst regression {:+.1}% vs tolerance +{:.1}% -> {}",
+        max_delta * 100.0,
+        tolerance * 100.0,
+        if pass { "pass" } else { "FAIL" }
+    );
+    format!(
+        "  \"telemetry_off_check\": {{\n    \"baseline\": \"{path}\",\n    \
+         \"tolerance\": {tolerance},\n    \"max_delta\": {max_delta:.4},\n    \
+         \"pass\": {pass},\n    \"deltas\": [\n{}\n    ]\n  }},\n",
+        deltas.join(",\n")
+    )
 }
 
 /// Best-of-N wall time around `f`, which returns `(committed, digest)`.
@@ -163,11 +239,24 @@ fn main() {
         .all(|r| r.committed == runs[0].committed && r.commit_digest == runs[0].commit_digest);
     assert!(equivalence, "a runtime diverged from the sequential oracle");
 
+    let check = o
+        .baseline
+        .as_deref()
+        .map(|p| baseline_check(p, &runs, o.tolerance))
+        .unwrap_or_default();
+    let note = o
+        .note
+        .as_deref()
+        .map(|n| {
+            let quoted = serde_json::to_string(&n.to_string()).expect("escape note");
+            format!("  \"note\": {quoted},\n")
+        })
+        .unwrap_or_default();
     let body = runs.iter().map(Run::json).collect::<Vec<_>>().join(",\n");
     let doc = format!(
         "{{\n  \"bench\": \"runtime-comparison\",\n  \"model\": \"phold-balanced\",\n  \
          \"lps\": {lps},\n  \"end_time\": {end},\n  \"seed\": {seed},\n  \
-         \"repeat\": {repeat},\n  \"runs\": [\n{body}\n  ],\n  \
+         \"repeat\": {repeat},\n{check}{note}  \"runs\": [\n{body}\n  ],\n  \
          \"equivalence\": {equivalence}\n}}\n",
         end = o.end,
         seed = o.seed,

@@ -1,0 +1,136 @@
+//! `trace_check` — validate a Chrome `trace_event` JSON file produced by
+//! `ggpdes --trace-out`.
+//!
+//! ```text
+//! trace_check FILE [FILE ...]
+//! ```
+//!
+//! For each file it checks that:
+//!
+//! 1. the file is well-formed JSON with a `traceEvents` array;
+//! 2. every non-metadata event carries `ph`/`name`/`pid`/`tid`/`ts` (and
+//!    `dur` for `"X"` spans);
+//! 3. per `(pid, tid)` lane, timestamps are non-decreasing — the ordering
+//!    Perfetto relies on and the exporter guarantees by sorting;
+//! 4. the five GVT phases are present: `gvt-a`, `gvt-b`, `gvt-aware`,
+//!    `gvt-end`, plus at least one of the `gvt-send-a`/`gvt-send-b`
+//!    simulate-while-waiting gaps (sync-mode traces only produce Send-B).
+//!
+//! Exit 0 when every file passes; exit 1 with a diagnostic otherwise.
+//! This is what CI runs against the traced release smoke runs.
+
+use std::collections::HashMap;
+
+use serde::Value;
+
+fn fail(file: &str, msg: &str) -> ! {
+    eprintln!("trace_check: {file}: {msg}");
+    std::process::exit(1);
+}
+
+/// Pull a numeric field as f64 (the parser yields UInt/Int/Float).
+fn num(e: &Value, key: &str) -> Option<f64> {
+    match e.get(key)? {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn text<'v>(e: &'v Value, key: &str) -> Option<&'v str> {
+    match e.get(key)? {
+        Value::String(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn check_file(file: &str) {
+    let raw = std::fs::read_to_string(file).unwrap_or_else(|e| fail(file, &format!("read: {e}")));
+    let doc = serde_json::parse(&raw).unwrap_or_else(|e| fail(file, &format!("bad JSON: {e}")));
+    let events = match doc.get("traceEvents") {
+        Some(Value::Array(a)) => a,
+        _ => fail(file, "no traceEvents array"),
+    };
+
+    let required = ["gvt-a", "gvt-b", "gvt-aware", "gvt-end"];
+    let sends = ["gvt-send-a", "gvt-send-b"];
+    let mut seen: HashMap<&str, u64> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut checked = 0u64;
+
+    for (i, e) in events.iter().enumerate() {
+        let ph = text(e, "ph").unwrap_or_else(|| fail(file, &format!("event {i}: no ph")));
+        if ph == "M" {
+            continue;
+        }
+        if ph != "X" && ph != "i" {
+            fail(file, &format!("event {i}: unexpected ph {ph:?}"));
+        }
+        let name = text(e, "name").unwrap_or_else(|| fail(file, &format!("event {i}: no name")));
+        let pid = num(e, "pid").unwrap_or_else(|| fail(file, &format!("event {i}: no pid")));
+        let tid = num(e, "tid").unwrap_or_else(|| fail(file, &format!("event {i}: no tid")));
+        let ts = num(e, "ts").unwrap_or_else(|| fail(file, &format!("event {i}: no ts")));
+        if ph == "X" && num(e, "dur").is_none() {
+            fail(file, &format!("event {i}: span without dur"));
+        }
+        let lane = (pid as u64, tid as u64);
+        if let Some(prev) = last_ts.get(&lane) {
+            if ts < *prev {
+                fail(
+                    file,
+                    &format!(
+                        "event {i} ({name}): lane pid={} tid={} went backwards: \
+                         ts {ts} < {prev}",
+                        lane.0, lane.1
+                    ),
+                );
+            }
+        }
+        last_ts.insert(lane, ts);
+        *seen
+            .entry(match name {
+                "gvt-a" => "gvt-a",
+                "gvt-b" => "gvt-b",
+                "gvt-aware" => "gvt-aware",
+                "gvt-end" => "gvt-end",
+                "gvt-send-a" => "gvt-send-a",
+                "gvt-send-b" => "gvt-send-b",
+                _ => "other",
+            })
+            .or_insert(0) += 1;
+        checked += 1;
+    }
+
+    if checked == 0 {
+        fail(file, "trace holds no events");
+    }
+    for name in required {
+        if !seen.contains_key(name) {
+            fail(file, &format!("required GVT phase {name:?} never appears"));
+        }
+    }
+    if !sends.iter().any(|s| seen.contains_key(s)) {
+        fail(file, "neither gvt-send-a nor gvt-send-b appears");
+    }
+    let gvt_total: u64 = required
+        .iter()
+        .chain(sends.iter())
+        .filter_map(|n| seen.get(n))
+        .sum();
+    println!(
+        "trace_check: {file}: ok — {checked} events across {} lane(s), {gvt_total} GVT phase spans",
+        last_ts.len()
+    );
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_check FILE [FILE ...]");
+        std::process::exit(2);
+    }
+    for file in &files {
+        check_file(file);
+    }
+}

@@ -44,6 +44,9 @@ pub struct DistConfig {
     pub watchdog: Option<Duration>,
     /// TCP mesh setup deadline.
     pub mesh_timeout: Duration,
+    /// Live tracing / round-snapshot collection (off by default). Each
+    /// shard collects locally and forwards to the coordinator at Finish.
+    pub telemetry: telemetry::TelemetryConfig,
 }
 
 impl Default for DistConfig {
@@ -59,6 +62,7 @@ impl Default for DistConfig {
             wave_interval_cycles: 4,
             watchdog: Some(Duration::from_secs(10)),
             mesh_timeout: Duration::from_secs(10),
+            telemetry: telemetry::TelemetryConfig::default(),
         }
     }
 }
@@ -80,6 +84,10 @@ pub struct DistResult {
     /// Whether the last recovery restored from an assembled checkpoint cut
     /// (as opposed to replaying from the start).
     pub used_checkpoint: bool,
+    /// Merged telemetry across all shards (when tracing was enabled),
+    /// mapped onto the coordinator's clock. Recovery attempts start a
+    /// fresh collection; this is the final (successful) attempt's data.
+    pub telemetry: Option<telemetry::TelemetryData>,
 }
 
 fn node_cfg(dcfg: &DistConfig, shard: usize) -> NodeConfig {
@@ -93,6 +101,7 @@ fn node_cfg(dcfg: &DistConfig, shard: usize) -> NodeConfig {
             .iter()
             .find(|(s, _)| *s == shard)
             .map(|(_, at)| *at),
+        telemetry: dcfg.telemetry.clone(),
     }
 }
 
@@ -236,6 +245,7 @@ fn tcp_links(
 
 /// Assemble the coordinator's [`NodeOutcome`] into a [`DistResult`].
 fn assemble_result(out: NodeOutcome, shards: usize, lps: usize, wall_secs: f64) -> DistResult {
+    let telemetry = out.telemetry;
     let metrics = RunMetrics {
         system: "GG-PDES-Dist".to_string(),
         threads: shards,
@@ -249,6 +259,7 @@ fn assemble_result(out: NodeOutcome, shards: usize, lps: usize, wall_secs: f64) 
         gvt_rounds: out.gvt_rounds,
         max_descheduled: out.max_parked as usize,
         commit_digest: out.totals.commit_digest,
+        last_round: telemetry.as_ref().and_then(|d| d.last_round().cloned()),
         ..Default::default()
     };
     DistResult {
@@ -259,6 +270,7 @@ fn assemble_result(out: NodeOutcome, shards: usize, lps: usize, wall_secs: f64) 
         regressions: out.regressions,
         recoveries: 0,
         used_checkpoint: false,
+        telemetry,
     }
 }
 

@@ -25,6 +25,7 @@ use pdes_core::{
     Checkpoint, EngineConfig, Event, LpCheckpoint, LpId, LpMap, Model, Msg, Outbound, ThreadEngine,
     ThreadStats, VirtualTime,
 };
+use telemetry::{EventKind, RoundTotals, Telemetry, TelemetryConfig, TelemetryData, Tracer};
 
 use crate::gvt::{Coordinator, GvtTracker, RoundClosure, ShardReport};
 use crate::link::{Inbox, ReliableLink};
@@ -146,6 +147,9 @@ pub struct NodeOutcome {
     /// Maximum shards simultaneously parked by demand throttling (lower
     /// bound: folded from per-shard episode counts).
     pub max_parked: u64,
+    /// Merged telemetry from every shard (present when tracing was on),
+    /// mapped onto the coordinator's clock.
+    pub telemetry: Option<TelemetryData>,
 }
 
 /// Tuning knobs a node needs beyond the engine's own [`EngineConfig`].
@@ -163,6 +167,8 @@ pub struct NodeConfig {
     /// protocol progress, not step cycles, so the kill lands at the same
     /// point of the simulation regardless of host speed or scheduling.
     pub kill_at: Option<u64>,
+    /// Live tracing / round-snapshot collection (off by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for NodeConfig {
@@ -173,6 +179,7 @@ impl Default for NodeConfig {
             ckpt_every_rounds: 0,
             watchdog: Some(Duration::from_secs(10)),
             kill_at: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -233,6 +240,17 @@ pub struct ShardNode<M: Model> {
     /// Cycles of ack-flushing after `Done` before calling it quits.
     flush_left: u64,
     outbox: Vec<Outbound<M::Payload>>,
+    // Telemetry: per-shard registry + this node's (single) tracer.
+    tel: Arc<Telemetry>,
+    tracer: Tracer,
+    /// Monotonic origin of this node's trace timestamps.
+    t0: Instant,
+    /// Wall time the current park episode began (trace only).
+    park_t0: u64,
+    /// Per-link retransmit counts already traced.
+    retx_seen: Vec<u64>,
+    /// Coordinator: telemetry merged from every shard's forward.
+    tel_merged: TelemetryData,
 }
 
 impl<M: Model> ShardNode<M> {
@@ -261,6 +279,8 @@ impl<M: Model> ShardNode<M> {
             pdes_core::SimThreadId(shard as u32),
             ecfg,
         );
+        let tel = Telemetry::new(ncfg.telemetry.clone());
+        let tracer = tel.tracer(0);
         ShardNode {
             shard,
             n: num_shards,
@@ -293,6 +313,38 @@ impl<M: Model> ShardNode<M> {
             last_liveness: Instant::now(),
             flush_left: 0,
             outbox: Vec::new(),
+            tel,
+            tracer,
+            t0: Instant::now(),
+            park_t0: 0,
+            retx_seen: vec![0; num_shards],
+            tel_merged: TelemetryData::default(),
+        }
+    }
+
+    /// Nanoseconds on this node's own monotonic trace clock.
+    fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Park the shard (demand throttling), tracing the episode start.
+    fn park_shard(&mut self) {
+        self.parked = true;
+        self.parked_episodes += 1;
+        if self.tracer.enabled() {
+            self.park_t0 = self.now_ns();
+        }
+    }
+
+    /// Un-park the shard and close the traced park span.
+    fn unpark_shard(&mut self) {
+        self.parked = false;
+        if self.tracer.enabled() {
+            let now = self.now_ns();
+            self.tracer
+                .span(EventKind::Park, self.park_t0, now, self.shard as u64);
+            self.tracer
+                .instant(EventKind::Unpark, now, self.shard as u64);
         }
     }
 
@@ -433,29 +485,53 @@ impl<M: Model> ShardNode<M> {
 
         // 3. Simulate.
         if self.phase == Phase::Running && !self.parked {
+            let trace = self.tracer.enabled();
+            let b0 = if trace { self.now_ns() } else { 0 };
+            let rb0 = self.engine.stats().rolled_back;
             let mut outbox = std::mem::take(&mut self.outbox);
             let out = self.engine.process_batch(self.engine_batch(), &mut outbox);
             self.outbox = outbox;
             self.route_outbox()?;
             if out.processed > 0 {
                 progress = true;
+                if trace {
+                    let now = self.now_ns();
+                    self.tracer
+                        .span(EventKind::EventBatch, b0, now, out.processed as u64);
+                    let rb = self.engine.stats().rolled_back;
+                    if rb > rb0 {
+                        self.tracer.instant(EventKind::Rollback, now, rb - rb0);
+                    }
+                }
             }
             // Demand check between publishes: new local work un-parks; a
             // shard that just went empty waits for the next publish to park
             // (publish is the scheduling decision point).
         } else if self.phase == Phase::Running && self.parked && self.engine.has_live_pending() {
-            self.parked = false;
+            self.unpark_shard();
             progress = true;
         }
 
         // 4. Pump every link (acks, retransmits, delayed releases).
         for p in 0..self.n {
+            let mut retx = None;
             if let Some(link) = self.links[p].as_mut() {
                 match link.pump() {
                     Ok(()) => {}
                     Err(_) if self.phase >= Phase::Flushing => {}
                     Err(e) => return Err(DistError::Io(e)),
                 }
+                retx = Some(link.retransmits);
+            }
+            if let Some(rx) = retx {
+                if rx > self.retx_seen[p] && self.tracer.enabled() {
+                    // arg packs (peer, episodes-since-last-trace).
+                    let delta = rx - self.retx_seen[p];
+                    let now = self.now_ns();
+                    self.tracer
+                        .instant(EventKind::LinkRetransmit, now, ((p as u64) << 32) | delta);
+                }
+                self.retx_seen[p] = rx.max(self.retx_seen[p]);
             }
         }
 
@@ -578,6 +654,11 @@ impl<M: Model> ShardNode<M> {
                     parked,
                 },
             ),
+            Frame::Telemetry {
+                shard,
+                sent_at_ns,
+                data,
+            } => self.handle_telemetry(shard, sent_at_ns, data),
         }
     }
 
@@ -615,6 +696,8 @@ impl<M: Model> ShardNode<M> {
         // Round traffic counts as liveness: long multi-wave rounds must not
         // trip a participant's watchdog.
         self.last_liveness = Instant::now();
+        let trace = self.tracer.enabled();
+        let ph0 = if trace { self.now_ns() } else { 0 };
         if wave == 0 {
             self.tracker
                 .take_cut(round, self.engine.local_min().ticks());
@@ -629,10 +712,28 @@ impl<M: Model> ShardNode<M> {
             white_sent,
             white_recvd,
         };
+        // Trace mapping: the cut + report build is Phase A, the report
+        // dispatch is Send-A. On the coordinator the report is self-handled
+        // (and may close the round inline), so its Send-A is a point span.
+        let t1 = if trace {
+            let t1 = self.now_ns();
+            self.tracer.span(EventKind::GvtA, ph0, t1, round);
+            t1
+        } else {
+            0
+        };
         if self.shard == 0 {
+            if trace {
+                self.tracer.span(EventKind::GvtSendA, t1, t1, round);
+            }
             self.handle_frame(0, rep)
         } else {
-            self.send_frame(0, &rep)
+            let r = self.send_frame(0, &rep);
+            if trace {
+                self.tracer
+                    .span(EventKind::GvtSendA, t1, self.now_ns(), round);
+            }
+            r
         }
     }
 
@@ -719,12 +820,23 @@ impl<M: Model> ShardNode<M> {
         }
         self.gvt = gvt;
         self.last_liveness = Instant::now();
+        // Trace mapping for the publish side of a round: GVT adoption +
+        // fossil collection is Phase B, the checkpoint cut + park/unpark
+        // decision is Aware, and the round-snapshot bookkeeping is End.
+        let trace = self.tracer.enabled();
+        let mut ph = if trace { self.now_ns() } else { 0 };
         let vt = VirtualTime::from_ticks(gvt);
         self.engine.fossil_collect(vt);
+        if trace {
+            let now = self.now_ns();
+            self.tracer.span(EventKind::GvtB, ph, now, round);
+            ph = now;
+        }
         if armed && self.phase == Phase::Running {
             // Every white of this round was delivered before the publish,
             // and every red is above the cut's minima — the engine sits
             // exactly on a consistent global cut at `gvt`.
+            let cw0 = if trace { self.now_ns() } else { 0 };
             let (lps, events) = self.engine.snapshot_at_gvt(vt);
             let part = Frame::CutPart {
                 round,
@@ -737,6 +849,10 @@ impl<M: Model> ShardNode<M> {
             } else {
                 self.send_frame(0, &part)?;
             }
+            if trace {
+                self.tracer
+                    .span(EventKind::CheckpointWrite, cw0, self.now_ns(), round);
+            }
         }
         if terminate {
             self.phase = Phase::Draining;
@@ -746,11 +862,29 @@ impl<M: Model> ShardNode<M> {
             // demand.
             let demand = self.engine.has_live_pending();
             if !demand && !self.parked {
-                self.parked = true;
-                self.parked_episodes += 1;
-            } else if demand {
-                self.parked = false;
+                self.park_shard();
+            } else if demand && self.parked {
+                self.unpark_shard();
             }
+        }
+        if trace {
+            let now = self.now_ns();
+            self.tracer.span(EventKind::GvtAware, ph, now, round);
+            ph = now;
+            let stats = self.engine.stats();
+            self.tel.record_round(RoundTotals {
+                round,
+                gvt_ticks: gvt,
+                ts_ns: now,
+                committed: stats.committed,
+                processed: stats.processed,
+                rolled_back: stats.rolled_back,
+                active_threads: if self.parked { 0 } else { 1 },
+                lvt_ticks: vec![self.engine.local_min().ticks()],
+                queue_depths: vec![self.engine.pending_len()],
+            });
+            self.tracer
+                .span(EventKind::GvtEnd, ph, self.now_ns(), round);
         }
         Ok(())
     }
@@ -813,6 +947,27 @@ impl<M: Model> ShardNode<M> {
             link.clear_faults();
         }
         self.engine.finalize();
+        // Forward collected telemetry ahead of `Done`: the in-order link
+        // guarantees the coordinator merges it before assembling the
+        // outcome. A parked shard's open episode closes here.
+        if self.tel.enabled() {
+            if self.parked {
+                self.unpark_shard();
+            }
+            let tracer = std::mem::replace(&mut self.tracer, Tracer::disabled());
+            self.tel.deposit(tracer);
+            let data = self.tel.take();
+            let tf = Frame::Telemetry {
+                shard: self.shard as u64,
+                sent_at_ns: self.now_ns(),
+                data,
+            };
+            if self.shard == 0 {
+                self.handle_frame(0, tf)?;
+            } else {
+                self.send_frame(0, &tf)?;
+            }
+        }
         let done = Frame::Done {
             shard: self.shard as u64,
             stats: self.engine.stats().clone(),
@@ -827,6 +982,23 @@ impl<M: Model> ShardNode<M> {
         } else {
             self.send_frame(0, &done)
         }
+    }
+
+    /// Coordinator: merge a shard's forwarded telemetry onto the local
+    /// clock, offset-estimated as `now - sent_at_ns` (the forwarding
+    /// frame's one-way latency is assumed small against the trace span).
+    fn handle_telemetry(
+        &mut self,
+        shard: u64,
+        sent_at_ns: u64,
+        data: TelemetryData,
+    ) -> Result<(), DistError> {
+        if self.coord.is_none() {
+            return Err(self.protocol_err("Telemetry received by non-coordinator"));
+        }
+        let offset_ns = self.now_ns() as i64 - sent_at_ns as i64;
+        self.tel_merged.merge_shard(data, shard, offset_ns);
+        Ok(())
     }
 
     fn handle_done(&mut self, shard: usize, d: DoneData) -> Result<(), DistError> {
@@ -848,14 +1020,19 @@ impl<M: Model> ShardNode<M> {
                 max_parked = max_parked.max(d.parked);
             }
             state_digests.sort_by_key(|(lp, _)| *lp);
+            let (gvt_rounds, gvt, regressions) = (coord.rounds_done, coord.gvt, coord.regressions);
             self.outcome = Some(NodeOutcome {
                 totals,
                 state_digests,
                 pending_digest,
-                gvt_rounds: coord.rounds_done,
-                gvt: coord.gvt,
-                regressions: coord.regressions,
+                gvt_rounds,
+                gvt,
+                regressions,
                 max_parked,
+                telemetry: self
+                    .tel
+                    .enabled()
+                    .then(|| std::mem::take(&mut self.tel_merged)),
             });
         }
         Ok(())
@@ -868,10 +1045,18 @@ impl<M: Model> ShardNode<M> {
         loop {
             if let Some(limit) = self.cfg.watchdog {
                 if self.last_liveness.elapsed() > limit {
+                    // When tracing is on, stamp the stall report with the
+                    // last round snapshot — the dist-rt analogue of the
+                    // thread runtimes' `StallDump::last_round`.
+                    let last_round = self
+                        .tel
+                        .last_round()
+                        .map(|r| format!(", last round {} at gvt={}", r.round, r.gvt_ticks))
+                        .unwrap_or_default();
                     return Err(DistError::Stalled {
                         shard: self.shard,
                         detail: format!(
-                            "no GVT liveness for {:.1}s (gvt={}, phase {:?})",
+                            "no GVT liveness for {:.1}s (gvt={}, phase {:?}{last_round})",
                             limit.as_secs_f64(),
                             self.gvt,
                             self.phase

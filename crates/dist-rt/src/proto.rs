@@ -67,6 +67,16 @@ pub enum Frame<S, P> {
         pending_digest: u64,
         parked: u64,
     },
+    /// Shard → coordinator: the shard's collected telemetry (thread traces
+    /// and per-round counter snapshots), sent right before [`Frame::Done`]
+    /// so the in-order link guarantees it arrives first. `sent_at_ns` is
+    /// the shard's monotonic clock at send time; the coordinator estimates
+    /// the clock offset as `coordinator_now - sent_at_ns`.
+    Telemetry {
+        shard: u64,
+        sent_at_ns: u64,
+        data: telemetry::TelemetryData,
+    },
 }
 
 impl<S, P> Frame<S, P> {
@@ -81,6 +91,7 @@ impl<S, P> Frame<S, P> {
             Frame::Finish => "Finish",
             Frame::CutPart { .. } => "CutPart",
             Frame::Done { .. } => "Done",
+            Frame::Telemetry { .. } => "Telemetry",
         }
     }
 }
@@ -149,6 +160,30 @@ mod tests {
                 digests: vec![(LpId(2), 11), (LpId(3), 12)],
                 pending_digest: 0xBEEF,
                 parked: 2,
+            },
+            Frame::Telemetry {
+                shard: 2,
+                sent_at_ns: 123_456_789,
+                data: telemetry::TelemetryData {
+                    threads: vec![telemetry::ThreadTrace {
+                        tid: 0,
+                        shard: 0,
+                        emitted: 2,
+                        dropped: 1,
+                        records: vec![telemetry::TraceRecord {
+                            kind: telemetry::EventKind::GvtEnd,
+                            ts_ns: 77,
+                            dur_ns: 5,
+                            arg: 3,
+                        }],
+                    }],
+                    rounds: vec![pdes_core::RoundCounters {
+                        round: 3,
+                        gvt_ticks: 900,
+                        ts_ns: 80,
+                        ..Default::default()
+                    }],
+                },
             },
         ];
         for f in frames {

@@ -9,6 +9,6 @@ pub mod gantt;
 pub mod report;
 pub mod run;
 
-pub use gantt::render_gantt;
+pub use gantt::{render_gantt, trace_horizon, transitions_from_trace};
 pub use report::{Series, Table};
 pub use run::RunMetrics;

@@ -39,6 +39,10 @@ pub struct RunMetrics {
     pub pin_failures: u64,
     /// XOR-fold commit digest (for cross-runtime correctness checks).
     pub commit_digest: u64,
+    /// Final telemetry counter snapshot — the last completed GVT round —
+    /// when the run was traced (`None` with telemetry off; absent fields
+    /// in older JSON deserialize to `None`).
+    pub last_round: Option<pdes_core::RoundCounters>,
 }
 
 impl RunMetrics {

@@ -712,6 +712,10 @@ pub struct StallDump {
     pub threads: Vec<ThreadDump>,
     /// Fault injections performed up to the stall.
     pub fault_counts: FaultCounts,
+    /// The last GVT round the telemetry subsystem saw complete (per-round
+    /// deltas + per-thread LVTs), when tracing was enabled. A stalled run
+    /// thus reports *where progress stopped*, not just that it stopped.
+    pub last_round: Option<crate::stats::RoundCounters>,
 }
 
 impl std::fmt::Display for StallDump {
@@ -747,6 +751,31 @@ impl std::fmt::Display for StallDump {
                 t.sem_tokens,
                 t.window_min,
                 t.queue_min
+            )?;
+        }
+        if let Some(r) = &self.last_round {
+            let lvts: Vec<String> = r
+                .lvt_ticks
+                .iter()
+                .map(|&t| {
+                    if t == u64::MAX {
+                        "inf".into()
+                    } else {
+                        t.to_string()
+                    }
+                })
+                .collect();
+            writeln!(
+                f,
+                "last completed round: id={} gvt_ticks={} committed+={} processed+={} \
+                 rolled_back+={} active={} lvt=[{}]",
+                r.round,
+                r.gvt_ticks,
+                r.committed_delta,
+                r.processed_delta,
+                r.rolled_back_delta,
+                r.active_threads,
+                lvts.join(",")
             )?;
         }
         write!(
@@ -1067,11 +1096,21 @@ mod tests {
                 lost_wakeups: 1,
                 ..FaultCounts::default()
             },
+            last_round: Some(crate::stats::RoundCounters {
+                round: 17,
+                gvt_ticks: 1250,
+                committed_delta: 40,
+                active_threads: 3,
+                lvt_ticks: vec![1300, u64::MAX],
+                ..Default::default()
+            }),
         };
         let s = dump.to_string();
         assert!(s.contains("liveness watchdog"));
         assert!(s.contains("t2: phase=parked joined=17 qlen=5"));
         assert!(s.contains("lost=1"));
         assert!(s.contains("participants=4 a=3"));
+        assert!(s.contains("last completed round: id=17 gvt_ticks=1250"));
+        assert!(s.contains("lvt=[1300,inf]"));
     }
 }

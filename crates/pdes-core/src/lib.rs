@@ -49,5 +49,5 @@ pub use mapping::{LpMap, MapKind, ShardMap};
 pub use model::{Model, SendCtx};
 pub use rng::DetRng;
 pub use sequential::{run_sequential, run_sequential_from, SequentialResult};
-pub use stats::ThreadStats;
+pub use stats::{RoundCounters, ThreadStats};
 pub use time::VirtualTime;

@@ -27,6 +27,40 @@ pub struct ThreadStats {
     pub commit_digest: u64,
 }
 
+/// One GVT round's worth of progress, snapshotted at the round's End phase.
+///
+/// Deltas are **since the previous snapshot**, so a stream of
+/// `RoundCounters` is a per-round time series: where events were committed,
+/// where rollbacks clustered, which threads' LVTs lagged, and how deep the
+/// inboxes ran when the round closed. All runtimes emit the same record
+/// (`sim-rt` with virtual `ts_ns`, `thread-rt`/`dist-rt` with monotonic wall
+/// nanoseconds), so rounds are directly comparable across runtimes and
+/// shards.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundCounters {
+    /// Round id (thread-rt/sim-rt: membership round; dist-rt: publish round).
+    pub round: u64,
+    /// Shard that produced the snapshot (0 outside `dist-rt`).
+    pub shard: u64,
+    /// The GVT published by this round, in [`crate::VirtualTime`] ticks.
+    pub gvt_ticks: u64,
+    /// When the round closed: nanoseconds on the producer's clock
+    /// (virtual for `sim-rt`, monotonic wall for the others).
+    pub ts_ns: u64,
+    /// Events committed since the previous snapshot.
+    pub committed_delta: u64,
+    /// Events processed since the previous snapshot.
+    pub processed_delta: u64,
+    /// Events rolled back since the previous snapshot.
+    pub rolled_back_delta: u64,
+    /// Threads scheduled-in when the round closed.
+    pub active_threads: usize,
+    /// Per-thread LVT in ticks at the round's fold (`u64::MAX` = idle/∞).
+    pub lvt_ticks: Vec<u64>,
+    /// Per-thread inbox depth when the round closed.
+    pub queue_depths: Vec<usize>,
+}
+
 impl ThreadStats {
     /// Merge another thread's counters into this one (for totals).
     pub fn merge(&mut self, other: &ThreadStats) {

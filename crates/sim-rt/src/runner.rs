@@ -39,6 +39,9 @@ pub struct SimResult {
     pub timeline: Vec<(u64, usize, bool)>,
     /// Thread felled by a scripted worker kill (`completed` is then false).
     pub killed: Option<usize>,
+    /// Collected trace + round snapshots (`None` when telemetry was off).
+    /// Timestamps are virtual nanoseconds.
+    pub telemetry: Option<telemetry::TelemetryData>,
 }
 
 impl SimResult {
@@ -73,6 +76,8 @@ pub struct RunConfig {
     /// Also persist each checkpoint here (atomic rename-into-place);
     /// `None` keeps checkpoints in memory only.
     pub checkpoint_path: Option<PathBuf>,
+    /// Live telemetry (off by default; near-zero cost when disabled).
+    pub telemetry: telemetry::TelemetryConfig,
 }
 
 impl RunConfig {
@@ -88,6 +93,7 @@ impl RunConfig {
             watchdog_ns: Some(10_000_000_000), // 10 virtual seconds
             checkpoint_every_gvt: 0,
             checkpoint_path: None,
+            telemetry: telemetry::TelemetryConfig::default(),
         }
     }
 
@@ -117,6 +123,12 @@ impl RunConfig {
     /// Persist checkpoints to `path` (atomic rename-into-place).
     pub fn with_checkpoint_path(mut self, path: PathBuf) -> Self {
         self.checkpoint_path = Some(path);
+        self
+    }
+
+    /// Enable live telemetry (per-thread tracing + GVT-round snapshots).
+    pub fn with_telemetry(mut self, telemetry: telemetry::TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -198,6 +210,9 @@ pub fn run_sim_resumable<M: Model>(
             sh.dd_mutex = Some(machine.kernel().add_mutex());
         }
         sh.set_faults(faults.unwrap_or_else(|| FaultInjector::new(rc.faults.clone())));
+        // Each attempt gets a fresh registry: a supervised restart must not
+        // inherit the felled attempt's half-deposited rings.
+        sh.set_telemetry(telemetry::Telemetry::new(rc.telemetry.clone()));
         sh.watchdog_ns = rc.watchdog_ns;
         sh.ckpt_every = rc.checkpoint_every_gvt;
         if let Some(c) = resume {
@@ -308,11 +323,15 @@ pub fn run_sim_resumable<M: Model>(
     };
 
     let sh = shared.borrow();
+    let telemetry_data = sh.tel_enabled().then(|| sh.telemetry.take());
     let mut m = sh.collect_metrics();
     m.lps = model.num_lps();
     m.wall_secs = report.virtual_secs();
     m.total_work = report.total_work();
     m.wasted_work = report.work_for(WorkTag::Spin) + report.work_for(WorkTag::Poll);
+    m.last_round = telemetry_data
+        .as_ref()
+        .and_then(|d| d.last_round().cloned());
 
     let mut digests: Vec<(LpId, u64)> = sh.final_digests.iter().flatten().copied().collect();
     digests.sort_by_key(|&(lp, _)| lp);
@@ -381,6 +400,7 @@ pub fn run_sim_resumable<M: Model>(
         stall: sh.stall.clone(),
         fault_counts: sh.faults.counts(),
         killed: sh.killed,
+        telemetry: telemetry_data,
         report,
         completed,
     };

@@ -197,6 +197,16 @@ pub struct Shared<P> {
     /// recorded at de-scheduling and reactivation (capped; see
     /// [`TIMELINE_CAP`]).
     pub timeline: Vec<(u64, usize, bool)>,
+
+    // ---- telemetry ----
+    /// Live telemetry registry (an inert `off()` registry by default).
+    pub telemetry: std::sync::Arc<telemetry::Telemetry>,
+    /// Latest published per-thread LVT ticks (`u64::MAX` = idle/∞).
+    pub tel_lvt: Vec<u64>,
+    /// Latest published per-thread cumulative counters.
+    pub tel_committed: Vec<u64>,
+    pub tel_processed: Vec<u64>,
+    pub tel_rolled_back: Vec<u64>,
 }
 
 /// Maximum recorded timeline transitions (memory bound for long runs).
@@ -245,12 +255,60 @@ impl<P> Shared<P> {
             watchdog_ns: None,
             stall: None,
             timeline: Vec::new(),
+            telemetry: telemetry::Telemetry::off(),
+            tel_lvt: vec![u64::MAX; num_threads],
+            tel_committed: vec![0; num_threads],
+            tel_processed: vec![0; num_threads],
+            tel_rolled_back: vec![0; num_threads],
         }
     }
 
     /// Attach a fault injector (before the run starts).
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    /// Attach a telemetry registry (before the run starts).
+    pub fn set_telemetry(&mut self, registry: std::sync::Arc<telemetry::Telemetry>) {
+        self.telemetry = registry;
+    }
+
+    /// Whether telemetry collection is on for this run.
+    #[inline]
+    pub fn tel_enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Publish thread `me`'s LVT and cumulative engine counters for the
+    /// next round snapshot (pass `VirtualTime::INFINITY` when idle).
+    pub fn tel_publish(&mut self, me: usize, lvt: VirtualTime, stats: &ThreadStats) {
+        self.tel_lvt[me] = if lvt.is_infinite() {
+            u64::MAX
+        } else {
+            lvt.ticks()
+        };
+        self.tel_committed[me] = stats.committed;
+        self.tel_processed[me] = stats.processed;
+        self.tel_rolled_back[me] = stats.rolled_back;
+    }
+
+    /// Stamp the per-round counter snapshot at round `id`'s End phase
+    /// (no-op when telemetry is off). `now_ns` is virtual time here.
+    pub fn tel_round_snapshot(&self, id: u64, now_ns: u64) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        self.telemetry.record_round(telemetry::RoundTotals {
+            round: id,
+            gvt_ticks: self.gvt.ticks(),
+            ts_ns: now_ns,
+            committed: self.tel_committed.iter().sum(),
+            processed: self.tel_processed.iter().sum(),
+            rolled_back: self.tel_rolled_back.iter().sum(),
+            active_threads: self.num_active,
+            lvt_ticks: self.tel_lvt.clone(),
+            queue_depths: self.queues.iter().map(|q| q.len()).collect(),
+        });
     }
 
     // ---- message routing --------------------------------------------------
@@ -671,6 +729,7 @@ impl<P> Shared<P> {
                 })
                 .collect(),
             fault_counts: self.faults.counts(),
+            last_round: self.telemetry.last_round(),
         }
     }
 

@@ -16,6 +16,7 @@ use machine::{Ctx, Step, Task, WorkTag};
 use pdes_core::{EngineConfig, Model, Outbound, ThreadEngine};
 use std::cell::RefCell;
 use std::rc::Rc;
+use telemetry::{EventKind, Tracer};
 
 /// Where the thread is in its control loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +77,13 @@ pub struct SimThreadTask<M: Model> {
     ckpt: Rc<RefCell<VmCkptStore<M>>>,
     /// Work cycles completed — the clock scripted worker kills fire on.
     total_cycles: u64,
+    /// Telemetry tracer (no-op unless the run enabled telemetry).
+    /// Timestamps here are *virtual* nanoseconds (`ctx.now()`).
+    tracer: Tracer,
+    /// Virtual time the current GVT phase started.
+    ph_ns: u64,
+    /// Virtual time the thread parked (for the Park span).
+    park_ns: u64,
 }
 
 impl<M: Model> SimThreadTask<M> {
@@ -87,6 +95,7 @@ impl<M: Model> SimThreadTask<M> {
         ecfg: EngineConfig,
         ckpt: Rc<RefCell<VmCkptStore<M>>>,
     ) -> Self {
+        let tracer = shared.borrow().telemetry.tracer(tid);
         SimThreadTask {
             tid,
             engine,
@@ -105,6 +114,9 @@ impl<M: Model> SimThreadTask<M> {
             ops: Vec::new(),
             ckpt,
             total_cycles: 0,
+            tracer,
+            ph_ns: 0,
+            park_ns: 0,
         }
     }
 
@@ -152,7 +164,7 @@ impl<M: Model> SimThreadTask<M> {
 
     /// One main-loop cycle: drain the input queue, process a batch, route
     /// sends. Returns (cost, cycles_advanced, useful).
-    fn do_cycle(&mut self, sh: &mut Shared<M::Payload>) -> (u64, u64, bool) {
+    fn do_cycle(&mut self, sh: &mut Shared<M::Payload>, now: u64) -> (u64, u64, bool) {
         let c = sh.cost.clone();
         let msgs = sh.drain(self.tid);
         let n_msgs = msgs.len() as u64;
@@ -193,6 +205,21 @@ impl<M: Model> SimThreadTask<M> {
             + c.proc_event * batch.processed as u64
             + c.send_msg * sends
             + c.rollback_event * rolled;
+        if self.tracer.enabled() {
+            // The cycle occupies [now, now + cost] in virtual time.
+            if batch.processed > 0 {
+                self.tracer.span(
+                    EventKind::EventBatch,
+                    now,
+                    now + cost,
+                    batch.processed as u64,
+                );
+            }
+            if rolled > 0 {
+                self.tracer
+                    .span(EventKind::Rollback, now, now + cost, rolled);
+            }
+        }
         (cost, cycles, !idle)
     }
 
@@ -210,7 +237,11 @@ impl<M: Model> SimThreadTask<M> {
         for (dst, msg) in self.outbox.drain(..) {
             sh.push_msg(self.tid, dst.index(), msg);
         }
-        sh.fold_min(self.tid, self.engine.local_min());
+        let local = self.engine.local_min();
+        sh.fold_min(self.tid, local);
+        if self.tracer.enabled() {
+            sh.tel_publish(self.tid, local, self.engine.stats());
+        }
         c.gvt_phase + c.recv_msg * n + c.send_msg * sends + c.rollback_event * rolled
     }
 
@@ -251,7 +282,9 @@ impl<M: Model> SimThreadTask<M> {
     fn end_duties(&mut self, sh: &mut Shared<M::Payload>, now: u64) -> (u64, Step) {
         let c = sh.cost.clone();
         let mut cost = c.gvt_phase;
+        let trace = self.tracer.enabled();
         if sh.ckpt_round == Some(sh.round.id) && !sh.terminated {
+            let cw0 = cost;
             // Armed round: this thread's share of the consistent cut. The
             // claimant computed the round's GVT before any participant can
             // reach End (single-threaded machine, Aware precedes End), so
@@ -282,15 +315,41 @@ impl<M: Model> SimThreadTask<M> {
                 sh.round.participants,
                 sh.faults.cursor(),
             );
+            if trace {
+                // The snapshot occupies [now + cw0, now + cost] virtually.
+                self.tracer.span(
+                    EventKind::CheckpointWrite,
+                    now + cw0,
+                    now + cost,
+                    sh.round.id,
+                );
+            }
         } else {
             self.engine.fossil_collect(sh.gvt);
         }
         sh.gvt_wall_in_round += now.saturating_sub(self.round_enter_ns);
         let deact = !sh.terminated && self.wants_deactivation(sh);
+        let rid = sh.round.id;
+        if trace {
+            // Refresh this thread's counters so a closing snapshot reflects
+            // post-round totals.
+            sh.tel_publish(self.tid, self.engine.local_min(), self.engine.stats());
+        }
         let closed = sh.end_phase(self.tid);
+        if closed {
+            sh.tel_round_snapshot(rid, now);
+        }
         if closed && self.sys.affinity == AffinityPolicy::Dynamic && !sh.terminated {
             let (pinned, scanned) = sh.set_cpu_affinity(&mut self.ops);
             cost += c.affinity_op * pinned as u64 + (scanned as u64) * 8;
+            if trace && pinned > 0 {
+                self.tracer
+                    .instant(EventKind::Migrate, now + cost, pinned as u64);
+            }
+        }
+        if trace {
+            self.tracer
+                .span(EventKind::GvtEnd, self.ph_ns, now + cost, rid);
         }
         if sh.terminated {
             self.phase = Phase::Finishing;
@@ -303,6 +362,11 @@ impl<M: Model> SimThreadTask<M> {
                     // Lock-free: phase coupling makes this safe (§4.1.4).
                     if sh.deactivate_self(self.tid) {
                         sh.record_transition(now, self.tid, false);
+                        if trace {
+                            self.park_ns = now + cost;
+                            let stats = self.engine.stats().clone();
+                            sh.tel_publish(self.tid, pdes_core::VirtualTime::INFINITY, &stats);
+                        }
                         self.phase = Phase::Parked;
                         return (cost, Step::SemWait(sh.sems[self.tid]));
                     }
@@ -387,7 +451,7 @@ impl<M: Model> Task for SimThreadTask<M> {
                     self.phase = Phase::Dead;
                     Step::work(sh.cost.phase_check, WorkTag::Sched)
                 } else {
-                    let (cost, cycles, useful) = self.do_cycle(&mut sh);
+                    let (cost, cycles, useful) = self.do_cycle(&mut sh, now);
                     self.cycles_since_gvt += cycles;
                     let mut tag = if useful { WorkTag::Sim } else { WorkTag::Spin };
                     // GVT trigger: the thread's own 1-in-`gvt_interval`
@@ -411,6 +475,7 @@ impl<M: Model> Task for SimThreadTask<M> {
                             self.joined_round = Some(sh.round.id);
                             sh.dbg_joined[self.tid] = self.joined_round;
                             self.round_enter_ns = now;
+                            self.ph_ns = now;
                             self.phase = match self.sys.gvt {
                                 GvtMode::Async => Phase::AsyncA,
                                 GvtMode::Sync => Phase::SyncBar(0),
@@ -447,6 +512,11 @@ impl<M: Model> Task for SimThreadTask<M> {
                         self.tid, sh.round.id, sh.round.a_done, sh.round.participants
                     );
                 }
+                if self.tracer.enabled() {
+                    self.tracer
+                        .span(EventKind::GvtA, self.ph_ns, now + cost, sh.round.id);
+                    self.ph_ns = now + cost;
+                }
                 self.phase = Phase::AsyncWaitA;
                 Step::work(cost, WorkTag::Gvt)
             }
@@ -470,7 +540,7 @@ impl<M: Model> Task for SimThreadTask<M> {
                     return Step::work(self.shared.borrow().cost.phase_check, WorkTag::Gvt);
                 }
                 // The *Send* phase: keep simulating while peers catch up.
-                let (cost, _, useful) = self.do_cycle(&mut sh);
+                let (cost, _, useful) = self.do_cycle(&mut sh, now);
                 let check = sh.cost.phase_check;
                 let done = if self.phase == Phase::AsyncWaitA {
                     sh.round.a_done == sh.round.participants
@@ -478,6 +548,15 @@ impl<M: Model> Task for SimThreadTask<M> {
                     sh.round.b_done == sh.round.participants
                 };
                 if done {
+                    if self.tracer.enabled() {
+                        let kind = if self.phase == Phase::AsyncWaitA {
+                            EventKind::GvtSendA
+                        } else {
+                            EventKind::GvtSendB
+                        };
+                        self.tracer.span(kind, self.ph_ns, now + cost, sh.round.id);
+                        self.ph_ns = now + cost;
+                    }
                     self.phase = if self.phase == Phase::AsyncWaitA {
                         Phase::AsyncB
                     } else {
@@ -490,6 +569,11 @@ impl<M: Model> Task for SimThreadTask<M> {
             Phase::AsyncB => {
                 let cost = self.drain_and_fold(&mut sh);
                 sh.round.b_done += 1;
+                if self.tracer.enabled() {
+                    self.tracer
+                        .span(EventKind::GvtB, self.ph_ns, now + cost, sh.round.id);
+                    self.ph_ns = now + cost;
+                }
                 self.phase = Phase::AsyncWaitB;
                 Step::work(cost, WorkTag::Gvt)
             }
@@ -499,6 +583,11 @@ impl<M: Model> Task for SimThreadTask<M> {
                 } else {
                     sh.cost.phase_check
                 };
+                if self.tracer.enabled() {
+                    self.tracer
+                        .span(EventKind::GvtAware, self.ph_ns, now + cost, sh.round.id);
+                    self.ph_ns = now + cost;
+                }
                 self.phase = Phase::AsyncEnd;
                 Step::work(cost, WorkTag::Sched)
             }
@@ -521,19 +610,42 @@ impl<M: Model> Task for SimThreadTask<M> {
             }
             Phase::SyncFold => {
                 let cost = self.drain_and_fold(&mut sh);
+                if self.tracer.enabled() {
+                    self.tracer
+                        .span(EventKind::GvtA, self.ph_ns, now + cost, sh.round.id);
+                    self.ph_ns = now + cost;
+                }
                 self.phase = Phase::SyncBar(1);
                 Step::work(cost, WorkTag::Gvt)
             }
             Phase::SyncCtrl => {
+                // Sync mapping mirrors thread-rt: the reduction barrier wait
+                // is the B phase, the controller slice is Aware.
+                if self.tracer.enabled() {
+                    self.tracer
+                        .span(EventKind::GvtB, self.ph_ns, now, sh.round.id);
+                    self.ph_ns = now;
+                }
                 let cost = if sh.claim_aware(self.tid) {
                     self.aware_duties(&mut sh)
                 } else {
                     sh.cost.phase_check
                 };
+                if self.tracer.enabled() {
+                    self.tracer
+                        .span(EventKind::GvtAware, self.ph_ns, now + cost, sh.round.id);
+                    self.ph_ns = now + cost;
+                }
                 self.phase = Phase::SyncBar(2);
                 Step::work(cost, WorkTag::Sched)
             }
             Phase::SyncEnd => {
+                // The exit-barrier wait maps onto Send-B.
+                if self.tracer.enabled() {
+                    self.tracer
+                        .span(EventKind::GvtSendB, self.ph_ns, now, sh.round.id);
+                    self.ph_ns = now;
+                }
                 let (_cost, step) = self.end_duties(&mut sh, now);
                 step
             }
@@ -568,6 +680,11 @@ impl<M: Model> Task for SimThreadTask<M> {
                 let ok = sh.dd_finalize_deact(self.tid);
                 if ok {
                     sh.record_transition(now, self.tid, false);
+                    if self.tracer.enabled() {
+                        self.park_ns = now;
+                        let stats = self.engine.stats().clone();
+                        sh.tel_publish(self.tid, pdes_core::VirtualTime::INFINITY, &stats);
+                    }
                 }
                 drop(sh);
                 ctx.mutex_unlock(m);
@@ -594,6 +711,11 @@ impl<M: Model> Task for SimThreadTask<M> {
                 // simulation ended.
                 sh.on_wake(self.tid);
                 sh.record_transition(now, self.tid, true);
+                if self.tracer.enabled() {
+                    self.tracer
+                        .span(EventKind::Park, self.park_ns, now, self.tid as u64);
+                    self.tracer.instant(EventKind::Unpark, now, self.tid as u64);
+                }
                 self.zero_counter = 0;
                 self.active_flag = true;
                 // `joined_round` stays untouched: it records the last round
@@ -621,6 +743,8 @@ impl<M: Model> Task for SimThreadTask<M> {
                 self.engine.finalize();
                 sh.final_stats[self.tid] = Some(self.engine.stats().clone());
                 sh.final_digests[self.tid] = self.engine.state_digests();
+                sh.telemetry
+                    .deposit(std::mem::replace(&mut self.tracer, Tracer::disabled()));
                 drop(sh);
                 return Step::Done;
             }

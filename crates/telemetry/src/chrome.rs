@@ -1,0 +1,220 @@
+//! Exporters: Chrome `trace_event` JSON and the JSONL round stream.
+//!
+//! The Chrome format is the JSON Object Format (`{"traceEvents": [...]}`)
+//! that Perfetto and `chrome://tracing` load directly: spans are `"X"`
+//! complete events with microsecond `ts`/`dur`, instants are `"i"` events.
+//! `pid` carries the shard, `tid` the simulation thread. Events are emitted
+//! sorted by `(pid, tid, ts)` so per-tid timestamps are non-decreasing —
+//! the property `trace_check` verifies.
+
+use crate::registry::TelemetryData;
+use pdes_core::RoundCounters;
+use std::fmt::Write as _;
+
+/// Render nanoseconds as exact decimal microseconds (`"123.456"`).
+/// Integer formatting keeps the mapping strictly monotone — no float
+/// rounding can reorder two nanosecond timestamps.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Export a merged trace as Chrome `trace_event` JSON, one event per line.
+pub fn chrome_trace_json(data: &TelemetryData) -> String {
+    // (pid, tid, record) rows, sorted so each tid's lane is time-ordered and
+    // co-started spans nest longest-first (what Perfetto's renderer wants).
+    let mut rows = Vec::new();
+    for t in &data.threads {
+        for r in &t.records {
+            rows.push((t.shard, t.tid, *r));
+        }
+    }
+    rows.sort_by_key(|&(pid, tid, r)| (pid, tid, r.ts_ns, std::cmp::Reverse(r.dur_ns)));
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    // Metadata: name the lanes after the worker threads they trace.
+    let mut seen_pids: Vec<u64> = Vec::new();
+    for t in &data.threads {
+        if !seen_pids.contains(&t.shard) {
+            seen_pids.push(t.shard);
+            push(
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                     \"args\":{{\"name\":\"shard {}\"}}}}",
+                    t.shard, t.shard
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"name\":\"sim{} (emitted {}, dropped {})\"}}}}",
+                t.shard, t.tid, t.tid, t.emitted, t.dropped
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for (pid, tid, r) in rows {
+        let mut line = String::new();
+        write!(
+            line,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{}",
+            r.kind.name(),
+            r.kind.category(),
+            if r.kind.is_span() { "X" } else { "i" },
+            us(r.ts_ns)
+        )
+        .expect("write to String");
+        if r.kind.is_span() {
+            write!(line, ",\"dur\":{}", us(r.dur_ns)).expect("write to String");
+        } else {
+            line.push_str(",\"s\":\"t\"");
+        }
+        write!(
+            line,
+            ",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"v\":{}}}}}",
+            r.arg
+        )
+        .expect("write to String");
+        push(line, &mut out, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Export round snapshots as JSONL: one `RoundCounters` JSON object per
+/// line, in emission order — easy to stream, grep, or load into a dataframe.
+pub fn round_stream_jsonl(rounds: &[RoundCounters]) -> String {
+    let mut out = String::new();
+    for r in rounds {
+        out.push_str(&serde_json::to_string(r).expect("RoundCounters serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceRecord};
+    use crate::registry::ThreadTrace;
+
+    fn sample() -> TelemetryData {
+        TelemetryData {
+            threads: vec![
+                ThreadTrace {
+                    tid: 1,
+                    shard: 0,
+                    emitted: 2,
+                    dropped: 0,
+                    records: vec![
+                        TraceRecord {
+                            kind: EventKind::GvtA,
+                            ts_ns: 2_500,
+                            dur_ns: 1_000,
+                            arg: 1,
+                        },
+                        TraceRecord {
+                            kind: EventKind::Unpark,
+                            ts_ns: 1_000,
+                            dur_ns: 0,
+                            arg: 0,
+                        },
+                    ],
+                },
+                ThreadTrace {
+                    tid: 0,
+                    shard: 0,
+                    emitted: 1,
+                    dropped: 3,
+                    records: vec![TraceRecord {
+                        kind: EventKind::EventBatch,
+                        ts_ns: 10,
+                        dur_ns: 4,
+                        arg: 8,
+                    }],
+                },
+            ],
+            rounds: vec![],
+        }
+    }
+
+    #[test]
+    fn exporter_output_parses_and_is_per_tid_monotone() {
+        let json = chrome_trace_json(&sample());
+        let v = serde_json::parse(&json).expect("valid JSON");
+        let events = match v.get("traceEvents") {
+            Some(serde::Value::Array(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        // 1 process_name + 2 thread_name + 3 records.
+        assert_eq!(events.len(), 6);
+        let mut last: std::collections::HashMap<(u64, u64), f64> = Default::default();
+        for e in events {
+            let ph = match e.get("ph") {
+                Some(serde::Value::String(s)) => s.clone(),
+                _ => panic!("ph missing"),
+            };
+            if ph == "M" {
+                continue;
+            }
+            let num = |k: &str| -> f64 {
+                match e.get(k) {
+                    Some(serde::Value::Float(f)) => *f,
+                    Some(serde::Value::UInt(u)) => *u as f64,
+                    Some(serde::Value::Int(i)) => *i as f64,
+                    other => panic!("{k} missing: {other:?}"),
+                }
+            };
+            let key = (num("pid") as u64, num("tid") as u64);
+            let ts = num("ts");
+            if let Some(prev) = last.get(&key) {
+                assert!(ts >= *prev, "tid lane went backwards: {ts} < {prev}");
+            }
+            last.insert(key, ts);
+        }
+    }
+
+    #[test]
+    fn microsecond_rendering_is_exact() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn round_stream_is_one_object_per_line() {
+        let rounds = vec![
+            RoundCounters {
+                round: 1,
+                gvt_ticks: 10,
+                ..Default::default()
+            },
+            RoundCounters {
+                round: 2,
+                gvt_ticks: 20,
+                ..Default::default()
+            },
+        ];
+        let jsonl = round_stream_jsonl(&rounds);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = serde_json::parse(line).expect("valid JSON line");
+            match v.get("round") {
+                Some(serde::Value::UInt(r)) => assert_eq!(*r, i as u64 + 1),
+                other => panic!("round missing: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Telemetry configuration: off by default, near-zero cost when disabled.
+
+/// How (and whether) a run is traced. Carried by every runtime's run config;
+/// each attempt builds its own [`crate::Telemetry`] registry from it, so a
+/// supervised restart starts from a clean slate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch. When `false`, tracers are no-ops (one branch per
+    /// record call) and no round snapshots are taken.
+    pub enabled: bool,
+    /// Per-thread ring capacity in records; rounded up to a power of two.
+    pub capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            capacity: 1 << 16,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Tracing on, default capacity.
+    pub fn on() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Tracing on with an explicit per-thread ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TelemetryConfig {
+            enabled: true,
+            capacity,
+        }
+    }
+}

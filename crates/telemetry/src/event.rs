@@ -1,0 +1,151 @@
+//! The trace event taxonomy shared by every runtime.
+
+use serde::{Deserialize, Serialize};
+
+/// What one trace record describes. Spans carry a duration; instants don't.
+///
+/// The GVT kinds mirror the Wait-Free round structure (paper §4): A and B
+/// are the two folds, Send-A/Send-B the simulate-while-waiting gaps between
+/// them, Aware the pseudo-controller's GVT computation, End the per-thread
+/// round close (fossil collection, checkpoint capture, deactivation
+/// decision). `dist-rt` maps its Mattern rounds onto the same five phases so
+/// traces stay comparable across runtimes (see DESIGN.md §12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Span: one main-loop event batch (`arg` = events processed).
+    #[default]
+    EventBatch,
+    /// Span: a rollback episode (`arg` = events undone).
+    Rollback,
+    /// Span: GVT phase A — first minimum fold (`arg` = round id).
+    GvtA,
+    /// Span: GVT Send-A — simulate while peers finish A (`arg` = round id).
+    GvtSendA,
+    /// Span: GVT phase B — second minimum fold (`arg` = round id).
+    GvtB,
+    /// Span: GVT Send-B — simulate while peers finish B (`arg` = round id).
+    GvtSendB,
+    /// Span: GVT Aware — computing/adopting the new GVT (`arg` = round id).
+    GvtAware,
+    /// Span: GVT End — fossil collection and round close (`arg` = round id).
+    GvtEnd,
+    /// Span: parked (de-scheduled) interval (`arg` = round id at park).
+    Park,
+    /// Instant: scheduled back in (`arg` = round id at wake).
+    Unpark,
+    /// Instant: pinned to a core at setup (`arg` = core).
+    Pin,
+    /// Instant: migrated to a core by dynamic affinity (`arg` = core).
+    Migrate,
+    /// Span: checkpoint cut captured and deposited (`arg` = round id).
+    CheckpointWrite,
+    /// Instant: reliable-link retransmissions observed (`arg` = how many).
+    LinkRetransmit,
+}
+
+impl EventKind {
+    /// The Chrome-trace event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::EventBatch => "batch",
+            EventKind::Rollback => "rollback",
+            EventKind::GvtA => "gvt-a",
+            EventKind::GvtSendA => "gvt-send-a",
+            EventKind::GvtB => "gvt-b",
+            EventKind::GvtSendB => "gvt-send-b",
+            EventKind::GvtAware => "gvt-aware",
+            EventKind::GvtEnd => "gvt-end",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
+            EventKind::Pin => "pin",
+            EventKind::Migrate => "migrate",
+            EventKind::CheckpointWrite => "checkpoint-write",
+            EventKind::LinkRetransmit => "link-retransmit",
+        }
+    }
+
+    /// Spans render as Chrome `"X"` complete events; instants as `"i"`.
+    pub fn is_span(self) -> bool {
+        !matches!(
+            self,
+            EventKind::Unpark | EventKind::Pin | EventKind::Migrate | EventKind::LinkRetransmit
+        )
+    }
+
+    /// Chrome-trace category (Perfetto groups and filters by it).
+    pub fn category(self) -> &'static str {
+        match self {
+            EventKind::EventBatch | EventKind::Rollback => "engine",
+            EventKind::GvtA
+            | EventKind::GvtSendA
+            | EventKind::GvtB
+            | EventKind::GvtSendB
+            | EventKind::GvtAware
+            | EventKind::GvtEnd => "gvt",
+            EventKind::Park | EventKind::Unpark => "sched",
+            EventKind::Pin | EventKind::Migrate => "affinity",
+            EventKind::CheckpointWrite => "ckpt",
+            EventKind::LinkRetransmit => "link",
+        }
+    }
+}
+
+/// One fixed-size trace record. `Copy`, so the ring overwrites in place.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    pub kind: EventKind,
+    /// Start timestamp: nanoseconds on the producing runtime's clock.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds; 0 for instants.
+    pub dur_ns: u64,
+    /// Kind-specific argument (batch size, round id, core, retransmits).
+    pub arg: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_kind_partitions_hold() {
+        let all = [
+            EventKind::EventBatch,
+            EventKind::Rollback,
+            EventKind::GvtA,
+            EventKind::GvtSendA,
+            EventKind::GvtB,
+            EventKind::GvtSendB,
+            EventKind::GvtAware,
+            EventKind::GvtEnd,
+            EventKind::Park,
+            EventKind::Unpark,
+            EventKind::Pin,
+            EventKind::Migrate,
+            EventKind::CheckpointWrite,
+            EventKind::LinkRetransmit,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        // Every GVT phase is a span (they carry durations in the trace).
+        for k in all {
+            if k.category() == "gvt" {
+                assert!(k.is_span(), "{k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_serde() {
+        let r = TraceRecord {
+            kind: EventKind::GvtAware,
+            ts_ns: 123,
+            dur_ns: 45,
+            arg: 6,
+        };
+        let v = serde::Serialize::to_value(&r);
+        let back = <TraceRecord as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+}

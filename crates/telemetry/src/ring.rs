@@ -1,0 +1,138 @@
+//! The lock-free per-thread trace ring.
+//!
+//! Each simulation thread owns its ring exclusively (`&mut` access on the
+//! worker's stack), so the hot path is one masked store plus one counter
+//! increment: no locks, no atomics, no allocation, no branch beyond the
+//! enabled check in [`crate::Tracer`]. Capacity is rounded up to a power of
+//! two; when full, the ring **drops the oldest** record and counts what it
+//! overwrote, preserving the invariant
+//! `dropped() + recorded() == emitted()`.
+
+use crate::event::TraceRecord;
+
+/// Fixed-capacity drop-oldest record ring.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceRecord>,
+    mask: u64,
+    /// Monotonic count of every record ever pushed.
+    head: u64,
+}
+
+impl TraceRing {
+    /// Smallest capacity a ring will be built with.
+    pub const MIN_CAPACITY: usize = 16;
+
+    /// Build a ring holding at least `capacity` records (rounded up to the
+    /// next power of two, floored at [`Self::MIN_CAPACITY`]).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(Self::MIN_CAPACITY).next_power_of_two();
+        TraceRing {
+            buf: vec![TraceRecord::default(); cap],
+            mask: cap as u64 - 1,
+            head: 0,
+        }
+    }
+
+    /// Append one record, overwriting the oldest if the ring is full.
+    #[inline]
+    pub fn push(&mut self, r: TraceRecord) {
+        let i = (self.head & self.mask) as usize;
+        self.buf[i] = r;
+        self.head += 1;
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Records ever pushed.
+    pub fn emitted(&self) -> u64 {
+        self.head
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn recorded(&self) -> u64 {
+        self.head.min(self.buf.len() as u64)
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.head.saturating_sub(self.buf.len() as u64)
+    }
+
+    /// Consume the ring, returning surviving records oldest → newest.
+    pub fn drain(self) -> Vec<TraceRecord> {
+        let n = self.recorded() as usize;
+        let cap = self.buf.len();
+        if self.head <= cap as u64 {
+            let mut v = self.buf;
+            v.truncate(n);
+            return v;
+        }
+        let start = (self.head & self.mask) as usize;
+        let mut out = Vec::with_capacity(n);
+        out.extend_from_slice(&self.buf[start..]);
+        out.extend_from_slice(&self.buf[..start]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn rec(ts: u64) -> TraceRecord {
+        TraceRecord {
+            kind: EventKind::EventBatch,
+            ts_ns: ts,
+            dur_ns: 0,
+            arg: ts,
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(TraceRing::new(0).capacity(), TraceRing::MIN_CAPACITY);
+        assert_eq!(TraceRing::new(17).capacity(), 32);
+        assert_eq!(TraceRing::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut r = TraceRing::new(16);
+        for t in 0..10 {
+            r.push(rec(t));
+        }
+        assert_eq!(r.emitted(), 10);
+        assert_eq!(r.dropped(), 0);
+        let out = r.drain();
+        let ts: Vec<u64> = out.iter().map(|x| x.ts_ns).collect();
+        assert_eq!(ts, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn over_capacity_drops_oldest_and_counts() {
+        let mut r = TraceRing::new(16); // capacity 16
+        for t in 0..40 {
+            r.push(rec(t));
+        }
+        assert_eq!(r.emitted(), 40);
+        assert_eq!(r.recorded(), 16);
+        assert_eq!(r.dropped(), 24);
+        let out = r.drain();
+        let ts: Vec<u64> = out.iter().map(|x| x.ts_ns).collect();
+        assert_eq!(ts, (24..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exactly_full_drops_nothing() {
+        let mut r = TraceRing::new(16);
+        for t in 0..16 {
+            r.push(rec(t));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.drain().len(), 16);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests of the tracer: ring accounting never loses a record
+//! silently, and the Chrome exporter always produces valid JSON with
+//! per-tid non-decreasing timestamps — for arbitrary record mixes and
+//! capacity pressure.
+
+use proptest::prelude::*;
+use telemetry::{chrome_trace_json, EventKind, Telemetry, TelemetryConfig, TraceRecord, TraceRing};
+
+const KINDS: [EventKind; 14] = [
+    EventKind::EventBatch,
+    EventKind::Rollback,
+    EventKind::GvtA,
+    EventKind::GvtSendA,
+    EventKind::GvtB,
+    EventKind::GvtSendB,
+    EventKind::GvtAware,
+    EventKind::GvtEnd,
+    EventKind::Park,
+    EventKind::Unpark,
+    EventKind::Pin,
+    EventKind::Migrate,
+    EventKind::CheckpointWrite,
+    EventKind::LinkRetransmit,
+];
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0usize..KINDS.len(),
+        any::<u64>(),
+        0u64..1_000_000,
+        any::<u64>(),
+    )
+        .prop_map(|(k, ts, dur, arg)| TraceRecord {
+            kind: KINDS[k],
+            ts_ns: ts,
+            dur_ns: dur,
+            arg,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `dropped + recorded == emitted`, always — capacity pressure turns
+    /// emissions into drops, never into silent loss.
+    #[test]
+    fn ring_accounting_is_conserved(
+        capacity in 0usize..200,
+        emits in 0usize..600,
+    ) {
+        let mut ring = TraceRing::new(capacity);
+        for i in 0..emits {
+            ring.push(TraceRecord {
+                kind: EventKind::EventBatch,
+                ts_ns: i as u64,
+                dur_ns: 0,
+                arg: i as u64,
+            });
+        }
+        prop_assert_eq!(ring.emitted(), emits as u64);
+        prop_assert_eq!(ring.dropped() + ring.recorded(), ring.emitted());
+        let cap = ring.capacity();
+        let records = ring.drain();
+        prop_assert_eq!(records.len(), emits.min(cap));
+        // Survivors are exactly the newest `recorded` records, in order.
+        let first = emits.saturating_sub(cap);
+        for (i, r) in records.iter().enumerate() {
+            prop_assert_eq!(r.arg, (first + i) as u64);
+        }
+    }
+
+    /// The Chrome exporter emits valid JSON whose per-(pid,tid) `ts` lanes
+    /// never go backwards, whatever order threads recorded in.
+    #[test]
+    fn chrome_export_is_valid_and_monotone_per_tid(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(arb_record(), 0..40),
+            1..5,
+        ),
+    ) {
+        let tel = Telemetry::new(TelemetryConfig::with_capacity(64));
+        for (tid, recs) in per_thread.iter().enumerate() {
+            let mut tr = tel.tracer(tid);
+            for r in recs {
+                if r.kind.is_span() {
+                    tr.span(r.kind, r.ts_ns, r.ts_ns.saturating_add(r.dur_ns), r.arg);
+                } else {
+                    tr.instant(r.kind, r.ts_ns, r.arg);
+                }
+            }
+            tel.deposit(tr);
+        }
+        let json = chrome_trace_json(&tel.take());
+        let v = serde_json::parse(&json).expect("exporter output is valid JSON");
+        let events = match v.get("traceEvents") {
+            Some(serde::Value::Array(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let mut last: std::collections::HashMap<(u64, u64), f64> = Default::default();
+        for e in events {
+            match e.get("ph") {
+                Some(serde::Value::String(s)) if s == "M" => continue,
+                Some(serde::Value::String(_)) => {}
+                other => panic!("ph missing: {other:?}"),
+            }
+            let num = |k: &str| -> f64 {
+                match e.get(k) {
+                    Some(serde::Value::Float(f)) => *f,
+                    Some(serde::Value::UInt(u)) => *u as f64,
+                    Some(serde::Value::Int(i)) => *i as f64,
+                    other => panic!("{k} missing: {other:?}"),
+                }
+            };
+            let key = (num("pid") as u64, num("tid") as u64);
+            let ts = num("ts");
+            if let Some(prev) = last.get(&key) {
+                prop_assert!(ts >= *prev, "lane {key:?} went backwards: {ts} < {prev}");
+            }
+            last.insert(key, ts);
+        }
+    }
+}

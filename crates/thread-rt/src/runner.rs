@@ -20,6 +20,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use telemetry::{Telemetry, TelemetryConfig, TelemetryData};
 
 /// Configuration for a real-thread run.
 #[derive(Debug, Clone)]
@@ -40,6 +41,8 @@ pub struct RtRunConfig {
     /// Also persist each checkpoint here (atomic rename-into-place);
     /// `None` keeps checkpoints in memory only.
     pub checkpoint_path: Option<PathBuf>,
+    /// Live telemetry (off by default; near-zero cost when disabled).
+    pub telemetry: TelemetryConfig,
 }
 
 impl RtRunConfig {
@@ -53,6 +56,7 @@ impl RtRunConfig {
             watchdog: Some(Duration::from_secs(30)),
             checkpoint_every_gvt: 0,
             checkpoint_path: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -79,6 +83,12 @@ impl RtRunConfig {
         self.checkpoint_path = Some(path);
         self
     }
+
+    /// Enable live telemetry (per-thread tracing + GVT-round snapshots).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 /// Result of a real-thread run.
@@ -90,6 +100,8 @@ pub struct RtResult {
     pub gvt_regressions: u64,
     /// Fault injections actually performed (all zero without a plan).
     pub fault_counts: pdes_core::FaultCounts,
+    /// Collected trace + round snapshots (`None` when telemetry was off).
+    pub telemetry: Option<TelemetryData>,
 }
 
 /// Why a real-thread run failed to complete.
@@ -180,6 +192,9 @@ pub fn run_threads_resumable<M: Model>(
     let mut shared_init: RtShared<M::Payload> = RtShared::new(n, rc.pin_cores, rc.engine.end_time);
     shared_init.set_faults(faults.unwrap_or_else(|| FaultInjector::new(rc.faults.clone())));
     shared_init.set_checkpoint_every(rc.checkpoint_every_gvt);
+    // Each attempt gets a fresh registry: a supervised restart must not
+    // inherit the felled attempt's half-deposited rings.
+    shared_init.set_telemetry(Telemetry::new(rc.telemetry.clone()));
     if let Some(c) = resume {
         shared_init.seed_gvt(c.gvt, c.gvt_rounds);
     }
@@ -357,6 +372,7 @@ pub fn run_threads_resumable<M: Model>(
     }
     digests.sort_by_key(|&(lp, _)| lp);
 
+    let telemetry_data = shared.telemetry.enabled().then(|| shared.telemetry.take());
     let metrics = RunMetrics {
         system: rc.system.name(),
         threads: n,
@@ -372,6 +388,9 @@ pub fn run_threads_resumable<M: Model>(
         max_descheduled: shared.max_descheduled.load(Ordering::Acquire),
         commit_digest: total.commit_digest,
         pin_failures: shared.aff.lock().pin_failures,
+        last_round: telemetry_data
+            .as_ref()
+            .and_then(|d| d.last_round().cloned()),
         ..Default::default()
     };
     RtAttempt {
@@ -380,6 +399,7 @@ pub fn run_threads_resumable<M: Model>(
             digests: digests.into_iter().map(|(_, d)| d).collect(),
             gvt_regressions: shared.gvt_regressions.load(Ordering::Acquire),
             fault_counts: shared.faults.counts(),
+            telemetry: telemetry_data,
         }),
         checkpoint,
         thread_loads,

@@ -20,6 +20,8 @@ use pdes_core::{
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+use telemetry::{RoundTotals, Telemetry};
 
 /// Hook at the event-routing boundary for destinations outside this
 /// process — the distributed runtime's entry point into `thread-rt`.
@@ -138,6 +140,21 @@ pub struct RtShared<P> {
     pub max_descheduled: AtomicUsize,
     pub gvt_regressions: AtomicU64,
 
+    // ---- telemetry ----
+    /// Tracer registry + round-snapshot sink (a disabled registry by
+    /// default; [`Self::set_telemetry`] installs a live one pre-publish).
+    pub telemetry: Arc<Telemetry>,
+    /// Per-thread published LVT ticks (`u64::MAX` = idle); only written when
+    /// telemetry is enabled, read by the round closer's snapshot.
+    tel_lvt: Vec<CachePadded<AtomicU64>>,
+    /// Per-thread cumulative committed/processed/rolled-back, published at
+    /// each round's End phase when telemetry is enabled.
+    tel_committed: Vec<CachePadded<AtomicU64>>,
+    tel_processed: Vec<CachePadded<AtomicU64>>,
+    tel_rolled_back: Vec<CachePadded<AtomicU64>>,
+    /// Common clock epoch for trace timestamps.
+    tel_t0: Instant,
+
     // ---- fault injection & liveness diagnostics ----
     /// The chaos hooks (inert unless a fault plan was configured).
     pub faults: FaultInjector,
@@ -211,6 +228,20 @@ impl<P> RtShared<P> {
             gvt_wall_ns: AtomicU64::new(0),
             max_descheduled: AtomicUsize::new(0),
             gvt_regressions: AtomicU64::new(0),
+            telemetry: Telemetry::off(),
+            tel_lvt: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(u64::MAX)))
+                .collect(),
+            tel_committed: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            tel_processed: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            tel_rolled_back: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            tel_t0: Instant::now(),
             faults: FaultInjector::disabled(),
             held: (0..num_threads)
                 .map(|_| CachePadded::new(Mutex::new(VecDeque::new())))
@@ -251,6 +282,66 @@ impl<P> RtShared<P> {
     pub fn seed_gvt(&mut self, gvt: VirtualTime, rounds: u64) {
         self.gvt = AtomicU64::new(gvt.ticks());
         self.gvt_rounds = AtomicU64::new(rounds);
+    }
+
+    /// Install the telemetry registry (before the shared state is published
+    /// to worker threads). The default registry is disabled, so untraced
+    /// runs never take the round-snapshot path.
+    pub fn set_telemetry(&mut self, registry: Arc<Telemetry>) {
+        self.telemetry = registry;
+    }
+
+    /// Whether tracing is live (one inlined bool behind the `Arc`).
+    #[inline]
+    pub fn tel_enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Nanoseconds since the run's common clock epoch — the timestamp base
+    /// every worker's tracer uses.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.tel_t0.elapsed().as_nanos() as u64
+    }
+
+    /// Publish this thread's LVT and cumulative engine counters for the
+    /// round closer's snapshot. Call only when telemetry is enabled.
+    pub fn tel_publish(&self, me: usize, lvt: VirtualTime, stats: &pdes_core::ThreadStats) {
+        self.tel_lvt[me].store(lvt.ticks(), Ordering::Relaxed);
+        self.tel_committed[me].store(stats.committed, Ordering::Relaxed);
+        self.tel_processed[me].store(stats.processed, Ordering::Relaxed);
+        self.tel_rolled_back[me].store(stats.rolled_back, Ordering::Relaxed);
+    }
+
+    /// Round closer: record round `id`'s counter snapshot (cumulative totals
+    /// summed over the published per-thread counters; the registry turns
+    /// consecutive totals into per-round deltas).
+    pub fn tel_round_snapshot(&self, id: u64) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let sum = |v: &[CachePadded<AtomicU64>]| -> u64 {
+            v.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        };
+        self.telemetry.record_round(RoundTotals {
+            round: id,
+            gvt_ticks: self.gvt().ticks(),
+            ts_ns: self.now_ns(),
+            committed: sum(&self.tel_committed),
+            processed: sum(&self.tel_processed),
+            rolled_back: sum(&self.tel_rolled_back),
+            active_threads: self.num_active.load(Ordering::Acquire),
+            lvt_ticks: self
+                .tel_lvt
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            queue_depths: self
+                .queue_len
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .collect(),
+        });
     }
 
     /// Whether round `id` was armed for a checkpoint at open time.
@@ -717,6 +808,7 @@ impl<P> RtShared<P> {
                 })
                 .collect(),
             fault_counts: self.faults.counts(),
+            last_round: self.telemetry.last_round(),
         }
     }
 }

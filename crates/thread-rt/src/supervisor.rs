@@ -24,6 +24,8 @@ use std::sync::Arc;
 pub use pdes_core::SupervisorConfig;
 
 /// How a supervised run finished.
+// One instance per run; the size gap vs `Sequential` doesn't matter.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Recovered {
     /// The parallel runtime completed (possibly after recoveries).

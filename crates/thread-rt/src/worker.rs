@@ -9,6 +9,7 @@ use sim_rt::{AffinityPolicy, GvtMode, Scheduler, SystemConfig};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+use telemetry::{EventKind, Tracer};
 
 pub use crate::affinity::AffinityState;
 
@@ -29,10 +30,13 @@ pub fn worker_loop<M: Model>(
     ckpt: Arc<CkptSink<M>>,
 ) -> WorkerResult {
     sh.os_tids[me].store(current_tid().0, Ordering::Release);
+    let mut tracer = sh.telemetry.tracer(me);
     if sys.affinity == AffinityPolicy::Constant {
         // Algorithm 3: round-robin constant pinning at setup.
         let core = me % pin_cores.max(1);
-        if !pin_to_core(current_tid(), core) {
+        if pin_to_core(current_tid(), core) {
+            tracer.instant(EventKind::Pin, sh.now_ns(), core as u64);
+        } else {
             note_pin_failure(core);
             sh.aff.lock().pin_failures += 1;
         }
@@ -54,7 +58,16 @@ pub fn worker_loop<M: Model>(
                  zero_counter: &mut u64,
                  active_flag: &mut bool,
                  idle_spins: &mut u32,
+                 tracer: &mut Tracer,
                  sh: &RtShared<M::Payload>| {
+        // Tracing a cycle costs two clock reads and two counter loads, paid
+        // only when telemetry is on (the tracer's own calls are branches).
+        let trace = tracer.enabled();
+        let (t0, rb0) = if trace {
+            (sh.now_ns(), engine.stats().rolled_back)
+        } else {
+            (0, 0)
+        };
         inbox.clear();
         let n = sh.drain(me, inbox);
         outbox.clear();
@@ -64,6 +77,18 @@ pub fn worker_loop<M: Model>(
         let batch = engine.process_batch(ecfg.batch_size, outbox);
         for (dst, msg) in outbox.drain(..) {
             sh.push_msg(me, dst.index(), msg);
+        }
+        if trace {
+            let undone = engine.stats().rolled_back - rb0;
+            if batch.processed > 0 || undone > 0 {
+                let t1 = sh.now_ns();
+                if batch.processed > 0 {
+                    tracer.span(EventKind::EventBatch, t0, t1, batch.processed as u64);
+                }
+                if undone > 0 {
+                    tracer.span(EventKind::Rollback, t0, t1, undone);
+                }
+            }
         }
         let idle = n == 0 && batch.processed == 0;
         if idle && !engine.has_live_pending() {
@@ -104,6 +129,7 @@ pub fn worker_loop<M: Model>(
             &mut zero_counter,
             &mut active_flag,
             &mut idle_spins,
+            &mut tracer,
             &sh,
         );
         cycles_since_gvt += 1;
@@ -126,6 +152,8 @@ pub fn worker_loop<M: Model>(
         sh.note_joined(me, id);
         cycles_since_gvt = 0;
         let enter = Instant::now();
+        let trace = tracer.enabled();
+        let mut ph = if trace { sh.now_ns() } else { 0 };
 
         // ---- the GVT round ----
         match sys.gvt {
@@ -133,7 +161,14 @@ pub fn worker_loop<M: Model>(
                 // Phase A.
                 sh.set_phase(me, 1); // gvt-a
                 drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
-                sh.fold_min(me, engine.local_min());
+                let local = engine.local_min();
+                sh.fold_min(me, local);
+                if trace {
+                    sh.tel_publish(me, local, engine.stats());
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtA, ph, now, id);
+                    ph = now;
+                }
                 sh.a_done.fetch_add(1, Ordering::AcqRel);
                 let parts = sh.participants();
                 // Phase Send: simulate while peers record their minima.
@@ -150,13 +185,26 @@ pub fn worker_loop<M: Model>(
                         &mut zero_counter,
                         &mut active_flag,
                         &mut idle_spins,
+                        &mut tracer,
                         &sh,
                     );
                 }
                 // Phase B.
                 sh.set_phase(me, 3); // gvt-b
+                if trace {
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtSendA, ph, now, id);
+                    ph = now;
+                }
                 drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
-                sh.fold_min(me, engine.local_min());
+                let local = engine.local_min();
+                sh.fold_min(me, local);
+                if trace {
+                    sh.tel_publish(me, local, engine.stats());
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtB, ph, now, id);
+                    ph = now;
+                }
                 sh.b_done.fetch_add(1, Ordering::AcqRel);
                 sh.set_phase(me, 4); // gvt-send-b
                 while sh.b_done.load(Ordering::Acquire) < parts
@@ -169,26 +217,53 @@ pub fn worker_loop<M: Model>(
                         &mut zero_counter,
                         &mut active_flag,
                         &mut idle_spins,
+                        &mut tracer,
                         &sh,
                     );
                 }
                 // Phase Aware: first thread through becomes pseudo-controller.
                 sh.set_phase(me, 5); // gvt-aware
+                if trace {
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtSendB, ph, now, id);
+                    ph = now;
+                }
                 if sh
                     .aware_claimed
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
                     aware_duties(&sh, sys, id);
+                }
+                if trace {
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtAware, ph, now, id);
+                    ph = now;
                 }
             }
             GvtMode::Sync => {
+                // Sync mode has no Send spins; map the three barriers onto
+                // the same phase lanes so one trace vocabulary covers both
+                // modes: fold = A, reduction barrier = B, controller = Aware,
+                // exit barrier = Send-B.
                 sh.set_phase(me, 9); // sync-bar0
                 sh.bars[0].wait();
                 drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
-                sh.fold_min(me, engine.local_min());
+                let local = engine.local_min();
+                sh.fold_min(me, local);
+                if trace {
+                    sh.tel_publish(me, local, engine.stats());
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtA, ph, now, id);
+                    ph = now;
+                }
                 sh.set_phase(me, 10); // sync-bar1
                 sh.bars[1].wait();
+                if trace {
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtB, ph, now, id);
+                    ph = now;
+                }
                 if sh
                     .aware_claimed
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
@@ -196,8 +271,18 @@ pub fn worker_loop<M: Model>(
                 {
                     aware_duties(&sh, sys, id);
                 }
+                if trace {
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtAware, ph, now, id);
+                    ph = now;
+                }
                 sh.set_phase(me, 11); // sync-bar2
                 sh.bars[2].wait();
+                if trace {
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::GvtSendB, ph, now, id);
+                    ph = now;
+                }
             }
         }
 
@@ -216,6 +301,7 @@ pub fn worker_loop<M: Model>(
                 std::hint::spin_loop();
             }
             if sh.ckpt_ready() {
+                let cw0 = if trace { sh.now_ns() } else { 0 };
                 inbox.clear();
                 sh.drain_clean(me, &mut inbox);
                 outbox.clear();
@@ -237,6 +323,9 @@ pub fn worker_loop<M: Model>(
                     sh.participants(),
                     &sh.faults,
                 );
+                if trace {
+                    tracer.span(EventKind::CheckpointWrite, cw0, sh.now_ns(), id);
+                }
             } else {
                 engine.fossil_collect(sh.gvt());
             }
@@ -252,7 +341,17 @@ pub fn worker_loop<M: Model>(
             && sh.queue_len[me].load(Ordering::Acquire) == 0
             && !engine.has_live_pending()
             && sh.window_is_clear(me);
+        if trace {
+            // Refresh this thread's counters so the snapshot the round closer
+            // takes reflects post-round totals, not the phase-B fold.
+            sh.tel_publish(me, engine.local_min(), engine.stats());
+        }
         let closed = sh.end_phase();
+        if closed {
+            // The closer stamps the per-round counter snapshot (no-op when
+            // telemetry is off).
+            sh.tel_round_snapshot(id);
+        }
         if closed && sys.affinity == AffinityPolicy::Dynamic && !terminated {
             let mut aff = sh.aff.lock();
             let tids: Vec<OsTid> = sh
@@ -260,7 +359,14 @@ pub fn worker_loop<M: Model>(
                 .iter()
                 .map(|t| OsTid(t.load(Ordering::Acquire)))
                 .collect();
-            aff.assign(|t| sh.active[t].load(Ordering::Acquire), &tids);
+            let moved = aff.assign(|t| sh.active[t].load(Ordering::Acquire), &tids);
+            if trace && moved > 0 {
+                // Migration lands on the closer's lane: it repins siblings.
+                tracer.instant(EventKind::Migrate, sh.now_ns(), moved as u64);
+            }
+        }
+        if trace {
+            tracer.span(EventKind::GvtEnd, ph, sh.now_ns(), id);
         }
         if terminated {
             break;
@@ -280,6 +386,11 @@ pub fn worker_loop<M: Model>(
             };
             if parked {
                 sh.set_phase(me, 7); // parked
+                let park0 = if trace { sh.now_ns() } else { 0 };
+                if trace {
+                    // An idle LVT is ∞: round snapshots render it as such.
+                    sh.tel_publish(me, VirtualTime::INFINITY, engine.stats());
+                }
                 sh.sems[me].wait();
                 // A wake token proves nothing by itself: a fault plan may
                 // post a parked thread *without* activating it (spurious
@@ -294,6 +405,11 @@ pub fn worker_loop<M: Model>(
                 zero_counter = 0;
                 active_flag = true;
                 cycles_since_gvt = 0;
+                if trace {
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::Park, park0, now, id);
+                    tracer.instant(EventKind::Unpark, now, id);
+                }
                 if sh.terminated.load(Ordering::Acquire) {
                     break;
                 }
@@ -303,6 +419,7 @@ pub fn worker_loop<M: Model>(
 
     sh.set_phase(me, 8); // done
     engine.finalize();
+    sh.telemetry.deposit(tracer);
     WorkerResult {
         stats: engine.stats().clone(),
         digests: engine.state_digests(),

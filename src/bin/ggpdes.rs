@@ -10,8 +10,9 @@
 //!        [--runtime vm|threads|dist] [--verify] [--json] [--stats-json FILE]
 //!        [--chaos-seed S] [--chaos-plan FILE.json] [--watchdog-secs T]
 //!        [--checkpoint-every-gvt N] [--checkpoint-path FILE] [--max-recoveries N]
-//!        [--shards N] [--transport mem|tcp]
+//!        [--shards N] [--transport mem|loopback|tcp]
 //!        [--shard-id I --listen ADDR --connect ADDR ...] [--connect-timeout-secs T]
+//!        [--trace-out FILE] [--trace-capacity N] [--round-stream FILE] [--gantt]
 //! ```
 //!
 //! Distributed runtime (`--runtime dist`): with only `--shards N` the whole
@@ -38,6 +39,17 @@
 //! seconds on `--runtime threads`, virtual seconds on `vm`; `0` disables) —
 //! a stalled run exits with a per-thread diagnostic dump rather than
 //! hanging.
+//!
+//! Telemetry: `--trace-out FILE` turns on per-thread tracing and writes a
+//! Chrome `trace_event` JSON (load it at <https://ui.perfetto.dev> or
+//! `chrome://tracing`); `--round-stream FILE` writes one JSON object per
+//! GVT round (counter deltas, per-thread LVTs, queue depths);
+//! `--trace-capacity N` sizes each thread's ring (records; rounded up to a
+//! power of two; oldest records drop first); `--gantt` prints the Figure-1
+//! style activity gantt derived from the trace's park spans. Any of these
+//! flags enables collection on every runtime — `vm` traces virtual time,
+//! `threads` wall time, `dist` merges per-shard wall clocks onto the
+//! coordinator's. Telemetry is off (and costs nothing) by default.
 //!
 //! Recovery: `--checkpoint-every-gvt N` takes a GVT-aligned consistent cut
 //! every `N` GVT rounds (written atomically to `--checkpoint-path` when
@@ -80,6 +92,10 @@ struct Args {
     listen: Option<String>,
     connect: Vec<String>,
     connect_timeout_secs: f64,
+    trace_out: Option<String>,
+    trace_capacity: Option<usize>,
+    round_stream: Option<String>,
+    gantt: bool,
 }
 
 impl Default for Args {
@@ -114,6 +130,10 @@ impl Default for Args {
             listen: None,
             connect: Vec::new(),
             connect_timeout_secs: 10.0,
+            trace_out: None,
+            trace_capacity: None,
+            round_stream: None,
+            gantt: false,
         }
     }
 }
@@ -182,6 +202,16 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|e| die(2, &format!("--connect-timeout-secs: {e}")))
             }
+            "--trace-out" => a.trace_out = Some(val()),
+            "--trace-capacity" => {
+                a.trace_capacity = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|e| die(2, &format!("--trace-capacity: {e}"))),
+                )
+            }
+            "--round-stream" => a.round_stream = Some(val()),
+            "--gantt" => a.gantt = true,
             "--help" | "-h" => {
                 println!("see module docs: cargo doc --open -p ggpdes");
                 std::process::exit(0);
@@ -238,6 +268,63 @@ fn report(m: &RunMetrics, json: bool) {
     println!("wall seconds          : {:.4}", m.wall_secs);
 }
 
+/// Telemetry configuration implied by the CLI: any trace-consuming flag
+/// switches collection on; otherwise it stays off (and free).
+fn telemetry_cfg(a: &Args) -> telemetry::TelemetryConfig {
+    if a.trace_out.is_none() && a.round_stream.is_none() && !a.gantt {
+        return telemetry::TelemetryConfig::default();
+    }
+    match a.trace_capacity {
+        Some(0) => die(2, "--trace-capacity must be positive"),
+        Some(cap) => telemetry::TelemetryConfig::with_capacity(cap),
+        None => telemetry::TelemetryConfig::on(),
+    }
+}
+
+/// Write the trace artifacts the CLI asked for from the run's collected
+/// telemetry (absent on runs that never produce one, e.g. worker shards).
+fn emit_telemetry(a: &Args, data: &Option<telemetry::TelemetryData>, threads: usize) {
+    if a.trace_out.is_none() && a.round_stream.is_none() && !a.gantt {
+        return;
+    }
+    let Some(data) = data else {
+        eprintln!("telemetry: no trace collected (run produced no telemetry)");
+        return;
+    };
+    if data.total_dropped() > 0 {
+        eprintln!(
+            "telemetry: ring overflow dropped {} oldest record(s); raise --trace-capacity \
+             for a longer window",
+            data.total_dropped()
+        );
+    }
+    if let Some(path) = &a.trace_out {
+        let json = telemetry::chrome_trace_json(data);
+        if let Err(e) = std::fs::write(path, json) {
+            die(1, &format!("--trace-out {path}: {e}"));
+        }
+        eprintln!("telemetry: wrote Chrome trace to {path} (load at ui.perfetto.dev)");
+    }
+    if let Some(path) = &a.round_stream {
+        let jsonl = telemetry::round_stream_jsonl(&data.rounds);
+        if let Err(e) = std::fs::write(path, jsonl) {
+            die(1, &format!("--round-stream {path}: {e}"));
+        }
+        eprintln!(
+            "telemetry: wrote {} GVT round snapshot(s) to {path}",
+            data.rounds.len()
+        );
+    }
+    if a.gantt {
+        let transitions = metrics::transitions_from_trace(data, threads);
+        let horizon = metrics::trace_horizon(data);
+        print!(
+            "{}",
+            metrics::render_gantt(&transitions, threads, horizon, 72)
+        );
+    }
+}
+
 /// Resolve the fault plan from `--chaos-plan` (full JSON) or `--chaos-seed`
 /// (the default chaos mix); empty plan otherwise.
 fn fault_plan(a: &Args) -> FaultPlan {
@@ -284,8 +371,13 @@ fn finish_degraded<M: Model>(
 
 /// The distributed runtime: loopback cluster by default, or one shard of a
 /// real multi-process mesh when `--shard-id`/`--listen`/`--connect` are
-/// given. Returns the coordinator's metrics; worker shards exit 0 here.
-fn run_dist<M: Model>(model: &Arc<M>, ecfg: &EngineConfig, a: &Args) -> RunMetrics {
+/// given. Returns the coordinator's metrics plus merged telemetry; worker
+/// shards exit 0 here.
+fn run_dist<M: Model>(
+    model: &Arc<M>,
+    ecfg: &EngineConfig,
+    a: &Args,
+) -> (RunMetrics, Option<telemetry::TelemetryData>) {
     use ggpdes::dist_rt::{self, DistError};
     use std::net::ToSocketAddrs;
     use std::time::Duration;
@@ -294,9 +386,13 @@ fn run_dist<M: Model>(model: &Arc<M>, ecfg: &EngineConfig, a: &Args) -> RunMetri
         die(2, "--shards must be at least 1");
     }
     let transport = match a.transport.as_str() {
-        "mem" => dist_rt::Transport::Mem,
+        // "loopback" is an alias for the in-process memory transport.
+        "mem" | "loopback" => dist_rt::Transport::Mem,
         "tcp" => dist_rt::Transport::Tcp,
-        other => die(2, &format!("unknown transport '{other}' (mem|tcp)")),
+        other => die(
+            2,
+            &format!("unknown transport '{other}' (mem|loopback|tcp)"),
+        ),
     };
     let watchdog = match a.watchdog_secs {
         Some(s) if s <= 0.0 => None,
@@ -314,10 +410,11 @@ fn run_dist<M: Model>(model: &Arc<M>, ecfg: &EngineConfig, a: &Args) -> RunMetri
         ckpt_every_rounds: a.checkpoint_every_gvt,
         watchdog,
         mesh_timeout: Duration::from_secs_f64(a.connect_timeout_secs),
+        telemetry: telemetry_cfg(a),
         ..dist_rt::DistConfig::default()
     };
 
-    let finish = |r: dist_rt::DistResult| -> RunMetrics {
+    let finish = |r: dist_rt::DistResult| -> (RunMetrics, Option<telemetry::TelemetryData>) {
         if r.recoveries > 0 {
             eprintln!(
                 "dist: completed after {} recovery(ies){}",
@@ -329,7 +426,7 @@ fn run_dist<M: Model>(model: &Arc<M>, ecfg: &EngineConfig, a: &Args) -> RunMetri
                 }
             );
         }
-        r.metrics
+        (r.metrics, r.telemetry)
     };
     let fail = |what: &str, e: DistError| -> ! {
         match e {
@@ -435,8 +532,9 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
         0
     };
     let sup = pdes_core::SupervisorConfig::new(a.max_recoveries.unwrap_or(3));
+    let tcfg = telemetry_cfg(a);
 
-    let metrics = match a.runtime.as_str() {
+    let (metrics, tel) = match a.runtime.as_str() {
         "vm" => {
             let mut mc = if a.smt == 4 {
                 MachineConfig {
@@ -456,7 +554,8 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                 .with_machine(mc)
                 .with_faults(fault_plan(a))
                 .with_watchdog_ns(watchdog_ns)
-                .with_checkpoint_every(ckpt_every);
+                .with_checkpoint_every(ckpt_every)
+                .with_telemetry(tcfg.clone());
             if let Some(p) = &a.checkpoint_path {
                 rc = rc.with_checkpoint_path(p.into());
             }
@@ -469,7 +568,7 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                     eprintln!("supervisor: completed after {} recovery(ies)", s.recoveries);
                 }
                 match s.outcome {
-                    sim_rt::VmRecovered::Parallel(r) => r.metrics,
+                    sim_rt::VmRecovered::Parallel(r) => (r.metrics, r.telemetry),
                     sim_rt::VmRecovered::Sequential(seq) => finish_degraded(&seq, &model, &ecfg, a),
                 }
             } else {
@@ -481,7 +580,7 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                 if !r.completed {
                     eprintln!("warning: virtual time limit hit before completion");
                 }
-                r.metrics
+                (r.metrics, r.telemetry)
             }
         }
         "threads" => {
@@ -493,7 +592,8 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
             let mut rc = thread_rt::RtRunConfig::new(a.threads, ecfg.clone(), sys)
                 .with_faults(fault_plan(a))
                 .with_watchdog(watchdog)
-                .with_checkpoint_every(ckpt_every);
+                .with_checkpoint_every(ckpt_every)
+                .with_telemetry(tcfg.clone());
             if let Some(p) = &a.checkpoint_path {
                 rc = rc.with_checkpoint_path(p.into());
             }
@@ -506,14 +606,14 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                     eprintln!("supervisor: completed after {} recovery(ies)", s.recoveries);
                 }
                 match s.outcome {
-                    thread_rt::Recovered::Parallel(r) => r.metrics,
+                    thread_rt::Recovered::Parallel(r) => (r.metrics, r.telemetry),
                     thread_rt::Recovered::Sequential(seq) => {
                         finish_degraded(&seq, &model, &ecfg, a)
                     }
                 }
             } else {
                 match thread_rt::run_threads(&model, &rc) {
-                    Ok(r) => r.metrics,
+                    Ok(r) => (r.metrics, r.telemetry),
                     Err(err) => {
                         eprintln!("{err}");
                         std::process::exit(1);
@@ -534,6 +634,7 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
         eprintln!("verify: committed trace matches the sequential oracle ✓");
     }
     report(&metrics, a.json);
+    emit_telemetry(a, &tel, metrics.threads);
     if let Some(path) = &a.stats_json {
         let text = serde_json::to_string_pretty(&metrics).expect("serialize metrics");
         if let Err(e) = std::fs::write(path, text) {

@@ -57,6 +57,7 @@ pub use metrics;
 pub use models;
 pub use pdes_core;
 pub use sim_rt;
+pub use telemetry;
 pub use thread_rt;
 
 /// The most commonly used items, re-exported.
