@@ -1,0 +1,148 @@
+//! `bench_gate` — the perf ratchet: compare the two newest `BENCH_<n>.json`
+//! documents at the repo root and fail on a wall-clock regression.
+//!
+//! ```text
+//! bench_gate [--dir PATH] [--tolerance F]
+//! ```
+//!
+//! The repo's perf trajectory is one `BENCH_<n>.json` per PR (written by
+//! `dist_compare`). The gate finds the two highest `n` under `--dir`
+//! (default `.`), matches their `runs` arrays by `runtime` name, and fails
+//! (exit 1) if any runtime got slower by more than `--tolerance` (default
+//! 0.02, i.e. +2%). Runtimes present in only one document are reported and
+//! skipped — the trajectory gains runtimes over time. With fewer than two
+//! documents there is nothing to compare and the gate passes vacuously.
+//!
+//! Wall clocks are best-of-N from the bench harness, so the numbers are
+//! already noise-filtered; the tolerance absorbs what remains.
+
+use serde::Value;
+
+fn die(code: i32, msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    std::process::exit(code);
+}
+
+/// `BENCH_<n>.json` -> `n`, `None` for anything else.
+fn bench_index(name: &str) -> Option<u64> {
+    name.strip_prefix("BENCH_")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// Per-runtime wall clocks of one bench document.
+fn walls(path: &std::path::Path) -> Vec<(String, f64)> {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(1, &format!("read {}: {e}", path.display())));
+    let doc = serde_json::parse(&raw)
+        .unwrap_or_else(|e| die(1, &format!("{}: bad JSON: {e}", path.display())));
+    let runs = match doc.get("runs") {
+        Some(Value::Array(a)) => a,
+        _ => die(1, &format!("{}: no runs array", path.display())),
+    };
+    runs.iter()
+        .filter_map(|r| {
+            let name = match r.get("runtime") {
+                Some(Value::String(s)) => s.clone(),
+                _ => return None,
+            };
+            let wall = match r.get("wall_secs") {
+                Some(Value::Float(f)) => *f,
+                Some(Value::UInt(u)) => *u as f64,
+                Some(Value::Int(i)) => *i as f64,
+                _ => return None,
+            };
+            Some((name, wall))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut dir = ".".to_string();
+    let mut tolerance = 0.02f64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| die(2, &format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--dir" => dir = val().clone(),
+            "--tolerance" => {
+                tolerance = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(2, &format!("--tolerance: {e}")))
+            }
+            other => die(2, &format!("unknown flag {other}")),
+        }
+    }
+
+    let mut indexed: Vec<(u64, std::path::PathBuf)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| die(1, &format!("read dir {dir}: {e}")))
+        .filter_map(|entry| {
+            let entry = entry.ok()?;
+            let n = bench_index(entry.file_name().to_str()?)?;
+            Some((n, entry.path()))
+        })
+        .collect();
+    indexed.sort_unstable_by_key(|(n, _)| *n);
+    if indexed.len() < 2 {
+        println!(
+            "bench_gate: {} bench document(s) under {dir} — nothing to compare, pass",
+            indexed.len()
+        );
+        return;
+    }
+    let (old_n, old_path) = &indexed[indexed.len() - 2];
+    let (new_n, new_path) = &indexed[indexed.len() - 1];
+    let old = walls(old_path);
+    let new = walls(new_path);
+
+    let mut compared = 0u32;
+    let mut worst: Option<(f64, String)> = None;
+    for (name, new_wall) in &new {
+        let Some((_, old_wall)) = old.iter().find(|(n, _)| n == name) else {
+            println!("bench_gate: {name}: new in BENCH_{new_n}, skipped");
+            continue;
+        };
+        let delta = (new_wall - old_wall) / old_wall;
+        println!(
+            "bench_gate: {name}: {old_wall:.3}s -> {new_wall:.3}s ({:+.1}%)",
+            delta * 100.0
+        );
+        if worst.as_ref().is_none_or(|(w, _)| delta > *w) {
+            worst = Some((delta, name.clone()));
+        }
+        compared += 1;
+    }
+    for (name, _) in &old {
+        if !new.iter().any(|(n, _)| n == name) {
+            println!("bench_gate: {name}: dropped from BENCH_{new_n}, skipped");
+        }
+    }
+    if compared == 0 {
+        die(
+            1,
+            &format!("BENCH_{old_n} and BENCH_{new_n} share no runtimes"),
+        );
+    }
+    let (worst_delta, worst_name) = worst.expect("compared > 0");
+    if worst_delta > tolerance {
+        die(
+            1,
+            &format!(
+                "wall-clock regression: {worst_name} {:+.1}% vs tolerance +{:.1}% \
+                 (BENCH_{old_n} -> BENCH_{new_n})",
+                worst_delta * 100.0,
+                tolerance * 100.0
+            ),
+        );
+    }
+    println!(
+        "bench_gate: pass — worst delta {:+.1}% (tolerance +{:.1}%), BENCH_{old_n} -> BENCH_{new_n}",
+        worst_delta * 100.0,
+        tolerance * 100.0
+    );
+}

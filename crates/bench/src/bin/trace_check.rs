@@ -2,7 +2,7 @@
 //! `ggpdes --trace-out`.
 //!
 //! ```text
-//! trace_check FILE [FILE ...]
+//! trace_check [--require NAME ...] [--forbid NAME ...] FILE [FILE ...]
 //! ```
 //!
 //! For each file it checks that:
@@ -15,6 +15,11 @@
 //! 4. the five GVT phases are present: `gvt-a`, `gvt-b`, `gvt-aware`,
 //!    `gvt-end`, plus at least one of the `gvt-send-a`/`gvt-send-b`
 //!    simulate-while-waiting gaps (sync-mode traces only produce Send-B).
+//!
+//! `--require NAME` additionally demands at least one event named `NAME` in
+//! every file, and `--forbid NAME` demands zero (both repeatable) — e.g.
+//! `--require link-retransmit --forbid partial-restore` asserts a partition
+//! run healed by retransmission without triggering recovery.
 //!
 //! Exit 0 when every file passes; exit 1 with a diagnostic otherwise.
 //! This is what CI runs against the traced release smoke runs.
@@ -45,7 +50,7 @@ fn text<'v>(e: &'v Value, key: &str) -> Option<&'v str> {
     }
 }
 
-fn check_file(file: &str) {
+fn check_file(file: &str, require: &[String], forbid: &[String]) {
     let raw = std::fs::read_to_string(file).unwrap_or_else(|e| fail(file, &format!("read: {e}")));
     let doc = serde_json::parse(&raw).unwrap_or_else(|e| fail(file, &format!("bad JSON: {e}")));
     let events = match doc.get("traceEvents") {
@@ -56,6 +61,7 @@ fn check_file(file: &str) {
     let required = ["gvt-a", "gvt-b", "gvt-aware", "gvt-end"];
     let sends = ["gvt-send-a", "gvt-send-b"];
     let mut seen: HashMap<&str, u64> = HashMap::new();
+    let mut by_name: HashMap<String, u64> = HashMap::new();
     let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
     let mut checked = 0u64;
 
@@ -88,6 +94,7 @@ fn check_file(file: &str) {
             }
         }
         last_ts.insert(lane, ts);
+        *by_name.entry(name.to_string()).or_insert(0) += 1;
         *seen
             .entry(match name {
                 "gvt-a" => "gvt-a",
@@ -113,6 +120,20 @@ fn check_file(file: &str) {
     if !sends.iter().any(|s| seen.contains_key(s)) {
         fail(file, "neither gvt-send-a nor gvt-send-b appears");
     }
+    for name in require {
+        if by_name.get(name.as_str()).copied().unwrap_or(0) == 0 {
+            fail(file, &format!("required event {name:?} never appears"));
+        }
+    }
+    for name in forbid {
+        let n = by_name.get(name.as_str()).copied().unwrap_or(0);
+        if n > 0 {
+            fail(
+                file,
+                &format!("forbidden event {name:?} appears {n} time(s)"),
+            );
+        }
+    }
     let gvt_total: u64 = required
         .iter()
         .chain(sends.iter())
@@ -125,12 +146,29 @@ fn check_file(file: &str) {
 }
 
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut require: Vec<String> = Vec::new();
+    let mut forbid: Vec<String> = Vec::new();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require" => require.push(it.next().unwrap_or_else(|| {
+                eprintln!("trace_check: --require needs an event name");
+                std::process::exit(2);
+            })),
+            "--forbid" => forbid.push(it.next().unwrap_or_else(|| {
+                eprintln!("trace_check: --forbid needs an event name");
+                std::process::exit(2);
+            })),
+            _ => files.push(arg),
+        }
+    }
     if files.is_empty() {
-        eprintln!("usage: trace_check FILE [FILE ...]");
+        eprintln!("usage: trace_check [--require NAME ...] [--forbid NAME ...] FILE [FILE ...]");
         std::process::exit(2);
     }
     for file in &files {
-        check_file(file);
+        check_file(file, &require, &forbid);
     }
 }

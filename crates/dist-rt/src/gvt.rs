@@ -103,6 +103,18 @@ impl GvtTracker {
         }
     }
 
+    /// Forget every counter shared with `peer` (partial recovery). The
+    /// peer was rebuilt from a checkpoint with a fresh tracker, so all
+    /// accounting with its old incarnation is void — both sides restart
+    /// that pair from zero while every other pair keeps its consistent
+    /// history (survivor↔survivor counters stay valid because unacked
+    /// frames are retransmitted and counted exactly once on delivery).
+    pub fn reset_peer(&mut self, peer: usize) {
+        self.sent_by_tag[peer].clear();
+        self.recvd_by_tag[peer].clear();
+        self.white_sent_at_cut[peer] = 0;
+    }
+
     /// This shard's report for the current round at any wave: the frozen
     /// pending minimum, the running late fold, frozen white sends, and
     /// fresh white receive counts.
@@ -161,6 +173,13 @@ pub struct Coordinator {
     pub rounds_done: u64,
     /// Times the raw minimum came in below the published floor (clamped).
     pub regressions: u64,
+    /// Recovery mode: a partially restored shard is re-executing below the
+    /// published floor, so sub-floor minima are *expected* — they clamp
+    /// without counting as regressions, rounds publish `recovering`, and
+    /// the mode ends the first time the raw minimum reaches the floor
+    /// again (the restored shard has caught up; nothing in flight is below
+    /// the floor any more).
+    pub recovering: bool,
     next_round: u64,
 }
 
@@ -175,8 +194,28 @@ impl Coordinator {
             gvt: 0,
             rounds_done: 0,
             regressions: 0,
+            recovering: false,
             next_round: 0,
         }
+    }
+
+    /// Enter recovery mode after a partial restore: abandon any in-flight
+    /// round (its reports are gone with the dead shard's old incarnation)
+    /// and expect sub-floor minima until the restored shard catches up.
+    /// Round numbering and the published floor continue monotonically.
+    pub fn begin_recovery(&mut self) {
+        self.round = None;
+        self.wave = 0;
+        self.armed = false;
+        self.reports = vec![None; self.n];
+        self.recovering = true;
+    }
+
+    /// The number the next opened round will get — the supervisor fences
+    /// recovery with it (`min_valid_round`): any frame carrying an older
+    /// round number predates the recovery point and must be ignored.
+    pub fn upcoming_round(&self) -> u64 {
+        self.next_round
     }
 
     /// Open the next round; returns its number. Panics if one is in flight.
@@ -222,9 +261,12 @@ impl Coordinator {
             .min()
             .expect("n >= 1");
         if raw < self.gvt {
-            self.regressions += 1;
+            if !self.recovering {
+                self.regressions += 1;
+            }
         } else {
             self.gvt = raw;
+            self.recovering = false;
         }
         self.round = None;
         self.rounds_done += 1;
@@ -288,6 +330,51 @@ mod tests {
             "floor must hold"
         );
         assert_eq!(c.regressions, 1);
+    }
+
+    #[test]
+    fn recovery_mode_clamps_without_regressions_and_ends_at_the_floor() {
+        let mut c = Coordinator::new(1);
+        let r = c.start_round(false);
+        c.on_report(r, 0, rep(0, 100, u64::MAX, vec![0], vec![0]));
+        assert_eq!(c.gvt, 100);
+        c.begin_recovery();
+        assert!(c.recovering);
+        assert!(c.round.is_none(), "in-flight round abandoned");
+        // The restored shard reports sub-floor minima: clamped, published
+        // GVT never regresses, nothing counted as a regression.
+        for pmin in [40, 60, 95] {
+            let r = c.start_round(false);
+            assert_eq!(
+                c.on_report(r, 0, rep(0, pmin, u64::MAX, vec![0], vec![0])),
+                RoundClosure::Publish { gvt: 100 }
+            );
+            assert!(c.recovering, "still below the floor at {pmin}");
+        }
+        assert_eq!(c.regressions, 0);
+        // Catching up to (or past) the floor ends recovery.
+        let r = c.start_round(false);
+        assert_eq!(
+            c.on_report(r, 0, rep(0, 120, u64::MAX, vec![0], vec![0])),
+            RoundClosure::Publish { gvt: 120 }
+        );
+        assert!(!c.recovering);
+        // Sub-floor minima after recovery count as regressions again.
+        let r = c.start_round(false);
+        c.on_report(r, 0, rep(0, 10, u64::MAX, vec![0], vec![0]));
+        assert_eq!(c.regressions, 1);
+    }
+
+    #[test]
+    fn begin_recovery_keeps_round_numbering_monotone() {
+        let mut c = Coordinator::new(2);
+        let r0 = c.start_round(false);
+        // Round in flight when the failure hits; only shard 0 reported.
+        c.on_report(r0, 0, rep(0, 10, u64::MAX, vec![0, 0], vec![0, 0]));
+        c.begin_recovery();
+        let r1 = c.start_round(false);
+        assert!(r1 > r0, "rounds never reuse a number");
+        assert_eq!(c.wave, 0);
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Cluster launchers: loopback (threads over memory or TCP links), a
-//! kill-and-recover supervisor, the deterministic stepped harness, and the
-//! single-shard entry point for real multi-process runs.
+//! Cluster launchers: loopback (threads over memory or TCP links), an
+//! elastic-membership supervisor (heartbeat-discovered failures, partial
+//! recovery, join/leave at GVT cuts, graceful degradation), the
+//! deterministic stepped harness, and the single-shard entry point for
+//! real multi-process runs.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -8,10 +10,17 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use metrics::RunMetrics;
-use pdes_core::{Checkpoint, EngineConfig, LinkFaultPlan, LinkFaults, LpId, LpMap, Model};
+use pdes_core::{
+    Checkpoint, EngineConfig, LinkFaultPlan, LinkFaults, LpId, LpMap, Model, SimThreadId,
+};
+use telemetry::EventKind;
 
-use crate::link::{read_hello, spawn_tcp_reader, write_hello, Inbox, MemTx, ReliableLink, TcpTx};
-use crate::node::{CkptSlot, DistError, NodeConfig, NodeOutcome, ShardNode};
+use crate::link::{
+    read_hello, spawn_tcp_reader, write_hello, Backoff, Inbox, MemTx, ReliableLink, TcpTx,
+};
+use crate::node::{
+    CkptSlot, DistError, HeartbeatConfig, NodeConfig, NodeOutcome, ReshapeAction, ShardNode,
+};
 
 /// How loopback shards talk to each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,8 +41,28 @@ pub struct DistConfig {
     /// Scripted shard kills: `(shard, nth GVT publish observed)` — counted
     /// in protocol progress so the kill is deterministic across hosts.
     pub kills: Vec<(usize, u64)>,
+    /// Scripted kills die *silently* (no cohort abort flag): the failure
+    /// must be discovered by the heartbeat detector or a TCP hang-up.
+    pub kill_silent: bool,
+    /// Heartbeat failure detection (`None` = off).
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Scripted transient partitions: `(from, to, for_rounds)` — shard
+    /// `from`'s outgoing link to `to` swallows every frame until `from` has
+    /// run `for_rounds * gvt_interval_cycles` cycles, then heals and lets
+    /// retransmission resume delivery.
+    pub partitions: Vec<(usize, usize, u64)>,
+    /// Admit one joining shard at the first checkpoint cut assembled at or
+    /// after the `n`th GVT publish.
+    pub join_at: Option<u64>,
+    /// Drain shard `.0` out of the cluster at the first cut assembled at or
+    /// after the `.1`th GVT publish.
+    pub leave_at: Option<(usize, u64)>,
     /// Recovery attempts the supervisor may spend on kills.
     pub max_recoveries: u32,
+    /// When recovery attempts are exhausted but a checkpoint cut exists,
+    /// shrink the cluster around the dead shard(s) instead of failing the
+    /// run (graceful degradation).
+    pub degrade: bool,
     /// Checkpoint cut every this many GVT rounds (0 = never).
     pub ckpt_every_rounds: u64,
     /// Cycles between GVT round starts.
@@ -56,7 +85,13 @@ impl Default for DistConfig {
             transport: Transport::Mem,
             link_faults: None,
             kills: Vec::new(),
+            kill_silent: false,
+            heartbeat: None,
+            partitions: Vec::new(),
+            join_at: None,
+            leave_at: None,
             max_recoveries: 0,
+            degrade: false,
             ckpt_every_rounds: 0,
             gvt_interval_cycles: 32,
             wave_interval_cycles: 4,
@@ -79,13 +114,21 @@ pub struct DistResult {
     pub gvt: u64,
     /// Clamped GVT regressions (should be 0).
     pub regressions: u64,
-    /// Kill recoveries performed.
+    /// Kill recoveries performed (full restarts + partial restores).
     pub recoveries: u32,
-    /// Whether the last recovery restored from an assembled checkpoint cut
+    /// Recoveries that restored only the dead shard(s) from the latest cut
+    /// while the survivors replayed their send logs in place.
+    pub partial_recoveries: u32,
+    /// Whether any recovery restored from an assembled checkpoint cut
     /// (as opposed to replaying from the start).
     pub used_checkpoint: bool,
+    /// Shards in the membership when the run finished (join/leave/degrade
+    /// change this from `DistConfig::shards`).
+    pub shards_final: usize,
+    /// Membership reshapes performed (joins + leaves + degradations).
+    pub membership_epoch: u64,
     /// Merged telemetry across all shards (when tracing was enabled),
-    /// mapped onto the coordinator's clock. Recovery attempts start a
+    /// mapped onto the coordinator's clock. Full-restart recoveries start a
     /// fresh collection; this is the final (successful) attempt's data.
     pub telemetry: Option<telemetry::TelemetryData>,
 }
@@ -101,6 +144,16 @@ fn node_cfg(dcfg: &DistConfig, shard: usize) -> NodeConfig {
             .iter()
             .find(|(s, _)| *s == shard)
             .map(|(_, at)| *at),
+        kill_silent: dcfg.kill_silent,
+        heartbeat: dcfg.heartbeat.clone(),
+        partitions: dcfg
+            .partitions
+            .iter()
+            .filter(|(from, _, _)| *from == shard)
+            .map(|(_, to, rounds)| (*to, *rounds))
+            .collect(),
+        join_at: (shard == 0).then_some(dcfg.join_at).flatten(),
+        leave_at: (shard == 0).then_some(dcfg.leave_at).flatten(),
         telemetry: dcfg.telemetry.clone(),
     }
 }
@@ -133,8 +186,9 @@ fn mem_links(
 }
 
 /// Full-mesh TCP handshake for shard `shard`: connect to every lower shard
-/// (retrying until `timeout`), accept from every higher one, exchanging the
-/// raw `Hello` shard-id preamble. Returns one stream per peer.
+/// (with the same capped-exponential-backoff policy the runtime uses for
+/// reconnects), accept from every higher one, exchanging the raw `Hello`
+/// version + shard-id preamble. Returns one stream per peer.
 pub fn tcp_mesh(
     shard: usize,
     num_shards: usize,
@@ -153,16 +207,18 @@ pub fn tcp_mesh(
         detail: what,
     };
     for (j, addr) in connect_addrs.iter().enumerate().take(shard) {
+        let mut backoff = Backoff::standard(0x6D65_7368 ^ ((shard as u64) << 8) ^ j as u64);
         let stream = loop {
             match TcpStream::connect(addr) {
                 Ok(s) => break s,
                 Err(e) => {
                     if Instant::now() >= deadline {
                         return Err(timeout_err(format!(
-                            "shard {j} at {addr} never accepted: {e}"
+                            "shard {j} at {addr} never accepted after {} attempts: {e}",
+                            backoff.attempts()
                         )));
                     }
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(backoff.next_delay());
                 }
             }
         };
@@ -173,6 +229,7 @@ pub fn tcp_mesh(
     }
     listener.set_nonblocking(true)?;
     let mut expected = num_shards - shard - 1;
+    let mut backoff = Backoff::standard(0x6163_6370 ^ shard as u64);
     while expected > 0 {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -202,7 +259,7 @@ pub fn tcp_mesh(
                         "{expected} higher shard(s) never connected"
                     )));
                 }
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(backoff.next_delay());
             }
             Err(e) => return Err(DistError::Io(e)),
         }
@@ -218,6 +275,44 @@ fn stream_clear_timeout(streams: &mut [Option<TcpStream>], peer: usize) -> Resul
     Ok(())
 }
 
+/// One loopback TCP connection between shards `lo < hi`, handshaked with
+/// the same versioned `Hello` preamble as the real mesh. Returns
+/// `(lo's stream, hi's stream)`.
+fn tcp_pair(lo: usize, hi: usize) -> Result<(TcpStream, TcpStream), DistError> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let mut connector = TcpStream::connect(addr)?;
+    let (mut acceptor, _) = listener.accept()?;
+    connector.set_nodelay(true)?;
+    acceptor.set_nodelay(true)?;
+    write_hello(&mut connector, hi)?;
+    let peer = read_hello(&mut acceptor)?;
+    if peer != hi {
+        return Err(DistError::Protocol {
+            shard: lo,
+            detail: format!("loopback pair announced shard {peer}, expected {hi}"),
+        });
+    }
+    Ok((acceptor, connector))
+}
+
+/// Wrap one endpoint of a TCP connection into a reliable link, spawning
+/// its reader thread into `inbox`.
+fn tcp_link(
+    me: usize,
+    peer: usize,
+    stream: TcpStream,
+    inbox: &Arc<Inbox>,
+    plan: &Option<LinkFaultPlan>,
+) -> Result<ReliableLink, DistError> {
+    let reader = stream.try_clone()?;
+    spawn_tcp_reader(reader, peer, Arc::clone(inbox));
+    Ok(ReliableLink::new(
+        Box::new(TcpTx { stream }),
+        link_faults_for(plan, me, peer),
+    ))
+}
+
 /// Turn handshake streams into reliable links + reader threads feeding
 /// `inbox`.
 fn tcp_links(
@@ -230,14 +325,7 @@ fn tcp_links(
     for (j, s) in streams.into_iter().enumerate() {
         match s {
             None => links.push(None),
-            Some(stream) => {
-                let reader = stream.try_clone()?;
-                spawn_tcp_reader(reader, j, Arc::clone(inbox));
-                links.push(Some(ReliableLink::new(
-                    Box::new(TcpTx { stream }),
-                    link_faults_for(plan, i, j),
-                )));
-            }
+            Some(stream) => links.push(Some(tcp_link(i, j, stream, inbox, plan)?)),
         }
     }
     Ok(links)
@@ -269,158 +357,464 @@ fn assemble_result(out: NodeOutcome, shards: usize, lps: usize, wall_secs: f64) 
         gvt: out.gvt,
         regressions: out.regressions,
         recoveries: 0,
+        partial_recoveries: 0,
         used_checkpoint: false,
+        shards_final: shards,
+        membership_epoch: 0,
         telemetry,
     }
 }
 
+/// A built cluster: one node per shard plus the shared inboxes (needed
+/// again at partial-recovery time to rebuild a dead shard's links).
+type Cluster<M> = (Vec<ShardNode<M>>, Vec<Arc<Inbox>>);
+
+/// Build a whole loopback cluster supervisor-side: shared inboxes, the full
+/// link mesh (memory or handshaked TCP pairs), and one [`ShardNode`] per
+/// shard, each bootstrapped or restored from `restore`.
+#[allow(clippy::too_many_arguments)]
+fn build_cluster<M: Model>(
+    model: &Arc<M>,
+    ecfg: &EngineConfig,
+    dcfg: &DistConfig,
+    flat_map: &LpMap,
+    slot: &CkptSlot<M>,
+    abort: &Arc<AtomicBool>,
+    restore: Option<&Checkpoint<M::State, M::Payload>>,
+    stepped: bool,
+) -> Result<Cluster<M>, DistError> {
+    let n = dcfg.shards;
+    let inboxes: Vec<Arc<Inbox>> = (0..n).map(|_| Inbox::new()).collect();
+    let mut link_rows: Vec<Vec<Option<ReliableLink>>> = match dcfg.transport {
+        Transport::Mem => (0..n)
+            .map(|i| mem_links(i, &inboxes, &dcfg.link_faults))
+            .collect(),
+        Transport::Tcp => {
+            let mut rows: Vec<Vec<Option<ReliableLink>>> =
+                (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+            for i in 0..n {
+                for j in i + 1..n {
+                    let (si, sj) = tcp_pair(i, j)?;
+                    rows[i][j] = Some(tcp_link(i, j, si, &inboxes[i], &dcfg.link_faults)?);
+                    rows[j][i] = Some(tcp_link(j, i, sj, &inboxes[j], &dcfg.link_faults)?);
+                }
+            }
+            rows
+        }
+    };
+    let mut nodes = Vec::with_capacity(n);
+    for (i, links) in link_rows.drain(..).enumerate() {
+        let mut ncfg = node_cfg(dcfg, i);
+        if stepped {
+            ncfg.watchdog = None; // wall clock has no meaning there
+        }
+        let mut node = ShardNode::new(
+            Arc::clone(model),
+            flat_map.clone(),
+            i,
+            n,
+            ecfg,
+            ncfg,
+            links,
+            Arc::clone(&inboxes[i]),
+            (i == 0).then(|| Arc::clone(slot)),
+            (!stepped).then(|| Arc::clone(abort)),
+        );
+        match restore {
+            Some(ck) => node.restore(ck),
+            None => node.bootstrap()?,
+        }
+        nodes.push(node);
+    }
+    Ok((nodes, inboxes))
+}
+
+/// Run every node to completion on its own thread. A failing node flips
+/// the cohort abort flag — except a *silent* scripted kill, whose whole
+/// point is that the survivors must discover it themselves (heartbeat
+/// lease expiry or TCP hang-up).
+fn run_attempt<M: Model>(
+    nodes: &mut [ShardNode<M>],
+    abort: &Arc<AtomicBool>,
+    kill_silent: bool,
+) -> Vec<Result<(), DistError>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = nodes
+            .iter_mut()
+            .map(|node| {
+                let abort = Arc::clone(abort);
+                s.spawn(move || {
+                    let r = node.run();
+                    if let Err(e) = &r {
+                        let silent = kill_silent && matches!(e, DistError::Killed { .. });
+                        if !silent {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    r
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    })
+}
+
+/// Per-old-thread relative load estimate from a checkpoint cut: committed
+/// events per shard, `+1` so an idle shard still counts as alive.
+fn load_from_cut<S, P>(ck: &Checkpoint<S, P>, map: &LpMap) -> Vec<u64> {
+    let mut load = vec![1u64; map.num_threads as usize];
+    for lp in &ck.lps {
+        load[map.thread_of(lp.lp).index()] += lp.committed;
+    }
+    load
+}
+
+/// Restore only the dead shards from `ck` and stitch them back into the
+/// live cluster: survivors keep their engines, GVT counters (minus the dead
+/// peers' columns) and send logs; each dead shard gets a fresh node, fresh
+/// links on both sides, the survivors replay their cut-crossing send logs
+/// to it and purge every input the restored shard will re-send.
+#[allow(clippy::too_many_arguments)]
+fn partial_recover<M: Model>(
+    model: &Arc<M>,
+    ecfg: &EngineConfig,
+    dcfg: &DistConfig,
+    flat_map: &LpMap,
+    nodes: &mut [ShardNode<M>],
+    inboxes: &mut [Arc<Inbox>],
+    dead: &[usize],
+    ck: &Checkpoint<M::State, M::Payload>,
+    abort: Option<&Arc<AtomicBool>>,
+    stepped: bool,
+) -> Result<(), DistError> {
+    let n = nodes.len();
+    debug_assert!(
+        !dead.contains(&0),
+        "the coordinator cannot be restored partially"
+    );
+    let survivors: Vec<usize> = (0..n).filter(|i| !dead.contains(i)).collect();
+    // 1. Sever the dead shards' transports and flush in-flight raw packets.
+    //    Dropped survivor packets were never acked, so retransmission
+    //    redelivers them; the dead peers' packets must die here.
+    if dcfg.transport == Transport::Tcp {
+        for &s in &survivors {
+            for &d in dead {
+                nodes[s].hangup_link(d);
+            }
+        }
+        for &s in &survivors {
+            for &d in dead {
+                nodes[s].await_hangup(d, Duration::from_secs(2));
+            }
+        }
+    }
+    for &s in &survivors {
+        nodes[s].drain_inbox_dropping();
+    }
+    // 2. Fence: any frame for a round the coordinator already abandoned is
+    //    stale pre-failure traffic. The coordinator's published GVT is the
+    //    authoritative recovery floor — a survivor that missed the final
+    //    pre-kill publish still holds an older one.
+    let min_round = nodes[0].upcoming_round();
+    let floor = nodes[0].gvt();
+    // 3. Fresh inboxes + links for the dead shards (both directions).
+    for &d in dead {
+        inboxes[d] = Inbox::new();
+    }
+    let mut dead_links: Vec<Vec<Option<ReliableLink>>> = dead
+        .iter()
+        .map(|_| (0..n).map(|_| None).collect())
+        .collect();
+    let slot_of = |d: usize| dead.iter().position(|&x| x == d).expect("dead shard");
+    match dcfg.transport {
+        Transport::Mem => {
+            for &s in &survivors {
+                for &d in dead {
+                    nodes[s].replace_link(
+                        d,
+                        ReliableLink::new(
+                            Box::new(MemTx {
+                                peer_inbox: Arc::clone(&inboxes[d]),
+                                from: s,
+                            }),
+                            link_faults_for(&dcfg.link_faults, s, d),
+                        ),
+                    );
+                }
+            }
+            for &d in dead {
+                dead_links[slot_of(d)] = mem_links(d, inboxes, &dcfg.link_faults);
+            }
+        }
+        Transport::Tcp => {
+            for a in 0..n {
+                for b in a + 1..n {
+                    if !dead.contains(&a) && !dead.contains(&b) {
+                        continue;
+                    }
+                    let (sa, sb) = tcp_pair(a, b)?;
+                    let la = tcp_link(a, b, sa, &inboxes[a], &dcfg.link_faults)?;
+                    let lb = tcp_link(b, a, sb, &inboxes[b], &dcfg.link_faults)?;
+                    if dead.contains(&a) {
+                        dead_links[slot_of(a)][b] = Some(la);
+                    } else {
+                        nodes[a].replace_link(b, la);
+                    }
+                    if dead.contains(&b) {
+                        dead_links[slot_of(b)][a] = Some(lb);
+                    } else {
+                        nodes[b].replace_link(a, lb);
+                    }
+                }
+            }
+        }
+    }
+    // 4. Fresh nodes for the dead shards, restored from the cut. They
+    //    deterministically re-execute from `ck.gvt` up to where they died;
+    //    everything they re-send below the recovery floor is a duplicate
+    //    the survivors drop at the link.
+    for &d in dead {
+        let links = std::mem::take(&mut dead_links[slot_of(d)]);
+        let mut ncfg = node_cfg(dcfg, d);
+        if stepped {
+            ncfg.watchdog = None;
+        }
+        let mut node = ShardNode::new(
+            Arc::clone(model),
+            flat_map.clone(),
+            d,
+            n,
+            ecfg,
+            ncfg,
+            links,
+            Arc::clone(&inboxes[d]),
+            None,
+            abort.map(Arc::clone),
+        );
+        node.restore(ck);
+        node.trace_instant(EventKind::PartialRestore, ck.gvt.ticks());
+        nodes[d] = node;
+    }
+    // 5. Survivors enter recovery: void the dead peers' GVT counters, fence
+    //    stale rounds, replay their send logs from the cut forward (the
+    //    restored shard lost those inputs) and purge every input taken from
+    //    the dead shards in the window being re-executed.
+    let mut dead_lps: Vec<LpId> = dead
+        .iter()
+        .flat_map(|&d| flat_map.lps_of(SimThreadId(d as u32)))
+        .collect();
+    dead_lps.sort_unstable_by_key(|lp| lp.0);
+    for &s in &survivors {
+        nodes[s].begin_peer_recovery(dead, min_round, floor);
+        if let Some(a) = abort {
+            nodes[s].set_abort(Some(Arc::clone(a)));
+        }
+        for &d in dead {
+            nodes[s].replay_log_to(d, ck.gvt.ticks())?;
+        }
+        nodes[s].purge_dead_inputs(&dead_lps, ck.gvt.ticks())?;
+    }
+    Ok(())
+}
+
 /// Run the whole simulation as `dcfg.shards` loopback shards (one thread
-/// each) and supervise scripted kills: a killed cohort is torn down and
-/// every shard is restored from the latest assembled checkpoint cut (or
-/// replayed from the start if none exists yet).
+/// each) under an elastic-membership supervisor:
+///
+/// - a killed or heartbeat-declared-dead shard is restored *partially*
+///   from the latest assembled checkpoint cut when possible (survivors keep
+///   running state and replay their send logs), falling back to a full
+///   restore-all restart otherwise;
+/// - scripted joins/leaves reshape the membership at a GVT cut: the run is
+///   re-launched from the cut under a load-rebalanced LP map with one shard
+///   more or fewer;
+/// - with `degrade` set, exhausting `max_recoveries` shrinks the cluster
+///   around the dead shard(s) instead of failing the run.
 pub fn run_loopback<M: Model>(
     model: Arc<M>,
     ecfg: &EngineConfig,
     dcfg: &DistConfig,
 ) -> Result<DistResult, DistError> {
-    let n = dcfg.shards;
-    assert!(n >= 1, "need at least one shard");
+    let mut dcfg = dcfg.clone();
+    assert!(dcfg.shards >= 1, "need at least one shard");
     let num_lps = model.num_lps();
-    let flat_map = LpMap::new(num_lps, n, ecfg.mapping);
+    let mut flat_map = LpMap::new(num_lps, dcfg.shards, ecfg.mapping);
     let slot: CkptSlot<M> = Arc::new(Mutex::new(None));
     let t0 = Instant::now();
-    let mut dcfg = dcfg.clone();
     let mut recoveries = 0u32;
+    let mut partial_recoveries = 0u32;
+    let mut membership_epoch = 0u64;
     let mut used_checkpoint = false;
-    loop {
-        let abort = Arc::new(AtomicBool::new(false));
+    // Membership instants to stamp onto the next generation's trace clock.
+    let mut pending_instants: Vec<(EventKind, u64)> = Vec::new();
+    'generations: loop {
+        let n = dcfg.shards;
         let restore: Option<Checkpoint<M::State, M::Payload>> =
             slot.lock().expect("ckpt slot poisoned").clone();
-        if recoveries > 0 && restore.is_some() {
+        if (recoveries > 0 || membership_epoch > 0) && restore.is_some() {
             used_checkpoint = true;
         }
-        // For the memory transport every inbox is shared up-front; TCP
-        // shards bind their listeners here and handshake inside their
-        // threads.
-        let inboxes: Vec<Arc<Inbox>> = (0..n).map(|_| Inbox::new()).collect();
-        let mut listeners: Vec<Option<TcpListener>> = Vec::new();
-        let mut addrs: Vec<SocketAddr> = Vec::new();
-        if dcfg.transport == Transport::Tcp {
-            for _ in 0..n {
-                let l = TcpListener::bind("127.0.0.1:0")?;
-                addrs.push(l.local_addr()?);
-                listeners.push(Some(l));
-            }
+        let mut abort = Arc::new(AtomicBool::new(false));
+        let (mut nodes, mut inboxes) = build_cluster(
+            &model,
+            ecfg,
+            &dcfg,
+            &flat_map,
+            &slot,
+            &abort,
+            restore.as_ref(),
+            false,
+        )?;
+        for (kind, arg) in pending_instants.drain(..) {
+            nodes[0].trace_instant(kind, arg);
         }
-        let results: Vec<(Result<(), DistError>, Option<NodeOutcome>)> = std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(n);
-            for i in 0..n {
-                let model = Arc::clone(&model);
-                let flat_map = flat_map.clone();
-                let abort = Arc::clone(&abort);
-                let slot = Arc::clone(&slot);
-                let restore = restore.clone();
-                let dcfg = &dcfg;
-                let inboxes = &inboxes;
-                let addrs = &addrs;
-                let listener = listeners.get_mut(i).and_then(|l| l.take());
-                handles.push(s.spawn(move || {
-                    let build = || -> Result<ShardNode<M>, DistError> {
-                        let (inbox, links) = match dcfg.transport {
-                            Transport::Mem => (
-                                Arc::clone(&inboxes[i]),
-                                mem_links(i, inboxes, &dcfg.link_faults),
-                            ),
-                            Transport::Tcp => {
-                                let streams = tcp_mesh(
-                                    i,
-                                    n,
-                                    listener.expect("listener bound"),
-                                    addrs,
-                                    dcfg.mesh_timeout,
-                                )?;
-                                let inbox = Inbox::new();
-                                let links = tcp_links(i, streams, &inbox, &dcfg.link_faults)?;
-                                (inbox, links)
+        // Scripted partitions fire once, on the first generation's links.
+        dcfg.partitions.clear();
+        loop {
+            let results = run_attempt(&mut nodes, &abort, dcfg.kill_silent);
+            let mut dead: Vec<usize> = Vec::new();
+            let mut reshape: Option<ReshapeAction> = None;
+            let mut hard_err: Option<DistError> = None;
+            let mut all_ok = true;
+            for r in results {
+                match r {
+                    Ok(()) => {}
+                    Err(e) => {
+                        all_ok = false;
+                        match e {
+                            DistError::Killed { shard } | DistError::PeerDead { shard, .. } => {
+                                if !dead.contains(&shard) {
+                                    dead.push(shard);
+                                }
                             }
-                        };
-                        let mut node = ShardNode::new(
-                            model,
-                            flat_map,
-                            i,
-                            n,
-                            ecfg,
-                            node_cfg(dcfg, i),
-                            links,
-                            inbox,
-                            (i == 0).then(|| Arc::clone(&slot)),
-                            Some(Arc::clone(&abort)),
-                        );
-                        match &restore {
-                            Some(ck) => node.restore(ck),
-                            None => node.bootstrap()?,
-                        }
-                        Ok(node)
-                    };
-                    match build() {
-                        Ok(mut node) => {
-                            let r = node.run();
-                            if r.is_err() {
-                                abort.store(true, Ordering::Relaxed);
+                            DistError::Reshape { action } => reshape = Some(action),
+                            // Collateral of a kill/reshape elsewhere.
+                            DistError::Aborted { .. } => {}
+                            e => {
+                                if hard_err.is_none() {
+                                    hard_err = Some(e);
+                                }
                             }
-                            (r, node.take_outcome())
                         }
-                        Err(e) => {
-                            abort.store(true, Ordering::Relaxed);
-                            (Err(e), None)
-                        }
-                    }
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
-        let mut killed: Vec<usize> = Vec::new();
-        let mut outcome: Option<NodeOutcome> = None;
-        let mut hard_err: Option<DistError> = None;
-        for (r, out) in results {
-            match r {
-                Ok(()) => {
-                    if let Some(o) = out {
-                        outcome = Some(o);
                     }
                 }
-                Err(DistError::Killed { shard }) => killed.push(shard),
-                // Collateral of a kill elsewhere in the cohort.
-                Err(DistError::Aborted { .. }) if hard_err.is_none() => {}
-                Err(e) if hard_err.is_none() => hard_err = Some(e),
-                Err(_) => {}
             }
-        }
-        if killed.is_empty() {
-            if let Some(e) = hard_err {
-                return Err(e);
+            if all_ok {
+                let out = nodes[0].take_outcome().ok_or(DistError::Protocol {
+                    shard: 0,
+                    detail: "coordinator finished without an outcome".to_string(),
+                })?;
+                let mut res = assemble_result(out, n, num_lps, t0.elapsed().as_secs_f64());
+                res.recoveries = recoveries;
+                res.partial_recoveries = partial_recoveries;
+                res.used_checkpoint = used_checkpoint;
+                res.shards_final = n;
+                res.membership_epoch = membership_epoch;
+                return Ok(res);
             }
-            let out = outcome.ok_or(DistError::Protocol {
+            if !dead.is_empty() {
+                dead.sort_unstable();
+                recoveries += dead.len() as u32;
+                // A fired kill does not repeat.
+                dcfg.kills.retain(|(s, _)| !dead.contains(s));
+                let ck: Option<Checkpoint<M::State, M::Payload>> =
+                    slot.lock().expect("ckpt slot poisoned").clone();
+                if recoveries > dcfg.max_recoveries {
+                    if let Some(ck) = ck.as_ref().filter(|_| dcfg.degrade && !dead.contains(&0)) {
+                        // Graceful degradation: absorb the dead shards'
+                        // LPs into the survivors and restart from the cut
+                        // with a smaller cluster.
+                        let mut map = ck.map.clone();
+                        for &d in dead.iter().rev() {
+                            let load = load_from_cut(ck, &map);
+                            map = map.rebalanced_without(SimThreadId(d as u32), &load);
+                        }
+                        flat_map = map;
+                        dcfg.shards = n - dead.len();
+                        membership_epoch += dead.len() as u64;
+                        for &d in dead.iter().rev() {
+                            for k in dcfg.kills.iter_mut() {
+                                if k.0 > d {
+                                    k.0 -= 1;
+                                }
+                            }
+                            pending_instants.push((EventKind::ShardLeave, d as u64));
+                        }
+                        continue 'generations;
+                    }
+                    return Err(DistError::RecoveryExhausted {
+                        attempts: recoveries,
+                        last: format!("shard(s) {dead:?} dead"),
+                    });
+                }
+                let partial_ok = dcfg.ckpt_every_rounds > 0
+                    && ck.is_some()
+                    && !dead.contains(&0)
+                    && (0..n)
+                        .filter(|i| !dead.contains(i))
+                        .all(|i| nodes[i].is_running());
+                if !partial_ok {
+                    // Full restore-all restart (or replay from the start
+                    // when no cut exists yet).
+                    continue 'generations;
+                }
+                abort = Arc::new(AtomicBool::new(false));
+                partial_recover(
+                    &model,
+                    ecfg,
+                    &dcfg,
+                    &flat_map,
+                    &mut nodes,
+                    &mut inboxes,
+                    &dead,
+                    ck.as_ref().expect("checked"),
+                    Some(&abort),
+                    false,
+                )?;
+                partial_recoveries += 1;
+                used_checkpoint = true;
+                continue;
+            }
+            if let Some(action) = reshape {
+                let ck: Checkpoint<M::State, M::Payload> =
+                    slot.lock().expect("ckpt slot poisoned").clone().ok_or(
+                        DistError::Protocol {
+                            shard: 0,
+                            detail: "membership reshape without an assembled cut".to_string(),
+                        },
+                    )?;
+                let load = load_from_cut(&ck, &ck.map);
+                match action {
+                    ReshapeAction::Join => {
+                        flat_map = ck.map.rebalanced_with_joiner(&load);
+                        dcfg.shards = n + 1;
+                        dcfg.join_at = None;
+                        pending_instants.push((EventKind::ShardJoin, n as u64));
+                    }
+                    ReshapeAction::Leave(s) => {
+                        flat_map = ck.map.rebalanced_without(SimThreadId(s as u32), &load);
+                        dcfg.shards = n - 1;
+                        dcfg.leave_at = None;
+                        // Shard ids above the leaver shift down by one.
+                        dcfg.kills.retain(|(k, _)| *k != s);
+                        for k in dcfg.kills.iter_mut() {
+                            if k.0 > s {
+                                k.0 -= 1;
+                            }
+                        }
+                        pending_instants.push((EventKind::ShardLeave, s as u64));
+                    }
+                }
+                membership_epoch += 1;
+                continue 'generations;
+            }
+            return Err(hard_err.unwrap_or(DistError::Protocol {
                 shard: 0,
-                detail: "coordinator finished without an outcome".to_string(),
-            })?;
-            let mut res = assemble_result(out, n, num_lps, t0.elapsed().as_secs_f64());
-            res.recoveries = recoveries;
-            res.used_checkpoint = used_checkpoint;
-            return Ok(res);
+                detail: "attempt failed with no classified error".to_string(),
+            }));
         }
-        recoveries += killed.len() as u32;
-        if recoveries > dcfg.max_recoveries {
-            return Err(DistError::RecoveryExhausted {
-                attempts: recoveries,
-                last: format!("shard(s) {killed:?} killed"),
-            });
-        }
-        // A fired kill does not repeat.
-        dcfg.kills.retain(|(s, _)| !killed.contains(s));
     }
 }
 
@@ -489,9 +883,16 @@ pub fn run_shard_process<M: Model>(
 /// Deterministic single-threaded cluster over memory links: every sweep
 /// steps each shard once, round-robin, and checks the GVT safety invariant
 /// (`published GVT <= every engine's pending minimum`) after every step.
-/// This is the harness the GVT property tests drive.
+/// This is the harness the GVT and membership property tests drive; it can
+/// also perform a [`SteppedCluster::partial_recover`] mid-run to exercise
+/// the elastic-membership recovery path without threads or wall clocks.
 pub struct SteppedCluster<M: Model> {
+    model: Arc<M>,
+    ecfg: EngineConfig,
+    dcfg: DistConfig,
+    flat_map: LpMap,
     nodes: Vec<ShardNode<M>>,
+    inboxes: Vec<Arc<Inbox>>,
     slot: CkptSlot<M>,
     /// Per-shard history of published GVT values (monotonicity checks).
     pub gvt_history: Vec<Vec<u64>>,
@@ -512,29 +913,17 @@ impl<M: Model> SteppedCluster<M> {
         let num_lps = model.num_lps();
         let flat_map = LpMap::new(num_lps, n, ecfg.mapping);
         let slot: CkptSlot<M> = Arc::new(Mutex::new(None));
-        let inboxes: Vec<Arc<Inbox>> = (0..n).map(|_| Inbox::new()).collect();
-        let mut nodes = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut ncfg = node_cfg(dcfg, i);
-            ncfg.watchdog = None; // wall clock has no meaning here
-            let mut node = ShardNode::new(
-                Arc::clone(&model),
-                flat_map.clone(),
-                i,
-                n,
-                ecfg,
-                ncfg,
-                mem_links(i, &inboxes, &dcfg.link_faults),
-                Arc::clone(&inboxes[i]),
-                (i == 0).then(|| Arc::clone(&slot)),
-                None,
-            );
-            node.bootstrap()?;
-            nodes.push(node);
-        }
+        let abort = Arc::new(AtomicBool::new(false));
+        let (nodes, inboxes) =
+            build_cluster(&model, ecfg, dcfg, &flat_map, &slot, &abort, None, true)?;
         Ok(SteppedCluster {
+            model,
+            ecfg: ecfg.clone(),
+            dcfg: dcfg.clone(),
+            flat_map,
             gvt_history: vec![Vec::new(); nodes.len()],
             nodes,
+            inboxes,
             slot,
         })
     }
@@ -571,6 +960,56 @@ impl<M: Model> SteppedCluster<M> {
             }
         }
         Ok(all_done)
+    }
+
+    /// Kill the given (non-coordinator) shards right now and restore them
+    /// partially from the latest assembled cut, exactly as the threaded
+    /// supervisor would. Returns `false` — without touching the cluster —
+    /// when partial recovery is not possible yet (no cut assembled, or a
+    /// shard already left its running phase).
+    pub fn partial_recover(&mut self, dead: &[usize]) -> Result<bool, DistError> {
+        let ck = match self.latest_checkpoint() {
+            Some(ck) => ck,
+            None => return Ok(false),
+        };
+        if dead.is_empty() || dead.contains(&0) {
+            return Ok(false);
+        }
+        let n = self.nodes.len();
+        if dead.iter().any(|&d| d >= n) {
+            return Ok(false);
+        }
+        if (0..n)
+            .filter(|i| !dead.contains(i))
+            .any(|i| !self.nodes[i].is_running())
+        {
+            return Ok(false);
+        }
+        let mut dead = dead.to_vec();
+        dead.sort_unstable();
+        dead.dedup();
+        partial_recover(
+            &self.model,
+            &self.ecfg,
+            &self.dcfg,
+            &self.flat_map,
+            &mut self.nodes,
+            &mut self.inboxes,
+            &dead,
+            &ck,
+            None,
+            true,
+        )?;
+        for &d in &dead {
+            // The restored shard restarts its GVT view from the cut.
+            self.gvt_history[d].clear();
+        }
+        Ok(true)
+    }
+
+    /// The coordinator's assembled outcome, once every shard finished.
+    pub fn take_outcome(&mut self) -> Option<NodeOutcome> {
+        self.nodes[0].take_outcome()
     }
 
     /// Sweep to completion (bounded) and return the coordinator's outcome.

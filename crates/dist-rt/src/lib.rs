@@ -51,7 +51,9 @@ pub use gvt::{Coordinator, GvtTracker, RoundClosure};
 pub use launcher::{
     run_loopback, run_shard_process, DistConfig, DistResult, ProcessOpts, SteppedCluster, Transport,
 };
-pub use link::{FrameTx, Inbox, MemTx, Packet, ReliableLink, TcpTx};
-pub use node::{DistError, NodeOutcome, ShardNode};
-pub use proto::Frame;
+pub use link::{
+    read_hello, write_hello, Backoff, FrameTx, Inbox, MemTx, Packet, ReliableLink, TcpTx,
+};
+pub use node::{DistError, HeartbeatConfig, NodeOutcome, ReshapeAction, ShardNode};
+pub use proto::{Frame, HELLO_MAGIC, PROTOCOL_VERSION};
 pub use wire::WireError;

@@ -130,6 +130,10 @@ impl Inbox {
 /// The unreliable packet transmitter a [`ReliableLink`] writes to.
 pub trait FrameTx: Send {
     fn send(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Sever the underlying transport. Socket transports shut the socket
+    /// down at the OS level so *every* clone of it (including blocked
+    /// reader threads on both ends) sees EOF; default is a no-op.
+    fn hangup(&mut self) {}
 }
 
 /// In-memory transport: packets land directly in the peer's inbox, tagged
@@ -155,6 +159,10 @@ impl FrameTx for TcpTx {
     fn send(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         write_frame(&mut self.stream, bytes)
     }
+
+    fn hangup(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
 }
 
 /// Spawn the reader thread for one TCP peer: pushes every received packet
@@ -179,16 +187,94 @@ pub fn spawn_tcp_reader(
         .expect("spawn reader thread")
 }
 
-/// Raw `Hello` preamble: the connecting side writes its shard id as a bare
-/// `u32` before the reliable layer starts.
+/// Raw `Hello` preamble, written by the connecting side before the reliable
+/// layer starts: `[magic u32][protocol version u32][shard u32]`, all
+/// little-endian. The magic rejects strangers (port scanners, a mis-typed
+/// endpoint) and the version rejects mismatched builds with a clear error
+/// instead of a decode failure mid-run.
 pub fn write_hello(stream: &mut TcpStream, shard: usize) -> std::io::Result<()> {
-    stream.write_all(&(shard as u32).to_le_bytes())
+    let mut buf = [0u8; 12];
+    buf[..4].copy_from_slice(&crate::proto::HELLO_MAGIC.to_le_bytes());
+    buf[4..8].copy_from_slice(&crate::proto::PROTOCOL_VERSION.to_le_bytes());
+    buf[8..].copy_from_slice(&(shard as u32).to_le_bytes());
+    stream.write_all(&buf)
 }
 
 pub fn read_hello(stream: &mut TcpStream) -> std::io::Result<usize> {
-    let mut buf = [0u8; 4];
+    let mut buf = [0u8; 12];
     stream.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf) as usize)
+    let magic = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if magic != crate::proto::HELLO_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("not a ggpdes peer (bad hello magic {magic:#x})"),
+        ));
+    }
+    if version != crate::proto::PROTOCOL_VERSION {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "protocol version mismatch: peer speaks v{version}, this build speaks v{}",
+                crate::proto::PROTOCOL_VERSION
+            ),
+        ));
+    }
+    Ok(u32::from_le_bytes(buf[8..].try_into().expect("4 bytes")) as usize)
+}
+
+/// Capped exponential backoff with deterministic jitter, shared by the
+/// startup mesh handshake and runtime reconnect so both retry policies stay
+/// identical. Delays grow `base × 2^attempt` up to `cap`, each stretched by
+/// a ±25% splitmix64 jitter keyed on `(seed, attempt)`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    attempt: u32,
+}
+
+/// splitmix64 — the same decision hash `pdes-core` uses for fault streams.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Backoff {
+    /// The policy every connect/reconnect path uses: 2 ms doubling to a
+    /// 200 ms cap.
+    pub fn standard(seed: u64) -> Backoff {
+        Backoff {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(200),
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// Next delay to sleep before retrying (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self
+            .base
+            .saturating_mul(1u32 << exp.min(16))
+            .min(self.cap)
+            .as_nanos() as u64;
+        // Jitter in [0.75, 1.25): keyed, so retry schedules are reproducible.
+        let j = splitmix64(self.seed.wrapping_add(u64::from(self.attempt)));
+        let num = 750_000 + (j % 500_000);
+        Duration::from_nanos(raw / 1_000_000 * num + (raw % 1_000_000) * num / 1_000_000)
+    }
+
+    /// Attempts made so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
 }
 
 /// One direction of a reliable link: sequences outgoing frames, retransmits
@@ -196,6 +282,10 @@ pub fn read_hello(stream: &mut TcpStream) -> std::io::Result<usize> {
 pub struct ReliableLink {
     tx: Box<dyn FrameTx>,
     faults: Option<LinkFaults>,
+    /// Scripted transient partition: while set, *nothing* leaves this side —
+    /// data, retransmissions, and acks all vanish on the floor. Unacked
+    /// frames are retained, so retransmission resumes delivery on heal.
+    partitioned: bool,
     // Sender side.
     send_next: u64,
     unacked: VecDeque<(u64, Vec<u8>)>, // (seq, encoded Data packet)
@@ -221,6 +311,7 @@ impl ReliableLink {
         ReliableLink {
             tx,
             faults,
+            partitioned: false,
             send_next: 0,
             unacked: VecDeque::new(),
             delayed: Vec::new(),
@@ -251,9 +342,28 @@ impl ReliableLink {
         self.transmit(pkt)
     }
 
+    /// Start or heal a scripted partition on this direction of the link.
+    pub fn set_partitioned(&mut self, on: bool) {
+        self.partitioned = on;
+    }
+
+    /// `true` while a scripted partition swallows this side's output.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Sever the underlying transport (recovery teardown of a dead peer's
+    /// links): socket-level, so blocked readers on both ends unblock.
+    pub fn hangup(&mut self) {
+        self.tx.hangup();
+    }
+
     /// Push one packet through the fault decider and (maybe) the transport.
     fn transmit(&mut self, pkt: Vec<u8>) -> std::io::Result<()> {
         use pdes_core::LinkAction::*;
+        if self.partitioned {
+            return Ok(()); // data stays unacked; acks are regenerated
+        }
         match self.faults.as_mut().map_or(Deliver, |f| f.decide()) {
             Deliver => self.tx.send(&pkt),
             Drop => Ok(()), // stays unacked; retransmission recovers it
@@ -320,6 +430,9 @@ impl ReliableLink {
                 due
             };
             for pkt in due {
+                if self.partitioned {
+                    continue; // swallowed; retransmission recovers data
+                }
                 self.tx.send(&pkt)?; // already rolled its fault at send time
             }
         }
@@ -331,7 +444,7 @@ impl ReliableLink {
                 self.transmit(pkt)?;
             }
         }
-        if self.need_ack || self.recv_next > self.last_acked_out {
+        if !self.partitioned && (self.need_ack || self.recv_next > self.last_acked_out) {
             self.need_ack = false;
             self.last_acked_out = self.recv_next;
             let ack = Packet::Ack {
@@ -500,6 +613,95 @@ mod tests {
             pair.a.on_packet(&bytes).unwrap();
         }
         assert!(pair.a.drained());
+    }
+
+    #[test]
+    fn partition_swallows_everything_until_heal_then_retransmit_recovers() {
+        let mut pair = Pair::new(None, None);
+        pair.a.set_partitioned(true);
+        assert!(pair.a.is_partitioned());
+        for i in 0..5u8 {
+            pair.a.send(&[i]).unwrap();
+        }
+        for _ in 0..(RETRANSMIT_EVERY as usize * 3) {
+            let (_, at_b) = pair.step();
+            assert!(at_b.is_empty(), "nothing may cross a partition");
+        }
+        assert!(!pair.a.drained(), "unacked frames survive the partition");
+        pair.a.set_partitioned(false);
+        let mut got = Vec::new();
+        for _ in 0..(RETRANSMIT_EVERY as usize * 3) {
+            let (_, at_b) = pair.step();
+            got.extend(at_b);
+            if got.len() == 5 && pair.a.drained() {
+                break;
+            }
+        }
+        assert_eq!(got, (0..5u8).map(|i| vec![i]).collect::<Vec<_>>());
+        assert!(
+            pair.a.drained(),
+            "heal must resume seq/ack state, not reset"
+        );
+        assert!(pair.a.retransmits >= 1);
+    }
+
+    #[test]
+    fn backoff_grows_to_the_cap_with_bounded_jitter() {
+        let mut b = Backoff::standard(42);
+        let mut prev = Duration::ZERO;
+        for i in 0..12 {
+            let d = b.next_delay();
+            assert!(
+                d <= Duration::from_millis(250),
+                "attempt {i}: {d:?} above cap+jitter"
+            );
+            if i < 4 {
+                assert!(d >= prev / 2, "roughly non-decreasing early on");
+            }
+            prev = d;
+        }
+        assert_eq!(b.attempts(), 12);
+        // Same seed replays the same schedule; different seeds jitter apart.
+        let s1: Vec<Duration> = (0..8).map(|_| Backoff::standard(7).next_delay()).collect();
+        let mut b7 = Backoff::standard(7);
+        let s2: Vec<Duration> = (0..8).map(|_| b7.next_delay()).collect();
+        assert_eq!(s1[0], s2[0]);
+        let mut b8 = Backoff::standard(8);
+        let s3: Vec<Duration> = (0..8).map(|_| b8.next_delay()).collect();
+        assert_ne!(s2, s3);
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic_and_version_mismatch() {
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Good hello round-trips the shard id.
+        let mut c = TcpStream::connect(addr).unwrap();
+        write_hello(&mut c, 3).unwrap();
+        let (mut s, _) = listener.accept().unwrap();
+        assert_eq!(read_hello(&mut s).unwrap(), 3);
+
+        // Wrong protocol version: clear mismatch error naming both versions.
+        let mut c = TcpStream::connect(addr).unwrap();
+        let bogus_version = crate::proto::PROTOCOL_VERSION + 1;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&crate::proto::HELLO_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&bogus_version.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        c.write_all(&buf).unwrap();
+        let (mut s, _) = listener.accept().unwrap();
+        let err = read_hello(&mut s).unwrap_err().to_string();
+        assert!(err.contains("protocol version mismatch"), "got: {err}");
+        assert!(err.contains(&format!("v{bogus_version}")), "got: {err}");
+
+        // Garbage preamble: rejected on the magic, not a decode error later.
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(&[0xDEu8; 12]).unwrap();
+        let (mut s, _) = listener.accept().unwrap();
+        let err = read_hello(&mut s).unwrap_err().to_string();
+        assert!(err.contains("bad hello magic"), "got: {err}");
     }
 
     #[test]

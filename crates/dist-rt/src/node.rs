@@ -22,8 +22,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pdes_core::{
-    Checkpoint, EngineConfig, Event, LpCheckpoint, LpId, LpMap, Model, Msg, Outbound, ThreadEngine,
-    ThreadStats, VirtualTime,
+    Checkpoint, EngineConfig, Event, EventKey, LpCheckpoint, LpId, LpMap, Model, Msg, Outbound,
+    ThreadEngine, ThreadStats, VirtualTime,
 };
 use telemetry::{EventKind, RoundTotals, Telemetry, TelemetryConfig, TelemetryData, Tracer};
 
@@ -53,6 +53,22 @@ pub enum DistError {
     ConnectTimeout { shard: usize, detail: String },
     /// The recovery supervisor ran out of attempts.
     RecoveryExhausted { attempts: u32, last: String },
+    /// The failure detector declared `shard` dead: either its heartbeat
+    /// lease expired at the coordinator, or its TCP streams hung up mid-run.
+    PeerDead { shard: usize, detail: String },
+    /// Control-flow signal, not a failure: a scripted membership change is
+    /// due at the freshly assembled checkpoint cut — the supervisor tears
+    /// the cohort down and rebuilds it around the new [`ReshapeAction`].
+    Reshape { action: ReshapeAction },
+}
+
+/// A membership change the coordinator requests at a GVT cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReshapeAction {
+    /// Admit one new shard, splitting load off the heaviest donors.
+    Join,
+    /// Drain this shard out: its LPs are absorbed by the survivors.
+    Leave(usize),
 }
 
 impl std::fmt::Display for DistError {
@@ -77,6 +93,10 @@ impl std::fmt::Display for DistError {
                     "recovery exhausted after {attempts} attempts; last error: {last}"
                 )
             }
+            DistError::PeerDead { shard, detail } => {
+                write!(f, "shard {shard} declared dead: {detail}")
+            }
+            DistError::Reshape { action } => write!(f, "membership reshape due: {action:?}"),
         }
     }
 }
@@ -152,6 +172,34 @@ pub struct NodeOutcome {
     pub telemetry: Option<TelemetryData>,
 }
 
+/// Heartbeat/lease failure detection, run by the coordinator over the
+/// existing reliable links. Workers beacon [`Frame::Heartbeat`] on a
+/// wall-clock cadence; the coordinator treats *any* inbound packet as life.
+/// Suspicion is phi-style: a peer whose silence exceeds `phi_threshold`
+/// times its mean inter-arrival gap gets a [`EventKind::HeartbeatMiss`]
+/// telemetry instant (reset on the next arrival); only a full lease expiry
+/// (`interval * miss_threshold` of silence) declares it dead.
+#[derive(Debug, Clone)]
+pub struct HeartbeatConfig {
+    /// Wall-clock cadence of worker heartbeats.
+    pub interval: Duration,
+    /// Declare a peer dead after this many intervals of silence.
+    pub miss_threshold: u32,
+    /// Suspect (but don't kill) a peer whose silence exceeds this multiple
+    /// of its mean inter-arrival gap.
+    pub phi_threshold: f64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(25),
+            miss_threshold: 40,
+            phi_threshold: 8.0,
+        }
+    }
+}
+
 /// Tuning knobs a node needs beyond the engine's own [`EngineConfig`].
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
@@ -167,6 +215,25 @@ pub struct NodeConfig {
     /// protocol progress, not step cycles, so the kill lands at the same
     /// point of the simulation regardless of host speed or scheduling.
     pub kill_at: Option<u64>,
+    /// Scripted kill dies *silently* (no cohort abort flag): the failure
+    /// must be discovered by the heartbeat detector or a TCP hang-up.
+    pub kill_silent: bool,
+    /// Heartbeat failure detection (`None` = off; stepped runs leave it
+    /// off because wall clocks have no meaning there).
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Scripted transient partitions on this node's outgoing links:
+    /// `(peer, for_rounds)` — every frame to `peer` is swallowed until this
+    /// node has run `for_rounds * gvt_interval_cycles` cycles, then the
+    /// link heals and retransmission resumes delivery. Healing is clocked
+    /// on the sender's own cycles (not GVT publishes) so a partition that
+    /// stalls the GVT cannot deadlock its own heal.
+    pub partitions: Vec<(usize, u64)>,
+    /// Coordinator-only script: admit a joining shard at the first
+    /// checkpoint cut assembled at or after the `n`th GVT publish.
+    pub join_at: Option<u64>,
+    /// Coordinator-only script: drain shard `.0` out at the first cut
+    /// assembled at or after the `.1`th GVT publish.
+    pub leave_at: Option<(usize, u64)>,
     /// Live tracing / round-snapshot collection (off by default).
     pub telemetry: TelemetryConfig,
 }
@@ -179,6 +246,11 @@ impl Default for NodeConfig {
             ckpt_every_rounds: 0,
             watchdog: Some(Duration::from_secs(10)),
             kill_at: None,
+            kill_silent: false,
+            heartbeat: None,
+            partitions: Vec::new(),
+            join_at: None,
+            leave_at: None,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -251,6 +323,36 @@ pub struct ShardNode<M: Model> {
     retx_seen: Vec<u64>,
     /// Coordinator: telemetry merged from every shard's forward.
     tel_merged: TelemetryData,
+    // Elastic membership.
+    /// Per-peer log of every Sim message sent since the second-newest
+    /// armed cut, keyed by send time (events) / twin receive time (antis).
+    /// Replayed to a partially restored peer; maintained only when
+    /// checkpoints are armed (`ckpt_every_rounds > 0`).
+    send_log: Vec<Vec<(u64, Msg<M::Payload>)>>,
+    /// GVT of the previous armed cut — the send-log retention horizon
+    /// (recovery never restores from anything older than two cuts back).
+    prev_armed_gvt: u64,
+    /// Frames carrying a round number below this predate a recovery point
+    /// and are dropped (stale Starts/Publishes/Reports/CutParts).
+    min_valid_round: u64,
+    /// Per peer: a partially restored peer is re-executing below our GVT;
+    /// its duplicate sub-GVT messages are counted (for the white-counter
+    /// match) but not delivered (we committed them long ago).
+    replaying_from: Vec<bool>,
+    /// The coordinator's published GVT at the moment partial recovery began.
+    /// Publishes propagate asynchronously, so a survivor's own adopted GVT
+    /// can lag the coordinator's floor; purging and duplicate-dropping must
+    /// both key off the *global* floor or a lagging survivor rolls back into
+    /// the committed window and re-sends below the coordinator's GVT.
+    recovery_floor: u64,
+    /// Per peer: its TCP reader pushed the hang-up sentinel.
+    hung_up: Vec<bool>,
+    // Heartbeat failure detection.
+    last_hb_sent: Instant,
+    hb_last_heard: Vec<Instant>,
+    /// EWMA of inter-arrival gaps in ms (0 = no sample yet).
+    hb_mean_ms: Vec<f64>,
+    hb_suspected: Vec<bool>,
 }
 
 impl<M: Model> ShardNode<M> {
@@ -281,6 +383,13 @@ impl<M: Model> ShardNode<M> {
         );
         let tel = Telemetry::new(ncfg.telemetry.clone());
         let tracer = tel.tracer(0);
+        let mut links = links;
+        // Scripted partitions are live from the first cycle.
+        for &(to, _) in &ncfg.partitions {
+            if let Some(l) = links[to].as_mut() {
+                l.set_partitioned(true);
+            }
+        }
         ShardNode {
             shard,
             n: num_shards,
@@ -319,6 +428,16 @@ impl<M: Model> ShardNode<M> {
             park_t0: 0,
             retx_seen: vec![0; num_shards],
             tel_merged: TelemetryData::default(),
+            send_log: vec![Vec::new(); num_shards],
+            prev_armed_gvt: 0,
+            min_valid_round: 0,
+            replaying_from: vec![false; num_shards],
+            recovery_floor: 0,
+            hung_up: vec![false; num_shards],
+            last_hb_sent: Instant::now(),
+            hb_last_heard: vec![Instant::now(); num_shards],
+            hb_mean_ms: vec![0.0; num_shards],
+            hb_suspected: vec![false; num_shards],
         }
     }
 
@@ -380,6 +499,182 @@ impl<M: Model> ShardNode<M> {
         self.round_due_at = self.cfg.gvt_interval_cycles;
     }
 
+    /// `true` while the node is in its normal simulating phase (partial
+    /// recovery is only safe for survivors that haven't begun teardown).
+    pub fn is_running(&self) -> bool {
+        self.phase == Phase::Running
+    }
+
+    /// Whether `peer`'s TCP reader has pushed its hang-up sentinel.
+    pub fn peer_hung_up(&self, peer: usize) -> bool {
+        self.hung_up[peer]
+    }
+
+    /// The round number the coordinator will open next (recovery fencing).
+    pub fn upcoming_round(&self) -> u64 {
+        self.coord
+            .as_ref()
+            .map(|c| c.upcoming_round())
+            .unwrap_or(self.min_valid_round)
+    }
+
+    /// Swap in a fresh cohort-wide abort flag for the next attempt.
+    pub fn set_abort(&mut self, abort: Option<Arc<AtomicBool>>) {
+        self.abort = abort;
+    }
+
+    /// Replace the link to `peer` (recovery: the peer was rebuilt, so its
+    /// seq/ack state restarted from zero).
+    pub fn replace_link(&mut self, peer: usize, link: ReliableLink) {
+        self.links[peer] = Some(link);
+        self.retx_seen[peer] = 0;
+    }
+
+    /// Sever the transport under the link to `peer` (recovery prep, TCP):
+    /// a socket shutdown reaches *both* ends' reader threads, so the dead
+    /// node's blocked reader unblocks and this node's own reader pushes its
+    /// hang-up sentinel.
+    pub fn hangup_link(&mut self, peer: usize) {
+        if let Some(l) = self.links[peer].as_mut() {
+            l.hangup();
+        }
+    }
+
+    /// Emit a supervisor-originated telemetry instant (membership events)
+    /// onto this node's trace clock.
+    pub fn trace_instant(&mut self, kind: EventKind, arg: u64) {
+        if self.tracer.enabled() {
+            let now = self.now_ns();
+            self.tracer.instant(kind, now, arg);
+        }
+    }
+
+    /// Recovery prep: drop every queued raw packet. Anything dropped here
+    /// was never run through [`ReliableLink::on_packet`], hence never
+    /// acked — the sender's retransmission redelivers it. Sentinels are
+    /// recorded, not dropped.
+    pub fn drain_inbox_dropping(&mut self) {
+        for (peer, bytes) in self.inbox.drain() {
+            if bytes.is_empty() {
+                self.hung_up[peer] = true;
+            }
+        }
+    }
+
+    /// Recovery prep (TCP): wait until the dead peer's *old* reader thread
+    /// pushes its hang-up sentinel, so it cannot be mistaken for the fresh
+    /// link's hang-up later. Drops everything drained along the way (see
+    /// [`Self::drain_inbox_dropping`]). Returns `false` on timeout.
+    pub fn await_hangup(&mut self, peer: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.hung_up[peer] {
+            self.drain_inbox_dropping();
+            if self.hung_up[peer] {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.inbox.wait_nonempty(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Survivor-side entry into partial recovery, called by the supervisor
+    /// between thread runs (never concurrently with [`Self::step`]):
+    /// - void every GVT counter shared with the dead peers (their fresh
+    ///   incarnations restart those pairs from zero);
+    /// - mark them `replaying_from` so their re-executed sub-GVT duplicates
+    ///   are counted but not re-delivered;
+    /// - fence stale round traffic below `min_valid_round`;
+    /// - adopt `floor` (the coordinator's published GVT) as the recovery
+    ///   floor — a survivor whose own adopted GVT lags the coordinator's
+    ///   (the final pre-kill publish may still be in flight) must purge and
+    ///   duplicate-drop against the global floor, not its stale local one;
+    /// - abandon any cut assembly in progress (coordinator) and enter GVT
+    ///   recovery mode.
+    pub fn begin_peer_recovery(&mut self, dead: &[usize], min_valid_round: u64, floor: u64) {
+        for &d in dead {
+            self.tracker.reset_peer(d);
+            self.replaying_from[d] = true;
+            self.hung_up[d] = false;
+            self.hb_mean_ms[d] = 0.0;
+            self.hb_suspected[d] = false;
+        }
+        self.min_valid_round = min_valid_round;
+        self.recovery_floor = self.recovery_floor.max(floor).max(self.gvt);
+        self.pending_wave = None;
+        self.wave_due_at = None;
+        self.cut_round = None;
+        self.cut_parts = vec![None; self.n];
+        self.round_due_at = self.cycles + self.cfg.gvt_interval_cycles;
+        self.last_liveness = Instant::now();
+        self.hb_last_heard = vec![Instant::now(); self.n];
+        if let Some(c) = &mut self.coord {
+            c.begin_recovery();
+        }
+    }
+
+    /// Replay this node's send log to a partially restored `peer`: ship
+    /// every logged event with `send_time >= since_send` (the cut GVT —
+    /// older sends are inside the checkpoint the peer restored from), and
+    /// every anti-message whose twin was shipped. The log is kept — a later
+    /// failure replays again from a newer cut. Returns the frames shipped.
+    pub fn replay_log_to(&mut self, peer: usize, since_send: u64) -> Result<u64, DistError> {
+        let log = std::mem::take(&mut self.send_log[peer]);
+        let mut replayed: Vec<EventKey> = Vec::new();
+        let mut shipped = 0u64;
+        for (_, msg) in &log {
+            let ship = match msg {
+                Msg::Event(e) => {
+                    let s = e.send_time.ticks() >= since_send;
+                    if s {
+                        replayed.push(e.key);
+                    }
+                    s
+                }
+                Msg::Anti(k) => replayed.contains(k),
+            };
+            if ship {
+                shipped += 1;
+                let tag = self.tracker.note_sent(peer);
+                self.send_frame(
+                    peer,
+                    &Frame::Sim {
+                        tag,
+                        msg: msg.clone(),
+                    },
+                )?;
+            }
+        }
+        self.send_log[peer] = log;
+        Ok(shipped)
+    }
+
+    /// Purge every input this engine took from the dead shards' LPs in the
+    /// window the restored peer will re-execute (`send >= cut GVT` and
+    /// `recv >= recovery floor` — inputs received below the coordinator's
+    /// published GVT are globally fixed and the peer's re-sent duplicates
+    /// are dropped at the link instead). Cascade anti-messages are routed
+    /// normally (and logged, so they reach the restored peer in order after
+    /// the replay).
+    pub fn purge_dead_inputs(
+        &mut self,
+        dead_lps: &[LpId],
+        since_send: u64,
+    ) -> Result<u64, DistError> {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let purged = self.engine.purge_inputs_from(
+            dead_lps,
+            VirtualTime::from_ticks(since_send),
+            VirtualTime::from_ticks(self.recovery_floor.max(self.gvt)),
+            &mut outbox,
+        );
+        self.outbox = outbox;
+        self.route_outbox()?;
+        Ok(purged)
+    }
+
     /// Route this shard's initial events (fresh starts only — a restored
     /// run's events live in the checkpoint).
     pub fn bootstrap(&mut self) -> Result<(), DistError> {
@@ -416,8 +711,35 @@ impl<M: Model> ShardNode<M> {
     }
 
     fn send_sim(&mut self, peer: usize, msg: Msg<M::Payload>) -> Result<(), DistError> {
+        if self.cfg.ckpt_every_rounds > 0 {
+            let t = match &msg {
+                Msg::Event(e) => e.send_time.ticks(),
+                Msg::Anti(k) => k.recv_time.ticks(),
+            };
+            self.send_log[peer].push((t, msg.clone()));
+        }
         let tag = self.tracker.note_sent(peer);
         self.send_frame(peer, &Frame::Sim { tag, msg })
+    }
+
+    /// Drop send-log entries that no reachable recovery can need: events
+    /// sent below the previous armed cut (a restore always uses one of the
+    /// two newest cuts) and anti-messages whose twin was dropped.
+    fn prune_send_logs(&mut self, keep_from: u64) {
+        for log in &mut self.send_log {
+            let mut kept: Vec<EventKey> = log
+                .iter()
+                .filter_map(|(t, m)| match m {
+                    Msg::Event(e) if *t >= keep_from => Some(e.key),
+                    _ => None,
+                })
+                .collect();
+            kept.sort_unstable();
+            log.retain(|(t, m)| match m {
+                Msg::Event(_) => *t >= keep_from,
+                Msg::Anti(k) => kept.binary_search(k).is_ok(),
+            });
+        }
     }
 
     /// Drain the engine outbox: color and ship remote messages. Send order
@@ -456,21 +778,46 @@ impl<M: Model> ShardNode<M> {
 
         let mut progress = false;
 
+        // 0. Scripted partitions heal on this node's own cycle clock.
+        for i in 0..self.cfg.partitions.len() {
+            let (to, rounds) = self.cfg.partitions[i];
+            if self.cycles >= rounds.saturating_mul(self.cfg.gvt_interval_cycles) {
+                if let Some(l) = self.links[to].as_mut() {
+                    l.set_partitioned(false);
+                }
+            }
+        }
+
         // 1. Drain the inbox through the reliable links into frame handling.
         for (peer, bytes) in self.inbox.drain() {
             progress = true;
             if bytes.is_empty() {
                 // Link-closed sentinel from a TCP reader.
+                self.hung_up[peer] = true;
                 if self.phase >= Phase::Draining {
                     continue;
                 }
-                return Err(DistError::Io(std::io::Error::new(
-                    std::io::ErrorKind::ConnectionReset,
-                    format!("shard {peer} hung up mid-run"),
-                )));
+                if let Some(abort) = &self.abort {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                return Err(DistError::PeerDead {
+                    shard: peer,
+                    detail: format!("shard {peer} hung up mid-run"),
+                });
             }
             if self.links[peer].is_none() {
                 return Err(self.protocol_err(format!("packet from unlinked peer {peer}")));
+            }
+            // Any inbound packet is proof of life for the failure detector.
+            if self.cfg.heartbeat.is_some() && self.coord.is_some() {
+                let gap_ms = self.hb_last_heard[peer].elapsed().as_secs_f64() * 1000.0;
+                self.hb_last_heard[peer] = Instant::now();
+                self.hb_mean_ms[peer] = if self.hb_mean_ms[peer] > 0.0 {
+                    0.9 * self.hb_mean_ms[peer] + 0.1 * gap_ms
+                } else {
+                    gap_ms
+                };
+                self.hb_suspected[peer] = false;
             }
             let link = self.links[peer].as_mut().expect("checked above");
             let frames = link.on_packet(&bytes)?;
@@ -479,6 +826,24 @@ impl<M: Model> ShardNode<M> {
                 self.handle_frame(peer, frame)?;
             }
         }
+
+        // 1b. Heartbeats: workers beacon on a wall-clock cadence; the
+        // coordinator audits every peer's lease.
+        if let Some(interval) = self.cfg.heartbeat.as_ref().map(|h| h.interval) {
+            if self.shard != 0
+                && self.phase <= Phase::Draining
+                && self.last_hb_sent.elapsed() >= interval
+            {
+                self.last_hb_sent = Instant::now();
+                self.send_frame(
+                    0,
+                    &Frame::Heartbeat {
+                        shard: self.shard as u64,
+                    },
+                )?;
+            }
+        }
+        self.check_peer_liveness()?;
 
         // 2. Coordinator: drive rounds.
         self.drive_rounds()?;
@@ -561,6 +926,52 @@ impl<M: Model> ShardNode<M> {
         64
     }
 
+    /// Coordinator-only failure detector: suspect a peer (telemetry) when
+    /// its silence is phi-anomalous; declare it dead when its lease runs
+    /// out. Death aborts the cohort so the supervisor can recover.
+    fn check_peer_liveness(&mut self) -> Result<(), DistError> {
+        let Some(hb) = self.cfg.heartbeat.clone() else {
+            return Ok(());
+        };
+        if self.coord.is_none() || self.phase != Phase::Running {
+            return Ok(());
+        }
+        for p in 0..self.n {
+            if p == self.shard {
+                continue;
+            }
+            let elapsed = self.hb_last_heard[p].elapsed();
+            let mean_ms = if self.hb_mean_ms[p] > 0.0 {
+                self.hb_mean_ms[p]
+            } else {
+                hb.interval.as_secs_f64() * 1000.0
+            };
+            let phi = elapsed.as_secs_f64() * 1000.0 / mean_ms.max(0.01);
+            if phi > hb.phi_threshold && !self.hb_suspected[p] {
+                self.hb_suspected[p] = true;
+                if self.tracer.enabled() {
+                    let now = self.now_ns();
+                    self.tracer.instant(EventKind::HeartbeatMiss, now, p as u64);
+                }
+            }
+            if elapsed >= hb.interval * hb.miss_threshold {
+                if let Some(abort) = &self.abort {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                return Err(DistError::PeerDead {
+                    shard: p,
+                    detail: format!(
+                        "lease expired: silent for {:.0} ms ({} x {} ms)",
+                        elapsed.as_secs_f64() * 1000.0,
+                        hb.miss_threshold,
+                        hb.interval.as_millis()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Coordinator-only: open rounds on schedule, re-poll waves when due.
     fn drive_rounds(&mut self) -> Result<(), DistError> {
         if self.coord.is_none() || self.phase > Phase::Draining {
@@ -576,8 +987,11 @@ impl<M: Model> ShardNode<M> {
         }
         let in_flight = self.coord.as_ref().expect("coordinator").round.is_some();
         if !in_flight && self.cycles >= self.round_due_at {
+            // No cut while a restored shard is still re-executing below the
+            // floor — its engine is not yet on any consistent global cut.
             let armed = self.phase == Phase::Running
                 && self.cfg.ckpt_every_rounds > 0
+                && !self.coord.as_ref().expect("coordinator").recovering
                 && (self.coord.as_ref().expect("coordinator").rounds_done + 1)
                     .is_multiple_of(self.cfg.ckpt_every_rounds);
             let round = self.coord.as_mut().expect("coordinator").start_round(armed);
@@ -631,7 +1045,10 @@ impl<M: Model> ShardNode<M> {
                 gvt,
                 armed,
                 terminate,
-            } => self.handle_publish(round, gvt, armed, terminate),
+                recovering,
+            } => self.handle_publish(round, gvt, armed, terminate, recovering),
+            // Pure liveness beacon: its arrival already fed the detector.
+            Frame::Heartbeat { .. } => Ok(()),
             Frame::Finish => self.handle_finish(),
             Frame::CutPart {
                 round,
@@ -665,13 +1082,22 @@ impl<M: Model> ShardNode<M> {
     fn handle_sim(&mut self, peer: usize, tag: u64, msg: Msg<M::Payload>) -> Result<(), DistError> {
         let recv_ticks = msg.recv_time().ticks();
         self.tracker.note_recvd(peer, tag, recv_ticks);
+        // A partially restored peer deterministically re-sends what is
+        // already fixed below the recovery floor: count it (the
+        // white-counter match needs every arrival) but do not re-deliver —
+        // the copies we hold below the floor are identical by deterministic
+        // re-execution.
+        if self.replaying_from[peer] && recv_ticks < self.recovery_floor.max(self.gvt) {
+            return Ok(());
+        }
         match self.phase {
             Phase::Running | Phase::Draining => {
                 // THE safety check: a message below the published GVT means
                 // the distributed GVT overshot the true global minimum.
                 if recv_ticks < self.gvt {
                     return Err(self.protocol_err(format!(
-                        "GVT overshoot: message at t={recv_ticks} below published gvt={}",
+                        "GVT overshoot: message (tag {tag}) from shard {peer} at t={recv_ticks} \
+                         below published gvt={}",
                         self.gvt
                     )));
                 }
@@ -693,6 +1119,9 @@ impl<M: Model> ShardNode<M> {
     }
 
     fn handle_start(&mut self, round: u64, wave: u64) -> Result<(), DistError> {
+        if round < self.min_valid_round {
+            return Ok(()); // stale: predates a recovery point
+        }
         // Round traffic counts as liveness: long multi-wave rounds must not
         // trip a participant's watchdog.
         self.last_liveness = Instant::now();
@@ -743,6 +1172,9 @@ impl<M: Model> ShardNode<M> {
         shard: usize,
         rep: ShardReport,
     ) -> Result<(), DistError> {
+        if round < self.min_valid_round {
+            return Ok(()); // stale: predates a recovery point
+        }
         let Some(coord) = self.coord.as_mut() else {
             return Err(self.protocol_err("Report received by non-coordinator"));
         };
@@ -756,6 +1188,10 @@ impl<M: Model> ShardNode<M> {
             }
             RoundClosure::Publish { gvt } => {
                 let armed = coord.armed;
+                // Read *after* on_report: the round that lifts the raw
+                // minimum back to the floor clears recovery inline, and its
+                // own publish is already a normal one.
+                let recovering = coord.recovering;
                 let was_terminated = self.terminated;
                 let terminate = gvt >= self.end_ticks;
                 self.terminated = self.terminated || terminate;
@@ -772,6 +1208,7 @@ impl<M: Model> ShardNode<M> {
                     gvt,
                     armed,
                     terminate,
+                    recovering,
                 };
                 for p in 1..self.n {
                     self.send_frame(p, &pub_frame)?;
@@ -803,9 +1240,10 @@ impl<M: Model> ShardNode<M> {
         gvt: u64,
         armed: bool,
         terminate: bool,
+        recovering: bool,
     ) -> Result<(), DistError> {
-        if gvt < self.gvt {
-            return Err(self.protocol_err(format!("published GVT regressed: {gvt} < {}", self.gvt)));
+        if round < self.min_valid_round {
+            return Ok(()); // stale: predates a recovery point
         }
         self.publishes_seen += 1;
         // The scripted kill dies on *receipt* of the fatal publish, before
@@ -813,13 +1251,31 @@ impl<M: Model> ShardNode<M> {
         if self.cfg.kill_at.is_some_and(|at| self.publishes_seen >= at)
             && self.phase == Phase::Running
         {
-            if let Some(abort) = &self.abort {
-                abort.store(true, Ordering::Relaxed);
+            if !self.cfg.kill_silent {
+                if let Some(abort) = &self.abort {
+                    abort.store(true, Ordering::Relaxed);
+                }
             }
             return Err(DistError::Killed { shard: self.shard });
         }
-        self.gvt = gvt;
         self.last_liveness = Instant::now();
+        if recovering {
+            // The floor is re-published while a restored shard re-executes
+            // below it. A survivor already sits at (or, restored, below)
+            // the floor: keep counting rounds but skip adoption, fossil
+            // collection, parking, and cuts until a normal publish.
+            return Ok(());
+        }
+        if gvt < self.gvt {
+            return Err(self.protocol_err(format!("published GVT regressed: {gvt} < {}", self.gvt)));
+        }
+        // First normal publish after a recovery: the matched round proves
+        // nothing the restored peers re-sent is still in flight.
+        if self.replaying_from.iter().any(|&r| r) {
+            self.replaying_from.iter_mut().for_each(|r| *r = false);
+            self.recovery_floor = 0;
+        }
+        self.gvt = gvt;
         // Trace mapping for the publish side of a round: GVT adoption +
         // fossil collection is Phase B, the checkpoint cut + park/unpark
         // decision is Aware, and the round-snapshot bookkeeping is End.
@@ -853,6 +1309,11 @@ impl<M: Model> ShardNode<M> {
                 self.tracer
                     .span(EventKind::CheckpointWrite, cw0, self.now_ns(), round);
             }
+            // Recovery restores from one of the two newest cuts: sends
+            // below the previous armed cut can never need replaying again.
+            let keep_from = self.prev_armed_gvt;
+            self.prune_send_logs(keep_from);
+            self.prev_armed_gvt = gvt;
         }
         if terminate {
             self.phase = Phase::Draining;
@@ -880,6 +1341,7 @@ impl<M: Model> ShardNode<M> {
                 processed: stats.processed,
                 rolled_back: stats.rolled_back,
                 active_threads: if self.parked { 0 } else { 1 },
+                members: self.n as u64,
                 lvt_ticks: vec![self.engine.local_min().ticks()],
                 queue_depths: vec![self.engine.pending_len()],
             });
@@ -896,6 +1358,9 @@ impl<M: Model> ShardNode<M> {
         lps: Vec<LpCheckpoint<M::State>>,
         events: Vec<Event<M::Payload>>,
     ) -> Result<(), DistError> {
+        if round < self.min_valid_round {
+            return Ok(()); // stale: predates a recovery point
+        }
         if self.coord.is_none() {
             return Err(self.protocol_err("CutPart received by non-coordinator"));
         }
@@ -935,8 +1400,29 @@ impl<M: Model> ShardNode<M> {
             if let Some(slot) = &self.ckpt_slot {
                 *slot.lock().expect("ckpt slot poisoned") = Some(ck);
             }
+            // Scripted membership changes land exactly on an assembled cut:
+            // the supervisor rebuilds the cluster from this checkpoint.
+            if let Some(action) = self.due_reshape() {
+                if let Some(abort) = &self.abort {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                return Err(DistError::Reshape { action });
+            }
         }
         Ok(())
+    }
+
+    /// Coordinator: is a scripted join/leave due (by GVT publish count)?
+    fn due_reshape(&self) -> Option<ReshapeAction> {
+        if self.cfg.join_at.is_some_and(|at| self.publishes_seen >= at) {
+            return Some(ReshapeAction::Join);
+        }
+        if let Some((s, at)) = self.cfg.leave_at {
+            if self.publishes_seen >= at {
+                return Some(ReshapeAction::Leave(s));
+            }
+        }
+        None
     }
 
     fn handle_finish(&mut self) -> Result<(), DistError> {
@@ -1042,6 +1528,10 @@ impl<M: Model> ShardNode<M> {
     /// idle and enforcing the GVT-liveness watchdog.
     pub fn run(&mut self) -> Result<(), DistError> {
         self.last_liveness = Instant::now();
+        // Fresh leases: supervisor orchestration (recovery) between runs
+        // must not count as peer silence.
+        self.hb_last_heard = vec![Instant::now(); self.n];
+        self.last_hb_sent = Instant::now();
         loop {
             if let Some(limit) = self.cfg.watchdog {
                 if self.last_liveness.elapsed() > limit {

@@ -8,6 +8,14 @@
 use pdes_core::{Event, LpCheckpoint, LpId, Msg, ThreadStats};
 use serde::{Deserialize, Serialize};
 
+/// Wire protocol version, carried in the raw TCP hello preamble. Bump on
+/// any change to [`Frame`]'s encoding so mismatched builds are rejected at
+/// the handshake instead of failing to decode mid-run.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Magic prefix of the hello preamble (`"GPDS"` little-endian).
+pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"GPDS");
+
 /// One protocol frame. `S`/`P` are the model's state and payload types.
 ///
 /// GVT frames speak in **ticks** ([`pdes_core::VirtualTime::ticks`]) rather
@@ -41,12 +49,20 @@ pub enum Frame<S, P> {
     },
     /// Coordinator → all: the round's GVT (ticks). `armed` requests a
     /// checkpoint cut at this GVT; `terminate` announces `gvt >= end_time`.
+    /// `recovering` marks rounds published while a partially restored shard
+    /// is still re-executing below the pre-failure GVT: receivers keep
+    /// counting rounds but skip GVT adoption, fossil collection, parking,
+    /// and cut arming until a non-recovering publish arrives.
     Publish {
         round: u64,
         gvt: u64,
         armed: bool,
         terminate: bool,
+        recovering: bool,
     },
+    /// Shard → coordinator: liveness beacon for the failure detector, sent
+    /// on a wall-clock cadence independent of simulation progress.
+    Heartbeat { shard: u64 },
     /// Coordinator → all: every link is provably drained (a full round
     /// matched after termination with nobody processing); finalize and
     /// report [`Frame::Done`].
@@ -88,6 +104,7 @@ impl<S, P> Frame<S, P> {
             Frame::Start { .. } => "Start",
             Frame::Report { .. } => "Report",
             Frame::Publish { .. } => "Publish",
+            Frame::Heartbeat { .. } => "Heartbeat",
             Frame::Finish => "Finish",
             Frame::CutPart { .. } => "CutPart",
             Frame::Done { .. } => "Done",
@@ -147,7 +164,9 @@ mod tests {
                 gvt: 900,
                 armed: false,
                 terminate: false,
+                recovering: true,
             },
+            Frame::Heartbeat { shard: 2 },
             Frame::Finish,
             Frame::Done {
                 shard: 1,

@@ -412,6 +412,54 @@ impl<M: Model> ThreadEngine<M> {
         self.stats.commit_digest = self.lps.iter().fold(0, |d, lp| d ^ lp.commit_digest);
     }
 
+    /// Annihilate every *uncommitted* input that originated at one of
+    /// `dead_lps` (sorted ascending) with `send_time ≥ since_send` and
+    /// `recv_time ≥ floor_recv` — the events a partially recovered peer will
+    /// deterministically regenerate and re-send from its restored cut, which
+    /// would otherwise arrive as duplicates. Pending twins are removed;
+    /// processed ones trigger ordinary rollbacks whose cascade antis land in
+    /// `outbox`. Returns how many dead-origin events were purged.
+    ///
+    /// `since_send` is the cut's GVT (older sends are committed at the dead
+    /// peer and never re-sent); `floor_recv` is this shard's current GVT
+    /// (older receives are committed here, and the regenerated duplicates
+    /// are dropped at the link instead).
+    pub fn purge_inputs_from(
+        &mut self,
+        dead_lps: &[LpId],
+        since_send: VirtualTime,
+        floor_recv: VirtualTime,
+        outbox: &mut Vec<Outbound<M::Payload>>,
+    ) -> u64 {
+        debug_assert!(dead_lps.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        let doomed = |src: LpId, send: VirtualTime, recv: VirtualTime| {
+            dead_lps.binary_search(&src).is_ok() && send >= since_send && recv >= floor_recv
+        };
+        let mut keys: Vec<EventKey> = Vec::new();
+        for ev in self.pending.iter() {
+            if doomed(ev.key.uid.src, ev.send_time, ev.key.recv_time) {
+                keys.push(ev.key);
+            }
+        }
+        for lp in &self.lps {
+            for entry in &lp.processed {
+                let ev = &entry.event;
+                if doomed(ev.key.uid.src, ev.send_time, ev.key.recv_time) {
+                    keys.push(ev.key);
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let purged = keys.len() as u64;
+        for key in keys {
+            // A later rollback may already have moved the twin back into
+            // pending (or annihilated it); `deliver` handles every case.
+            self.deliver(Msg::Anti(key), outbox);
+        }
+        purged
+    }
+
     /// Total uncommitted history length across LPs (memory pressure metric).
     pub fn history_len(&self) -> usize {
         self.lps.iter().map(|lp| lp.history_len()).sum()

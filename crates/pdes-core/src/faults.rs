@@ -258,6 +258,18 @@ pub enum FaultKind {
     /// (on real threads: a panic in the worker loop; on the virtual machine:
     /// a simulated task death). Fires at most once.
     WorkerKill { thread: usize, at_cycle: u64 },
+    /// The link `from → to` silently drops every frame (data, acks, and
+    /// retransmissions alike) until `from` has run `for_rounds` GVT rounds'
+    /// worth of cycles, then heals. A transient partition: the reliable
+    /// link's retransmission recovers everything once it lifts, so a
+    /// partition shorter than the failure detector's lease causes no
+    /// recovery. Interpreted by `dist-rt`; the shared-memory runtimes
+    /// ignore it.
+    LinkPartition {
+        from: usize,
+        to: usize,
+        for_rounds: u64,
+    },
 }
 
 /// A complete, serde-configurable chaos plan. The default plan is empty and
@@ -316,6 +328,35 @@ impl FaultPlan {
             .get_or_insert_with(Vec::new)
             .push(FaultKind::WorkerKill { thread, at_cycle });
         self
+    }
+
+    /// Add a scripted transient link partition to the plan.
+    pub fn with_link_partition(mut self, from: usize, to: usize, for_rounds: u64) -> Self {
+        self.kills
+            .get_or_insert_with(Vec::new)
+            .push(FaultKind::LinkPartition {
+                from,
+                to,
+                for_rounds,
+            });
+        self
+    }
+
+    /// All scripted link partitions as `(from, to, for_rounds)` triples.
+    pub fn link_partitions(&self) -> Vec<(usize, usize, u64)> {
+        self.kills
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|k| match *k {
+                FaultKind::LinkPartition {
+                    from,
+                    to,
+                    for_rounds,
+                } => Some((from, to, for_rounds)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -462,7 +503,9 @@ impl FaultInjector {
     pub fn consume_kill(&self, thread: usize) -> bool {
         let Some(st) = &self.state else { return false };
         for (k, fired) in st.kills.iter().zip(&st.kills_fired) {
-            let FaultKind::WorkerKill { thread: t, .. } = *k;
+            let FaultKind::WorkerKill { thread: t, .. } = *k else {
+                continue;
+            };
             if t == thread && fired.swap(1, Ordering::Relaxed) == 0 {
                 return true;
             }
@@ -607,7 +650,10 @@ impl FaultInjector {
             let FaultKind::WorkerKill {
                 thread: t,
                 at_cycle,
-            } = *k;
+            } = *k
+            else {
+                continue;
+            };
             if t == thread && cycle >= at_cycle && fired.swap(1, Ordering::Relaxed) == 0 {
                 Self::bump(st, 6, 1);
                 return true;
@@ -814,12 +860,34 @@ mod tests {
                 capacity: 8,
                 max_retries: 3,
             }),
-            kills: Some(vec![FaultKind::WorkerKill {
-                thread: 1,
-                at_cycle: 50,
-            }]),
+            kills: Some(vec![
+                FaultKind::WorkerKill {
+                    thread: 1,
+                    at_cycle: 50,
+                },
+                FaultKind::LinkPartition {
+                    from: 0,
+                    to: 1,
+                    for_rounds: 4,
+                },
+            ]),
             link: Some(LinkFaultPlan::chaos(seed)),
         }
+    }
+
+    #[test]
+    fn link_partitions_are_extracted_and_ignored_by_kill_paths() {
+        let plan = FaultPlan::default()
+            .with_link_partition(2, 0, 3)
+            .with_kill(1, 10)
+            .with_link_partition(0, 2, 5);
+        assert_eq!(plan.link_partitions(), vec![(2, 0, 3), (0, 2, 5)]);
+        let inj = FaultInjector::new(plan);
+        // Partitions never satisfy worker-kill queries, even for matching ids.
+        assert!(!inj.should_kill(2, 1_000));
+        assert!(!inj.should_kill(0, 1_000));
+        assert!(inj.should_kill(1, 10));
+        assert!(!inj.consume_kill(2));
     }
 
     #[test]
@@ -976,7 +1044,9 @@ mod tests {
         let j = serde_json::to_string(&cur).unwrap();
         let back: FaultCursor = serde_json::from_str(&j).unwrap();
         assert_eq!(back, cur);
-        assert_eq!(back.kills_fired, vec![true]);
+        // One flag per scripted entry; only the fired WorkerKill is set
+        // (the LinkPartition entry never consumes a kill slot).
+        assert_eq!(back.kills_fired, vec![true, false]);
     }
 
     #[test]

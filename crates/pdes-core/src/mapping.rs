@@ -138,6 +138,67 @@ impl LpMap {
         LpMap::with_assignment(old_n - 1, assign)
     }
 
+    /// Derive the map an elastic cluster uses after a new thread joins: the
+    /// joiner becomes thread `num_threads` and takes LPs from the most
+    /// loaded donors until it holds roughly `total_load / (n + 1)`, with
+    /// every donor keeping at least one LP. `load[t]` is a relative work
+    /// estimate per existing thread; per-LP load is spread evenly over each
+    /// donor's LPs (at least 1 per LP so empty estimates still move LPs).
+    /// Fully deterministic: ties break toward the lower thread / lower LP.
+    pub fn rebalanced_with_joiner(&self, load: &[u64]) -> LpMap {
+        let old_n = self.num_threads as usize;
+        let joiner = old_n as u32;
+        let mut assign: Vec<u32> = (0..self.num_lps)
+            .map(|lp| self.thread_of(LpId(lp)).0)
+            .collect();
+        let mut owned: Vec<Vec<LpId>> = (0..old_n)
+            .map(|t| self.lps_of(SimThreadId(t as u32)))
+            .collect();
+        let per_lp: Vec<u64> = owned
+            .iter()
+            .enumerate()
+            .map(|(t, lps)| (load.get(t).copied().unwrap_or(0) / lps.len().max(1) as u64).max(1))
+            .collect();
+        let mut running: Vec<u64> = owned
+            .iter()
+            .enumerate()
+            .map(|(t, lps)| per_lp[t] * lps.len() as u64)
+            .collect();
+        let target = running.iter().sum::<u64>() / (old_n as u64 + 1);
+        let mut taken = 0u64;
+        loop {
+            // Most loaded donor that can still spare an LP.
+            let donor = running
+                .iter()
+                .enumerate()
+                .filter(|&(t, _)| owned[t].len() > 1)
+                .max_by_key(|&(t, &l)| (l, usize::MAX - t))
+                .map(|(t, _)| t);
+            let Some(t) = donor else { break };
+            if taken + per_lp[t] > target {
+                break;
+            }
+            // Highest LP of the donor moves (keeps its low LPs in place).
+            let lp = owned[t].pop().expect("donor has an LP");
+            assign[lp.index()] = joiner;
+            running[t] -= per_lp[t];
+            taken += per_lp[t];
+        }
+        if taken == 0 {
+            // The joiner must own at least one LP: take one from the most
+            // loaded donor regardless of the load target.
+            let (t, _) = running
+                .iter()
+                .enumerate()
+                .filter(|&(t, _)| owned[t].len() > 1)
+                .max_by_key(|&(t, &l)| (l, usize::MAX - t))
+                .expect("some thread owns more than one LP");
+            let lp = owned[t].pop().expect("donor has an LP");
+            assign[lp.index()] = joiner;
+        }
+        LpMap::with_assignment(old_n + 1, assign)
+    }
+
     /// `true` when the map carries an explicit assignment table (recovery).
     #[inline]
     pub fn is_assigned(&self) -> bool {
@@ -186,6 +247,11 @@ pub struct ShardMap {
     pub shards: LpMap,
     /// Worker threads per shard (inner level; ≥ 1).
     pub threads_per_shard: u32,
+    /// Membership epoch: bumped every time the shard set changes (join,
+    /// drain-and-leave, degrade after exhausted recovery). Epoch 0 is the
+    /// launch membership. Lets checkpoints and telemetry state which
+    /// membership a cut belongs to.
+    pub epoch: u64,
 }
 
 impl ShardMap {
@@ -198,6 +264,7 @@ impl ShardMap {
         ShardMap {
             shards: LpMap::new(num_lps, num_shards, kind),
             threads_per_shard: threads_per_shard as u32,
+            epoch: 0,
         }
     }
 
@@ -374,6 +441,54 @@ mod tests {
     #[should_panic(expected = "fewer LPs")]
     fn shard_map_rejects_too_few_lps() {
         ShardMap::new(4, 4, 2, MapKind::RoundRobin);
+    }
+
+    #[test]
+    fn joiner_rebalance_takes_load_from_the_heaviest_donors() {
+        let m = LpMap::new(8, 2, MapKind::RoundRobin);
+        // Thread 0 carries most of the load; the joiner should pull from it.
+        let r = m.rebalanced_with_joiner(&[900, 100]);
+        assert_eq!(r.num_threads, 3);
+        assert_eq!(r.num_lps, 8);
+        let j = r.lps_of(SimThreadId(2));
+        assert!(!j.is_empty(), "joiner owns at least one LP");
+        for &lp in &j {
+            assert_eq!(
+                m.thread_of(lp),
+                SimThreadId(0),
+                "pulled from the heavy donor"
+            );
+        }
+        // Every LP still has exactly one owner and every thread owns one.
+        let total: usize = (0..3).map(|t| r.lps_of(SimThreadId(t)).len()).sum();
+        assert_eq!(total, 8);
+        for t in 0..3 {
+            assert!(!r.lps_of(SimThreadId(t)).is_empty());
+        }
+    }
+
+    #[test]
+    fn joiner_rebalance_is_deterministic_and_handles_zero_load() {
+        let m = LpMap::new(9, 3, MapKind::Block);
+        let a = m.rebalanced_with_joiner(&[0, 0, 0]);
+        let b = m.rebalanced_with_joiner(&[0, 0, 0]);
+        assert_eq!(a, b);
+        assert!(!a.lps_of(SimThreadId(3)).is_empty());
+        // Donors never give away their last LP.
+        for t in 0..3 {
+            assert!(!a.lps_of(SimThreadId(t)).is_empty());
+        }
+    }
+
+    #[test]
+    fn shard_map_epoch_starts_at_zero_and_round_trips() {
+        let mut m = ShardMap::new(12, 3, 2, MapKind::RoundRobin);
+        assert_eq!(m.epoch, 0);
+        m.epoch = 5;
+        let v = serde::Serialize::to_value(&m);
+        let back: ShardMap = serde::Deserialize::from_value(&v).expect("round trip");
+        assert_eq!(back.epoch, 5);
+        assert_eq!(back, m);
     }
 
     #[test]

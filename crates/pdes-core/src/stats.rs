@@ -55,6 +55,10 @@ pub struct RoundCounters {
     pub rolled_back_delta: u64,
     /// Threads scheduled-in when the round closed.
     pub active_threads: usize,
+    /// Cluster membership size when the round closed: live shards for
+    /// `dist-rt` (so elastic join/leave/recovery shows up in the round
+    /// stream), participating threads elsewhere. 0 in legacy producers.
+    pub members: u64,
     /// Per-thread LVT in ticks at the round's fold (`u64::MAX` = idle/∞).
     pub lvt_ticks: Vec<u64>,
     /// Per-thread inbox depth when the round closed.

@@ -306,6 +306,7 @@ impl<P> Shared<P> {
             processed: self.tel_processed.iter().sum(),
             rolled_back: self.tel_rolled_back.iter().sum(),
             active_threads: self.num_active,
+            members: self.tel_lvt.len() as u64,
             lvt_ticks: self.tel_lvt.clone(),
             queue_depths: self.queues.iter().map(|q| q.len()).collect(),
         });

@@ -41,6 +41,17 @@ pub enum EventKind {
     CheckpointWrite,
     /// Instant: reliable-link retransmissions observed (`arg` = how many).
     LinkRetransmit,
+    /// Instant: a shard joined the cluster at a GVT cut (`arg` = shard).
+    ShardJoin,
+    /// Instant: a shard left the cluster — drain-and-leave or degrade after
+    /// exhausted recovery (`arg` = shard).
+    ShardLeave,
+    /// Instant: the failure detector's phi crossed the suspicion threshold
+    /// for a peer (`arg` = shard). Suspicion, not death: arrival resets it.
+    HeartbeatMiss,
+    /// Instant: a dead shard was restored alone from the newest GVT cut
+    /// while the survivors kept their state (`arg` = cut GVT ticks).
+    PartialRestore,
 }
 
 impl EventKind {
@@ -61,6 +72,10 @@ impl EventKind {
             EventKind::Migrate => "migrate",
             EventKind::CheckpointWrite => "checkpoint-write",
             EventKind::LinkRetransmit => "link-retransmit",
+            EventKind::ShardJoin => "shard-join",
+            EventKind::ShardLeave => "shard-leave",
+            EventKind::HeartbeatMiss => "heartbeat-miss",
+            EventKind::PartialRestore => "partial-restore",
         }
     }
 
@@ -68,7 +83,14 @@ impl EventKind {
     pub fn is_span(self) -> bool {
         !matches!(
             self,
-            EventKind::Unpark | EventKind::Pin | EventKind::Migrate | EventKind::LinkRetransmit
+            EventKind::Unpark
+                | EventKind::Pin
+                | EventKind::Migrate
+                | EventKind::LinkRetransmit
+                | EventKind::ShardJoin
+                | EventKind::ShardLeave
+                | EventKind::HeartbeatMiss
+                | EventKind::PartialRestore
         )
     }
 
@@ -86,6 +108,10 @@ impl EventKind {
             EventKind::Pin | EventKind::Migrate => "affinity",
             EventKind::CheckpointWrite => "ckpt",
             EventKind::LinkRetransmit => "link",
+            EventKind::ShardJoin
+            | EventKind::ShardLeave
+            | EventKind::HeartbeatMiss
+            | EventKind::PartialRestore => "member",
         }
     }
 }
@@ -123,6 +149,10 @@ mod tests {
             EventKind::Migrate,
             EventKind::CheckpointWrite,
             EventKind::LinkRetransmit,
+            EventKind::ShardJoin,
+            EventKind::ShardLeave,
+            EventKind::HeartbeatMiss,
+            EventKind::PartialRestore,
         ];
         let mut names: Vec<&str> = all.iter().map(|k| k.name()).collect();
         names.sort();

@@ -144,6 +144,8 @@ pub struct RoundTotals {
     pub processed: u64,
     pub rolled_back: u64,
     pub active_threads: usize,
+    /// Cluster membership size at the round close (live shards in dist-rt).
+    pub members: u64,
     pub lvt_ticks: Vec<u64>,
     pub queue_depths: Vec<usize>,
 }
@@ -220,6 +222,7 @@ impl Telemetry {
             processed_delta: t.processed.saturating_sub(pp),
             rolled_back_delta: t.rolled_back.saturating_sub(pr),
             active_threads: t.active_threads,
+            members: t.members,
             lvt_ticks: t.lvt_ticks,
             queue_depths: t.queue_depths,
         });

@@ -331,6 +331,7 @@ impl<P> RtShared<P> {
             processed: sum(&self.tel_processed),
             rolled_back: sum(&self.tel_rolled_back),
             active_threads: self.num_active.load(Ordering::Acquire),
+            members: self.tel_lvt.len() as u64,
             lvt_ticks: self
                 .tel_lvt
                 .iter()

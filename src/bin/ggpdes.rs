@@ -11,6 +11,9 @@
 //!        [--chaos-seed S] [--chaos-plan FILE.json] [--watchdog-secs T]
 //!        [--checkpoint-every-gvt N] [--checkpoint-path FILE] [--max-recoveries N]
 //!        [--shards N] [--transport mem|loopback|tcp]
+//!        [--hb-interval-ms T] [--hb-miss N] [--degrade]
+//!        [--kill-shard S:AT ...] [--partition FROM:TO:ROUNDS ...]
+//!        [--join-at N] [--leave-at S:N]
 //!        [--shard-id I --listen ADDR --connect ADDR ...] [--connect-timeout-secs T]
 //!        [--trace-out FILE] [--trace-capacity N] [--round-stream FILE] [--gantt]
 //! ```
@@ -27,6 +30,17 @@
 //! hang. On `dist`, `--chaos-seed` selects the per-link fault plan
 //! (delay/drop/duplicate below the reliable layer) and
 //! `--checkpoint-every-gvt` arms distributed checkpoint cuts.
+//!
+//! Elastic membership (loopback `dist` only): `--hb-interval-ms T` turns on
+//! heartbeat failure detection (`--hb-miss N` intervals of silence declare a
+//! peer dead); `--kill-shard S:AT` kills shard `S` at its `AT`th GVT publish
+//! (repeatable) so the supervisor can exercise partial recovery;
+//! `--partition FROM:TO:ROUNDS` silences one link direction for roughly
+//! `ROUNDS` GVT rounds and lets retransmission heal it (repeatable);
+//! `--join-at N` admits a new shard at the first checkpoint cut after the
+//! `N`th publish; `--leave-at S:N` drains shard `S` out at a cut; and
+//! `--degrade` shrinks the cluster around a dead shard instead of failing
+//! once `--max-recoveries` is exhausted.
 //!
 //! `--stats-json FILE` additionally writes the final `RunMetrics` of any
 //! runtime to `FILE` as pretty-printed JSON (the same document `--json`
@@ -88,6 +102,13 @@ struct Args {
     stats_json: Option<String>,
     shards: usize,
     transport: String,
+    hb_interval_ms: Option<f64>,
+    hb_miss: Option<u32>,
+    kill_shard: Vec<(usize, u64)>,
+    partitions: Vec<(usize, usize, u64)>,
+    join_at: Option<u64>,
+    leave_at: Option<(usize, u64)>,
+    degrade: bool,
     shard_id: Option<usize>,
     listen: Option<String>,
     connect: Vec<String>,
@@ -126,6 +147,13 @@ impl Default for Args {
             stats_json: None,
             shards: 2,
             transport: "tcp".into(),
+            hb_interval_ms: None,
+            hb_miss: None,
+            kill_shard: Vec::new(),
+            partitions: Vec::new(),
+            join_at: None,
+            leave_at: None,
+            degrade: false,
             shard_id: None,
             listen: None,
             connect: Vec::new(),
@@ -142,6 +170,24 @@ impl Default for Args {
 fn die(code: i32, msg: &str) -> ! {
     eprintln!("ggpdes: {msg}");
     std::process::exit(code);
+}
+
+/// Split a `:`-separated flag value into exactly `n` integer fields.
+fn colon_fields(flag: &str, val: &str, n: usize) -> Vec<u64> {
+    let parts: Vec<u64> = val
+        .split(':')
+        .map(|p| {
+            p.parse()
+                .unwrap_or_else(|e| die(2, &format!("{flag} '{val}': {e}")))
+        })
+        .collect();
+    if parts.len() != n {
+        die(
+            2,
+            &format!("{flag} '{val}': want {n} colon-separated fields"),
+        );
+    }
+    parts
 }
 
 fn parse_args() -> Args {
@@ -188,6 +234,40 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|e| die(2, &format!("--shards: {e}")))
             }
             "--transport" => a.transport = val(),
+            "--hb-interval-ms" => {
+                a.hb_interval_ms = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|e| die(2, &format!("--hb-interval-ms: {e}"))),
+                )
+            }
+            "--hb-miss" => {
+                a.hb_miss = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|e| die(2, &format!("--hb-miss: {e}"))),
+                )
+            }
+            "--kill-shard" => {
+                let f = colon_fields("--kill-shard", &val(), 2);
+                a.kill_shard.push((f[0] as usize, f[1]));
+            }
+            "--partition" => {
+                let f = colon_fields("--partition", &val(), 3);
+                a.partitions.push((f[0] as usize, f[1] as usize, f[2]));
+            }
+            "--join-at" => {
+                a.join_at = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|e| die(2, &format!("--join-at: {e}"))),
+                )
+            }
+            "--leave-at" => {
+                let f = colon_fields("--leave-at", &val(), 2);
+                a.leave_at = Some((f[0] as usize, f[1]));
+            }
+            "--degrade" => a.degrade = true,
             "--shard-id" => {
                 a.shard_id = Some(
                     val()
@@ -402,11 +482,56 @@ fn run_dist<M: Model>(
     if a.connect_timeout_secs.is_nan() || a.connect_timeout_secs <= 0.0 {
         die(2, "--connect-timeout-secs must be positive");
     }
+    // Either heartbeat knob switches the failure detector on; the other
+    // keeps its default.
+    let heartbeat = (a.hb_interval_ms.is_some() || a.hb_miss.is_some()).then(|| {
+        let mut hb = dist_rt::HeartbeatConfig::default();
+        if let Some(ms) = a.hb_interval_ms {
+            if ms <= 0.0 || ms.is_nan() {
+                die(2, "--hb-interval-ms must be positive");
+            }
+            hb.interval = Duration::from_secs_f64(ms / 1e3);
+        }
+        if let Some(miss) = a.hb_miss {
+            if miss == 0 {
+                die(2, "--hb-miss must be at least 1");
+            }
+            hb.miss_threshold = miss;
+        }
+        hb
+    });
+    for &(from, to, _) in &a.partitions {
+        if from >= a.shards || to >= a.shards || from == to {
+            die(2, &format!("--partition {from}:{to}: bad shard pair"));
+        }
+    }
+    for &(s, _) in &a.kill_shard {
+        if s == 0 || s >= a.shards {
+            die(
+                2,
+                &format!("--kill-shard {s}: not a worker shard (1..{})", a.shards),
+            );
+        }
+    }
+    if let Some((s, _)) = a.leave_at {
+        if s == 0 || s >= a.shards {
+            die(
+                2,
+                &format!("--leave-at {s}: not a worker shard (1..{})", a.shards),
+            );
+        }
+    }
     let dcfg = dist_rt::DistConfig {
         shards: a.shards,
         transport,
         link_faults: a.chaos_seed.map(pdes_core::LinkFaultPlan::chaos),
+        kills: a.kill_shard.clone(),
+        heartbeat,
+        partitions: a.partitions.clone(),
+        join_at: a.join_at,
+        leave_at: a.leave_at,
         max_recoveries: a.max_recoveries.unwrap_or(0),
+        degrade: a.degrade,
         ckpt_every_rounds: a.checkpoint_every_gvt,
         watchdog,
         mesh_timeout: Duration::from_secs_f64(a.connect_timeout_secs),
@@ -414,16 +539,24 @@ fn run_dist<M: Model>(
         ..dist_rt::DistConfig::default()
     };
 
-    let finish = |r: dist_rt::DistResult| -> (RunMetrics, Option<telemetry::TelemetryData>) {
+    let shards_initial = a.shards;
+    let finish = move |r: dist_rt::DistResult| -> (RunMetrics, Option<telemetry::TelemetryData>) {
         if r.recoveries > 0 {
             eprintln!(
-                "dist: completed after {} recovery(ies){}",
+                "dist: completed after {} recovery(ies){} ({} partial)",
                 r.recoveries,
                 if r.used_checkpoint {
                     " from a checkpoint cut"
                 } else {
                     " by replaying from the start"
-                }
+                },
+                r.partial_recoveries
+            );
+        }
+        if r.membership_epoch > 0 {
+            eprintln!(
+                "dist: membership epoch {} — cluster reshaped {} -> {} shard(s)",
+                r.membership_epoch, shards_initial, r.shards_final
             );
         }
         (r.metrics, r.telemetry)
@@ -439,6 +572,19 @@ fn run_dist<M: Model>(
     };
 
     let multi_process = a.shard_id.is_some() || a.listen.is_some() || !a.connect.is_empty();
+    let elastic = !a.kill_shard.is_empty()
+        || !a.partitions.is_empty()
+        || a.join_at.is_some()
+        || a.leave_at.is_some()
+        || a.degrade
+        || dcfg.heartbeat.is_some();
+    if multi_process && elastic {
+        die(
+            2,
+            "elastic-membership flags (--kill-shard/--partition/--join-at/--leave-at/\
+             --degrade/--hb-*) need the loopback supervisor; drop --shard-id/--listen/--connect",
+        );
+    }
     if !multi_process {
         // Loopback: the whole cluster in this process, one thread per shard.
         return match dist_rt::run_loopback(Arc::clone(model), ecfg, &dcfg) {
