@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 
 use metrics::RunMetrics;
 use pdes_core::{
-    Checkpoint, EngineConfig, LinkFaultPlan, LinkFaults, LpId, LpMap, Model, SimThreadId,
+    Checkpoint, EngineConfig, IngestGate, LinkFaultPlan, LinkFaults, LpId, LpMap, Model,
+    SimThreadId,
 };
 use telemetry::EventKind;
 
@@ -369,6 +370,11 @@ fn assemble_result(out: NodeOutcome, shards: usize, lps: usize, wall_secs: f64) 
 /// again at partial-recovery time to rebuild a dead shard's links).
 type Cluster<M> = (Vec<ShardNode<M>>, Vec<Arc<Inbox>>);
 
+/// Per-shard ingest gates, indexed by shard id. The gates outlive every
+/// attempt (the supervisor holds the `Arc`s), so admissions, idempotency
+/// state, and journals survive kills and reshapes.
+pub type IngestGates<M> = Vec<Arc<IngestGate<<M as Model>::Payload>>>;
+
 /// Build a whole loopback cluster supervisor-side: shared inboxes, the full
 /// link mesh (memory or handshaked TCP pairs), and one [`ShardNode`] per
 /// shard, each bootstrapped or restored from `restore`.
@@ -382,6 +388,7 @@ fn build_cluster<M: Model>(
     abort: &Arc<AtomicBool>,
     restore: Option<&Checkpoint<M::State, M::Payload>>,
     stepped: bool,
+    gates: Option<&IngestGates<M>>,
 ) -> Result<Cluster<M>, DistError> {
     let n = dcfg.shards;
     let inboxes: Vec<Arc<Inbox>> = (0..n).map(|_| Inbox::new()).collect();
@@ -420,8 +427,13 @@ fn build_cluster<M: Model>(
             (i == 0).then(|| Arc::clone(slot)),
             (!stepped).then(|| Arc::clone(abort)),
         );
+        // Attach the gate before restore: a restored node replays the
+        // gate's accepted-but-uncut suffix into its rebuilt engine.
+        if let Some(g) = gates.and_then(|gs| gs.get(i)) {
+            node.set_ingest(Arc::clone(g));
+        }
         match restore {
-            Some(ck) => node.restore(ck),
+            Some(ck) => node.restore(ck)?,
             None => node.bootstrap()?,
         }
         nodes.push(node);
@@ -457,7 +469,17 @@ fn run_attempt<M: Model>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
+            .enumerate()
+            .map(|(shard, h)| {
+                h.join().unwrap_or_else(|_| {
+                    // A panicking shard thread is reported like any other
+                    // shard failure so the supervisor can recover it.
+                    Err(DistError::Protocol {
+                        shard,
+                        detail: "shard thread panicked".to_string(),
+                    })
+                })
+            })
             .collect()
     })
 }
@@ -489,6 +511,7 @@ fn partial_recover<M: Model>(
     ck: &Checkpoint<M::State, M::Payload>,
     abort: Option<&Arc<AtomicBool>>,
     stepped: bool,
+    gates: Option<&IngestGates<M>>,
 ) -> Result<(), DistError> {
     let n = nodes.len();
     debug_assert!(
@@ -594,7 +617,16 @@ fn partial_recover<M: Model>(
             None,
             abort.map(Arc::clone),
         );
-        node.restore(ck);
+        // The surviving gate (held by the supervisor) re-attaches: its
+        // accepted suffix replays in restore, and its admission floor is
+        // fenced to the coordinator's published GVT — below it, the
+        // restored shard must deterministically re-execute the pre-failure
+        // history so survivors can drop its re-sends as duplicates.
+        if let Some(g) = gates.and_then(|gs| gs.get(d)) {
+            node.set_ingest(Arc::clone(g));
+        }
+        node.restore(ck)?;
+        node.raise_ingest_floor(floor);
         node.trace_instant(EventKind::PartialRestore, ck.gvt.ticks());
         nodes[d] = node;
     }
@@ -637,6 +669,21 @@ pub fn run_loopback<M: Model>(
     ecfg: &EngineConfig,
     dcfg: &DistConfig,
 ) -> Result<DistResult, DistError> {
+    run_loopback_ingest(model, ecfg, dcfg, None)
+}
+
+/// [`run_loopback`] with per-shard ingest gates attached (`gates[i]` goes
+/// to shard `i`). The gates outlive kills, partial recoveries, and
+/// membership reshapes: accepted-but-uncut events replay after every
+/// restore, and admission floors follow the coordinator's published GVT.
+/// After a reshape shrinks the cluster, gates beyond the new membership are
+/// simply unattached (their clients see `Closed` once the run finishes).
+pub fn run_loopback_ingest<M: Model>(
+    model: Arc<M>,
+    ecfg: &EngineConfig,
+    dcfg: &DistConfig,
+    gates: Option<IngestGates<M>>,
+) -> Result<DistResult, DistError> {
     let mut dcfg = dcfg.clone();
     assert!(dcfg.shards >= 1, "need at least one shard");
     let num_lps = model.num_lps();
@@ -652,7 +699,7 @@ pub fn run_loopback<M: Model>(
     'generations: loop {
         let n = dcfg.shards;
         let restore: Option<Checkpoint<M::State, M::Payload>> =
-            slot.lock().expect("ckpt slot poisoned").clone();
+            slot.lock().unwrap_or_else(|e| e.into_inner()).clone();
         if (recoveries > 0 || membership_epoch > 0) && restore.is_some() {
             used_checkpoint = true;
         }
@@ -666,6 +713,7 @@ pub fn run_loopback<M: Model>(
             &abort,
             restore.as_ref(),
             false,
+            gates.as_ref(),
         )?;
         for (kind, arg) in pending_instants.drain(..) {
             nodes[0].trace_instant(kind, arg);
@@ -720,7 +768,7 @@ pub fn run_loopback<M: Model>(
                 // A fired kill does not repeat.
                 dcfg.kills.retain(|(s, _)| !dead.contains(s));
                 let ck: Option<Checkpoint<M::State, M::Payload>> =
-                    slot.lock().expect("ckpt slot poisoned").clone();
+                    slot.lock().unwrap_or_else(|e| e.into_inner()).clone();
                 if recoveries > dcfg.max_recoveries {
                     if let Some(ck) = ck.as_ref().filter(|_| dcfg.degrade && !dead.contains(&0)) {
                         // Graceful degradation: absorb the dead shards'
@@ -761,6 +809,12 @@ pub fn run_loopback<M: Model>(
                     continue 'generations;
                 }
                 abort = Arc::new(AtomicBool::new(false));
+                let Some(ck) = ck.as_ref() else {
+                    return Err(DistError::Protocol {
+                        shard: 0,
+                        detail: "partial recovery chosen without a cut".to_string(),
+                    });
+                };
                 partial_recover(
                     &model,
                     ecfg,
@@ -769,22 +823,24 @@ pub fn run_loopback<M: Model>(
                     &mut nodes,
                     &mut inboxes,
                     &dead,
-                    ck.as_ref().expect("checked"),
+                    ck,
                     Some(&abort),
                     false,
+                    gates.as_ref(),
                 )?;
                 partial_recoveries += 1;
                 used_checkpoint = true;
                 continue;
             }
             if let Some(action) = reshape {
-                let ck: Checkpoint<M::State, M::Payload> =
-                    slot.lock().expect("ckpt slot poisoned").clone().ok_or(
-                        DistError::Protocol {
-                            shard: 0,
-                            detail: "membership reshape without an assembled cut".to_string(),
-                        },
-                    )?;
+                let ck: Checkpoint<M::State, M::Payload> = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone()
+                    .ok_or(DistError::Protocol {
+                        shard: 0,
+                        detail: "membership reshape without an assembled cut".to_string(),
+                    })?;
                 let load = load_from_cut(&ck, &ck.map);
                 match action {
                     ReshapeAction::Join => {
@@ -836,6 +892,19 @@ pub fn run_shard_process<M: Model>(
     ecfg: &EngineConfig,
     opts: &ProcessOpts,
 ) -> Result<Option<DistResult>, DistError> {
+    run_shard_process_ingest(model, ecfg, opts, None)
+}
+
+/// [`run_shard_process`] with this shard's ingest gate attached: the
+/// client-facing server (or a journal recovery) hands the gate in, the node
+/// pumps it between GVT rounds and forwards non-owned submissions to their
+/// owning shards.
+pub fn run_shard_process_ingest<M: Model>(
+    model: Arc<M>,
+    ecfg: &EngineConfig,
+    opts: &ProcessOpts,
+    gate: Option<Arc<IngestGate<M::Payload>>>,
+) -> Result<Option<DistResult>, DistError> {
     let n = opts.shards;
     assert!(opts.shard < n, "shard id out of range");
     assert_eq!(
@@ -873,6 +942,9 @@ pub fn run_shard_process<M: Model>(
         (opts.shard == 0).then(|| Arc::clone(&slot)),
         None,
     );
+    if let Some(g) = gate {
+        node.set_ingest(g);
+    }
     node.bootstrap()?;
     node.run()?;
     Ok(node
@@ -894,6 +966,7 @@ pub struct SteppedCluster<M: Model> {
     nodes: Vec<ShardNode<M>>,
     inboxes: Vec<Arc<Inbox>>,
     slot: CkptSlot<M>,
+    gates: Option<IngestGates<M>>,
     /// Per-shard history of published GVT values (monotonicity checks).
     pub gvt_history: Vec<Vec<u64>>,
 }
@@ -903,6 +976,18 @@ impl<M: Model> SteppedCluster<M> {
         model: Arc<M>,
         ecfg: &EngineConfig,
         dcfg: &DistConfig,
+    ) -> Result<SteppedCluster<M>, DistError> {
+        Self::new_with_ingest(model, ecfg, dcfg, None)
+    }
+
+    /// [`Self::new`] with per-shard ingest gates attached: the test driver
+    /// submits through `gates[i]` and shard `i` pumps admissions between
+    /// its deterministic sweeps.
+    pub fn new_with_ingest(
+        model: Arc<M>,
+        ecfg: &EngineConfig,
+        dcfg: &DistConfig,
+        gates: Option<IngestGates<M>>,
     ) -> Result<SteppedCluster<M>, DistError> {
         assert_eq!(
             dcfg.transport,
@@ -914,8 +999,17 @@ impl<M: Model> SteppedCluster<M> {
         let flat_map = LpMap::new(num_lps, n, ecfg.mapping);
         let slot: CkptSlot<M> = Arc::new(Mutex::new(None));
         let abort = Arc::new(AtomicBool::new(false));
-        let (nodes, inboxes) =
-            build_cluster(&model, ecfg, dcfg, &flat_map, &slot, &abort, None, true)?;
+        let (nodes, inboxes) = build_cluster(
+            &model,
+            ecfg,
+            dcfg,
+            &flat_map,
+            &slot,
+            &abort,
+            None,
+            true,
+            gates.as_ref(),
+        )?;
         Ok(SteppedCluster {
             model,
             ecfg: ecfg.clone(),
@@ -925,6 +1019,7 @@ impl<M: Model> SteppedCluster<M> {
             nodes,
             inboxes,
             slot,
+            gates,
         })
     }
 
@@ -999,6 +1094,7 @@ impl<M: Model> SteppedCluster<M> {
             &ck,
             None,
             true,
+            self.gates.as_ref(),
         )?;
         for &d in &dead {
             // The restored shard restarts its GVT view from the cut.
@@ -1031,6 +1127,6 @@ impl<M: Model> SteppedCluster<M> {
 
     /// The latest assembled checkpoint, if any round was armed.
     pub fn latest_checkpoint(&self) -> Option<Checkpoint<M::State, M::Payload>> {
-        self.slot.lock().expect("ckpt slot poisoned").clone()
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 }

@@ -49,7 +49,8 @@ pub mod wire;
 pub use boundary::LinkBoundary;
 pub use gvt::{Coordinator, GvtTracker, RoundClosure};
 pub use launcher::{
-    run_loopback, run_shard_process, DistConfig, DistResult, ProcessOpts, SteppedCluster, Transport,
+    run_loopback, run_loopback_ingest, run_shard_process, run_shard_process_ingest, DistConfig,
+    DistResult, IngestGates, ProcessOpts, SteppedCluster, Transport,
 };
 pub use link::{
     read_hello, write_hello, Backoff, FrameTx, Inbox, MemTx, Packet, ReliableLink, TcpTx,

@@ -17,13 +17,15 @@
 //! applied at shard granularity: quiet inbound links and an empty pending
 //! set mean the shard consumes no CPU until a remote event arrives.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pdes_core::{
-    Checkpoint, EngineConfig, Event, EventKey, LpCheckpoint, LpId, LpMap, Model, Msg, Outbound,
-    ThreadEngine, ThreadStats, VirtualTime,
+    Checkpoint, EngineConfig, Event, EventKey, IngestError, IngestGate, IngestReply, IngestRequest,
+    LpCheckpoint, LpId, LpMap, Model, Msg, Outbound, ReplySlot, ThreadEngine, ThreadStats,
+    VirtualTime,
 };
 use telemetry::{EventKind, RoundTotals, Telemetry, TelemetryConfig, TelemetryData, Tracer};
 
@@ -60,6 +62,8 @@ pub enum DistError {
     /// due at the freshly assembled checkpoint cut — the supervisor tears
     /// the cohort down and rebuilds it around the new [`ReshapeAction`].
     Reshape { action: ReshapeAction },
+    /// The ingest journal failed (durability would be silently lost).
+    Ingest(IngestError),
 }
 
 /// A membership change the coordinator requests at a GVT cut.
@@ -97,6 +101,7 @@ impl std::fmt::Display for DistError {
                 write!(f, "shard {shard} declared dead: {detail}")
             }
             DistError::Reshape { action } => write!(f, "membership reshape due: {action:?}"),
+            DistError::Ingest(e) => write!(f, "ingest plane failed: {e}"),
         }
     }
 }
@@ -112,6 +117,12 @@ impl From<std::io::Error> for DistError {
 impl From<WireError> for DistError {
     fn from(e: WireError) -> Self {
         DistError::Wire(e)
+    }
+}
+
+impl From<IngestError> for DistError {
+    fn from(e: IngestError) -> Self {
+        DistError::Ingest(e)
     }
 }
 
@@ -353,6 +364,19 @@ pub struct ShardNode<M: Model> {
     /// EWMA of inter-arrival gaps in ms (0 = no sample yet).
     hb_mean_ms: Vec<f64>,
     hb_suspected: Vec<bool>,
+    // External-event ingest plane.
+    /// This shard's admission gate (shared with the client-facing server).
+    ingest: Option<Arc<IngestGate<M::Payload>>>,
+    /// Set between a round's wave-0 epoch cut and its publish: injecting
+    /// then could land an event below the frozen pending minimum, letting
+    /// the round's GVT overshoot it. The pump waits for the publish.
+    cut_open: bool,
+    /// Reply slots for submissions this shard forwarded to their owners,
+    /// keyed by the `key` echoed in [`Frame::IngestReply`].
+    forward_slots: HashMap<u64, ReplySlot>,
+    next_fwd_key: u64,
+    /// Gate counters already folded into round telemetry (delta instants).
+    ingest_prev: (u64, u64, u64, u64),
 }
 
 impl<M: Model> ShardNode<M> {
@@ -438,6 +462,27 @@ impl<M: Model> ShardNode<M> {
             hb_last_heard: vec![Instant::now(); num_shards],
             hb_mean_ms: vec![0.0; num_shards],
             hb_suspected: vec![false; num_shards],
+            ingest: None,
+            cut_open: false,
+            forward_slots: HashMap::new(),
+            next_fwd_key: 0,
+            ingest_prev: (0, 0, 0, 0),
+        }
+    }
+
+    /// Attach this shard's ingest gate. Must be called before
+    /// [`Self::restore`] so a restored node replays the gate's
+    /// accepted-but-uncut suffix into the rebuilt engine.
+    pub fn set_ingest(&mut self, gate: Arc<IngestGate<M::Payload>>) {
+        gate.set_floor(VirtualTime::from_ticks(self.gvt));
+        self.ingest = Some(gate);
+    }
+
+    /// Raise the gate's admission floor (recovery: the coordinator's
+    /// published GVT may exceed what this node has adopted locally).
+    pub fn raise_ingest_floor(&self, floor: u64) {
+        if let Some(g) = &self.ingest {
+            g.set_floor(VirtualTime::from_ticks(floor));
         }
     }
 
@@ -488,8 +533,12 @@ impl<M: Model> ShardNode<M> {
     }
 
     /// Restore this shard from a checkpointed global cut (recovery path).
-    /// The engine filters `ck.lps` / `ck.events` by ownership itself.
-    pub fn restore(&mut self, ck: &Checkpoint<M::State, M::Payload>) {
+    /// The engine filters `ck.lps` / `ck.events` by ownership itself. An
+    /// attached ingest gate replays its accepted-but-uncut suffix
+    /// (`send_time >= cut`) back into the engine — the exact complement of
+    /// what the cut preserved, so every accepted event survives exactly
+    /// once.
+    pub fn restore(&mut self, ck: &Checkpoint<M::State, M::Payload>) -> Result<(), DistError> {
         self.engine.restore(&ck.lps, &ck.events, ck.gvt);
         self.gvt = ck.gvt.ticks();
         if let Some(c) = &mut self.coord {
@@ -497,6 +546,26 @@ impl<M: Model> ShardNode<M> {
             c.rounds_done = ck.gvt_rounds;
         }
         self.round_due_at = self.cfg.gvt_interval_cycles;
+        self.cut_open = false;
+        if let Some(gate) = self.ingest.clone() {
+            let mut replay = Vec::new();
+            gate.reinject_after_restore(ck.gvt, &mut |ev| replay.push(ev));
+            for ev in replay {
+                // Admission is owned-only, so these are normally local; a
+                // reshape may have moved the LP, in which case the event
+                // ships to its new owner like any other simulation message.
+                if self.flat_map.thread_of(ev.key.dst).index() == self.shard {
+                    let mut outbox = std::mem::take(&mut self.outbox);
+                    self.engine.deliver(Msg::Event(ev), &mut outbox);
+                    self.outbox = outbox;
+                } else {
+                    let dst = self.flat_map.thread_of(ev.key.dst).index();
+                    self.send_sim(dst, Msg::Event(ev))?;
+                }
+            }
+            self.route_outbox()?;
+        }
+        Ok(())
     }
 
     /// `true` while the node is in its normal simulating phase (partial
@@ -603,6 +672,10 @@ impl<M: Model> ShardNode<M> {
         }
         self.min_valid_round = min_valid_round;
         self.recovery_floor = self.recovery_floor.max(floor).max(self.gvt);
+        // Any wave-0 cut in flight is abandoned with the round; admissions
+        // stay fenced anyway until the replay window closes.
+        self.cut_open = false;
+        self.raise_ingest_floor(self.recovery_floor);
         self.pending_wave = None;
         self.wave_due_at = None;
         self.cut_round = None;
@@ -698,9 +771,13 @@ impl<M: Model> ShardNode<M> {
         frame: &Frame<M::State, M::Payload>,
     ) -> Result<(), DistError> {
         let bytes = wire::to_bytes(frame);
-        let link = self.links[peer]
-            .as_mut()
-            .unwrap_or_else(|| panic!("no link {} -> {peer}", self.shard));
+        let shard = self.shard;
+        let Some(link) = self.links[peer].as_mut() else {
+            return Err(DistError::Protocol {
+                shard,
+                detail: format!("no link {shard} -> {peer} for {} frame", frame.kind()),
+            });
+        };
         match link.send(&bytes) {
             Ok(()) => Ok(()),
             // A broken pipe while flushing final acks is not an error: the
@@ -760,6 +837,126 @@ impl<M: Model> ShardNode<M> {
             shard: self.shard,
             detail: detail.into(),
         }
+    }
+
+    /// Admit queued external submissions against the current floor. Owned
+    /// destinations inject straight into the engine (inside the gate lock,
+    /// so no fence interleaves); submissions for LPs another shard owns are
+    /// forwarded as [`Frame::Ingest`]; verdicts for submissions *we* host on
+    /// behalf of another shard go back as [`Frame::IngestReply`].
+    ///
+    /// Fencing: no injection while this round's wave-0 cut epoch is open
+    /// (the frozen pending minimum would not cover the new event) or while
+    /// a partially restored peer is still re-executing below the recovery
+    /// floor (admissions are floor-fenced, but survivors stay quiet until
+    /// the cohort is back on a matched round).
+    fn pump_ingest(&mut self) -> Result<u64, DistError> {
+        let Some(gate) = self.ingest.clone() else {
+            return Ok(0);
+        };
+        if self.phase != Phase::Running || self.cut_open || self.replaying_from.iter().any(|&r| r) {
+            return Ok(0);
+        }
+        let map = &self.flat_map;
+        let shard = self.shard;
+        let engine = &mut self.engine;
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let out = gate.pump(
+            |lp| lp.0 < map.num_lps && map.thread_of(lp).index() == shard,
+            &mut |ev| {
+                engine.deliver(Msg::Event(ev), &mut outbox);
+            },
+        );
+        self.outbox = outbox;
+        let out = out.map_err(DistError::Ingest)?;
+        self.route_outbox()?;
+        if out.injected > 0 && self.parked {
+            // External demand re-activates a demand-throttled shard, same
+            // as an inbound remote event.
+            self.unpark_shard();
+        }
+        for (peer, key, reply) in out.remote_replies {
+            self.send_frame(peer as usize, &Frame::IngestReply { key, reply })?;
+        }
+        for entry in out.forward {
+            let dst = entry.req.dst;
+            if dst.0 >= self.flat_map.num_lps {
+                // No such LP in this model: shed rather than panic deeper in
+                // the mapping (the client-facing server validates upstream).
+                self.resolve_forward_slot(entry.slot, IngestReply::Shed)?;
+                continue;
+            }
+            let owner = self.flat_map.thread_of(dst).index();
+            if owner == self.shard {
+                // Raced an ownership change; retry through the gate next
+                // pump rather than special-casing here.
+                self.resolve_forward_slot(entry.slot, IngestReply::Shed)?;
+                continue;
+            }
+            let key = self.next_fwd_key;
+            self.next_fwd_key += 1;
+            self.forward_slots.insert(key, entry.slot);
+            self.send_frame(
+                owner,
+                &Frame::Ingest {
+                    origin: self.shard as u64,
+                    key,
+                    req: entry.req,
+                },
+            )?;
+        }
+        Ok(out.injected)
+    }
+
+    /// Deliver a verdict to a slot outside the gate (forwarding paths).
+    fn resolve_forward_slot(
+        &mut self,
+        slot: ReplySlot,
+        reply: IngestReply,
+    ) -> Result<(), DistError> {
+        match slot {
+            ReplySlot::None => Ok(()),
+            ReplySlot::Local(f) => {
+                f(reply);
+                Ok(())
+            }
+            ReplySlot::Remote { peer, key } => {
+                self.send_frame(peer as usize, &Frame::IngestReply { key, reply })
+            }
+        }
+    }
+
+    /// A peer forwarded an external submission for an LP this shard owns:
+    /// run it through the local gate; immediate verdicts bounce straight
+    /// back, queued ones answer at a later pump via the remote slot.
+    fn handle_ingest(
+        &mut self,
+        origin: usize,
+        key: u64,
+        req: IngestRequest<M::Payload>,
+    ) -> Result<(), DistError> {
+        let verdict = match &self.ingest {
+            Some(g) => g.submit(
+                req,
+                ReplySlot::Remote {
+                    peer: origin as u64,
+                    key,
+                },
+            ),
+            None => Some(IngestReply::Closed),
+        };
+        match verdict {
+            Some(reply) => self.send_frame(origin, &Frame::IngestReply { key, reply }),
+            None => Ok(()),
+        }
+    }
+
+    /// The owning shard's verdict for a submission we forwarded.
+    fn handle_ingest_reply(&mut self, key: u64, reply: IngestReply) -> Result<(), DistError> {
+        if let Some(slot) = self.forward_slots.remove(&key) {
+            self.resolve_forward_slot(slot, reply)?;
+        }
+        Ok(())
     }
 
     /// One main-loop cycle.
@@ -847,6 +1044,12 @@ impl<M: Model> ShardNode<M> {
 
         // 2. Coordinator: drive rounds.
         self.drive_rounds()?;
+
+        // 2b. Admit external events between rounds (never while a wave-0
+        // cut epoch is open or a restored peer is replaying).
+        if self.pump_ingest()? > 0 {
+            progress = true;
+        }
 
         // 3. Simulate.
         if self.phase == Phase::Running && !self.parked {
@@ -985,23 +1188,31 @@ impl<M: Model> ShardNode<M> {
                 self.broadcast_start(round, wave)?;
             }
         }
-        let in_flight = self.coord.as_ref().expect("coordinator").round.is_some();
+        let (in_flight, recovering, rounds_done) = match self.coord.as_ref() {
+            Some(c) => (c.round.is_some(), c.recovering, c.rounds_done),
+            None => return Ok(()), // unreachable: gated above
+        };
         if !in_flight && self.cycles >= self.round_due_at {
             // No cut while a restored shard is still re-executing below the
             // floor — its engine is not yet on any consistent global cut.
             let armed = self.phase == Phase::Running
                 && self.cfg.ckpt_every_rounds > 0
-                && !self.coord.as_ref().expect("coordinator").recovering
-                && (self.coord.as_ref().expect("coordinator").rounds_done + 1)
-                    .is_multiple_of(self.cfg.ckpt_every_rounds);
-            let round = self.coord.as_mut().expect("coordinator").start_round(armed);
+                && !recovering
+                && (rounds_done + 1).is_multiple_of(self.cfg.ckpt_every_rounds);
+            let round = match self.coord.as_mut() {
+                Some(c) => c.start_round(armed),
+                None => return Ok(()),
+            };
             self.broadcast_start(round, 0)?;
         }
         Ok(())
     }
 
     fn broadcast_start(&mut self, round: u64, wave: u64) -> Result<(), DistError> {
-        let armed = self.coord.as_ref().expect("coordinator").armed;
+        let armed = match self.coord.as_ref() {
+            Some(c) => c.armed,
+            None => return Err(self.protocol_err("broadcast_start on a non-coordinator")),
+        };
         let f = Frame::Start { round, wave, armed };
         for p in 0..self.n {
             if p != self.shard {
@@ -1071,6 +1282,8 @@ impl<M: Model> ShardNode<M> {
                     parked,
                 },
             ),
+            Frame::Ingest { origin, key, req } => self.handle_ingest(origin as usize, key, req),
+            Frame::IngestReply { key, reply } => self.handle_ingest_reply(key, reply),
             Frame::Telemetry {
                 shard,
                 sent_at_ns,
@@ -1128,6 +1341,10 @@ impl<M: Model> ShardNode<M> {
         let trace = self.tracer.enabled();
         let ph0 = if trace { self.now_ns() } else { 0 };
         if wave == 0 {
+            // The epoch cut freezes this round's pending minimum: no ingest
+            // injection until the publish, or the new event could sit below
+            // the frozen minimum and the round's GVT overshoot it.
+            self.cut_open = true;
             self.tracker
                 .take_cut(round, self.engine.local_min().ticks());
         }
@@ -1276,6 +1493,9 @@ impl<M: Model> ShardNode<M> {
             self.recovery_floor = 0;
         }
         self.gvt = gvt;
+        // The round is closed: admission resumes against the new floor.
+        self.cut_open = false;
+        self.raise_ingest_floor(gvt);
         // Trace mapping for the publish side of a round: GVT adoption +
         // fossil collection is Phase B, the checkpoint cut + park/unpark
         // decision is Aware, and the round-snapshot bookkeeping is End.
@@ -1332,6 +1552,14 @@ impl<M: Model> ShardNode<M> {
             let now = self.now_ns();
             self.tracer.span(EventKind::GvtAware, ph, now, round);
             ph = now;
+            let ing = self
+                .ingest
+                .as_ref()
+                .map(|g| {
+                    let s = g.stats();
+                    (s.admitted, s.rejected, s.shed, s.busy)
+                })
+                .unwrap_or((0, 0, 0, 0));
             let stats = self.engine.stats();
             self.tel.record_round(RoundTotals {
                 round,
@@ -1344,7 +1572,20 @@ impl<M: Model> ShardNode<M> {
                 members: self.n as u64,
                 lvt_ticks: vec![self.engine.local_min().ticks()],
                 queue_depths: vec![self.engine.pending_len()],
+                ingest: ing,
             });
+            let (pa, prj, psh, pb) = self.ingest_prev;
+            for (kind, d) in [
+                (EventKind::IngestAdmit, ing.0.saturating_sub(pa)),
+                (EventKind::IngestReject, ing.1.saturating_sub(prj)),
+                (EventKind::IngestShed, ing.2.saturating_sub(psh)),
+                (EventKind::IngestBusy, ing.3.saturating_sub(pb)),
+            ] {
+                if d > 0 {
+                    self.tracer.instant(kind, now, d);
+                }
+            }
+            self.ingest_prev = ing;
             self.tracer
                 .span(EventKind::GvtEnd, ph, self.now_ns(), round);
         }
@@ -1381,13 +1622,19 @@ impl<M: Model> ShardNode<M> {
             );
         }
         if self.cut_parts.iter().all(|p| p.is_some()) {
-            let (r, gvt_ticks) = self.cut_round.take().expect("cut in progress");
+            let (r, gvt_ticks) = self
+                .cut_round
+                .take()
+                .ok_or_else(|| self.protocol_err("cut assembly completed with no cut open"))?;
             self.last_cut_done = Some(r);
             let parts = std::mem::take(&mut self.cut_parts)
                 .into_iter()
-                .map(|p| p.expect("all parts present"))
+                .flatten()
                 .collect();
-            let rounds = self.coord.as_ref().expect("coordinator").rounds_done;
+            let rounds = match self.coord.as_ref() {
+                Some(c) => c.rounds_done,
+                None => return Err(self.protocol_err("cut assembly on a non-coordinator")),
+            };
             let ck = Checkpoint::assemble(
                 VirtualTime::from_ticks(gvt_ticks),
                 rounds,
@@ -1398,7 +1645,9 @@ impl<M: Model> ShardNode<M> {
             .map_err(|e| self.protocol_err(format!("inconsistent cut: {e}")))?;
             self.cut_parts = vec![None; self.n];
             if let Some(slot) = &self.ckpt_slot {
-                *slot.lock().expect("ckpt slot poisoned") = Some(ck);
+                // Poison-survivable: a recovered supervisor still needs the
+                // newest cut even if an earlier attempt died mid-lock.
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(ck);
             }
             // Scripted membership changes land exactly on an assembled cut:
             // the supervisor rebuilds the cluster from this checkpoint.
@@ -1431,6 +1680,16 @@ impl<M: Model> ShardNode<M> {
         }
         for link in self.links.iter_mut().flatten() {
             link.clear_faults();
+        }
+        // The run is over: refuse further submissions, fail queued ones —
+        // and the orphaned forward slots — with `Closed`.
+        if let Some(g) = &self.ingest {
+            g.close();
+        }
+        for (_, slot) in self.forward_slots.drain() {
+            if let ReplySlot::Local(f) = slot {
+                f(IngestReply::Closed);
+            }
         }
         self.engine.finalize();
         // Forward collected telemetry ahead of `Done`: the in-order link

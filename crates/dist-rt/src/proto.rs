@@ -5,13 +5,13 @@
 //! link. The only exception is [`Frame::Hello`], which is exchanged raw
 //! during TCP mesh setup, *before* the reliable layer starts.
 
-use pdes_core::{Event, LpCheckpoint, LpId, Msg, ThreadStats};
+use pdes_core::{Event, IngestReply, IngestRequest, LpCheckpoint, LpId, Msg, ThreadStats};
 use serde::{Deserialize, Serialize};
 
 /// Wire protocol version, carried in the raw TCP hello preamble. Bump on
 /// any change to [`Frame`]'s encoding so mismatched builds are rejected at
 /// the handshake instead of failing to decode mid-run.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Magic prefix of the hello preamble (`"GPDS"` little-endian).
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"GPDS");
@@ -83,6 +83,16 @@ pub enum Frame<S, P> {
         pending_digest: u64,
         parked: u64,
     },
+    /// Shard → shard: an external-event submission forwarded to the shard
+    /// owning its destination LP. `origin` is the forwarding shard; `key`
+    /// tags the origin's local reply slot so the verdict finds its way back.
+    Ingest {
+        origin: u64,
+        key: u64,
+        req: IngestRequest<P>,
+    },
+    /// Owner → origin: the verdict for a forwarded submission.
+    IngestReply { key: u64, reply: IngestReply },
     /// Shard → coordinator: the shard's collected telemetry (thread traces
     /// and per-round counter snapshots), sent right before [`Frame::Done`]
     /// so the in-order link guarantees it arrives first. `sent_at_ns` is
@@ -108,6 +118,8 @@ impl<S, P> Frame<S, P> {
             Frame::Finish => "Finish",
             Frame::CutPart { .. } => "CutPart",
             Frame::Done { .. } => "Done",
+            Frame::Ingest { .. } => "Ingest",
+            Frame::IngestReply { .. } => "IngestReply",
             Frame::Telemetry { .. } => "Telemetry",
         }
     }
@@ -179,6 +191,21 @@ mod tests {
                 digests: vec![(LpId(2), 11), (LpId(3), 12)],
                 pending_digest: 0xBEEF,
                 parked: 2,
+            },
+            Frame::Ingest {
+                origin: 1,
+                key: 42,
+                req: IngestRequest {
+                    source: 7,
+                    id: 99,
+                    at: VirtualTime::from_ticks(1234),
+                    dst: LpId(3),
+                    payload: 8,
+                },
+            },
+            Frame::IngestReply {
+                key: 42,
+                reply: IngestReply::Rejected { floor_ticks: 900 },
             },
             Frame::Telemetry {
                 shard: 2,

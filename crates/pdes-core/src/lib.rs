@@ -26,6 +26,7 @@ pub mod engine;
 pub mod event;
 pub mod faults;
 pub mod ids;
+pub mod ingest;
 pub mod lp;
 pub mod mapping;
 pub mod model;
@@ -45,9 +46,16 @@ pub use faults::{
     LinkFaults, ReorderFault, RoundDump, StallDump, StragglerFault, ThreadDump, WakeupFault,
 };
 pub use ids::{EventUid, LpId, SimThreadId};
+pub use ingest::{
+    IngestConfig, IngestError, IngestGate, IngestJournal, IngestReply, IngestRequest, IngestStats,
+    JournalRecord, PumpOutcome, ReplySlot, INGEST_SRC,
+};
 pub use mapping::{LpMap, MapKind, ShardMap};
 pub use model::{Model, SendCtx};
 pub use rng::DetRng;
-pub use sequential::{run_sequential, run_sequential_from, SequentialResult};
+pub use sequential::{
+    run_sequential, run_sequential_from, run_sequential_from_with, run_sequential_with,
+    SequentialResult,
+};
 pub use stats::{RoundCounters, ThreadStats};
 pub use time::VirtualTime;

@@ -42,6 +42,19 @@ pub fn run_sequential<M: Model>(
     cfg: &EngineConfig,
     max_events: Option<u64>,
 ) -> SequentialResult {
+    run_sequential_with(model, cfg, &[], max_events)
+}
+
+/// [`run_sequential`] with `extra` events merged into the initial pending
+/// set — the oracle for runs that accepted external events through the
+/// ingest plane: feed it the gate's accepted events (exact uids and stamps)
+/// and the merged-stream execution must match the live run's digests.
+pub fn run_sequential_with<M: Model>(
+    model: &Arc<M>,
+    cfg: &EngineConfig,
+    extra: &[crate::event::Event<M::Payload>],
+    max_events: Option<u64>,
+) -> SequentialResult {
     let num_lps = model.num_lps();
     // A single "thread" owning every LP reuses the LP bookkeeping as-is.
     let map = LpMap::new(num_lps, 1, cfg.mapping);
@@ -54,6 +67,9 @@ pub fn run_sequential<M: Model>(
         for ev in lp.init_events(model.as_ref()) {
             pending.insert(ev);
         }
+    }
+    for ev in extra {
+        pending.insert(ev.clone());
     }
     let _ = map; // mapping does not matter sequentially; kept for symmetry
     finish_sequential(model, cfg, max_events, lps, pending)
@@ -68,6 +84,20 @@ pub fn run_sequential_from<M: Model>(
     model: &Arc<M>,
     cfg: &EngineConfig,
     ckpt: &Checkpoint<M::State, M::Payload>,
+    max_events: Option<u64>,
+) -> SequentialResult {
+    run_sequential_from_with(model, cfg, ckpt, &[], max_events)
+}
+
+/// [`run_sequential_from`] with `extra` events merged into the pending set
+/// restored from the cut. Used by the degraded-to-sequential recovery path
+/// when the run had live ingest: pass the accepted events with
+/// `send_time ≥ ckpt.gvt` (older ones are already inside the cut).
+pub fn run_sequential_from_with<M: Model>(
+    model: &Arc<M>,
+    cfg: &EngineConfig,
+    ckpt: &Checkpoint<M::State, M::Payload>,
+    extra: &[crate::event::Event<M::Payload>],
     max_events: Option<u64>,
 ) -> SequentialResult {
     let num_lps = model.num_lps();
@@ -94,6 +124,9 @@ pub fn run_sequential_from<M: Model>(
     }
     let mut pending: PendingSet<M::Payload> = PendingSet::new();
     for ev in &ckpt.events {
+        pending.insert(ev.clone());
+    }
+    for ev in extra {
         pending.insert(ev.clone());
     }
     finish_sequential(model, cfg, max_events, lps, pending)

@@ -23,6 +23,8 @@ pub struct ThreadStats {
     pub events_sent: u64,
     /// Pending/orphan annihilations performed.
     pub annihilations: u64,
+    /// Externally-sourced events injected through the ingest plane.
+    pub ingested: u64,
     /// XOR-fold of committed event-key digests (order independent).
     pub commit_digest: u64,
 }
@@ -63,6 +65,16 @@ pub struct RoundCounters {
     pub lvt_ticks: Vec<u64>,
     /// Per-thread inbox depth when the round closed.
     pub queue_depths: Vec<usize>,
+    /// Ingest admissions since the previous snapshot.
+    pub ingest_admitted_delta: u64,
+    /// Ingest rejections (below the admission floor) since the previous
+    /// snapshot.
+    pub ingest_rejected_delta: u64,
+    /// Ingest submissions shed above the high-watermark since the previous
+    /// snapshot.
+    pub ingest_shed_delta: u64,
+    /// Ingest `Busy` backpressure verdicts since the previous snapshot.
+    pub ingest_busy_delta: u64,
 }
 
 impl ThreadStats {
@@ -77,6 +89,7 @@ impl ThreadStats {
         self.antis_received += other.antis_received;
         self.events_sent += other.events_sent;
         self.annihilations += other.annihilations;
+        self.ingested += other.ingested;
         self.commit_digest ^= other.commit_digest;
     }
 
@@ -106,6 +119,7 @@ mod tests {
             antis_received: 0,
             events_sent: 9,
             annihilations: 0,
+            ingested: 0,
             commit_digest: 0b1010,
         };
         let b = ThreadStats {

@@ -25,7 +25,7 @@ pub mod supervisor;
 
 pub use ckpt::VmCkptStore;
 pub use config::{AffinityPolicy, GvtMode, Scheduler, SimCost, SystemConfig};
-pub use runner::{run_sim, run_sim_resumable, RunConfig, SimAttempt, SimResult};
-pub use shared::{AffinityTables, Shared};
+pub use runner::{run_sim, run_sim_ingest, run_sim_resumable, RunConfig, SimAttempt, SimResult};
+pub use shared::{AffinityTables, Shared, SimIngest};
 pub use simthread::SimThreadTask;
 pub use supervisor::{run_sim_supervised, VmRecovered, VmSupervisedRun};

@@ -9,8 +9,8 @@ use crate::simthread::SimThreadTask;
 use machine::{Machine, MachineConfig, Report, WorkTag};
 use metrics::RunMetrics;
 use pdes_core::{
-    Checkpoint, EngineConfig, FaultInjector, FaultPlan, LpId, LpMap, Model, SimThreadId, StallDump,
-    ThreadEngine,
+    Checkpoint, EngineConfig, FaultInjector, FaultPlan, IngestGate, IngestRequest, LpId, LpMap,
+    Model, SimThreadId, StallDump, ThreadEngine,
 };
 use std::cell::RefCell;
 use std::path::PathBuf;
@@ -155,6 +155,20 @@ pub fn run_sim<M: Model>(model: &Arc<M>, rc: &RunConfig) -> SimResult {
     run_sim_resumable(model, rc, None, None).result
 }
 
+/// [`run_sim`] with a scripted ingest plane: `script` holds
+/// `(gvt_round, request)` client arrivals replayed at each round's Aware
+/// phase through `gate` — the same admission/pump path the real runtimes
+/// use. Inspect the gate afterwards for verdict counts and the accepted
+/// events to feed the merged-stream sequential oracle.
+pub fn run_sim_ingest<M: Model>(
+    model: &Arc<M>,
+    rc: &RunConfig,
+    gate: Arc<IngestGate<M::Payload>>,
+    script: Vec<(u64, IngestRequest<M::Payload>)>,
+) -> SimResult {
+    run_sim_attempt(model, rc, None, None, Some((gate, script))).result
+}
+
 /// Run one attempt, optionally resuming from a GVT-aligned checkpoint and
 /// with a pre-seeded fault injector (the supervisor restores fault-stream
 /// cursors and consumes the kill that felled the previous attempt before
@@ -169,6 +183,22 @@ pub fn run_sim_resumable<M: Model>(
     rc: &RunConfig,
     resume: Option<&Checkpoint<M::State, M::Payload>>,
     faults: Option<FaultInjector>,
+) -> SimAttempt<M> {
+    run_sim_attempt(model, rc, resume, faults, None)
+}
+
+/// The full attempt body behind [`run_sim_resumable`] and
+/// [`run_sim_ingest`].
+#[allow(clippy::type_complexity)]
+fn run_sim_attempt<M: Model>(
+    model: &Arc<M>,
+    rc: &RunConfig,
+    resume: Option<&Checkpoint<M::State, M::Payload>>,
+    faults: Option<FaultInjector>,
+    ingest: Option<(
+        Arc<IngestGate<M::Payload>>,
+        Vec<(u64, IngestRequest<M::Payload>)>,
+    )>,
 ) -> SimAttempt<M> {
     let num_threads = rc.num_threads;
     let map = match resume {
@@ -215,6 +245,9 @@ pub fn run_sim_resumable<M: Model>(
         sh.set_telemetry(telemetry::Telemetry::new(rc.telemetry.clone()));
         sh.watchdog_ns = rc.watchdog_ns;
         sh.ckpt_every = rc.checkpoint_every_gvt;
+        if let Some((gate, script)) = ingest {
+            sh.set_ingest(gate, map.clone(), script);
+        }
         if let Some(c) = resume {
             // Resume mid-stream: GVT and the round cadence continue from the
             // cut instead of restarting at zero.

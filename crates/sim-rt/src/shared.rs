@@ -12,8 +12,8 @@ use crate::config::{SimCost, SystemConfig};
 use machine::{MutexId, SemId};
 use metrics::RunMetrics;
 use pdes_core::{
-    batch_has_uid_pairs, EventKey, EventUid, FaultInjector, Msg, RoundDump, StallDump, ThreadDump,
-    ThreadStats, VirtualTime,
+    batch_has_uid_pairs, EventKey, EventUid, FaultInjector, IngestGate, IngestRequest, LpMap, Msg,
+    ReplySlot, RoundDump, StallDump, ThreadDump, ThreadStats, VirtualTime,
 };
 use std::collections::VecDeque;
 
@@ -125,6 +125,21 @@ impl AffinityTables {
     }
 }
 
+/// Scripted external-event ingest for the deterministic virtual machine:
+/// the gate, the LP → thread routing map, and a script of submissions keyed
+/// by the GVT round at which the client "arrives" with them. The VM has no
+/// real client threads, so arrivals are replayed from the script at the
+/// round's Aware phase — the same admission/pump path the real runtimes use,
+/// with bit-identical verdicts.
+pub struct SimIngest<P> {
+    pub gate: std::sync::Arc<IngestGate<P>>,
+    pub map: LpMap,
+    /// `(gvt_round, request)` pairs, sorted by round.
+    pub script: Vec<(u64, IngestRequest<P>)>,
+    /// Script cursor.
+    pub next: usize,
+}
+
 /// Everything the tasks share.
 pub struct Shared<P> {
     pub num_threads: usize,
@@ -186,6 +201,8 @@ pub struct Shared<P> {
     pub dbg_phase: Vec<&'static str>,
     /// Debug: last round id each thread joined.
     pub dbg_joined: Vec<Option<u64>>,
+    /// Scripted external-event ingest (`None` = no live ingest).
+    pub ingest: Option<SimIngest<P>>,
     /// Fault-injection plan (inert by default).
     pub faults: FaultInjector,
     /// Virtual-time liveness bound: abort when GVT makes no progress for
@@ -251,6 +268,7 @@ impl<P> Shared<P> {
             dbg_window_write: vec![(0, false, 0, 0); num_threads],
             dbg_phase: vec!["init"; num_threads],
             dbg_joined: vec![None; num_threads],
+            ingest: None,
             faults: FaultInjector::disabled(),
             watchdog_ns: None,
             stall: None,
@@ -266,6 +284,24 @@ impl<P> Shared<P> {
     /// Attach a fault injector (before the run starts).
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = faults;
+    }
+
+    /// Attach a scripted ingest plane (before the run starts). `script`
+    /// holds `(gvt_round, request)` arrivals; it is sorted here so the pump
+    /// can consume it with a cursor.
+    pub fn set_ingest(
+        &mut self,
+        gate: std::sync::Arc<IngestGate<P>>,
+        map: LpMap,
+        mut script: Vec<(u64, IngestRequest<P>)>,
+    ) {
+        script.sort_by_key(|(round, _)| *round);
+        self.ingest = Some(SimIngest {
+            gate,
+            map,
+            script,
+            next: 0,
+        });
     }
 
     /// Attach a telemetry registry (before the run starts).
@@ -309,6 +345,14 @@ impl<P> Shared<P> {
             members: self.tel_lvt.len() as u64,
             lvt_ticks: self.tel_lvt.clone(),
             queue_depths: self.queues.iter().map(|q| q.len()).collect(),
+            ingest: self
+                .ingest
+                .as_ref()
+                .map(|p| {
+                    let s = p.gate.stats();
+                    (s.admitted, s.rejected, s.shed, s.busy)
+                })
+                .unwrap_or((0, 0, 0, 0)),
         });
     }
 
@@ -765,6 +809,41 @@ impl<P> Shared<P> {
             commit_digest: total.commit_digest,
             ..Default::default()
         }
+    }
+}
+
+impl<P: Clone + serde::Serialize> Shared<P> {
+    /// Replay due scripted arrivals, raise the admission floor to the GVT
+    /// just computed, and inject every admitted event — called by the
+    /// pseudo-controller right after `compute_gvt`. The machine is
+    /// single-threaded, so "under the gate lock" is trivially satisfied:
+    /// nothing can interleave between the floor update, the admission check,
+    /// and the queue publish. Returns the number injected.
+    pub fn pump_ingest(&mut self) -> u64 {
+        let Some(ing) = &mut self.ingest else {
+            return 0;
+        };
+        let round = self.gvt_rounds;
+        let gate = std::sync::Arc::clone(&ing.gate);
+        while ing.next < ing.script.len() && ing.script[ing.next].0 <= round {
+            let req = ing.script[ing.next].1.clone();
+            ing.next += 1;
+            let _ = gate.submit(req, ReplySlot::None);
+        }
+        gate.set_floor(self.gvt);
+        let map = ing.map.clone();
+        let mut buf = Vec::new();
+        if gate.pump(|_| true, &mut |ev| buf.push(ev)).is_err() {
+            // The VM journals to memory only (no path), so an append failure
+            // is unreachable; a future journaled config would surface it.
+            return 0;
+        }
+        let n = buf.len() as u64;
+        for ev in buf {
+            let dst = map.thread_of(ev.key.dst).index();
+            self.push_msg(0, dst, Msg::Event(ev));
+        }
+        n
     }
 }
 

@@ -266,6 +266,10 @@ impl<M: Model> SimThreadTask<M> {
         let c = sh.cost.clone();
         let mut cost = c.gvt_phase;
         sh.compute_gvt();
+        // Admit scripted external arrivals against the floor just published
+        // (same Aware-phase slot as the real runtimes' ingest pump).
+        let injected = sh.pump_ingest();
+        cost += c.recv_msg * injected;
         if sh.terminated {
             sh.release_all_for_termination(&mut self.ops);
             cost += c.sched_op * self.ops.len() as u64;

@@ -52,6 +52,18 @@ pub enum EventKind {
     /// Instant: a dead shard was restored alone from the newest GVT cut
     /// while the survivors kept their state (`arg` = cut GVT ticks).
     PartialRestore,
+    /// Instant: external events admitted through the ingest gate this round
+    /// (`arg` = how many).
+    IngestAdmit,
+    /// Instant: ingest submissions rejected at or below the admission floor
+    /// this round (`arg` = how many).
+    IngestReject,
+    /// Instant: ingest submissions shed above the high-watermark this round
+    /// (`arg` = how many).
+    IngestShed,
+    /// Instant: ingest `Busy` backpressure verdicts this round
+    /// (`arg` = how many).
+    IngestBusy,
 }
 
 impl EventKind {
@@ -76,6 +88,10 @@ impl EventKind {
             EventKind::ShardLeave => "shard-leave",
             EventKind::HeartbeatMiss => "heartbeat-miss",
             EventKind::PartialRestore => "partial-restore",
+            EventKind::IngestAdmit => "ingest-admit",
+            EventKind::IngestReject => "ingest-reject",
+            EventKind::IngestShed => "ingest-shed",
+            EventKind::IngestBusy => "ingest-busy",
         }
     }
 
@@ -91,6 +107,10 @@ impl EventKind {
                 | EventKind::ShardLeave
                 | EventKind::HeartbeatMiss
                 | EventKind::PartialRestore
+                | EventKind::IngestAdmit
+                | EventKind::IngestReject
+                | EventKind::IngestShed
+                | EventKind::IngestBusy
         )
     }
 
@@ -112,6 +132,10 @@ impl EventKind {
             | EventKind::ShardLeave
             | EventKind::HeartbeatMiss
             | EventKind::PartialRestore => "member",
+            EventKind::IngestAdmit
+            | EventKind::IngestReject
+            | EventKind::IngestShed
+            | EventKind::IngestBusy => "ingest",
         }
     }
 }
@@ -153,6 +177,10 @@ mod tests {
             EventKind::ShardLeave,
             EventKind::HeartbeatMiss,
             EventKind::PartialRestore,
+            EventKind::IngestAdmit,
+            EventKind::IngestReject,
+            EventKind::IngestShed,
+            EventKind::IngestBusy,
         ];
         let mut names: Vec<&str> = all.iter().map(|k| k.name()).collect();
         names.sort();

@@ -148,6 +148,9 @@ pub struct RoundTotals {
     pub members: u64,
     pub lvt_ticks: Vec<u64>,
     pub queue_depths: Vec<usize>,
+    /// Cumulative ingest-gate counters at the round close
+    /// (admitted, rejected, shed, busy). Zero when the run has no gate.
+    pub ingest: (u64, u64, u64, u64),
 }
 
 #[derive(Default)]
@@ -155,6 +158,7 @@ struct Inner {
     threads: Vec<ThreadTrace>,
     rounds: Vec<RoundCounters>,
     prev: (u64, u64, u64), // cumulative (committed, processed, rolled_back)
+    prev_ingest: (u64, u64, u64, u64), // cumulative (admitted, rejected, shed, busy)
 }
 
 /// The per-run registry. Cheap to share (`Arc`); all methods that touch the
@@ -213,6 +217,8 @@ impl Telemetry {
         let mut g = self.inner.lock();
         let (pc, pp, pr) = g.prev;
         g.prev = (t.committed, t.processed, t.rolled_back);
+        let (pa, prj, psh, pb) = g.prev_ingest;
+        g.prev_ingest = t.ingest;
         g.rounds.push(RoundCounters {
             round: t.round,
             shard: 0,
@@ -225,6 +231,10 @@ impl Telemetry {
             members: t.members,
             lvt_ticks: t.lvt_ticks,
             queue_depths: t.queue_depths,
+            ingest_admitted_delta: t.ingest.0.saturating_sub(pa),
+            ingest_rejected_delta: t.ingest.1.saturating_sub(prj),
+            ingest_shed_delta: t.ingest.2.saturating_sub(psh),
+            ingest_busy_delta: t.ingest.3.saturating_sub(pb),
         });
     }
 

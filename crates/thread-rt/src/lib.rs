@@ -23,7 +23,12 @@ pub mod worker;
 
 pub use affinity::AffinityState;
 pub use ckpt::CkptSink;
-pub use runner::{run_threads, run_threads_resumable, RtAttempt, RtResult, RtRunConfig, RunError};
-pub use shared::{RemoteBoundary, RtShared};
-pub use supervisor::{run_supervised, Recovered, SupervisedRun, SupervisorConfig};
+pub use runner::{
+    run_threads, run_threads_attempt, run_threads_ingest, run_threads_resumable, RtAttempt,
+    RtResult, RtRunConfig, RunError,
+};
+pub use shared::{IngestPlane, RemoteBoundary, RtShared};
+pub use supervisor::{
+    run_supervised, run_supervised_ingest, Recovered, SupervisedRun, SupervisorConfig,
+};
 pub use sync::{DynBarrier, Semaphore};

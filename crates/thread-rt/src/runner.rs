@@ -12,8 +12,8 @@ use crate::shared::RtShared;
 use crate::worker::{controller_loop, worker_loop, WorkerResult};
 use metrics::RunMetrics;
 use pdes_core::{
-    Checkpoint, EngineConfig, FaultInjector, FaultPlan, LpId, LpMap, Model, SimThreadId, StallDump,
-    ThreadEngine,
+    Checkpoint, EngineConfig, FaultInjector, FaultPlan, IngestError, IngestGate, LpId, LpMap,
+    Model, Msg, SimThreadId, StallDump, ThreadEngine,
 };
 use sim_rt::{Scheduler, SystemConfig};
 use std::path::PathBuf;
@@ -112,6 +112,10 @@ pub enum RunError {
     Stalled(Box<StallDump>),
     /// A worker thread panicked; siblings were woken and drained.
     WorkerPanicked { thread: usize, message: String },
+    /// The ingest journal failed mid-run: an admission could not be made
+    /// durable, so the run is reported failed rather than silently accepting
+    /// events a crash would lose.
+    Ingest(IngestError),
 }
 
 impl std::fmt::Display for RunError {
@@ -121,6 +125,7 @@ impl std::fmt::Display for RunError {
             RunError::WorkerPanicked { thread, message } => {
                 write!(f, "worker thread {thread} panicked: {message}")
             }
+            RunError::Ingest(e) => write!(f, "ingest plane failed: {e}"),
         }
     }
 }
@@ -157,6 +162,20 @@ pub fn run_threads<M: Model>(model: &Arc<M>, rc: &RtRunConfig) -> Result<RtResul
     run_threads_resumable(model, rc, None, None).outcome
 }
 
+/// [`run_threads`] with a live external-event ingest gate. Client threads
+/// submit to `gate` concurrently with the run; each GVT round's
+/// pseudo-controller admits queued submissions right after publishing the
+/// round's GVT. On successful completion the gate is closed (queued
+/// submissions get [`pdes_core::IngestReply::Closed`]); on failure it stays
+/// open so a supervisor can resume with it.
+pub fn run_threads_ingest<M: Model>(
+    model: &Arc<M>,
+    rc: &RtRunConfig,
+    gate: Arc<IngestGate<M::Payload>>,
+) -> Result<RtResult, RunError> {
+    run_threads_attempt(model, rc, None, None, Some(gate)).outcome
+}
+
 /// Run one attempt, optionally resuming from a GVT-aligned checkpoint and
 /// with a pre-seeded fault injector (the supervisor restores fault-stream
 /// cursors and consumes the kill that felled the previous attempt before
@@ -171,6 +190,21 @@ pub fn run_threads_resumable<M: Model>(
     rc: &RtRunConfig,
     resume: Option<&Checkpoint<M::State, M::Payload>>,
     faults: Option<FaultInjector>,
+) -> RtAttempt<M> {
+    run_threads_attempt(model, rc, resume, faults, None)
+}
+
+/// One attempt with every hook exposed: checkpoint resume, a pre-seeded
+/// fault injector, and an optional ingest gate. When both `resume` and
+/// `gate` are given, the gate's accepted-but-uncut events (`send_time ≥`
+/// the cut GVT) are re-injected before the workers start — the exactly-once
+/// replay half of the ingest durability contract.
+pub fn run_threads_attempt<M: Model>(
+    model: &Arc<M>,
+    rc: &RtRunConfig,
+    resume: Option<&Checkpoint<M::State, M::Payload>>,
+    faults: Option<FaultInjector>,
+    gate: Option<Arc<IngestGate<M::Payload>>>,
 ) -> RtAttempt<M> {
     let n = rc.num_threads;
     let map = match resume {
@@ -197,6 +231,9 @@ pub fn run_threads_resumable<M: Model>(
     shared_init.set_telemetry(Telemetry::new(rc.telemetry.clone()));
     if let Some(c) = resume {
         shared_init.seed_gvt(c.gvt, c.gvt_rounds);
+    }
+    if let Some(g) = &gate {
+        shared_init.set_ingest(Arc::clone(g), map.clone());
     }
     let shared = Arc::new(shared_init);
     let sink: Arc<CkptSink<M>> = Arc::new(CkptSink::new(
@@ -231,6 +268,16 @@ pub fn run_threads_resumable<M: Model>(
             }
         }
         engines.push(eng);
+    }
+    if let (Some(c), Some(g)) = (resume, &gate) {
+        // Replay the accepted-but-uncut ingest suffix: the cut at `c.gvt`
+        // holds every accepted event with `send_time < c.gvt`; the
+        // complement is re-pushed here, before any worker starts, so each
+        // accepted idempotency id commits exactly once across the restore.
+        g.reinject_after_restore(c.gvt, &mut |ev| {
+            let dst = map.thread_of(ev.key.dst).index();
+            shared.push_msg(0, dst, Msg::Event(ev));
+        });
     }
 
     let start = Instant::now();
@@ -362,6 +409,19 @@ pub fn run_threads_resumable<M: Model>(
             checkpoint,
             thread_loads,
         };
+    }
+    if let Some(e) = shared.take_ingest_error() {
+        return RtAttempt {
+            outcome: Err(RunError::Ingest(e)),
+            checkpoint,
+            thread_loads,
+        };
+    }
+    if let Some(g) = &gate {
+        // The simulation completed: refuse further submissions (queued ones
+        // get `Closed`). Failure paths above leave the gate open so a
+        // supervisor can resume with it.
+        g.close();
     }
 
     let mut total = pdes_core::ThreadStats::default();

@@ -14,8 +14,8 @@ use crossbeam::queue::SegQueue;
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use pdes_core::{
-    batch_has_uid_pairs, EventUid, FaultInjector, Msg, RoundDump, SimThreadId, StallDump,
-    ThreadDump, VirtualTime,
+    batch_has_uid_pairs, EventUid, FaultInjector, IngestError, IngestGate, LpMap, Msg, RoundDump,
+    SimThreadId, StallDump, ThreadDump, VirtualTime,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
@@ -68,6 +68,17 @@ fn fetch_min(cell: &AtomicU64, t: VirtualTime) {
 
 fn load_vt(cell: &AtomicU64) -> VirtualTime {
     VirtualTime::from_ticks(cell.load(Ordering::Acquire))
+}
+
+/// The ingest-plane wiring of one run: the shared admission gate, the
+/// LP → thread map that routes admitted events, the previous-round counter
+/// snapshot behind the round closer's telemetry instants, and the first
+/// journal failure a pump observed (surfaced as the run's error).
+pub struct IngestPlane<P> {
+    pub gate: Arc<IngestGate<P>>,
+    map: LpMap,
+    prev: Mutex<(u64, u64, u64, u64)>,
+    error: Mutex<Option<IngestError>>,
 }
 
 /// Round state guarded by [`RtShared::membership`].
@@ -124,6 +135,11 @@ pub struct RtShared<P> {
     // ---- DD-PDES ----
     pub dd_lock: Mutex<()>,
     pub controller_exit: AtomicBool,
+
+    // ---- external-event ingest ----
+    /// Installed by [`Self::set_ingest`]; `None` for runs with no live
+    /// ingest (the common case — every hook below is one branch).
+    ingest: Option<IngestPlane<P>>,
 
     // ---- distributed shard window ----
     /// First global thread id of this process's window (0 when the run is
@@ -222,6 +238,7 @@ impl<P> RtShared<P> {
             ],
             dd_lock: Mutex::new(()),
             controller_exit: AtomicBool::new(false),
+            ingest: None,
             thread_base: 0,
             remote: None,
             aff: Mutex::new(crate::affinity::AffinityState::new(num_cores, num_threads)),
@@ -268,6 +285,48 @@ impl<P> RtShared<P> {
     pub fn set_remote_boundary(&mut self, base: usize, remote: Arc<dyn RemoteBoundary<P>>) {
         self.thread_base = base;
         self.remote = Some(remote);
+    }
+
+    /// Install the external-event ingest gate (before the shared state is
+    /// published to worker threads). `map` routes admitted events to the
+    /// thread owning their destination LP; [`Self::compute_gvt`] fences GVT
+    /// publication through the gate from then on.
+    pub fn set_ingest(&mut self, gate: Arc<IngestGate<P>>, map: LpMap) {
+        self.ingest = Some(IngestPlane {
+            gate,
+            map,
+            prev: Mutex::new((0, 0, 0, 0)),
+            error: Mutex::new(None),
+        });
+    }
+
+    /// The installed ingest gate, if any.
+    pub fn ingest_gate(&self) -> Option<&Arc<IngestGate<P>>> {
+        self.ingest.as_ref().map(|p| &p.gate)
+    }
+
+    /// Take the first journal failure a pump observed (the runner surfaces
+    /// it as the run's error: accepted events must be durable).
+    pub fn take_ingest_error(&self) -> Option<IngestError> {
+        self.ingest.as_ref().and_then(|p| p.error.lock().take())
+    }
+
+    /// Per-round ingest counter deltas (admitted, rejected, shed, busy) for
+    /// the round closer's telemetry instants; `None` when no gate is
+    /// installed.
+    pub fn ingest_round_deltas(&self) -> Option<(u64, u64, u64, u64)> {
+        let plane = self.ingest.as_ref()?;
+        let s = plane.gate.stats();
+        let now = (s.admitted, s.rejected, s.shed, s.busy);
+        let mut prev = plane.prev.lock();
+        let d = (
+            now.0.saturating_sub(prev.0),
+            now.1.saturating_sub(prev.1),
+            now.2.saturating_sub(prev.2),
+            now.3.saturating_sub(prev.3),
+        );
+        *prev = now;
+        Some(d)
     }
 
     /// Configure the checkpoint cadence in GVT rounds (0 disables; before
@@ -342,6 +401,14 @@ impl<P> RtShared<P> {
                 .iter()
                 .map(|c| c.load(Ordering::Acquire))
                 .collect(),
+            ingest: self
+                .ingest
+                .as_ref()
+                .map(|p| {
+                    let s = p.gate.stats();
+                    (s.admitted, s.rejected, s.shed, s.busy)
+                })
+                .unwrap_or((0, 0, 0, 0)),
         });
     }
 
@@ -569,7 +636,20 @@ impl<P> RtShared<P> {
 
     /// Pseudo-controller: fold the transient coverage and publish the new
     /// GVT. Returns it.
+    ///
+    /// With an ingest gate installed the whole computation runs under the
+    /// gate's fence: no external admission can interleave between reading
+    /// the queue minima and raising the admission floor, so the published
+    /// GVT never overshoots an admitted timestamp (see
+    /// `pdes_core::ingest` module docs).
     pub fn compute_gvt(&self) -> VirtualTime {
+        match &self.ingest {
+            Some(plane) => plane.gate.fence_gvt(|| self.compute_gvt_unfenced()),
+            None => self.compute_gvt_unfenced(),
+        }
+    }
+
+    fn compute_gvt_unfenced(&self) -> VirtualTime {
         let mut g = self.min_fold.load(Ordering::Acquire);
         for i in 0..self.num_threads {
             g = g
@@ -810,6 +890,37 @@ impl<P> RtShared<P> {
                 .collect(),
             fault_counts: self.faults.counts(),
             last_round: self.telemetry.last_round(),
+        }
+    }
+}
+
+impl<P: Clone + serde::Serialize> RtShared<P> {
+    /// Admit queued external submissions — called by the round's
+    /// pseudo-controller right after [`Self::compute_gvt`]. Each admitted
+    /// event is journaled and pushed to the thread owning its destination
+    /// LP *inside* the gate lock, so the admission check, the durability
+    /// append, and the queue-accounting publish are one atomic step with
+    /// respect to the next GVT fence. Returns the number injected.
+    pub fn pump_ingest(&self) -> u64 {
+        let Some(plane) = &self.ingest else {
+            return 0;
+        };
+        let res = plane.gate.pump(|_| true, &mut |ev| {
+            let dst = plane.map.thread_of(ev.key.dst).index();
+            self.push_msg(0, self.thread_base + dst, Msg::Event(ev));
+        });
+        match res {
+            Ok(out) => out.injected,
+            Err(e) => {
+                // Durability is gone for this admission: park the error for
+                // the runner (the run fails rather than silently accepting
+                // events a crash would lose).
+                let mut slot = plane.error.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                0
+            }
         }
     }
 }

@@ -14,10 +14,10 @@
 //!    the sequential reference engine finishes the simulation from the last
 //!    consistent cut, so a supervised run always completes.
 
-use crate::runner::{run_threads_resumable, RtResult, RtRunConfig, RunError};
+use crate::runner::{run_threads_attempt, RtResult, RtRunConfig, RunError};
 use pdes_core::{
-    run_sequential, run_sequential_from, Checkpoint, FaultInjector, Model, SequentialResult,
-    SimThreadId,
+    run_sequential_from_with, run_sequential_with, Checkpoint, FaultInjector, IngestGate, Model,
+    SequentialResult, SimThreadId,
 };
 use std::sync::Arc;
 
@@ -85,6 +85,20 @@ pub fn run_supervised<M: Model>(
     rc: &RtRunConfig,
     sup: &SupervisorConfig,
 ) -> SupervisedRun {
+    run_supervised_ingest(model, rc, sup, None)
+}
+
+/// [`run_supervised`] with an optional live ingest gate. The gate outlives
+/// every failed attempt: after each restore its accepted-but-uncut events
+/// are replayed (exactly once — see `pdes_core::ingest`), and the degraded
+/// sequential path merges the accepted suffix into the oracle's pending set
+/// so even a fully exhausted run commits every accepted event.
+pub fn run_supervised_ingest<M: Model>(
+    model: &Arc<M>,
+    rc: &RtRunConfig,
+    sup: &SupervisorConfig,
+    ingest: Option<Arc<IngestGate<M::Payload>>>,
+) -> SupervisedRun {
     let mut cfg = rc.clone();
     let mut ckpt: Option<Checkpoint<M::State, M::Payload>> = None;
     // Kills consumed since the newest checkpoint's fault cursor was taken.
@@ -103,7 +117,8 @@ pub fn run_supervised<M: Model>(
         for &t in &consumed {
             injector.consume_kill(t);
         }
-        let attempt = run_threads_resumable(model, &cfg, ckpt.as_ref(), Some(injector));
+        let attempt =
+            run_threads_attempt(model, &cfg, ckpt.as_ref(), Some(injector), ingest.clone());
         let loads = attempt.thread_loads;
         if let Some(c) = attempt.checkpoint {
             ckpt = Some(c);
@@ -127,14 +142,38 @@ pub fn run_supervised<M: Model>(
                 RunError::Stalled(_) => "stalled (watchdog)".to_string(),
                 RunError::WorkerPanicked { thread, message } =>
                     format!("worker {thread} panicked: {message}"),
+                RunError::Ingest(e) => format!("ingest journal failed: {e}"),
             }
         ));
         if recoveries >= sup.max_recoveries {
-            // Graceful degradation: finish sequentially from the last cut.
+            // Graceful degradation: finish sequentially from the last cut,
+            // with the accepted-but-uncut ingest suffix merged into the
+            // oracle's pending set (older accepted events are inside the
+            // cut already).
             let seq = match &ckpt {
-                Some(c) => run_sequential_from(model, &cfg.engine, c, None),
-                None => run_sequential(model, &cfg.engine, None),
+                Some(c) => {
+                    let extra: Vec<_> = ingest
+                        .as_ref()
+                        .map(|g| {
+                            g.accepted_events()
+                                .into_iter()
+                                .filter(|e| e.send_time >= c.gvt)
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    run_sequential_from_with(model, &cfg.engine, c, &extra, None)
+                }
+                None => {
+                    let extra = ingest
+                        .as_ref()
+                        .map(|g| g.accepted_events())
+                        .unwrap_or_default();
+                    run_sequential_with(model, &cfg.engine, &extra, None)
+                }
             };
+            if let Some(g) = &ingest {
+                g.close();
+            }
             log.push("recovery budget exhausted; degraded to sequential".into());
             return SupervisedRun {
                 outcome: Recovered::Sequential(seq),

@@ -351,6 +351,23 @@ pub fn worker_loop<M: Model>(
             // The closer stamps the per-round counter snapshot (no-op when
             // telemetry is off).
             sh.tel_round_snapshot(id);
+            if trace {
+                // Ingest verdicts land as per-round instants on the
+                // closer's lane (only rounds with activity emit anything).
+                if let Some((adm, rej, shed, busy)) = sh.ingest_round_deltas() {
+                    let now = sh.now_ns();
+                    for (kind, n) in [
+                        (EventKind::IngestAdmit, adm),
+                        (EventKind::IngestReject, rej),
+                        (EventKind::IngestShed, shed),
+                        (EventKind::IngestBusy, busy),
+                    ] {
+                        if n > 0 {
+                            tracer.instant(kind, now, n);
+                        }
+                    }
+                }
+            }
         }
         if closed && sys.affinity == AffinityPolicy::Dynamic && !terminated {
             let mut aff = sh.aff.lock();
@@ -446,9 +463,15 @@ fn drain_deliver<M: Model>(
 }
 
 /// Pseudo-controller duties: GVT, termination broadcast, activation.
-fn aware_duties<P>(sh: &RtShared<P>, sys: SystemConfig, id: u64) {
+fn aware_duties<P: Clone + serde::Serialize>(sh: &RtShared<P>, sys: SystemConfig, id: u64) {
     let gvt = sh.compute_gvt();
     let _ = gvt;
+    // Admit external events against the floor just published — before the
+    // checkpoint handshake, so an armed round's cut either drains the
+    // injected event into an engine (where `send_time = cut GVT` keeps it
+    // out of the snapshot) or journal replay covers it; either way exactly
+    // one copy survives a restore.
+    sh.pump_ingest();
     // Unblock End-phase snapshotters even when this GVT also terminates the
     // run — the final cut is still a valid (if redundant) checkpoint.
     sh.ckpt_publish_if_armed(id);

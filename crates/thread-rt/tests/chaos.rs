@@ -317,6 +317,7 @@ fn worker_panic_beats_watchdog_stall() {
         Err(RunError::Stalled(dump)) => {
             panic!("watchdog trip masked the worker panic: {dump}")
         }
+        Err(other) => panic!("unexpected failure mode: {other}"),
         Ok(_) => panic!("the bomb must go off"),
     }
 }

@@ -16,6 +16,7 @@
 //!        [--join-at N] [--leave-at S:N]
 //!        [--shard-id I --listen ADDR --connect ADDR ...] [--connect-timeout-secs T]
 //!        [--trace-out FILE] [--trace-capacity N] [--round-stream FILE] [--gantt]
+//!        [--ingest listen:ADDR|file:PATH|rate:N] [--ingest-journal PATH] [--ingest-replay]
 //! ```
 //!
 //! Distributed runtime (`--runtime dist`): with only `--shards N` the whole
@@ -64,6 +65,23 @@
 //! flags enables collection on every runtime — `vm` traces virtual time,
 //! `threads` wall time, `dist` merges per-shard wall clocks onto the
 //! coordinator's. Telemetry is off (and costs nothing) by default.
+//!
+//! External-event ingest (`--runtime threads|dist`): `--ingest` attaches a
+//! live admission gate to the running simulation and feeds it from one of
+//! three sources — `listen:ADDR` serves the framed TCP ingest protocol
+//! (see the `ingest` crate's `TcpEndpoint`/`IngestClient`), `file:PATH`
+//! drives a JSONL script of `IngestRequest` lines through a retrying local
+//! client, and `rate:N` synthesizes `N` seeded requests spread over the
+//! run's horizon (`--model phold` only; other models carry structured
+//! payloads — feed them with `file:`). Events stamped at or below the
+//! committed GVT floor are rejected with the floor so clients can re-stamp
+//! and retry; bounded queues answer `Busy`/`Shed` under overload.
+//! `--ingest-journal PATH` makes admissions crash-durable (JSONL, one
+//! record per accepted idempotency id; on loopback `dist` each shard `S`
+//! journals to `PATH.sS`), and `--ingest-replay` recovers the journal at
+//! startup and re-injects its suffix exactly once. Final admission
+//! counters print to stderr; `--verify` checks the committed trace against
+//! a sequential oracle fed the merged (seeded + accepted-ingest) stream.
 //!
 //! Recovery: `--checkpoint-every-gvt N` takes a GVT-aligned consistent cut
 //! every `N` GVT rounds (written atomically to `--checkpoint-path` when
@@ -117,6 +135,9 @@ struct Args {
     trace_capacity: Option<usize>,
     round_stream: Option<String>,
     gantt: bool,
+    ingest: Option<String>,
+    ingest_journal: Option<String>,
+    ingest_replay: bool,
 }
 
 impl Default for Args {
@@ -162,6 +183,9 @@ impl Default for Args {
             trace_capacity: None,
             round_stream: None,
             gantt: false,
+            ingest: None,
+            ingest_journal: None,
+            ingest_replay: false,
         }
     }
 }
@@ -292,6 +316,9 @@ fn parse_args() -> Args {
             }
             "--round-stream" => a.round_stream = Some(val()),
             "--gantt" => a.gantt = true,
+            "--ingest" => a.ingest = Some(val()),
+            "--ingest-journal" => a.ingest_journal = Some(val()),
+            "--ingest-replay" => a.ingest_replay = true,
             "--help" | "-h" => {
                 println!("see module docs: cargo doc --open -p ggpdes");
                 std::process::exit(0);
@@ -420,6 +447,193 @@ fn fault_plan(a: &Args) -> FaultPlan {
     FaultPlan::default()
 }
 
+/// What feeds the ingest gate, parsed from `--ingest`.
+enum IngestSource {
+    Listen(String),
+    File(String),
+    Rate(usize),
+}
+
+fn ingest_source(a: &Args) -> Option<IngestSource> {
+    let spec = a.ingest.as_ref()?;
+    Some(match spec.split_once(':') {
+        Some(("listen", addr)) if !addr.is_empty() => IngestSource::Listen(addr.into()),
+        Some(("file", path)) if !path.is_empty() => IngestSource::File(path.into()),
+        Some(("rate", n)) => IngestSource::Rate(
+            n.parse()
+                .unwrap_or_else(|e| die(2, &format!("--ingest rate '{n}': {e}"))),
+        ),
+        _ => die(
+            2,
+            &format!("--ingest '{spec}': want listen:ADDR | file:PATH | rate:N"),
+        ),
+    })
+}
+
+/// Whether any ingest flag is active (a gate must be built and reported).
+fn ingest_active(a: &Args) -> bool {
+    a.ingest.is_some() || a.ingest_journal.is_some() || a.ingest_replay
+}
+
+/// Build one shard's gate: fresh, journaling, or recovered-with-replay.
+/// `journal` already carries any per-shard suffix.
+fn build_gate<M: Model>(
+    a: &Args,
+    shard: u64,
+    journal: Option<&str>,
+) -> Arc<pdes_core::IngestGate<M::Payload>> {
+    use pdes_core::{IngestConfig, IngestGate};
+    let cfg = IngestConfig::default();
+    let gate = match journal {
+        Some(path) if a.ingest_replay => {
+            let (gate, replay) = IngestGate::recover(
+                cfg,
+                shard,
+                std::path::Path::new(path),
+                pdes_core::VirtualTime::ZERO,
+            )
+            .unwrap_or_else(|e| die(1, &format!("--ingest-replay: {e}")));
+            if gate.accepted_count() > 0 {
+                eprintln!(
+                    "ingest: recovered {} accepted event(s) from {path}; {} staged for replay",
+                    gate.accepted_count(),
+                    replay.len()
+                );
+            }
+            gate.stage_replay(replay);
+            gate
+        }
+        Some(path) => IngestGate::with_journal(cfg, shard, std::path::Path::new(path))
+            .unwrap_or_else(|e| die(1, &format!("--ingest-journal: {e}"))),
+        None => IngestGate::new(cfg, shard),
+    };
+    Arc::new(gate)
+}
+
+/// The client-facing feeder attached to the entry gate, torn down by
+/// [`finish_ingest`] after the run.
+struct IngestPlane {
+    server: Option<ingest::IngestServer>,
+    feeder: Option<std::thread::JoinHandle<ingest::DriveReport>>,
+}
+
+/// Start the `--ingest` source against `gate`: a TCP server, a scripted
+/// file driven through a retrying client, or seeded synthesis.
+fn start_feeder<M: Model>(
+    a: &Args,
+    gate: &Arc<pdes_core::IngestGate<M::Payload>>,
+    num_lps: u32,
+    synth: Option<fn(u64) -> M::Payload>,
+) -> IngestPlane {
+    let mut plane = IngestPlane {
+        server: None,
+        feeder: None,
+    };
+    let Some(src) = ingest_source(a) else {
+        return plane;
+    };
+    match src {
+        IngestSource::Listen(addr) => {
+            let server = ingest::IngestServer::spawn(Arc::clone(gate), &addr)
+                .unwrap_or_else(|e| die(1, &format!("--ingest listen:{addr}: {e}")));
+            eprintln!("ingest: serving external events on {}", server.addr());
+            plane.server = Some(server);
+        }
+        IngestSource::File(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(2, &format!("--ingest file:{path}: {e}")));
+            let script = ingest::parse_script::<M::Payload>(&text)
+                .unwrap_or_else(|e| die(2, &format!("--ingest file:{path}: {e}")));
+            eprintln!(
+                "ingest: driving {} scripted request(s) from {path}",
+                script.len()
+            );
+            plane.feeder = Some(spawn_driver(Arc::clone(gate), a.seed, script));
+        }
+        IngestSource::Rate(n) => {
+            let Some(payload) = synth else {
+                die(
+                    2,
+                    "--ingest rate:N synthesis is defined for --model phold; feed \
+                     other models with file:PATH (JSON payloads)",
+                )
+            };
+            let lo = pdes_core::VirtualTime::from_f64(a.end * 0.05)
+                .ticks()
+                .max(1);
+            let hi = pdes_core::VirtualTime::from_f64(a.end * 0.85)
+                .ticks()
+                .max(lo + 1);
+            let script = ingest::synth_requests(a.seed, 9, n, num_lps, lo, hi, payload);
+            eprintln!("ingest: driving {n} synthesized request(s)");
+            plane.feeder = Some(spawn_driver(Arc::clone(gate), a.seed, script));
+        }
+    }
+    plane
+}
+
+/// A local retrying client on its own thread: re-stamps on `Rejected`,
+/// backs off on `Busy`/`Shed`, gives up only after a generous budget.
+fn spawn_driver<P: Clone + Send + 'static>(
+    gate: Arc<pdes_core::IngestGate<P>>,
+    seed: u64,
+    script: Vec<pdes_core::IngestRequest<P>>,
+) -> std::thread::JoinHandle<ingest::DriveReport> {
+    std::thread::spawn(move || {
+        let mut client = ingest::IngestClient::with_policy(
+            ingest::local_endpoint(gate, std::time::Duration::from_secs(30)),
+            seed,
+            ingest::RetryPolicy {
+                max_attempts: 64,
+                ..ingest::RetryPolicy::default()
+            },
+        );
+        ingest::drive(&mut client, script)
+    })
+}
+
+/// Close the gates, land the feeder, and report admission counters.
+fn finish_ingest<P>(plane: IngestPlane, gates: &[Arc<pdes_core::IngestGate<P>>]) {
+    for g in gates {
+        g.close();
+    }
+    if let Some(h) = plane.feeder {
+        match h.join() {
+            Ok(r) => eprintln!(
+                "ingest: feeder: {} landed ({} duplicate), {} gave up, {} after close, \
+                 {} transport-failed; {} attempt(s), {} re-stamp(s)",
+                r.landed(),
+                r.duplicate,
+                r.gave_up,
+                r.closed,
+                r.transport_failed,
+                r.attempts,
+                r.restamped
+            ),
+            Err(_) => eprintln!("ingest: feeder thread panicked"),
+        }
+    }
+    if let Some(s) = plane.server {
+        s.shutdown();
+    }
+    let mut t = pdes_core::IngestStats::default();
+    for g in gates {
+        let s = g.stats();
+        t.submitted += s.submitted;
+        t.admitted += s.admitted;
+        t.rejected += s.rejected;
+        t.busy += s.busy;
+        t.shed += s.shed;
+        t.duplicate += s.duplicate;
+        t.replayed += s.replayed;
+    }
+    eprintln!(
+        "ingest: {} submitted, {} admitted, {} rejected, {} busy, {} shed, \
+         {} duplicate, {} replayed",
+        t.submitted, t.admitted, t.rejected, t.busy, t.shed, t.duplicate, t.replayed
+    );
+}
+
 /// Report a run that degraded to the sequential engine (no `RunMetrics` —
 /// the parallel attempt was abandoned), verify it if asked, and exit 0.
 fn finish_degraded<M: Model>(
@@ -427,9 +641,14 @@ fn finish_degraded<M: Model>(
     model: &Arc<M>,
     ecfg: &EngineConfig,
     a: &Args,
+    extra: &[pdes_core::Event<M::Payload>],
 ) -> ! {
     if a.verify {
-        let oracle = run_sequential(model, ecfg, None);
+        let oracle = if extra.is_empty() {
+            run_sequential(model, ecfg, None)
+        } else {
+            pdes_core::run_sequential_with(model, ecfg, extra, None)
+        };
         assert_eq!(
             seq.commit_digest, oracle.commit_digest,
             "degraded run diverged from the sequential oracle!"
@@ -457,6 +676,8 @@ fn run_dist<M: Model>(
     model: &Arc<M>,
     ecfg: &EngineConfig,
     a: &Args,
+    synth: Option<fn(u64) -> M::Payload>,
+    ingest_accepted: &mut Vec<pdes_core::Event<M::Payload>>,
 ) -> (RunMetrics, Option<telemetry::TelemetryData>) {
     use ggpdes::dist_rt::{self, DistError};
     use std::net::ToSocketAddrs;
@@ -587,7 +808,33 @@ fn run_dist<M: Model>(
     }
     if !multi_process {
         // Loopback: the whole cluster in this process, one thread per shard.
-        return match dist_rt::run_loopback(Arc::clone(model), ecfg, &dcfg) {
+        // With ingest active, every shard gets a gate (shard `s` journals to
+        // `PATH.s{s}`); the feeder enters at shard 0 and the mesh forwards
+        // each submission to the shard owning its destination LP.
+        let gates = ingest_active(a).then(|| -> dist_rt::IngestGates<M> {
+            (0..a.shards)
+                .map(|s| {
+                    let journal = a.ingest_journal.as_ref().map(|p| format!("{p}.s{s}"));
+                    build_gate::<M>(a, s as u64, journal.as_deref())
+                })
+                .collect()
+        });
+        let plane = gates
+            .as_ref()
+            .map(|gs| start_feeder::<M>(a, &gs[0], model.num_lps() as u32, synth));
+        let res = match &gates {
+            Some(gs) => {
+                dist_rt::run_loopback_ingest(Arc::clone(model), ecfg, &dcfg, Some(gs.clone()))
+            }
+            None => dist_rt::run_loopback(Arc::clone(model), ecfg, &dcfg),
+        };
+        if let (Some(p), Some(gs)) = (plane, &gates) {
+            finish_ingest(p, gs);
+            let mut evs: Vec<_> = gs.iter().flat_map(|g| g.accepted_events()).collect();
+            evs.sort_by_key(|e| e.key);
+            *ingest_accepted = evs;
+        }
+        return match res {
             Ok(r) => finish(r),
             Err(e) => fail("dist loopback", e),
         };
@@ -652,14 +899,44 @@ fn run_dist<M: Model>(
         connect: a.connect.clone(),
         dcfg,
     };
-    match dist_rt::run_shard_process(Arc::clone(model), ecfg, &opts) {
+    // Multi-process: this shard's own gate and feeder — each shard process
+    // may run its own `--ingest listen:` front door.
+    let gate =
+        ingest_active(a).then(|| build_gate::<M>(a, shard as u64, a.ingest_journal.as_deref()));
+    let plane = gate
+        .as_ref()
+        .map(|g| start_feeder::<M>(a, g, model.num_lps() as u32, synth));
+    if gate.is_some() && a.verify {
+        eprintln!(
+            "warning: --verify on a multi-process shard sees only this shard's \
+             admissions; events ingested at peers will fail the oracle check"
+        );
+    }
+    let res = dist_rt::run_shard_process_ingest(Arc::clone(model), ecfg, &opts, gate.clone());
+    if let (Some(p), Some(g)) = (plane, &gate) {
+        finish_ingest(p, std::slice::from_ref(g));
+        *ingest_accepted = g.accepted_events();
+    }
+    match res {
         Ok(Some(r)) => finish(r),
         Ok(None) => std::process::exit(0), // worker shard: coordinator reports
         Err(e) => fail(&format!("dist shard {shard}"), e),
     }
 }
 
-fn run<M: Model>(model: Arc<M>, a: &Args) {
+fn run<M: Model>(model: Arc<M>, a: &Args, synth: Option<fn(u64) -> M::Payload>) {
+    if ingest_active(a) {
+        if a.ingest_replay && a.ingest_journal.is_none() {
+            die(2, "--ingest-replay needs --ingest-journal PATH");
+        }
+        if a.runtime == "vm" {
+            die(
+                2,
+                "--ingest needs --runtime threads|dist (the vm is scripted; \
+                 see sim_rt::run_sim_ingest)",
+            );
+        }
+    }
     let ecfg = EngineConfig::default()
         .with_end_time(a.end)
         .with_seed(a.seed)
@@ -679,6 +956,9 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
     };
     let sup = pdes_core::SupervisorConfig::new(a.max_recoveries.unwrap_or(3));
     let tcfg = telemetry_cfg(a);
+    // Events admitted by the ingest plane, if one was attached: the verify
+    // oracle must be fed the merged (seeded + accepted-ingest) stream.
+    let mut ingest_accepted: Vec<pdes_core::Event<M::Payload>> = Vec::new();
 
     let (metrics, tel) = match a.runtime.as_str() {
         "vm" => {
@@ -715,7 +995,9 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                 }
                 match s.outcome {
                     sim_rt::VmRecovered::Parallel(r) => (r.metrics, r.telemetry),
-                    sim_rt::VmRecovered::Sequential(seq) => finish_degraded(&seq, &model, &ecfg, a),
+                    sim_rt::VmRecovered::Sequential(seq) => {
+                        finish_degraded(&seq, &model, &ecfg, a, &[])
+                    }
                 }
             } else {
                 let r = sim_rt::run_sim(&model, &rc);
@@ -743,22 +1025,40 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
             if let Some(p) = &a.checkpoint_path {
                 rc = rc.with_checkpoint_path(p.into());
             }
+            let gate = ingest_active(a).then(|| build_gate::<M>(a, 0, a.ingest_journal.as_deref()));
+            let plane = gate
+                .as_ref()
+                .map(|g| start_feeder::<M>(a, g, model.num_lps() as u32, synth));
             if supervised {
-                let s = thread_rt::run_supervised(&model, &rc, &sup);
+                let s = thread_rt::run_supervised_ingest(&model, &rc, &sup, gate.clone());
                 for line in &s.log {
                     eprintln!("supervisor: {line}");
                 }
                 if s.recoveries > 0 {
                     eprintln!("supervisor: completed after {} recovery(ies)", s.recoveries);
                 }
+                // Land the feeder and report admission counters before any
+                // exit path (the degraded branch never returns).
+                if let (Some(p), Some(g)) = (plane, &gate) {
+                    finish_ingest(p, std::slice::from_ref(g));
+                    ingest_accepted = g.accepted_events();
+                }
                 match s.outcome {
                     thread_rt::Recovered::Parallel(r) => (r.metrics, r.telemetry),
                     thread_rt::Recovered::Sequential(seq) => {
-                        finish_degraded(&seq, &model, &ecfg, a)
+                        finish_degraded(&seq, &model, &ecfg, a, &ingest_accepted)
                     }
                 }
             } else {
-                match thread_rt::run_threads(&model, &rc) {
+                let res = match &gate {
+                    Some(g) => thread_rt::run_threads_ingest(&model, &rc, Arc::clone(g)),
+                    None => thread_rt::run_threads(&model, &rc),
+                };
+                if let (Some(p), Some(g)) = (plane, &gate) {
+                    finish_ingest(p, std::slice::from_ref(g));
+                    ingest_accepted = g.accepted_events();
+                }
+                match res {
                     Ok(r) => (r.metrics, r.telemetry),
                     Err(err) => {
                         eprintln!("{err}");
@@ -767,17 +1067,24 @@ fn run<M: Model>(model: Arc<M>, a: &Args) {
                 }
             }
         }
-        "dist" => run_dist(&model, &ecfg, a),
+        "dist" => run_dist(&model, &ecfg, a, synth, &mut ingest_accepted),
         other => die(2, &format!("unknown runtime '{other}' (vm|threads|dist)")),
     };
 
     if a.verify {
-        let oracle = run_sequential(&model, &ecfg, None);
+        let (oracle, what) = if ingest_accepted.is_empty() {
+            (run_sequential(&model, &ecfg, None), "sequential")
+        } else {
+            (
+                pdes_core::run_sequential_with(&model, &ecfg, &ingest_accepted, None),
+                "merged-stream sequential",
+            )
+        };
         assert_eq!(
             metrics.commit_digest, oracle.commit_digest,
-            "run diverged from the sequential oracle!"
+            "run diverged from the {what} oracle!"
         );
-        eprintln!("verify: committed trace matches the sequential oracle ✓");
+        eprintln!("verify: committed trace matches the {what} oracle ✓");
     }
     report(&metrics, a.json);
     emit_telemetry(a, &tel, metrics.threads);
@@ -804,16 +1111,18 @@ fn main() {
                     LocalityPattern::Linear,
                 )
             };
-            run(Arc::new(Phold::new(cfg)), &a);
+            // PHOLD's unit payload is synthesizable, so `--ingest rate:N`
+            // works without a script.
+            run(Arc::new(Phold::new(cfg)), &a, Some(|_| ()));
         }
         "epidemics" => {
             let cfg = EpidemicsConfig::new(a.threads, a.lps, a.imbalance.max(2), a.end);
-            run(Arc::new(Epidemics::new(cfg)), &a);
+            run(Arc::new(Epidemics::new(cfg)), &a, None);
         }
         "traffic" => {
             let mut cfg = TrafficConfig::new(a.threads, a.lps, 0.5);
             cfg.mapping = MapKind::Block;
-            run(Arc::new(Traffic::new(cfg)), &a);
+            run(Arc::new(Traffic::new(cfg)), &a, None);
         }
         other => panic!("unknown model '{other}' (phold|epidemics|traffic)"),
     }

@@ -20,6 +20,8 @@
 //! * [`dist_rt`] — the engine partitioned into shards that exchange events
 //!   over reliable TCP/memory links, driven by an asynchronous
 //!   Mattern-style distributed GVT with checkpoint cuts and kill recovery;
+//! * [`ingest`] — the client-facing external-event ingest plane: retrying
+//!   admission clients, a framed TCP feeder, file/rate sources;
 //! * [`metrics`] — committed-event-rate and GVT-timing reporting.
 //!
 //! ## Quickstart
@@ -52,6 +54,7 @@
 //! ```
 
 pub use dist_rt;
+pub use ingest;
 pub use machine;
 pub use metrics;
 pub use models;
