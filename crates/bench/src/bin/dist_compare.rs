@@ -1,7 +1,10 @@
 //! Scripted runtime comparison: the sequential oracle, the 2-thread
-//! shared-memory runtime, and the 2-shard distributed runtime on the same
-//! balanced PHOLD workload, emitted as one JSON document (`BENCH_<n>.json`
-//! at the repo root — the repo's perf trajectory across PRs).
+//! shared-memory runtime, the 2-thread conservative (null-message) runtime,
+//! and the 2-shard distributed runtime on the same balanced PHOLD workload,
+//! emitted as one JSON document (`BENCH_<n>.json` at the repo root — the
+//! repo's perf trajectory across PRs). The cons-rt column is the repo's
+//! first optimistic-vs-conservative comparison on identical hardware and
+//! workload.
 //!
 //! ```text
 //! dist_compare [--out FILE] [--end T] [--seed S] [--parts N] [--lps-per N] [--repeat R]
@@ -214,6 +217,22 @@ fn main() {
     );
 
     let (wall, committed, digest) = best_of(o.repeat, || {
+        let rc = cons_rt::ConsRunConfig::new(o.parts, ecfg.clone(), sys);
+        let r = cons_rt::run_cons(&model, &rc).expect("cons run completes");
+        (r.metrics.committed, r.metrics.commit_digest)
+    });
+    let cons = Run {
+        runtime: "cons-rt-2",
+        wall_secs: wall,
+        committed,
+        commit_digest: digest,
+    };
+    eprintln!(
+        "cons-rt    : {:.3}s, {} committed",
+        cons.wall_secs, cons.committed
+    );
+
+    let (wall, committed, digest) = best_of(o.repeat, || {
         let dcfg = DistConfig {
             shards: o.parts,
             transport: Transport::Tcp,
@@ -233,7 +252,7 @@ fn main() {
         dist.wall_secs, dist.committed
     );
 
-    let runs = [seq, thr, dist];
+    let runs = [seq, thr, cons, dist];
     let equivalence = runs
         .iter()
         .all(|r| r.committed == runs[0].committed && r.commit_digest == runs[0].commit_digest);

@@ -1,0 +1,33 @@
+//! # ggpdes-cons-rt — the conservative null-message runtime
+//!
+//! A fourth runtime implementing Chandy–Misra–Bryant synchronization on the
+//! same chassis as the optimistic runtimes: `pdes_core::ThreadEngine` for
+//! event execution (its conservative entry point processes strictly below a
+//! bound and never rolls back), `thread_rt::RtShared` for queues, rounds,
+//! parking, checkpoints and telemetry, and [`plane::ConsPlane`] — new here —
+//! for the channel clocks that replace explicit null messages on shared
+//! memory.
+//!
+//! The protocol in one paragraph: every model declares a strictly positive
+//! **lookahead** (`Model::lookahead`) — a floor on the delay between
+//! processing an event and any event it schedules. Each thread continuously
+//! publishes `min(pending, bound) + lookahead` to its peers' channel clocks
+//! (a `fetch_max`; each raise is the shared-memory form of a null message)
+//! and processes strictly below `max(min input clock, LBTS + lookahead)`.
+//! The periodic wait-free reduction the optimistic runtimes call a GVT round
+//! doubles as an **LBTS round** here: same phases, same trace spans, same
+//! checkpoint cuts, but the published value bounds the future instead of
+//! ratifying the past. Positive lookahead guarantees every round strictly
+//! advances the bound, so the protocol cannot deadlock; zero lookahead is
+//! refused up front with [`runner::ConsError::ZeroLookahead`], and the
+//! liveness watchdog backstops models that break their declared contract.
+//!
+//! See DESIGN.md §15 for the safety argument and the deviations from
+//! textbook CMB.
+
+pub mod plane;
+pub mod runner;
+pub mod worker;
+
+pub use plane::ConsPlane;
+pub use runner::{run_cons, ConsError, ConsResult, ConsRunConfig};

@@ -1,0 +1,327 @@
+//! Spawn, run, and collect a conservative simulation.
+//!
+//! Mirrors `thread_rt::runner` deliberately: same spawn/poison/join
+//! discipline, same liveness watchdog, same metrics shape — a conservative
+//! run differs from an optimistic one by exactly one CLI flag, so it should
+//! differ here by exactly the protocol fields (`protocol`,
+//! `null_messages_sent`, `lbts_rounds`) and the up-front lookahead check.
+//!
+//! The watchdog earns special mention: the null-message protocol avoids
+//! deadlock only under strictly positive lookahead, and [`run_cons`] refuses
+//! zero-lookahead models with a structured [`ConsError::ZeroLookahead`]
+//! before spawning anything. The watchdog stays armed anyway, as the backstop
+//! behind the static check — a model that *declares* a positive lookahead but
+//! breaks the contract at runtime surfaces as a stall dump (or a nonzero
+//! rollback count), never as a silent hang.
+
+use crate::plane::ConsPlane;
+use crate::worker::{cons_worker_loop, ConsWorkerResult};
+use metrics::RunMetrics;
+use pdes_core::{
+    EngineConfig, LpId, LpMap, Model, SimThreadId, StallDump, ThreadEngine, VirtualTime,
+};
+use sim_rt::SystemConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use telemetry::{Telemetry, TelemetryConfig, TelemetryData};
+use thread_rt::affinity::num_cores;
+use thread_rt::ckpt::CkptSink;
+use thread_rt::shared::RtShared;
+
+/// Configuration for a conservative run.
+#[derive(Debug, Clone)]
+pub struct ConsRunConfig {
+    pub num_threads: usize,
+    pub engine: EngineConfig,
+    pub system: SystemConfig,
+    /// Cores used for the affinity policies (defaults to the host's count).
+    pub pin_cores: usize,
+    /// Wall-clock bound on LBTS progress before the liveness watchdog trips
+    /// (`None` disables the watchdog entirely).
+    pub watchdog: Option<Duration>,
+    /// Take an LBTS-aligned checkpoint every this many rounds (0 disables).
+    pub checkpoint_every_gvt: u64,
+    /// Also persist each checkpoint here (atomic rename-into-place).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Live telemetry (off by default; near-zero cost when disabled).
+    pub telemetry: TelemetryConfig,
+}
+
+impl ConsRunConfig {
+    pub fn new(num_threads: usize, engine: EngineConfig, system: SystemConfig) -> Self {
+        ConsRunConfig {
+            num_threads,
+            engine,
+            system,
+            pin_cores: num_cores(),
+            watchdog: Some(Duration::from_secs(30)),
+            checkpoint_every_gvt: 0,
+            checkpoint_path: None,
+            telemetry: TelemetryConfig::default(),
+        }
+    }
+
+    /// Override (or disable, with `None`) the liveness watchdog bound.
+    pub fn with_watchdog(mut self, bound: Option<Duration>) -> Self {
+        self.watchdog = bound;
+        self
+    }
+
+    /// Take an LBTS-aligned checkpoint every `every` rounds (0 disables).
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every_gvt = every;
+        self
+    }
+
+    /// Persist checkpoints to `path` (atomic rename-into-place).
+    pub fn with_checkpoint_path(mut self, path: PathBuf) -> Self {
+        self.checkpoint_path = Some(path);
+        self
+    }
+
+    /// Enable live telemetry (per-thread tracing + LBTS-round snapshots).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// Result of a conservative run.
+#[derive(Debug, Clone)]
+pub struct ConsResult {
+    pub metrics: RunMetrics,
+    /// Final state digest of every LP, ordered by LP id.
+    pub digests: Vec<u64>,
+    /// Collected trace + round snapshots (`None` when telemetry was off).
+    pub telemetry: Option<TelemetryData>,
+}
+
+/// Why a conservative run failed to complete (or refused to start).
+#[derive(Debug)]
+pub enum ConsError {
+    /// The model declared a non-positive lookahead. Null-message deadlock
+    /// avoidance needs a strictly positive one, so the run is refused before
+    /// any thread spawns rather than left to spin until the watchdog fires.
+    ZeroLookahead { lookahead: f64 },
+    /// The liveness watchdog saw no LBTS progress within its bound — the
+    /// backstop behind the static lookahead check.
+    Stalled(Box<StallDump>),
+    /// A worker thread panicked; siblings were woken and drained.
+    WorkerPanicked { thread: usize, message: String },
+}
+
+impl std::fmt::Display for ConsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsError::ZeroLookahead { lookahead } => write!(
+                f,
+                "conservative runtime requires strictly positive lookahead \
+                 (model declared {lookahead}): without it null messages cannot \
+                 break the send/receive cycle and the run would deadlock"
+            ),
+            ConsError::Stalled(dump) => write!(f, "{dump}"),
+            ConsError::WorkerPanicked { thread, message } => {
+                write!(f, "worker thread {thread} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConsError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `model` conservatively on real threads. Blocks until the simulation
+/// completes, a worker panics, or the watchdog trips — never hangs while the
+/// watchdog is armed.
+pub fn run_cons<M: Model>(model: &Arc<M>, rc: &ConsRunConfig) -> Result<ConsResult, ConsError> {
+    let la = model.lookahead();
+    // NaN must land in the refusal branch too, hence the explicit check
+    // rather than a plain `la <= 0.0`.
+    if la <= 0.0 || la.is_nan() {
+        return Err(ConsError::ZeroLookahead { lookahead: la });
+    }
+    let lookahead = VirtualTime::from_f64(la);
+    let n = rc.num_threads;
+    assert!(
+        model.num_lps().is_multiple_of(n),
+        "weak scaling requires LPs divisible by thread count"
+    );
+    let map = LpMap::new(model.num_lps(), n, rc.engine.mapping);
+    let mut shared_init: RtShared<M::Payload> = RtShared::new(n, rc.pin_cores, rc.engine.end_time);
+    shared_init.set_checkpoint_every(rc.checkpoint_every_gvt);
+    shared_init.set_telemetry(Telemetry::new(rc.telemetry.clone()));
+    let shared = Arc::new(shared_init);
+    let plane = Arc::new(ConsPlane::new(n, lookahead));
+    let sink: Arc<CkptSink<M>> = Arc::new(CkptSink::new(
+        if rc.checkpoint_every_gvt > 0 {
+            rc.checkpoint_path.clone()
+        } else {
+            None
+        },
+        map.clone(),
+    ));
+
+    // Build engines and pre-route the initial events. The lookahead contract
+    // covers init sends too (they are scheduled from virtual time zero), so
+    // nothing lands below the first cycle's bound.
+    let mut engines = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut eng = ThreadEngine::new(
+            Arc::clone(model),
+            map.clone(),
+            SimThreadId(t as u32),
+            &rc.engine,
+        );
+        for (dst, msg) in eng.take_init_events() {
+            shared.push_msg(t, dst.index(), msg);
+        }
+        engines.push(eng);
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (t, eng) in engines.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        let pl = Arc::clone(&plane);
+        let sys = rc.system;
+        let ecfg = rc.engine.clone();
+        let pin_cores = rc.pin_cores;
+        let ck = Arc::clone(&sink);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("cons{t}"))
+                .spawn(move || {
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        cons_worker_loop(t, eng, Arc::clone(&sh), pl, sys, ecfg, pin_cores, ck)
+                    }));
+                    match caught {
+                        Ok(r) => Ok(r),
+                        Err(payload) => {
+                            sh.poison_all();
+                            Err(panic_message(payload.as_ref()))
+                        }
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+
+    // Liveness watchdog, identical to the optimistic runner's: sample
+    // (bound, rounds) and trip when neither moves within the bound.
+    let monitor_exit = Arc::new(AtomicBool::new(false));
+    let monitor = rc.watchdog.map(|bound| {
+        let sh = Arc::clone(&shared);
+        let exit = Arc::clone(&monitor_exit);
+        let system = rc.system.name();
+        let tick = (bound / 8).clamp(Duration::from_millis(5), Duration::from_millis(500));
+        std::thread::Builder::new()
+            .name("watchdog".into())
+            .spawn(move || -> Option<Box<StallDump>> {
+                let mut last = (0u64, 0u64);
+                let mut last_change = Instant::now();
+                loop {
+                    std::thread::park_timeout(tick);
+                    if exit.load(Ordering::Acquire) || sh.terminated.load(Ordering::Acquire) {
+                        return None;
+                    }
+                    let now = (sh.gvt().ticks(), sh.gvt_rounds.load(Ordering::Acquire));
+                    if now != last {
+                        last = now;
+                        last_change = Instant::now();
+                        continue;
+                    }
+                    if last_change.elapsed() < bound {
+                        continue;
+                    }
+                    let reason = format!(
+                        "no LBTS progress for {:.1}s (bound {:.1}s) — \
+                         null-message protocol wedged",
+                        last_change.elapsed().as_secs_f64(),
+                        bound.as_secs_f64()
+                    );
+                    let dump = Box::new(sh.build_stall_dump(&reason, &system));
+                    sh.watchdog_tripped.store(true, Ordering::Release);
+                    sh.poison_all();
+                    return Some(dump);
+                }
+            })
+            .expect("spawn watchdog")
+    });
+
+    let mut results: Vec<Option<ConsWorkerResult>> = (0..n).map(|_| None).collect();
+    let mut first_panic: Option<(usize, String)> = None;
+    for (t, h) in handles.into_iter().enumerate() {
+        match h.join().expect("worker join") {
+            Ok(r) => results[t] = Some(r),
+            Err(message) => {
+                if first_panic.is_none() {
+                    first_panic = Some((t, message));
+                }
+            }
+        }
+    }
+    monitor_exit.store(true, Ordering::Release);
+    let stall = monitor.and_then(|m| {
+        m.thread().unpark();
+        m.join().expect("watchdog panicked")
+    });
+    let wall = start.elapsed();
+
+    // Panic beats stall, exactly as in the optimistic runner.
+    if let Some((thread, message)) = first_panic {
+        return Err(ConsError::WorkerPanicked { thread, message });
+    }
+    if let Some(dump) = stall {
+        return Err(ConsError::Stalled(dump));
+    }
+
+    let mut total = pdes_core::ThreadStats::default();
+    let mut digests: Vec<(LpId, u64)> = Vec::new();
+    for r in results.iter().flatten() {
+        total.merge(&r.stats);
+        digests.extend(r.digests.iter().copied());
+    }
+    digests.sort_by_key(|&(lp, _)| lp);
+
+    let rounds = shared.gvt_rounds.load(Ordering::Acquire);
+    let telemetry_data = shared.telemetry.enabled().then(|| shared.telemetry.take());
+    let metrics = RunMetrics {
+        system: rc.system.name(),
+        threads: n,
+        lps: model.num_lps(),
+        wall_secs: wall.as_secs_f64(),
+        committed: total.committed,
+        processed: total.processed,
+        rolled_back: total.rolled_back,
+        rollbacks: total.rollbacks,
+        antis_sent: total.antis_sent,
+        gvt_rounds: rounds,
+        gvt_cpu_secs: shared.gvt_wall_ns.load(Ordering::Acquire) as f64 * 1e-9,
+        max_descheduled: shared.max_descheduled.load(Ordering::Acquire),
+        commit_digest: total.commit_digest,
+        pin_failures: shared.aff.lock().pin_failures,
+        last_round: telemetry_data
+            .as_ref()
+            .and_then(|d| d.last_round().cloned()),
+        protocol: "conservative".into(),
+        null_messages_sent: plane.null_messages(),
+        lbts_rounds: rounds,
+        ..Default::default()
+    };
+    Ok(ConsResult {
+        metrics,
+        digests: digests.into_iter().map(|(_, d)| d).collect(),
+        telemetry: telemetry_data,
+    })
+}

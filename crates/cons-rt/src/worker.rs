@@ -1,0 +1,476 @@
+//! The conservative per-thread worker: a Chandy–Misra–Bryant main loop on
+//! the optimistic runtime's chassis.
+//!
+//! The loop shape is deliberately identical to `thread_rt::worker` — same
+//! GVT/LBTS round phases, same tracer spans, same park/unpark machinery,
+//! same checkpoint handshake — so every downstream consumer (trace_check,
+//! round-stream exporters, stall dumps, checkpoint assembly) works on
+//! conservative runs unchanged. Only the cycle differs: instead of
+//! speculating and rolling back, it computes a processing bound from the
+//! null-message plane and the published GVT, publishes its own outgoing
+//! guarantee, and executes strictly below the bound. The rollback machinery
+//! underneath stays cold (and doubles as a loud safety net: a model that
+//! breaks its declared lookahead shows up as a nonzero rollback count, not
+//! silent corruption).
+//!
+//! ## Why the bound is safe
+//!
+//! A cycle reads its clock row and the GVT *before* draining, then processes
+//! strictly below `bound = max(row min, GVT + lookahead)`. Two independent
+//! arguments cover the two halves (full sketch in DESIGN.md §15):
+//!
+//! * **Channels.** A clock raise is an `AcqRel` RMW; events the sender pushed
+//!   before a raise we observed are visible to our subsequent drain, and
+//!   events pushed after it are stamped at or above the raised value.
+//! * **Rounds.** Every event a thread processes sits at or above its own
+//!   phase-A fold, and the round's GVT is at or below every fold — so sends
+//!   produced after a fold are at or above `GVT + lookahead`, while pushes
+//!   from before the fold happen-before the GVT's publication (fold →
+//!   `a_done` RMW → controller's acquire → GVT release-store → our acquire
+//!   read) and are therefore visible to the post-read drain. Parked threads
+//!   pin their pending floor into the reduction via `park_min`, which closes
+//!   the same argument for threads that resume mid-round.
+
+use crate::plane::ConsPlane;
+use pdes_core::{EngineConfig, LpId, Model, Msg, Outbound, ThreadEngine, VirtualTime};
+use sim_rt::{AffinityPolicy, SystemConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use telemetry::{EventKind, Tracer};
+use thread_rt::affinity::{current_tid, note_pin_failure, pin_to_core, OsTid};
+use thread_rt::ckpt::CkptSink;
+use thread_rt::shared::RtShared;
+
+/// Result of one conservative worker thread.
+pub struct ConsWorkerResult {
+    pub stats: pdes_core::ThreadStats,
+    pub digests: Vec<(LpId, u64)>,
+}
+
+/// Wake parked threads the new bound lets advance. The conservative
+/// counterpart of `RtShared::activate`: queued input wakes a thread exactly
+/// as in the optimistic runtime, and additionally a parked pending floor
+/// strictly below the thread's processing bound means its blocked channels
+/// have opened — there is demand again.
+fn activate_cons<P>(sh: &RtShared<P>, plane: &ConsPlane) -> usize {
+    let mut n = 0;
+    if sh.num_active.load(Ordering::Acquire) < sh.num_threads {
+        let round_bound = sh.gvt().saturating_add(plane.lookahead());
+        let mut m = sh.membership.lock();
+        for i in 0..sh.num_threads {
+            if sh.active[i].load(Ordering::Acquire) {
+                continue;
+            }
+            let bound = plane.input_bound(i).max(round_bound);
+            let floor = VirtualTime::from_ticks(sh.park_min_ticks(i));
+            if sh.queue_len[i].load(Ordering::Acquire) > 0 || floor < bound {
+                sh.active[i].store(true, Ordering::Release);
+                m.subscribed[i] = true;
+                sh.num_active.fetch_add(1, Ordering::AcqRel);
+                sh.sems[i].post();
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Pseudo-controller duties of a conservative LBTS round: compute and
+/// publish the bound (the same wait-free reduction the optimistic runtime
+/// calls GVT), release armed checkpoint snapshotters, and either broadcast
+/// termination or wake the parked threads the new bound unblocks.
+fn aware_duties_cons<P>(sh: &RtShared<P>, plane: &ConsPlane, id: u64) {
+    let _ = sh.compute_gvt();
+    sh.ckpt_publish_if_armed(id);
+    if sh.terminated.load(Ordering::Acquire) {
+        sh.release_all_for_termination();
+    } else {
+        activate_cons(sh, plane);
+    }
+}
+
+/// Run conservative simulation thread `me` to completion.
+#[allow(clippy::too_many_arguments)]
+pub fn cons_worker_loop<M: Model>(
+    me: usize,
+    mut engine: ThreadEngine<M>,
+    sh: Arc<RtShared<M::Payload>>,
+    plane: Arc<ConsPlane>,
+    sys: SystemConfig,
+    ecfg: EngineConfig,
+    pin_cores: usize,
+    ckpt: Arc<CkptSink<M>>,
+) -> ConsWorkerResult {
+    sh.os_tids[me].store(current_tid().0, Ordering::Release);
+    let mut tracer = sh.telemetry.tracer(me);
+    if sys.affinity == AffinityPolicy::Constant {
+        let core = me % pin_cores.max(1);
+        if pin_to_core(current_tid(), core) {
+            tracer.instant(EventKind::Pin, sh.now_ns(), core as u64);
+        } else {
+            note_pin_failure(core);
+            sh.aff.lock().pin_failures += 1;
+        }
+    }
+
+    let la = plane.lookahead();
+    let mut inbox: Vec<Msg<M::Payload>> = Vec::new();
+    let mut outbox: Vec<Outbound<M::Payload>> = Vec::new();
+    let mut cycles_since_gvt: u64 = 0;
+    let mut zero_counter: u64 = 0;
+    let mut active_flag = true;
+    let mut joined: Option<u64> = None;
+    let mut idle_spins: u32 = 0;
+    let mut backoff = pdes_core::GvtBackoff::default();
+
+    // One conservative cycle; returns whether it did useful work. The order
+    // inside is the whole protocol: read the bound sources, drain, publish
+    // the outgoing guarantee, process, push. Publishing *before* processing
+    // keeps the guarantee ahead of every send the batch can emit, mirroring
+    // the window-min-before-push invariant of the optimistic send path.
+    let cycle = |engine: &mut ThreadEngine<M>,
+                 inbox: &mut Vec<Msg<M::Payload>>,
+                 outbox: &mut Vec<Outbound<M::Payload>>,
+                 zero_counter: &mut u64,
+                 active_flag: &mut bool,
+                 idle_spins: &mut u32,
+                 tracer: &mut Tracer,
+                 sh: &RtShared<M::Payload>| {
+        let trace = tracer.enabled();
+        let t0 = if trace { sh.now_ns() } else { 0 };
+        // Bound sources are read before the drain: anything pushed before
+        // the clock raise / GVT publication we observe here is visible to
+        // the drain below, anything pushed after is at or above the bound.
+        let bound = plane.input_bound(me).max(sh.gvt().saturating_add(la));
+        inbox.clear();
+        let n = sh.drain(me, inbox);
+        outbox.clear();
+        for m in inbox.drain(..) {
+            engine.deliver(m, outbox);
+        }
+        // Outgoing promise: batch sends are at or above pending-min +
+        // lookahead; later arrivals we might forward are at or above
+        // bound + lookahead. Published before the batch runs.
+        let guarantee = engine.local_min().min(bound).saturating_add(la);
+        plane.publish(me, guarantee);
+        let batch = engine.process_conservative(bound, ecfg.batch_size, outbox);
+        for (dst, msg) in outbox.drain(..) {
+            sh.push_msg(me, dst.index(), msg);
+        }
+        if trace && batch.processed > 0 {
+            tracer.span(
+                EventKind::EventBatch,
+                t0,
+                sh.now_ns(),
+                batch.processed as u64,
+            );
+        }
+        let idle = n == 0 && batch.processed == 0;
+        if idle {
+            *zero_counter += 1;
+            if *zero_counter > ecfg.zero_counter_threshold as u64 {
+                *active_flag = false;
+            }
+            *idle_spins += 1;
+            if (*idle_spins).is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        } else {
+            *zero_counter = 0;
+            *active_flag = true;
+            *idle_spins = 0;
+        }
+        !idle
+    };
+
+    loop {
+        sh.set_phase(me, 0); // cycle
+        if sh.terminated.load(Ordering::Acquire) {
+            break;
+        }
+        cycle(
+            &mut engine,
+            &mut inbox,
+            &mut outbox,
+            &mut zero_counter,
+            &mut active_flag,
+            &mut idle_spins,
+            &mut tracer,
+            &sh,
+        );
+        cycles_since_gvt += 1;
+
+        let round_waiting = sh
+            .round_waiting_for(me)
+            .is_some_and(|id| joined != Some(id));
+        let base_interval = match ecfg.adaptive_gvt {
+            Some(a) => a.effective_interval(ecfg.gvt_interval, engine.history_len()),
+            None => ecfg.gvt_interval,
+        };
+        let interval = backoff.effective_interval(base_interval);
+        if cycles_since_gvt < interval as u64 && !round_waiting {
+            continue;
+        }
+        let (participate, id) = sh.try_join_round(me);
+        if !participate || joined == Some(id) {
+            continue;
+        }
+        joined = Some(id);
+        sh.note_joined(me, id);
+        cycles_since_gvt = 0;
+        let enter = Instant::now();
+        let trace = tracer.enabled();
+        let mut ph = if trace { sh.now_ns() } else { 0 };
+
+        // ---- the LBTS round (the optimistic GVT round, verbatim) ----
+        // Phase A.
+        sh.set_phase(me, 1); // gvt-a
+        drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+        let local = engine.local_min();
+        sh.fold_min(me, local);
+        if trace {
+            sh.tel_publish(me, local, engine.stats());
+            let now = sh.now_ns();
+            tracer.span(EventKind::GvtA, ph, now, id);
+            ph = now;
+        }
+        sh.a_done.fetch_add(1, Ordering::AcqRel);
+        let parts = sh.participants();
+        sh.set_phase(me, 2); // gvt-send-a
+        while sh.a_done.load(Ordering::Acquire) < parts && !sh.terminated.load(Ordering::Acquire) {
+            cycle(
+                &mut engine,
+                &mut inbox,
+                &mut outbox,
+                &mut zero_counter,
+                &mut active_flag,
+                &mut idle_spins,
+                &mut tracer,
+                &sh,
+            );
+        }
+        // Phase B.
+        sh.set_phase(me, 3); // gvt-b
+        if trace {
+            let now = sh.now_ns();
+            tracer.span(EventKind::GvtSendA, ph, now, id);
+            ph = now;
+        }
+        drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+        let local = engine.local_min();
+        sh.fold_min(me, local);
+        if trace {
+            sh.tel_publish(me, local, engine.stats());
+            let now = sh.now_ns();
+            tracer.span(EventKind::GvtB, ph, now, id);
+            ph = now;
+        }
+        sh.b_done.fetch_add(1, Ordering::AcqRel);
+        sh.set_phase(me, 4); // gvt-send-b
+        while sh.b_done.load(Ordering::Acquire) < parts && !sh.terminated.load(Ordering::Acquire) {
+            cycle(
+                &mut engine,
+                &mut inbox,
+                &mut outbox,
+                &mut zero_counter,
+                &mut active_flag,
+                &mut idle_spins,
+                &mut tracer,
+                &sh,
+            );
+        }
+        // Phase Aware.
+        sh.set_phase(me, 5); // gvt-aware
+        if trace {
+            let now = sh.now_ns();
+            tracer.span(EventKind::GvtSendB, ph, now, id);
+            ph = now;
+        }
+        if sh
+            .aware_claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            aware_duties_cons(&sh, &plane, id);
+        }
+        if trace {
+            let now = sh.now_ns();
+            tracer.span(EventKind::GvtAware, ph, now, id);
+            ph = now;
+        }
+
+        // Phase End: fossil-collect at the published bound (below an LBTS
+        // nothing can arrive, so commitment is final here exactly as it is
+        // below a GVT), and serve an armed checkpoint cut.
+        sh.set_phase(me, 6); // gvt-end
+        if sh.ckpt_armed_for(id) {
+            while !sh.ckpt_ready() && !sh.terminated.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            if sh.ckpt_ready() {
+                let cw0 = if trace { sh.now_ns() } else { 0 };
+                inbox.clear();
+                sh.drain_clean(me, &mut inbox);
+                outbox.clear();
+                for m in inbox.drain(..) {
+                    engine.deliver(m, &mut outbox);
+                }
+                for (dst, msg) in outbox.drain(..) {
+                    sh.push_msg(me, dst.index(), msg);
+                }
+                let g = sh.gvt();
+                engine.fossil_collect(g);
+                let (lps, events) = engine.snapshot_at_gvt(g);
+                ckpt.deposit(
+                    id,
+                    g,
+                    sh.gvt_rounds.load(Ordering::Acquire),
+                    lps,
+                    events,
+                    sh.participants(),
+                    &sh.faults,
+                );
+                if trace {
+                    tracer.span(EventKind::CheckpointWrite, cw0, sh.now_ns(), id);
+                }
+            } else {
+                engine.fossil_collect(sh.gvt());
+            }
+        } else {
+            engine.fossil_collect(sh.gvt());
+        }
+        sh.gvt_wall_ns
+            .fetch_add(enter.elapsed().as_nanos() as u64, Ordering::AcqRel);
+        backoff.observe(sh.gvt().ticks(), ecfg.gvt_max_no_change);
+        let terminated = sh.terminated.load(Ordering::Acquire);
+        // Conservative parking condition: no queued input, send window
+        // folded, and a sustained run of idle cycles — which here covers
+        // both "nothing pending" and "pending but every channel blocked
+        // below it". Unlike the optimistic worker, live pending does *not*
+        // veto the park: the pending floor is published to the reduction
+        // below, and the round closer's `activate_cons` wakes us the moment
+        // a bound passes it.
+        let wants_deact = sys.demand_driven()
+            && !terminated
+            && !active_flag
+            && sh.queue_len[me].load(Ordering::Acquire) == 0
+            && sh.window_is_clear(me);
+        if trace {
+            sh.tel_publish(me, engine.local_min(), engine.stats());
+        }
+        let closed = sh.end_phase();
+        if closed {
+            sh.tel_round_snapshot(id);
+            if trace {
+                let d = plane.null_round_delta();
+                if d > 0 {
+                    tracer.instant(EventKind::NullMsg, sh.now_ns(), d);
+                }
+            }
+        }
+        if closed && sys.affinity == AffinityPolicy::Dynamic && !terminated {
+            let mut aff = sh.aff.lock();
+            let tids: Vec<OsTid> = sh
+                .os_tids
+                .iter()
+                .map(|t| OsTid(t.load(Ordering::Acquire)))
+                .collect();
+            let moved = aff.assign(|t| sh.active[t].load(Ordering::Acquire), &tids);
+            if trace && moved > 0 {
+                tracer.instant(EventKind::Migrate, sh.now_ns(), moved as u64);
+            }
+        }
+        if trace {
+            tracer.span(EventKind::GvtEnd, ph, sh.now_ns(), id);
+        }
+        if terminated {
+            break;
+        }
+        if wants_deact {
+            // Publish the pending floor *before* the membership transition:
+            // any round opened after we unsubscribe acquires the membership
+            // lock after us and therefore reads the floor — the reduction
+            // can never overshoot events only we know about.
+            sh.set_park_min(me, engine.local_min());
+            if sh.deactivate_self(me, id) {
+                sh.set_phase(me, 7); // parked
+                let park0 = if trace { sh.now_ns() } else { 0 };
+                if trace {
+                    sh.tel_publish(me, VirtualTime::INFINITY, engine.stats());
+                }
+                sh.sems[me].wait();
+                while !sh.active[me].load(Ordering::Acquire)
+                    && !sh.terminated.load(Ordering::Acquire)
+                {
+                    sh.sems[me].wait();
+                }
+                sh.clear_park_min(me);
+                zero_counter = 0;
+                active_flag = true;
+                cycles_since_gvt = 0;
+                if trace {
+                    let now = sh.now_ns();
+                    tracer.span(EventKind::Park, park0, now, id);
+                    tracer.instant(EventKind::Unpark, now, id);
+                }
+                if sh.terminated.load(Ordering::Acquire) {
+                    break;
+                }
+            } else {
+                // Refused (last active thread, or a newer round already
+                // counts us): withdraw the floor, or the reduction would be
+                // pinned below a thread that keeps running.
+                sh.clear_park_min(me);
+            }
+        }
+    }
+
+    // Terminal sweep: the terminating LBTS proved every queued and pending
+    // event sits at or beyond the end time, so one chaos-free drain plus an
+    // unbounded conservative pass processes exactly the events *at* the end
+    // time — the same set the sequential oracle executes — with no further
+    // cross-thread dependence. Their sends land strictly beyond the end time
+    // (lookahead is positive) and are dropped, as the oracle drops them.
+    sh.set_phase(me, 8); // done
+    inbox.clear();
+    sh.drain_clean(me, &mut inbox);
+    outbox.clear();
+    for m in inbox.drain(..) {
+        engine.deliver(m, &mut outbox);
+    }
+    loop {
+        outbox.clear();
+        let b = engine.process_conservative(VirtualTime::INFINITY, ecfg.batch_size, &mut outbox);
+        if b.processed == 0 {
+            break;
+        }
+    }
+    engine.finalize();
+    sh.telemetry.deposit(tracer);
+    ConsWorkerResult {
+        stats: engine.stats().clone(),
+        digests: engine.state_digests(),
+    }
+}
+
+/// Drain and deliver before folding an LBTS minimum.
+fn drain_deliver<M: Model>(
+    me: usize,
+    engine: &mut ThreadEngine<M>,
+    inbox: &mut Vec<Msg<M::Payload>>,
+    outbox: &mut Vec<Outbound<M::Payload>>,
+    sh: &RtShared<M::Payload>,
+) {
+    inbox.clear();
+    sh.drain(me, inbox);
+    outbox.clear();
+    for m in inbox.drain(..) {
+        engine.deliver(m, outbox);
+    }
+    for (dst, msg) in outbox.drain(..) {
+        sh.push_msg(me, dst.index(), msg);
+    }
+}

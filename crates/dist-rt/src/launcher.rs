@@ -349,6 +349,7 @@ fn assemble_result(out: NodeOutcome, shards: usize, lps: usize, wall_secs: f64) 
         max_descheduled: out.max_parked as usize,
         commit_digest: out.totals.commit_digest,
         last_round: telemetry.as_ref().and_then(|d| d.last_round().cloned()),
+        protocol: "optimistic".into(),
         ..Default::default()
     };
     DistResult {

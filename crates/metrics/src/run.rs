@@ -43,6 +43,16 @@ pub struct RunMetrics {
     /// when the run was traced (`None` with telemetry off; absent fields
     /// in older JSON deserialize to `None`).
     pub last_round: Option<pdes_core::RoundCounters>,
+    /// Synchronization protocol of the runtime: `"optimistic"` (Time Warp)
+    /// or `"conservative"` (null-message), so downstream tooling needn't
+    /// sniff the runtime from `system`.
+    pub protocol: String,
+    /// Null-message guarantees published (conservative runtimes only;
+    /// zero on optimistic runtimes).
+    pub null_messages_sent: u64,
+    /// LBTS reduction rounds completed (conservative runtimes only; zero
+    /// on optimistic runtimes, which count `gvt_rounds` instead).
+    pub lbts_rounds: u64,
 }
 
 impl RunMetrics {
@@ -105,11 +115,28 @@ mod tests {
         let m = RunMetrics {
             system: "GG-PDES-Async".into(),
             threads: 256,
+            protocol: "optimistic".into(),
             ..Default::default()
         };
         let j = serde_json::to_string(&m).unwrap();
         assert!(j.contains("GG-PDES-Async"));
+        assert!(j.contains("\"protocol\":\"optimistic\""));
         let back: RunMetrics = serde_json::from_str(&j).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn protocol_fields_round_trip() {
+        let m = RunMetrics {
+            protocol: "conservative".into(),
+            null_messages_sent: 42,
+            lbts_rounds: 7,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.protocol, "conservative");
+        assert_eq!(back.null_messages_sent, 42);
+        assert_eq!(back.lbts_rounds, 7);
     }
 }

@@ -251,6 +251,11 @@ impl Model for Epidemics {
         let mut s = d ^ 0x5E1A_11D3_77C9_204B;
         pdes_core::rng::splitmix64(&mut s)
     }
+
+    fn lookahead(&self) -> f64 {
+        // Incubation, recovery, and contact delays all add this floor.
+        self.cfg.lookahead
+    }
 }
 
 #[cfg(test)]

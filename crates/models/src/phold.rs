@@ -125,6 +125,12 @@ impl Model for Phold {
         let mut s = *state ^ 0x9827_41FD_0B5C_6E13;
         pdes_core::rng::splitmix64(&mut s)
     }
+
+    fn lookahead(&self) -> f64 {
+        // Every delay is `cfg.lookahead + Exp(mean_delay)` — the additive
+        // floor is the model's conservative lookahead.
+        self.cfg.lookahead
+    }
 }
 
 #[cfg(test)]

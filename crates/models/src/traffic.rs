@@ -227,6 +227,11 @@ impl Model for Traffic {
         let mut s = state.arrivals ^ state.departures.rotate_left(17) ^ (state.queued << 48);
         pdes_core::rng::splitmix64(&mut s)
     }
+
+    fn lookahead(&self) -> f64 {
+        // Arrival, service, and travel delays all add this floor.
+        self.cfg.lookahead
+    }
 }
 
 #[cfg(test)]

@@ -315,6 +315,49 @@ impl<M: Model> ThreadEngine<M> {
         out
     }
 
+    /// Conservative (Chandy–Misra–Bryant) batch: process up to `max`
+    /// pending events whose receive time is **strictly below** `bound`
+    /// (and at or below the end time). The caller guarantees no event
+    /// below `bound` can still arrive, so — unlike [`process_batch`] —
+    /// nothing here is speculative and nothing will ever roll back.
+    /// Remote sends are appended to `outbox`; local sends are delivered
+    /// immediately and may extend the work available to this same batch.
+    pub fn process_conservative(
+        &mut self,
+        bound: VirtualTime,
+        max: usize,
+        outbox: &mut Vec<Outbound<M::Payload>>,
+    ) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        let model = Arc::clone(&self.model);
+        for _ in 0..max {
+            let Some(min) = self.pending.min_key() else {
+                break;
+            };
+            if min.recv_time >= bound || min.recv_time > self.end_time {
+                break;
+            }
+            let ev = self.pending.pop_min().expect("min exists");
+            let lp = self.lp_slot(ev.dst());
+            let sends = lp.process(model.as_ref(), ev);
+            self.stats.processed += 1;
+            out.processed += 1;
+            out.sent += sends.len() as u32;
+            self.stats.events_sent += sends.len() as u64;
+            for ev in sends {
+                let dst_thread = self.map.thread_of(ev.dst());
+                if dst_thread == self.tid {
+                    let d = self.deliver(Msg::Event(ev), outbox);
+                    out.rolled_back += d.rolled_back;
+                } else {
+                    outbox.push((dst_thread, Msg::Event(ev)));
+                }
+            }
+        }
+        out.remote_msgs = outbox.len() as u32;
+        out
+    }
+
     /// Fossil-collect every LP below `gvt`; returns newly committed events.
     pub fn fossil_collect(&mut self, gvt: VirtualTime) -> u64 {
         self.gvt_hint = self.gvt_hint.max(gvt.min(self.end_time));

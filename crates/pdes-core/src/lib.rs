@@ -37,7 +37,7 @@ pub mod stats;
 pub mod time;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CutSnapshot, LpCheckpoint, SupervisorConfig};
-pub use config::{AdaptiveGvt, EngineConfig};
+pub use config::{AdaptiveGvt, EngineConfig, GvtBackoff};
 pub use engine::{BatchOutcome, DeliverOutcome, Outbound, ThreadEngine};
 pub use event::{Event, EventKey, Msg};
 pub use faults::{

@@ -132,6 +132,21 @@ pub trait Model: Send + Sync + 'static {
     /// A 64-bit digest of an LP state, used by cross-runtime correctness
     /// oracles (sequential vs Time Warp executions must agree).
     fn state_digest(&self, state: &Self::State) -> u64;
+
+    /// The model's *lookahead*: a lower bound on the virtual-time delay of
+    /// every send, promised for the whole run. An event processed at time
+    /// `t` may only schedule events at `t + lookahead` or later (in every
+    /// handler and in `init_events` from time zero).
+    ///
+    /// Optimistic runtimes ignore it. The conservative null-message runtime
+    /// (`cons-rt`) requires it to be strictly positive — Chandy–Misra–Bryant
+    /// deadlock avoidance advances channel clocks by exactly this margin,
+    /// and a zero bound cannot break cyclic waits. The default of `0.0`
+    /// means "no promise": such models run conservatively only with an
+    /// explicit structured error.
+    fn lookahead(&self) -> f64 {
+        0.0
+    }
 }
 
 #[cfg(test)]

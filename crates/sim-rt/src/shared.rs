@@ -807,6 +807,7 @@ impl<P> Shared<P> {
             gvt_cpu_secs: self.gvt_wall_in_round as f64 * 1e-9,
             max_descheduled: self.max_descheduled,
             commit_digest: total.commit_digest,
+            protocol: "optimistic".into(),
             ..Default::default()
         }
     }

@@ -64,6 +64,9 @@ pub enum EventKind {
     /// Instant: ingest `Busy` backpressure verdicts this round
     /// (`arg` = how many).
     IngestBusy,
+    /// Instant: conservative null-message guarantees published since the
+    /// last LBTS round (`arg` = how many). Only `cons-rt` emits it.
+    NullMsg,
 }
 
 impl EventKind {
@@ -92,6 +95,7 @@ impl EventKind {
             EventKind::IngestReject => "ingest-reject",
             EventKind::IngestShed => "ingest-shed",
             EventKind::IngestBusy => "ingest-busy",
+            EventKind::NullMsg => "null-msg",
         }
     }
 
@@ -111,6 +115,7 @@ impl EventKind {
                 | EventKind::IngestReject
                 | EventKind::IngestShed
                 | EventKind::IngestBusy
+                | EventKind::NullMsg
         )
     }
 
@@ -136,6 +141,7 @@ impl EventKind {
             | EventKind::IngestReject
             | EventKind::IngestShed
             | EventKind::IngestBusy => "ingest",
+            EventKind::NullMsg => "cons",
         }
     }
 }
@@ -181,6 +187,7 @@ mod tests {
             EventKind::IngestReject,
             EventKind::IngestShed,
             EventKind::IngestBusy,
+            EventKind::NullMsg,
         ];
         let mut names: Vec<&str> = all.iter().map(|k| k.name()).collect();
         names.sort();

@@ -451,6 +451,7 @@ pub fn run_threads_attempt<M: Model>(
         last_round: telemetry_data
             .as_ref()
             .and_then(|d| d.last_round().cloned()),
+        protocol: "optimistic".into(),
         ..Default::default()
     };
     RtAttempt {

@@ -107,6 +107,14 @@ pub struct RtShared<P> {
     pub num_active: AtomicUsize,
     pub sems: Vec<Semaphore>,
     pub os_tids: Vec<AtomicI64>,
+    /// Pending-set floor a thread publishes *before* parking with live
+    /// pending work, folded into every GVT/LBTS computation (`u64::MAX`
+    /// while running). The optimistic workers never park with live pending
+    /// and never write it; the conservative runtime (`cons-rt`) parks
+    /// threads whose channels cannot advance, and this floor keeps their
+    /// invisible pending events inside the reduction so the published bound
+    /// can never overshoot them.
+    park_min: Vec<CachePadded<AtomicU64>>,
 
     // ---- GVT round ----
     pub membership: Mutex<Membership>,
@@ -213,6 +221,9 @@ impl<P> RtShared<P> {
             num_active: AtomicUsize::new(num_threads),
             sems: (0..num_threads).map(|_| Semaphore::new(0, 1)).collect(),
             os_tids: (0..num_threads).map(|_| AtomicI64::new(0)).collect(),
+            park_min: (0..num_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(u64::MAX)))
+                .collect(),
             membership: Mutex::new(Membership {
                 open: false,
                 id: 0,
@@ -654,7 +665,8 @@ impl<P> RtShared<P> {
         for i in 0..self.num_threads {
             g = g
                 .min(self.window_min[i].load(Ordering::Acquire))
-                .min(self.queue_min[i].load(Ordering::Acquire));
+                .min(self.queue_min[i].load(Ordering::Acquire))
+                .min(self.park_min[i].load(Ordering::Acquire));
         }
         // Sharded runs: the cluster-wide floor (remote pending sets and
         // in-flight wire messages) caps the local estimate.
@@ -790,6 +802,27 @@ impl<P> RtShared<P> {
     /// condition.
     pub fn window_is_clear(&self, me: usize) -> bool {
         self.window_min[me].load(Ordering::Acquire) == u64::MAX
+    }
+
+    /// Publish `me`'s pending-set floor before parking with live pending
+    /// work (conservative runtime): folded into every subsequent GVT/LBTS
+    /// computation until [`Self::clear_park_min`]. Must be called *before*
+    /// [`Self::deactivate_self`], so the membership-lock handoff orders the
+    /// store ahead of any round that excludes `me`.
+    pub fn set_park_min(&self, me: usize, floor: VirtualTime) {
+        self.park_min[me].store(floor.ticks(), Ordering::Release);
+    }
+
+    /// Withdraw `me`'s parked floor after waking (conservative runtime).
+    pub fn clear_park_min(&self, me: usize) {
+        self.park_min[me].store(u64::MAX, Ordering::Release);
+    }
+
+    /// `me`'s parked pending-set floor in ticks (`u64::MAX` = not parked
+    /// with live pending). The conservative round closer reads peers' floors
+    /// to decide which parked threads the new bound lets advance.
+    pub fn park_min_ticks(&self, i: usize) -> u64 {
+        self.park_min[i].load(Ordering::Acquire)
     }
 
     /// Algorithm 1 bookkeeping: de-schedule `me` (the caller then blocks on

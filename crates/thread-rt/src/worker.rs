@@ -50,6 +50,9 @@ pub fn worker_loop<M: Model>(
     let mut active_flag = true;
     let mut joined: Option<u64> = None;
     let mut idle_spins: u32 = 0;
+    // ROSS 7 O'clock no-change backoff: widen the round interval while GVT
+    // stands still (inert unless `ecfg.gvt_max_no_change > 0`).
+    let mut backoff = pdes_core::GvtBackoff::default();
 
     // One main-loop cycle; returns whether it did useful work.
     let cycle = |engine: &mut ThreadEngine<M>,
@@ -137,10 +140,14 @@ pub fn worker_loop<M: Model>(
         let round_waiting = sh
             .round_waiting_for(me)
             .is_some_and(|id| joined != Some(id));
-        let interval = match ecfg.adaptive_gvt {
+        let base_interval = match ecfg.adaptive_gvt {
             Some(a) => a.effective_interval(ecfg.gvt_interval, engine.history_len()),
             None => ecfg.gvt_interval,
         };
+        // Memory pressure (watermarks) shortens the interval; a still GVT
+        // widens it — pressure always wins because the backoff multiplies
+        // the already-adapted base.
+        let interval = backoff.effective_interval(base_interval);
         if cycles_since_gvt < interval as u64 && !round_waiting {
             continue;
         }
@@ -334,6 +341,7 @@ pub fn worker_loop<M: Model>(
         }
         sh.gvt_wall_ns
             .fetch_add(enter.elapsed().as_nanos() as u64, Ordering::AcqRel);
+        backoff.observe(sh.gvt().ticks(), ecfg.gvt_max_no_change);
         let terminated = sh.terminated.load(Ordering::Acquire);
         let wants_deact = sys.demand_driven()
             && !terminated

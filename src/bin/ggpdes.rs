@@ -7,7 +7,8 @@
 //!        [--threads N] [--lps-per-thread N] [--imbalance K]
 //!        [--end T] [--seed S] [--cores N] [--smt N]
 //!        [--snapshot-period K] [--optimism-window W]
-//!        [--runtime vm|threads|dist] [--verify] [--json] [--stats-json FILE]
+//!        [--gvt-interval N] [--gvt-max-no-change N]
+//!        [--runtime vm|threads|dist|cons] [--verify] [--json] [--stats-json FILE]
 //!        [--chaos-seed S] [--chaos-plan FILE.json] [--watchdog-secs T]
 //!        [--checkpoint-every-gvt N] [--checkpoint-path FILE] [--max-recoveries N]
 //!        [--shards N] [--transport mem|loopback|tcp]
@@ -42,6 +43,24 @@
 //! `N`th publish; `--leave-at S:N` drains shard `S` out at a cut; and
 //! `--degrade` shrinks the cluster around a dead shard instead of failing
 //! once `--max-recoveries` is exhausted.
+//!
+//! Conservative runtime (`--runtime cons`): the same models and engine under
+//! Chandy–Misra–Bryant null-message synchronization instead of Time Warp —
+//! no speculation, no rollbacks, processing bounded by per-thread channel
+//! clocks plus the model's declared lookahead (`Model::lookahead`, strictly
+//! positive or the run is refused). The GVT round machinery runs unchanged
+//! as periodic LBTS rounds, so `--verify`, `--stats-json`, telemetry, and
+//! `--checkpoint-every-gvt` all work; `--chaos-*`, `--ingest`, and
+//! `--max-recoveries` are optimistic/supervised-only and are rejected. The
+//! emitted metrics carry `protocol: "conservative"`, `null_messages_sent`,
+//! and `lbts_rounds` for cross-protocol comparison (see DESIGN.md §15).
+//!
+//! GVT cadence: `--gvt-interval N` sets the base round interval in main-loop
+//! cycles (default 25); `--gvt-max-no-change N` enables the ROSS-style
+//! "7 O'clock" backoff — after `N` consecutive rounds with an unchanged GVT
+//! the effective interval doubles (capped at 64× the base) until GVT moves
+//! again, so quiescent phases stop paying round costs. `0` (default)
+//! disables the backoff.
 //!
 //! `--stats-json FILE` additionally writes the final `RunMetrics` of any
 //! runtime to `FILE` as pretty-printed JSON (the same document `--json`
@@ -108,6 +127,8 @@ struct Args {
     smt: usize,
     snapshot_period: u32,
     optimism_window: Option<f64>,
+    gvt_interval: u32,
+    gvt_max_no_change: u32,
     runtime: String,
     verify: bool,
     json: bool,
@@ -156,6 +177,8 @@ impl Default for Args {
             smt: 2,
             snapshot_period: 1,
             optimism_window: None,
+            gvt_interval: 25,
+            gvt_max_no_change: 0,
             runtime: "vm".into(),
             verify: false,
             json: false,
@@ -239,6 +262,19 @@ fn parse_args() -> Args {
             "--snapshot-period" => a.snapshot_period = val().parse().expect("--snapshot-period"),
             "--optimism-window" => {
                 a.optimism_window = Some(val().parse().expect("--optimism-window"))
+            }
+            "--gvt-interval" => {
+                a.gvt_interval = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(2, &format!("--gvt-interval: {e}")));
+                if a.gvt_interval == 0 {
+                    die(2, "--gvt-interval must be positive");
+                }
+            }
+            "--gvt-max-no-change" => {
+                a.gvt_max_no_change = val()
+                    .parse()
+                    .unwrap_or_else(|e| die(2, &format!("--gvt-max-no-change: {e}")))
             }
             "--runtime" => a.runtime = val(),
             "--verify" => a.verify = true,
@@ -372,6 +408,11 @@ fn report(m: &RunMetrics, json: bool) {
     println!("GVT rounds            : {}", m.gvt_rounds);
     println!("GVT s/round (Σthreads): {:.6}", m.gvt_secs_per_round());
     println!("max de-scheduled      : {}", m.max_descheduled);
+    if m.protocol == "conservative" {
+        println!("protocol              : {}", m.protocol);
+        println!("null messages sent    : {}", m.null_messages_sent);
+        println!("LBTS rounds           : {}", m.lbts_rounds);
+    }
     println!("wall seconds          : {:.4}", m.wall_secs);
 }
 
@@ -940,7 +981,8 @@ fn run<M: Model>(model: Arc<M>, a: &Args, synth: Option<fn(u64) -> M::Payload>) 
     let ecfg = EngineConfig::default()
         .with_end_time(a.end)
         .with_seed(a.seed)
-        .with_gvt_interval(25)
+        .with_gvt_interval(a.gvt_interval)
+        .with_gvt_max_no_change(a.gvt_max_no_change)
         .with_zero_counter_threshold(250)
         .with_snapshot_period(a.snapshot_period)
         .with_optimism_window(a.optimism_window);
@@ -1068,7 +1110,57 @@ fn run<M: Model>(model: Arc<M>, a: &Args, synth: Option<fn(u64) -> M::Payload>) 
             }
         }
         "dist" => run_dist(&model, &ecfg, a, synth, &mut ingest_accepted),
-        other => die(2, &format!("unknown runtime '{other}' (vm|threads|dist)")),
+        "cons" => {
+            // The conservative runtime never rolls back, so the optimistic
+            // escape hatches make no sense on it: chaos plans hold messages
+            // back (an unrecoverable causality break without rollback),
+            // ingest admits events against a GVT floor the conservative
+            // bound has already passed, and the supervisor restarts from
+            // optimistic attempt state.
+            if a.chaos_seed.is_some() || a.chaos_plan.is_some() {
+                die(
+                    2,
+                    "--chaos-* needs an optimistic runtime (cons cannot roll back)",
+                );
+            }
+            if ingest_active(a) {
+                die(
+                    2,
+                    "--ingest needs --runtime threads|dist (cons has no admission floor)",
+                );
+            }
+            if a.max_recoveries.is_some() {
+                die(2, "--max-recoveries needs --runtime vm|threads|dist");
+            }
+            let watchdog = match a.watchdog_secs {
+                Some(s) if s <= 0.0 => None,
+                Some(s) => Some(std::time::Duration::from_secs_f64(s)),
+                None => Some(std::time::Duration::from_secs(30)),
+            };
+            let mut rc = ConsRunConfig::new(a.threads, ecfg.clone(), sys)
+                .with_watchdog(watchdog)
+                .with_checkpoint_every(ckpt_every)
+                .with_telemetry(tcfg.clone());
+            if let Some(p) = &a.checkpoint_path {
+                rc = rc.with_checkpoint_path(p.into());
+            }
+            match run_cons(&model, &rc) {
+                Ok(r) => (r.metrics, r.telemetry),
+                Err(err) => {
+                    eprintln!("{err}");
+                    let code = if matches!(err, ConsError::ZeroLookahead { .. }) {
+                        2
+                    } else {
+                        1
+                    };
+                    std::process::exit(code);
+                }
+            }
+        }
+        other => die(
+            2,
+            &format!("unknown runtime '{other}' (vm|threads|dist|cons)"),
+        ),
     };
 
     if a.verify {

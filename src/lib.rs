@@ -17,6 +17,9 @@
 //!   scale on any host;
 //! * [`thread_rt`] — the same engine on real `std::thread`s with crossbeam
 //!   queues, parking-lot semaphores, and `sched_setaffinity`;
+//! * [`cons_rt`] — the conservative counterpart: Chandy–Misra–Bryant
+//!   null-message synchronization on the same engine and thread chassis,
+//!   switchable against the optimistic runtimes with one CLI flag;
 //! * [`dist_rt`] — the engine partitioned into shards that exchange events
 //!   over reliable TCP/memory links, driven by an asynchronous
 //!   Mattern-style distributed GVT with checkpoint cuts and kill recovery;
@@ -53,6 +56,7 @@
 //! println!("{:.0} committed events/s", result.metrics.committed_event_rate());
 //! ```
 
+pub use cons_rt;
 pub use dist_rt;
 pub use ingest;
 pub use machine;
@@ -65,6 +69,7 @@ pub use thread_rt;
 
 /// The most commonly used items, re-exported.
 pub mod prelude {
+    pub use cons_rt::{run_cons, ConsError, ConsResult, ConsRunConfig};
     pub use dist_rt::{run_loopback, DistConfig, DistError, DistResult, Transport};
     pub use machine::{CostModel, Machine, MachineConfig};
     pub use metrics::{RunMetrics, Series, Table};

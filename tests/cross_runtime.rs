@@ -1,9 +1,12 @@
 //! Cross-runtime correctness: for each model, a sequential run, a
-//! virtual-machine run, and a real-thread run must all commit exactly the
-//! same event trace and leave every LP in the same final state.
+//! virtual-machine run, a real-thread run, and a conservative (null-message)
+//! run must all commit exactly the same event trace and leave every LP in
+//! the same final state.
 
 use ggpdes::prelude::*;
+use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn engine(end: f64) -> EngineConfig {
     EngineConfig::default()
@@ -44,6 +47,32 @@ fn check_model<M: Model>(model: Arc<M>, threads: usize, ecfg: EngineConfig, labe
         "{label}: rt digest"
     );
     assert_eq!(rt.digests, oracle.state_digests, "{label}: rt states");
+}
+
+/// The conservative runtime must commit the oracle's exact trace too — and,
+/// unlike the optimistic runtimes, must do it without a single rollback:
+/// every event it processes is already safe.
+fn check_cons<M: Model>(model: Arc<M>, threads: usize, ecfg: EngineConfig, label: &str) {
+    let oracle = run_sequential(&model, &ecfg, None);
+    assert!(oracle.committed > 0, "{label}: empty oracle run");
+    let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+    let rc = ConsRunConfig::new(threads, ecfg, sys);
+    let r = run_cons(&model, &rc).unwrap_or_else(|e| panic!("{label}: cons run failed: {e}"));
+    assert_eq!(
+        r.metrics.committed, oracle.committed,
+        "{label}: cons committed"
+    );
+    assert_eq!(
+        r.metrics.commit_digest, oracle.commit_digest,
+        "{label}: cons digest"
+    );
+    assert_eq!(r.digests, oracle.state_digests, "{label}: cons states");
+    assert_eq!(r.metrics.rolled_back, 0, "{label}: cons rolled back");
+    assert_eq!(r.metrics.protocol, "conservative", "{label}: protocol tag");
+    assert!(
+        r.metrics.null_messages_sent > 0,
+        "{label}: no null messages"
+    );
 }
 
 #[test]
@@ -121,6 +150,175 @@ fn dynamic_affinity_preserves_correctness() {
     let rc = RunConfig::new(threads, ecfg, sys).with_machine(MachineConfig::small(4, 2));
     let r = sim_rt::run_sim(&model, &rc);
     assert_eq!(r.metrics.commit_digest, oracle.commit_digest);
+}
+
+#[test]
+fn cons_phold_agrees_with_oracle_at_2_and_4_threads() {
+    for threads in [2, 4] {
+        let model = Arc::new(Phold::new(PholdConfig::imbalanced(
+            threads,
+            4,
+            2,
+            8.0,
+            LocalityPattern::Linear,
+        )));
+        check_cons(model, threads, engine(8.0), &format!("phold-t{threads}"));
+    }
+}
+
+#[test]
+fn cons_epidemics_agrees_with_oracle_at_2_and_4_threads() {
+    for threads in [2, 4] {
+        // Lock-down groups must divide the thread count, so the rotation
+        // schedule scales with the run instead of pinning it to 4 threads.
+        let mut cfg = EpidemicsConfig::new(threads, 8, threads, 8.0);
+        cfg.incubation_mean = 0.1;
+        cfg.infectious_mean = 0.5;
+        let model = Arc::new(Epidemics::new(cfg));
+        check_cons(
+            model,
+            threads,
+            engine(8.0),
+            &format!("epidemics-t{threads}"),
+        );
+    }
+}
+
+#[test]
+fn cons_traffic_agrees_with_oracle_at_2_and_4_threads() {
+    for threads in [2, 4] {
+        let mut cfg = TrafficConfig::new(threads, 8, 0.5);
+        cfg.travel_scale = 0.3;
+        let model = Arc::new(Traffic::new(cfg));
+        let ecfg = engine(5.0).with_mapping(MapKind::Block);
+        check_cons(model, threads, ecfg, &format!("traffic-t{threads}"));
+    }
+}
+
+/// A workload built to hold GVT still: LP 0 receives `burst` events that all
+/// carry the *same* timestamp, so processing them one by one (batch size 1)
+/// leaves the pending-set minimum — and therefore GVT — frozen for `burst`
+/// consecutive cycles. One event per burst respawns the next burst a whole
+/// time unit later. Other threads own no LPs with work and park.
+struct Burst {
+    threads: usize,
+    burst: u32,
+    /// Bursts stop respawning at this virtual time so the run terminates.
+    last_spawn: f64,
+}
+
+impl Model for Burst {
+    type State = u64;
+    /// `true` on exactly one event per burst: the one that spawns the next.
+    type Payload = bool;
+
+    fn num_lps(&self) -> usize {
+        self.threads
+    }
+    fn init_state(&self, _lp: LpId) -> u64 {
+        0
+    }
+    fn init_events(&self, lp: LpId, _state: &mut u64, ctx: &mut SendCtx<'_, bool>) {
+        if lp == LpId(0) {
+            for i in 0..self.burst {
+                ctx.send(lp, 1.0, i == 0);
+            }
+        }
+    }
+    fn handle_event(&self, lp: LpId, state: &mut u64, spawn: &bool, ctx: &mut SendCtx<'_, bool>) {
+        *state += 1;
+        // Burn ~20µs of wall clock per event so processing is slow relative
+        // to a GVT round and the frantic static cadence below actually fits
+        // many rounds inside one burst (virtual time is untouched).
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_micros(20) {
+            std::hint::spin_loop();
+        }
+        if *spawn && ctx.now().as_f64() < self.last_spawn {
+            for i in 0..self.burst {
+                ctx.send(lp, 1.0, i == 0);
+            }
+        }
+    }
+    fn state_digest(&self, state: &u64) -> u64 {
+        let mut s = *state ^ 0x51D3_7A0B;
+        pdes_core::rng::splitmix64(&mut s)
+    }
+    fn lookahead(&self) -> f64 {
+        1.0
+    }
+}
+
+#[test]
+fn gvt_backoff_reduces_rounds_and_preserves_trace() {
+    let threads = 4;
+    let model = Arc::new(Burst {
+        threads,
+        burst: 256,
+        last_spawn: 3.5,
+    });
+    // The most frantic static cadence: a round proposed every cycle, one
+    // event per cycle — so within a burst every round recomputes the same
+    // GVT. The backoff (`gvt_max_no_change`) widens the interval on exactly
+    // those no-progress rounds.
+    let base = EngineConfig::default()
+        .with_end_time(6.0)
+        .with_seed(7)
+        .with_gvt_interval(1)
+        .with_batch_size(1)
+        .with_zero_counter_threshold(100);
+    let backoff = base.clone().with_gvt_max_no_change(1);
+    let oracle = run_sequential(&model, &base, None);
+    assert!(oracle.committed >= 1024, "burst model under-generates");
+
+    let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+    let run = |ecfg: EngineConfig| {
+        let rc = thread_rt::RtRunConfig::new(threads, ecfg, sys);
+        thread_rt::run_threads(&model, &rc).expect("run completes")
+    };
+    let r_static = run(base);
+    let r_backoff = run(backoff);
+    // The backoff is a pure cadence policy: the committed trace is bit-for-
+    // bit the oracle's either way.
+    assert_eq!(r_static.metrics.commit_digest, oracle.commit_digest);
+    assert_eq!(r_backoff.metrics.commit_digest, oracle.commit_digest);
+    // And it exists to *skip* no-progress rounds: within each burst the
+    // static cadence burns roughly one round per event while the backoff
+    // widens geometrically, so the gap is large, not marginal.
+    assert!(
+        r_backoff.metrics.gvt_rounds * 2 < r_static.metrics.gvt_rounds,
+        "backoff {} rounds vs static {}",
+        r_backoff.metrics.gvt_rounds,
+        r_static.metrics.gvt_rounds
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+    /// Chandy–Misra–Bryant's deadlock-avoidance promise, checked end to
+    /// end: any strictly positive lookahead — however small — lets the
+    /// conservative runtime finish (no cyclic wait survives a positive
+    /// clock advance) and commit the oracle's exact trace. The watchdog
+    /// bound turns a liveness bug into a test failure instead of a hang.
+    #[test]
+    fn cons_positive_lookahead_never_deadlocks(
+        seed in 0u64..u64::MAX / 2,
+        la in 0.01f64..1.0,
+        threads in prop::sample::select(vec![2usize, 4]),
+    ) {
+        let mut cfg = PholdConfig::balanced(threads, 4);
+        cfg.lookahead = la;
+        let model = Arc::new(Phold::new(cfg));
+        let ecfg = engine(4.0).with_seed(seed);
+        let oracle = run_sequential(&model, &ecfg, None);
+        let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+        let rc = ConsRunConfig::new(threads, ecfg, sys)
+            .with_watchdog(Some(Duration::from_secs(60)));
+        let r = run_cons(&model, &rc)
+            .unwrap_or_else(|e| panic!("lookahead {la}: {e}"));
+        prop_assert_eq!(r.metrics.commit_digest, oracle.commit_digest);
+        prop_assert_eq!(r.metrics.rolled_back, 0);
+    }
 }
 
 #[test]
