@@ -1,0 +1,257 @@
+//! Per-event cost harness for the optimistic hot path (PR 10).
+//!
+//! Runs the BENCH_6 workload (balanced PHOLD, 512 LPs, end 120) through the
+//! same four runtimes as `dist_compare`, but with the hot-path engine
+//! configuration: pooled event storage, sparse state saving
+//! (`--snapshot-period`), and batched inter-thread sends (`--batch`). The
+//! output lands in `BENCH_<n>.json` with the `dist_compare` schema — the
+//! same four runtime names, so `bench_gate` ratchets it against the previous
+//! trajectory point — plus a `hotpath` object recording the per-event cost
+//! (`ns_per_event`) and the hot-path configuration the numbers were taken
+//! under.
+//!
+//! ```text
+//! hotpath [--out FILE] [--end T] [--seed S] [--parts N] [--lps-per N]
+//!         [--repeat R] [--gvt-interval N] [--batch N] [--snapshot-period K]
+//!         [--optimism W|none] [--zero N] [--note TEXT]
+//! ```
+//!
+//! Every run must commit the sequential trace (`equivalence: true`); a
+//! per-event cost from a diverged run is worthless.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dist_rt::{run_loopback, DistConfig, Transport};
+use models::{Phold, PholdConfig};
+use pdes_core::{run_sequential, EngineConfig};
+use sim_rt::{AffinityPolicy, GvtMode, Scheduler, SystemConfig};
+
+struct Opts {
+    out: String,
+    end: f64,
+    seed: u64,
+    parts: usize,
+    lps_per: usize,
+    repeat: usize,
+    gvt_interval: u32,
+    batch: usize,
+    snapshot_period: u32,
+    optimism: Option<f64>,
+    zero: u32,
+    note: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            out: "BENCH_7.json".into(),
+            end: 120.0,
+            seed: 24301,
+            parts: 2,
+            lps_per: 256,
+            repeat: 12,
+            gvt_interval: 25,
+            batch: 8,
+            snapshot_period: 8,
+            optimism: Some(4.0),
+            zero: 250,
+            note: None,
+        }
+    }
+}
+
+fn parse() -> Opts {
+    let mut o = Opts::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--out" => o.out = val().clone(),
+            "--end" => o.end = val().parse().expect("--end"),
+            "--seed" => o.seed = val().parse().expect("--seed"),
+            "--parts" => o.parts = val().parse().expect("--parts"),
+            "--lps-per" => o.lps_per = val().parse().expect("--lps-per"),
+            "--repeat" => o.repeat = val().parse::<usize>().expect("--repeat").max(1),
+            "--gvt-interval" => o.gvt_interval = val().parse().expect("--gvt-interval"),
+            "--batch" => o.batch = val().parse().expect("--batch"),
+            "--snapshot-period" => o.snapshot_period = val().parse().expect("--snapshot-period"),
+            "--optimism" => {
+                let v = val();
+                o.optimism = if v == "none" {
+                    None
+                } else {
+                    Some(v.parse().expect("--optimism"))
+                };
+            }
+            "--zero" => o.zero = val().parse().expect("--zero"),
+            "--note" => o.note = Some(val().clone()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    o
+}
+
+struct Run {
+    runtime: &'static str,
+    wall_secs: f64,
+    committed: u64,
+    commit_digest: u64,
+}
+
+impl Run {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"runtime\": \"{}\", \"wall_secs\": {:.6}, \"committed\": {}, \
+             \"committed_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
+             \"commit_digest\": \"{:#018x}\"}}",
+            self.runtime,
+            self.wall_secs,
+            self.committed,
+            self.committed as f64 / self.wall_secs,
+            self.wall_secs * 1e9 / self.committed as f64,
+            self.commit_digest,
+        )
+    }
+}
+
+/// Best-of-N wall time around `f`, which returns `(committed, digest)`.
+fn best_of(repeat: usize, mut f: impl FnMut() -> (u64, u64)) -> (f64, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut last = (0, 0);
+    for _ in 0..repeat {
+        let t0 = Instant::now();
+        last = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, last.0, last.1)
+}
+
+fn main() {
+    let o = parse();
+    let model = Arc::new(Phold::new(PholdConfig::balanced(o.parts, o.lps_per)));
+    let lps = o.parts * o.lps_per;
+    let ecfg = EngineConfig::default()
+        .with_end_time(o.end)
+        .with_seed(o.seed)
+        .with_gvt_interval(o.gvt_interval)
+        .with_batch_size(o.batch)
+        .with_snapshot_period(o.snapshot_period)
+        .with_zero_counter_threshold(o.zero)
+        .with_optimism_window(o.optimism);
+    let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+
+    let (wall, committed, digest) = best_of(o.repeat, || {
+        let r = run_sequential(&model, &ecfg, None);
+        (r.committed, r.commit_digest)
+    });
+    let seq = Run {
+        runtime: "sequential",
+        wall_secs: wall,
+        committed,
+        commit_digest: digest,
+    };
+    eprintln!(
+        "sequential : {:.4}s, {} committed, {:.0} ns/ev",
+        seq.wall_secs,
+        seq.committed,
+        seq.wall_secs * 1e9 / seq.committed as f64
+    );
+
+    let (wall, committed, digest) = best_of(o.repeat, || {
+        let rc = thread_rt::RtRunConfig::new(o.parts, ecfg.clone(), sys);
+        let r = thread_rt::run_threads(&model, &rc).expect("thread run completes");
+        (r.metrics.committed, r.metrics.commit_digest)
+    });
+    let thr = Run {
+        runtime: "thread-rt-2",
+        wall_secs: wall,
+        committed,
+        commit_digest: digest,
+    };
+    eprintln!(
+        "thread-rt  : {:.4}s, {} committed, {:.0} ns/ev",
+        thr.wall_secs,
+        thr.committed,
+        thr.wall_secs * 1e9 / thr.committed as f64
+    );
+
+    let (wall, committed, digest) = best_of(o.repeat, || {
+        let rc = cons_rt::ConsRunConfig::new(o.parts, ecfg.clone(), sys);
+        let r = cons_rt::run_cons(&model, &rc).expect("cons run completes");
+        (r.metrics.committed, r.metrics.commit_digest)
+    });
+    let cons = Run {
+        runtime: "cons-rt-2",
+        wall_secs: wall,
+        committed,
+        commit_digest: digest,
+    };
+    eprintln!(
+        "cons-rt    : {:.4}s, {} committed, {:.0} ns/ev",
+        cons.wall_secs,
+        cons.committed,
+        cons.wall_secs * 1e9 / cons.committed as f64
+    );
+
+    let (wall, committed, digest) = best_of(o.repeat, || {
+        let dcfg = DistConfig {
+            shards: o.parts,
+            transport: Transport::Tcp,
+            ..DistConfig::default()
+        };
+        let r = run_loopback(Arc::clone(&model), &ecfg, &dcfg).expect("dist run completes");
+        (r.metrics.committed, r.metrics.commit_digest)
+    });
+    let dist = Run {
+        runtime: "dist-rt-2shard-tcp",
+        wall_secs: wall,
+        committed,
+        commit_digest: digest,
+    };
+    eprintln!(
+        "dist-rt    : {:.4}s, {} committed, {:.0} ns/ev",
+        dist.wall_secs,
+        dist.committed,
+        dist.wall_secs * 1e9 / dist.committed as f64
+    );
+
+    let runs = [seq, thr, cons, dist];
+    let equivalence = runs
+        .iter()
+        .all(|r| r.committed == runs[0].committed && r.commit_digest == runs[0].commit_digest);
+    assert!(equivalence, "a runtime diverged from the sequential oracle");
+
+    let note = o
+        .note
+        .as_deref()
+        .map(|n| {
+            let quoted = serde_json::to_string(&n.to_string()).expect("escape note");
+            format!("  \"note\": {quoted},\n")
+        })
+        .unwrap_or_default();
+    let optimism = o
+        .optimism
+        .map(|w| format!("{w}"))
+        .unwrap_or_else(|| "null".into());
+    let body = runs.iter().map(Run::json).collect::<Vec<_>>().join(",\n");
+    let doc = format!(
+        "{{\n  \"bench\": \"runtime-comparison\",\n  \"model\": \"phold-balanced\",\n  \
+         \"lps\": {lps},\n  \"end_time\": {end},\n  \"seed\": {seed},\n  \
+         \"repeat\": {repeat},\n{note}  \"hotpath\": {{\n    \
+         \"gvt_interval\": {gvt_interval},\n    \"batch_size\": {batch},\n    \
+         \"snapshot_period\": {snap},\n    \"optimism_window\": {optimism},\n    \
+         \"zero_counter_threshold\": {zero}\n  }},\n  \"runs\": [\n{body}\n  ],\n  \
+         \"equivalence\": {equivalence}\n}}\n",
+        end = o.end,
+        seed = o.seed,
+        repeat = o.repeat,
+        gvt_interval = o.gvt_interval,
+        batch = o.batch,
+        snap = o.snapshot_period,
+        zero = o.zero,
+    );
+    std::fs::write(&o.out, &doc).unwrap_or_else(|e| panic!("write {}: {e}", o.out));
+    println!("wrote {}", o.out);
+}

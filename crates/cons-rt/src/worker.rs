@@ -39,6 +39,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use telemetry::{EventKind, Tracer};
 use thread_rt::affinity::{current_tid, note_pin_failure, pin_to_core, OsTid};
+use thread_rt::batch::SendBatcher;
 use thread_rt::ckpt::CkptSink;
 use thread_rt::shared::RtShared;
 
@@ -117,6 +118,10 @@ pub fn cons_worker_loop<M: Model>(
     let la = plane.lookahead();
     let mut inbox: Vec<Msg<M::Payload>> = Vec::new();
     let mut outbox: Vec<Outbound<M::Payload>> = Vec::new();
+    // Same batched send plane as the optimistic worker (`thread_rt::batch`):
+    // the guarantee published at cycle start covers this cycle's sends, and
+    // the end-of-cycle flush lands them before the next raise.
+    let mut batcher: SendBatcher<M::Payload> = SendBatcher::new(sh.global_threads(), 64);
     let mut cycles_since_gvt: u64 = 0;
     let mut zero_counter: u64 = 0;
     let mut active_flag = true;
@@ -132,6 +137,7 @@ pub fn cons_worker_loop<M: Model>(
     let cycle = |engine: &mut ThreadEngine<M>,
                  inbox: &mut Vec<Msg<M::Payload>>,
                  outbox: &mut Vec<Outbound<M::Payload>>,
+                 batcher: &mut SendBatcher<M::Payload>,
                  zero_counter: &mut u64,
                  active_flag: &mut bool,
                  idle_spins: &mut u32,
@@ -156,8 +162,9 @@ pub fn cons_worker_loop<M: Model>(
         plane.publish(me, guarantee);
         let batch = engine.process_conservative(bound, ecfg.batch_size, outbox);
         for (dst, msg) in outbox.drain(..) {
-            sh.push_msg(me, dst.index(), msg);
+            batcher.buffer(sh, me, dst.index(), msg);
         }
+        batcher.flush(sh);
         if trace && batch.processed > 0 {
             tracer.span(
                 EventKind::EventBatch,
@@ -172,8 +179,13 @@ pub fn cons_worker_loop<M: Model>(
             if *zero_counter > ecfg.zero_counter_threshold as u64 {
                 *active_flag = false;
             }
+            // A blocked conservative thread waits on a peer's clock raise
+            // or an LBTS phase; on an oversubscribed host a hard spin here
+            // starves that peer — escalate spin → yield → timed park.
             *idle_spins += 1;
-            if (*idle_spins).is_multiple_of(64) {
+            if *idle_spins >= 1024 {
+                std::thread::park_timeout(std::time::Duration::from_micros(50));
+            } else if (*idle_spins).is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -195,6 +207,7 @@ pub fn cons_worker_loop<M: Model>(
             &mut engine,
             &mut inbox,
             &mut outbox,
+            &mut batcher,
             &mut zero_counter,
             &mut active_flag,
             &mut idle_spins,
@@ -228,7 +241,7 @@ pub fn cons_worker_loop<M: Model>(
         // ---- the LBTS round (the optimistic GVT round, verbatim) ----
         // Phase A.
         sh.set_phase(me, 1); // gvt-a
-        drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+        drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &mut batcher, &sh);
         let local = engine.local_min();
         sh.fold_min(me, local);
         if trace {
@@ -245,6 +258,7 @@ pub fn cons_worker_loop<M: Model>(
                 &mut engine,
                 &mut inbox,
                 &mut outbox,
+                &mut batcher,
                 &mut zero_counter,
                 &mut active_flag,
                 &mut idle_spins,
@@ -259,7 +273,7 @@ pub fn cons_worker_loop<M: Model>(
             tracer.span(EventKind::GvtSendA, ph, now, id);
             ph = now;
         }
-        drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+        drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &mut batcher, &sh);
         let local = engine.local_min();
         sh.fold_min(me, local);
         if trace {
@@ -275,6 +289,7 @@ pub fn cons_worker_loop<M: Model>(
                 &mut engine,
                 &mut inbox,
                 &mut outbox,
+                &mut batcher,
                 &mut zero_counter,
                 &mut active_flag,
                 &mut idle_spins,
@@ -462,6 +477,7 @@ fn drain_deliver<M: Model>(
     engine: &mut ThreadEngine<M>,
     inbox: &mut Vec<Msg<M::Payload>>,
     outbox: &mut Vec<Outbound<M::Payload>>,
+    batcher: &mut SendBatcher<M::Payload>,
     sh: &RtShared<M::Payload>,
 ) {
     inbox.clear();
@@ -471,6 +487,8 @@ fn drain_deliver<M: Model>(
         engine.deliver(m, outbox);
     }
     for (dst, msg) in outbox.drain(..) {
-        sh.push_msg(me, dst.index(), msg);
+        batcher.buffer(sh, me, dst.index(), msg);
     }
+    // The caller folds an LBTS minimum next, which resets the send window.
+    batcher.flush(sh);
 }

@@ -340,6 +340,10 @@ pub struct ShardNode<M: Model> {
     /// Replayed to a partially restored peer; maintained only when
     /// checkpoints are armed (`ckpt_every_rounds > 0`).
     send_log: Vec<Vec<(u64, Msg<M::Payload>)>>,
+    /// Per-peer scratch for [`Self::route_outbox`]: one engine step's
+    /// outbox grouped by destination, shipped as one [`Frame::SimBatch`]
+    /// per peer. Kept on the node so the buffers' capacity survives steps.
+    batch_bufs: Vec<Vec<(u64, Msg<M::Payload>)>>,
     /// GVT of the previous armed cut — the send-log retention horizon
     /// (recovery never restores from anything older than two cuts back).
     prev_armed_gvt: u64,
@@ -453,6 +457,7 @@ impl<M: Model> ShardNode<M> {
             retx_seen: vec![0; num_shards],
             tel_merged: TelemetryData::default(),
             send_log: vec![Vec::new(); num_shards],
+            batch_bufs: vec![Vec::new(); num_shards],
             prev_armed_gvt: 0,
             min_valid_round: 0,
             replaying_from: vec![false; num_shards],
@@ -820,16 +825,50 @@ impl<M: Model> ShardNode<M> {
     }
 
     /// Drain the engine outbox: color and ship remote messages. Send order
-    /// MUST be preserved — an anti-message overtaking the re-send of its
-    /// twin (or vice versa) would insert a duplicate key at the receiver.
+    /// MUST be preserved per peer — an anti-message overtaking the re-send
+    /// of its twin (or vice versa) would insert a duplicate key at the
+    /// receiver. The drain groups messages by destination (stable within
+    /// each peer) and ships each group as a single [`Frame::SimBatch`]: one
+    /// serialize and one wire write per peer per step instead of one per
+    /// event — the hot-path fix that takes the TCP shard runtime off a
+    /// syscall-per-event budget. Epoch tags and the recovery send-log are
+    /// still maintained per message, exactly as [`Self::send_sim`] does.
     fn route_outbox(&mut self) -> Result<(), DistError> {
-        let out = std::mem::take(&mut self.outbox);
-        for (tid, msg) in out {
+        let mut out = std::mem::take(&mut self.outbox);
+        if out.is_empty() {
+            return Ok(());
+        }
+        let mut batches = std::mem::take(&mut self.batch_bufs);
+        for (tid, msg) in out.drain(..) {
             let dst = tid.index();
             debug_assert_ne!(dst, self.shard, "engine outbox never holds local msgs");
-            self.send_sim(dst, msg)?;
+            if self.cfg.ckpt_every_rounds > 0 {
+                let t = match &msg {
+                    Msg::Event(e) => e.send_time.ticks(),
+                    Msg::Anti(k) => k.recv_time.ticks(),
+                };
+                self.send_log[dst].push((t, msg.clone()));
+            }
+            let tag = self.tracker.note_sent(dst);
+            batches[dst].push((tag, msg));
         }
-        Ok(())
+        self.outbox = out;
+        let mut res = Ok(());
+        for (peer, batch) in batches.iter_mut().enumerate() {
+            if batch.is_empty() || res.is_err() {
+                continue;
+            }
+            res = if batch.len() == 1 {
+                let (tag, msg) = batch.pop().expect("len checked");
+                self.send_frame(peer, &Frame::Sim { tag, msg })
+            } else {
+                let msgs = std::mem::take(batch);
+                self.send_frame(peer, &Frame::SimBatch { msgs })
+            };
+            batch.clear();
+        }
+        self.batch_bufs = batches;
+        res
     }
 
     fn protocol_err(&self, detail: impl Into<String>) -> DistError {
@@ -1231,6 +1270,14 @@ impl<M: Model> ShardNode<M> {
         match frame {
             Frame::Hello { .. } => Err(self.protocol_err("Hello inside the reliable stream")),
             Frame::Sim { tag, msg } => self.handle_sim(peer, tag, msg),
+            Frame::SimBatch { msgs } => {
+                // In-batch order is send order; delivering in sequence
+                // preserves the per-peer FIFO contract of `Frame::Sim`.
+                for (tag, msg) in msgs {
+                    self.handle_sim(peer, tag, msg)?;
+                }
+                Ok(())
+            }
             Frame::Start { round, wave, .. } => self.handle_start(round, wave),
             Frame::Report {
                 round,

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// Wire protocol version, carried in the raw TCP hello preamble. Bump on
 /// any change to [`Frame`]'s encoding so mismatched builds are rejected at
 /// the handshake instead of failing to decode mid-run.
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Magic prefix of the hello preamble (`"GPDS"` little-endian).
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"GPDS");
@@ -29,6 +29,14 @@ pub enum Frame<S, P> {
     /// the sender's GVT epoch at send time: `tag <= r` means the message is
     /// *white* for round `r` (sent before the sender's round-`r` cut).
     Sim { tag: u64, msg: Msg<P> },
+    /// A batch of simulation messages for one peer: the whole outbox drain
+    /// of one engine step lands as a single frame (one serialize, one wire
+    /// write) instead of one frame per event. Order within the batch is the
+    /// send order — the receiver delivers in sequence, so the anti-vs-resend
+    /// ordering contract holds exactly as it does for [`Frame::Sim`]. Each
+    /// message keeps its own epoch `tag`: a batch can straddle a GVT cut,
+    /// and the white/red accounting is per message, not per frame.
+    SimBatch { msgs: Vec<(u64, Msg<P>)> },
     /// Coordinator → all: open round `round` (wave 0 cuts the epoch) or
     /// re-poll it (`wave > 0`). `armed` rounds take a checkpoint cut on
     /// publish.
@@ -111,6 +119,7 @@ impl<S, P> Frame<S, P> {
         match self {
             Frame::Hello { .. } => "Hello",
             Frame::Sim { .. } => "Sim",
+            Frame::SimBatch { .. } => "SimBatch",
             Frame::Start { .. } => "Start",
             Frame::Report { .. } => "Report",
             Frame::Publish { .. } => "Publish",
@@ -156,6 +165,19 @@ mod tests {
             Frame::Sim {
                 tag: 0,
                 msg: Msg::Anti(key(7, 0)),
+            },
+            Frame::SimBatch {
+                msgs: vec![
+                    (
+                        1,
+                        Msg::Event(Event {
+                            key: key(50, 2),
+                            send_time: VirtualTime::from_ticks(40),
+                            payload: 9,
+                        }),
+                    ),
+                    (2, Msg::Anti(key(60, 3))),
+                ],
             },
             Frame::Start {
                 round: 4,

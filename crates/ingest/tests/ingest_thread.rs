@@ -188,17 +188,20 @@ fn degraded_sequential_fallback_still_commits_accepted_events() {
             .is_none());
     }
 
-    // Every attempt dies — but only after GVT rounds have pumped the gate
-    // (the injector fires the first entry whose cycle has passed, so the
-    // first kill must be late enough for admissions to land first). The
-    // supervisor then exhausts its budget and degrades to the sequential
-    // engine, which must still merge the accepted suffix.
-    let plan = FaultPlan::default().with_kill(0, 120).with_kill(0, 60);
+    // The only attempt dies with a zero retry budget — but only after GVT
+    // rounds have pumped the gate (the kill must be late enough for
+    // admissions to land first; a genesis run always reaches cycle 60).
+    // Scripting a *second* scripted death instead would be racy: the
+    // per-attempt cycle counter restarts on retry, and a resumed attempt
+    // can finish in a handful of cycles, sailing past any later kill. The
+    // supervisor exhausts its (empty) budget and degrades to the
+    // sequential engine, which must still merge the accepted suffix.
+    let plan = FaultPlan::default().with_kill(0, 60);
     let rc = RtRunConfig::new(4, ecfg.clone(), gg_async())
         .with_faults(plan)
         .with_checkpoint_every(2)
         .with_watchdog(Some(Duration::from_secs(30)));
-    let sup = SupervisorConfig::new(1).with_backoff(Duration::from_millis(1));
+    let sup = SupervisorConfig::new(0).with_backoff(Duration::from_millis(1));
     let s = run_supervised_ingest(&model, &rc, &sup, Some(Arc::clone(&gate)));
 
     assert!(

@@ -63,6 +63,11 @@ pub struct ThreadEngine<M: Model> {
     optimism_window: Option<VirtualTime>,
     /// Last GVT this engine saw (updated at fossil collection).
     gvt_hint: VirtualTime,
+    /// Reused worklist for local anti-message cascades in [`Self::deliver`].
+    work: Vec<Msg<M::Payload>>,
+    /// Reused send buffer for the batch loops — handler sends land here and
+    /// are routed out, so steady-state processing allocates nothing.
+    send_buf: Vec<Event<M::Payload>>,
 }
 
 impl<M: Model> ThreadEngine<M> {
@@ -84,6 +89,8 @@ impl<M: Model> ThreadEngine<M> {
             end_time: cfg.end_time,
             optimism_window: cfg.optimism_window.map(VirtualTime::from_f64),
             gvt_hint: VirtualTime::ZERO,
+            work: Vec::new(),
+            send_buf: Vec::new(),
         }
     }
 
@@ -183,8 +190,10 @@ impl<M: Model> ThreadEngine<M> {
     ) -> DeliverOutcome {
         let model = Arc::clone(&self.model);
         let mut outcome = DeliverOutcome::default();
-        // Local anti-message cascades are resolved with a worklist.
-        let mut work: Vec<Msg<M::Payload>> = vec![msg];
+        // Local anti-message cascades are resolved with a worklist; the
+        // buffer is engine-owned and reused (empty again by loop exit).
+        let mut work = std::mem::take(&mut self.work);
+        work.push(msg);
         while let Some(m) = work.pop() {
             match m {
                 Msg::Event(ev) => {
@@ -250,6 +259,7 @@ impl<M: Model> ThreadEngine<M> {
                 }
             }
         }
+        self.work = work;
         outcome
     }
 
@@ -287,6 +297,7 @@ impl<M: Model> ThreadEngine<M> {
             Some(w) => self.end_time.min(self.gvt_hint.saturating_add(w)),
             None => self.end_time,
         };
+        let mut sends = std::mem::take(&mut self.send_buf);
         for _ in 0..max {
             let Some(min) = self.pending.min_key() else {
                 break;
@@ -296,12 +307,13 @@ impl<M: Model> ThreadEngine<M> {
             }
             let ev = self.pending.pop_min().expect("min exists");
             let lp = self.lp_slot(ev.dst());
-            let sends = lp.process(model.as_ref(), ev);
+            sends.clear();
+            let n = lp.process_into(model.as_ref(), ev, &mut sends);
             self.stats.processed += 1;
             out.processed += 1;
-            out.sent += sends.len() as u32;
-            self.stats.events_sent += sends.len() as u64;
-            for ev in sends {
+            out.sent += n as u32;
+            self.stats.events_sent += n as u64;
+            for ev in sends.drain(..) {
                 let dst_thread = self.map.thread_of(ev.dst());
                 if dst_thread == self.tid {
                     let d = self.deliver(Msg::Event(ev), outbox);
@@ -311,6 +323,7 @@ impl<M: Model> ThreadEngine<M> {
                 }
             }
         }
+        self.send_buf = sends;
         out.remote_msgs = outbox.len() as u32;
         out
     }
@@ -330,6 +343,7 @@ impl<M: Model> ThreadEngine<M> {
     ) -> BatchOutcome {
         let mut out = BatchOutcome::default();
         let model = Arc::clone(&self.model);
+        let mut sends = std::mem::take(&mut self.send_buf);
         for _ in 0..max {
             let Some(min) = self.pending.min_key() else {
                 break;
@@ -339,12 +353,13 @@ impl<M: Model> ThreadEngine<M> {
             }
             let ev = self.pending.pop_min().expect("min exists");
             let lp = self.lp_slot(ev.dst());
-            let sends = lp.process(model.as_ref(), ev);
+            sends.clear();
+            let n = lp.process_into(model.as_ref(), ev, &mut sends);
             self.stats.processed += 1;
             out.processed += 1;
-            out.sent += sends.len() as u32;
-            self.stats.events_sent += sends.len() as u64;
-            for ev in sends {
+            out.sent += n as u32;
+            self.stats.events_sent += n as u64;
+            for ev in sends.drain(..) {
                 let dst_thread = self.map.thread_of(ev.dst());
                 if dst_thread == self.tid {
                     let d = self.deliver(Msg::Event(ev), outbox);
@@ -354,6 +369,7 @@ impl<M: Model> ThreadEngine<M> {
                 }
             }
         }
+        self.send_buf = sends;
         out.remote_msgs = outbox.len() as u32;
         out
     }
@@ -395,6 +411,18 @@ impl<M: Model> ThreadEngine<M> {
     /// committed and will never re-send them. Events with `send_time ≥ gvt`
     /// are deliberately *excluded* — the restored run re-executes their
     /// senders and deterministically re-sends them with identical UIDs.
+    ///
+    /// Cut-crossing events are **copied**, not pooled or moved, and that is
+    /// load-bearing: the checkpoint escapes the engine (serialized to disk /
+    /// shipped to the assembler on another thread) while the live run keeps
+    /// executing — the originals stay in the pending set to be processed and
+    /// in the processed lists to back future rollbacks. A moved event would
+    /// have to be re-inserted on the hot path after assembly, re-introducing
+    /// per-event bookkeeping on every commit to pay for the rare checkpoint.
+    /// `copies_cut_events_and_leaves_engine_untouched` pins this down. The
+    /// copies are sorted by key: the underlying pending iteration is
+    /// unordered (hash map), and a checkpoint's byte stream must be
+    /// deterministic for digest comparison and replay.
     pub fn snapshot_at_gvt(&self, gvt: VirtualTime) -> CutSnapshot<M::State, M::Payload> {
         let mut lps = Vec::with_capacity(self.lps.len());
         let mut events = Vec::new();
@@ -428,6 +456,7 @@ impl<M: Model> ThreadEngine<M> {
                 events.push(ev.clone());
             }
         }
+        events.sort_unstable_by_key(|e| e.key);
         (lps, events)
     }
 
@@ -778,6 +807,54 @@ mod tests {
         assert_eq!(eng.stats().commit_digest, reference.stats().commit_digest);
         assert_eq!(eng.state_digests(), reference.state_digests());
         assert_eq!(eng.pending_digest(), reference.pending_digest());
+    }
+
+    #[test]
+    fn copies_cut_events_and_leaves_engine_untouched() {
+        // Checkpoint assembly must deep-copy cut-crossing events: the live
+        // engine keeps running with the originals (pending events get
+        // processed, processed entries back rollbacks), so the cut cannot
+        // steal them — and the copies must come out key-sorted even though
+        // the pending set iterates unordered.
+        let model = Arc::new(Ping { n: 4 });
+        let map = LpMap::new(4, 1, crate::mapping::MapKind::RoundRobin);
+        let c = cfg(10.0);
+        let mut eng = ThreadEngine::new(Arc::clone(&model), map, SimThreadId(0), &c);
+        let mut outbox = Vec::new();
+        for (_, msg) in eng.take_init_events() {
+            eng.deliver(msg, &mut outbox);
+        }
+        for _ in 0..2 {
+            eng.process_batch(2, &mut outbox);
+        }
+        let gvt = eng.local_min();
+        eng.fossil_collect(gvt);
+        let before_pending = eng.pending_len();
+        let before_history = eng.history_len();
+        let before_digest = eng.pending_digest();
+
+        let (_, events) = eng.snapshot_at_gvt(gvt);
+        assert!(
+            events.windows(2).all(|w| w[0].key < w[1].key),
+            "cut events must be key-sorted for a deterministic byte stream"
+        );
+
+        // The cut took copies: nothing moved out of the engine...
+        assert_eq!(eng.pending_len(), before_pending);
+        assert_eq!(eng.history_len(), before_history);
+        assert_eq!(eng.pending_digest(), before_digest);
+
+        // ...and the live run continues to completion as if no checkpoint
+        // had been taken.
+        let reference = single_thread_run(4, 10.0);
+        loop {
+            if eng.process_batch(8, &mut outbox).processed == 0 {
+                break;
+            }
+        }
+        eng.finalize();
+        assert_eq!(eng.stats().commit_digest, reference.stats().commit_digest);
+        assert_eq!(eng.state_digests(), reference.state_digests());
     }
 
     #[test]

@@ -589,9 +589,19 @@ impl<P: Clone + Serialize> IngestGate<P> {
     /// Re-inject after an **in-process** restore from a cut at `cut_gvt`:
     /// the cut holds every accepted event with `send_time < cut_gvt`, so the
     /// complement (`send_time ≥ cut_gvt`) is handed back to `sink` — exactly
-    /// once, from the accepted map the surviving gate still holds.
+    /// once, from the accepted map the surviving gate still holds. A restart
+    /// from genesis passes `cut_gvt = 0` and gets everything ever accepted.
+    /// Any staged cross-process replay suffix is discarded: it is a subset
+    /// of what `sink` receives here, and letting the next pump inject it
+    /// too would commit those ids twice.
     pub fn reinject_after_restore(&self, cut_gvt: VirtualTime, sink: &mut dyn FnMut(Event<P>)) {
         let mut g = self.lock();
+        // `recover` pre-charged `stats.replayed` for the staged suffix; the
+        // discard hands those events to `sink` below instead, so drop the
+        // pre-charge rather than count them twice.
+        let discarded = g.staged_replay.len() as u64;
+        g.staged_replay.clear();
+        g.stats.replayed = g.stats.replayed.saturating_sub(discarded);
         g.floor_ticks = g.floor_ticks.max(cut_gvt.ticks());
         let mut evs: Vec<Event<P>> = g
             .accepted

@@ -5,7 +5,7 @@
 // borrowed fields are read again; the contexts carry no destructor.
 #![allow(clippy::drop_non_drop)]
 
-use crate::event::{Event, EventKey};
+use crate::event::{BufPool, Event, EventKey};
 use crate::ids::LpId;
 use crate::model::{Model, SendCtx};
 use crate::rng::DetRng;
@@ -71,6 +71,13 @@ pub struct Lp<M: Model> {
     snapshot_every: u32,
     /// Entries processed since the last snapshot-bearing entry.
     since_snapshot: u32,
+    /// Recycled sent-key buffers: every [`ProcessedEntry::sent`] list comes
+    /// from here and goes back on commit/rollback, so steady-state
+    /// processing allocates no per-event list.
+    key_pool: BufPool<EventKey>,
+    /// Scratch send buffer for coast-forward replay (sends are suppressed,
+    /// so the buffer only exists to be compared against the recorded keys).
+    replay_buf: Vec<Event<M::Payload>>,
 }
 
 /// Order-independent 64-bit digest of an event key.
@@ -104,6 +111,8 @@ impl<M: Model> Lp<M> {
             committed_lvt: VirtualTime::ZERO,
             snapshot_every: period,
             since_snapshot: 0,
+            key_pool: BufPool::new(),
+            replay_buf: Vec::new(),
         }
     }
 
@@ -155,13 +164,24 @@ impl<M: Model> Lp<M> {
             .is_ok()
     }
 
-    /// Optimistically process `event`: snapshot, execute the handler, record
-    /// the entry. Returns the events sent by the handler.
+    /// Optimistically process `event`: snapshot (per the sparse-saving
+    /// policy), execute the handler, record the entry. The handler's sends
+    /// are **appended** to `out`; the number appended is returned.
+    ///
+    /// This is the zero-allocation hot path: the caller owns and reuses
+    /// `out`, the sent-key list comes from the LP's buffer pool, and a
+    /// snapshot is only taken every `snapshot_period`-th event (cheap for
+    /// heap-free model states, skipped entirely in between).
     ///
     /// # Panics
     /// Debug-asserts that `event` is not a straggler — callers must roll back
     /// first.
-    pub fn process(&mut self, model: &M, event: Event<M::Payload>) -> Vec<Event<M::Payload>> {
+    pub fn process_into(
+        &mut self,
+        model: &M,
+        event: Event<M::Payload>,
+        out: &mut Vec<Event<M::Payload>>,
+    ) -> usize {
         debug_assert!(
             !self.is_straggler(&event.key),
             "process() called with straggler {:?} (last {:?})",
@@ -181,46 +201,56 @@ impl<M: Model> Lp<M> {
         } else {
             self.since_snapshot + 1
         };
-        let mut out = Vec::new();
+        let start = out.len();
         let mut ctx = SendCtx::new(
             self.id,
             event.key.recv_time,
             &mut self.rng,
             &mut self.send_seq,
-            &mut out,
+            out,
         );
         model.handle_event(self.id, &mut self.state, &event.payload, &mut ctx);
         drop(ctx);
-        self.processed.push_back(ProcessedEntry {
-            sent: out.iter().map(|e| e.key).collect(),
-            event,
-            pre,
-        });
+        let mut sent = self.key_pool.get();
+        sent.extend(out[start..].iter().map(|e| e.key));
+        self.processed
+            .push_back(ProcessedEntry { sent, event, pre });
+        out.len() - start
+    }
+
+    /// [`Self::process_into`] returning the sends as a fresh `Vec`
+    /// (convenience for tests and cold paths).
+    pub fn process(&mut self, model: &M, event: Event<M::Payload>) -> Vec<Event<M::Payload>> {
+        let mut out = Vec::new();
+        self.process_into(model, event, &mut out);
         out
     }
 
     /// Re-execute the processed entries `[from..]` starting from the current
     /// (just-restored) state, with sends suppressed: the original sends are
     /// already in flight, and deterministic handlers reproduce them exactly
-    /// (debug builds verify this).
+    /// (debug builds verify this). Split-borrows `self` so no entry is
+    /// cloned; the replay sends land in the reused scratch buffer.
     fn coast_forward(&mut self, model: &M, from: usize) {
-        for i in from..self.processed.len() {
-            let event = self.processed[i].event.clone();
-            let mut out = Vec::new();
-            let mut ctx = SendCtx::new(
-                self.id,
-                event.key.recv_time,
-                &mut self.rng,
-                &mut self.send_seq,
-                &mut out,
-            );
-            model.handle_event(self.id, &mut self.state, &event.payload, &mut ctx);
+        let Lp {
+            id,
+            state,
+            rng,
+            send_seq,
+            processed,
+            replay_buf,
+            ..
+        } = self;
+        for entry in processed.iter().skip(from) {
+            replay_buf.clear();
+            let mut ctx = SendCtx::new(*id, entry.event.key.recv_time, rng, send_seq, replay_buf);
+            model.handle_event(*id, state, &entry.event.payload, &mut ctx);
             drop(ctx);
             debug_assert_eq!(
-                out.iter().map(|e| e.key).collect::<Vec<_>>(),
-                self.processed[i].sent,
+                replay_buf.iter().map(|e| e.key).collect::<Vec<_>>(),
+                entry.sent,
                 "non-deterministic model: replay of {:?} sent different events",
-                event.key
+                entry.event.key
             );
         }
     }
@@ -238,8 +268,9 @@ impl<M: Model> Lp<M> {
         let mut state = snap.state;
         let mut rng = snap.rng;
         let mut send_seq = snap.send_seq;
+        let mut out = Vec::new();
         for entry in self.processed.iter().take(at).skip(base) {
-            let mut out = Vec::new();
+            out.clear();
             let mut ctx = SendCtx::new(
                 self.id,
                 entry.event.key.recv_time,
@@ -290,6 +321,7 @@ impl<M: Model> Lp<M> {
             }
             let entry = self.processed.pop_back().expect("non-empty");
             rb.antis.extend(entry.sent.iter().copied());
+            self.key_pool.put(entry.sent);
             rb.reinserted.push(entry.event);
             earliest_pre = entry.pre;
             rb.undone += 1;
@@ -349,6 +381,7 @@ impl<M: Model> Lp<M> {
             let entry = self.processed.pop_front().expect("cut <= len");
             self.commit_digest ^= key_digest(&entry.event.key);
             self.committed_lvt = entry.event.key.recv_time;
+            self.key_pool.put(entry.sent);
         }
         self.committed += cut as u64;
         cut as u64

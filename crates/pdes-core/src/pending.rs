@@ -1,8 +1,25 @@
 //! The per-thread pending event set.
 //!
-//! A `BTreeMap` keyed by the total event order gives deterministic iteration,
-//! O(log n) insert/pop-min, and — crucially for Time Warp — O(log n) exact
-//! removal when an anti-message annihilates an unprocessed event.
+//! Hot-path layout: a min-heap of event keys for ordering plus a hash map
+//! from key to event for O(1) exact removal when an anti-message annihilates
+//! an unprocessed event. Both structures reach a steady-state capacity and
+//! then stop allocating — unlike the previous `BTreeMap`, which boxed a tree
+//! node per insert and made every event cost a heap allocation.
+//!
+//! Determinism: the map uses a fixed-key FxHash ([`DetHash`]) — never
+//! `RandomState` — so any code path that observes map internals behaves
+//! identically across runs. Ordering queries never consult the map's
+//! iteration order: `pop_min`/`min_key` are driven by the heap, and
+//! [`PendingSet::iter`] is documented as **unordered** (callers that need an
+//! order sort; the digest folds are XOR and order-independent).
+//!
+//! Cancellation is lazy: removing a key from the map leaves its heap entry
+//! behind as a tombstone. The invariant is that the heap *top* is always
+//! live — after any pop or top-cancel, stale tops are purged — so `min_key`
+//! and `min_time` stay `&self` and O(1). A tombstone buried deeper is
+//! dropped when it surfaces. The same key can legitimately appear twice in
+//! the heap (anti-then-resend: cancel parks a tombstone, the re-sent twin
+//! pushes a fresh entry); the map always holds at most one.
 //!
 //! Anti-messages can arrive *before* their positive twin (the positive and
 //! the anti may be enqueued by different threads after a rollback on the
@@ -11,7 +28,58 @@
 
 use crate::event::{Event, EventKey};
 use crate::time::VirtualTime;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash with a fixed key: deterministic across runs and platforms, ~1 ns
+/// per `EventKey`. The standard library's `RandomState` would randomize
+/// iteration order per process — poison for a deterministic simulator.
+#[derive(Default)]
+pub struct DetHash {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for DetHash {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A `HashMap` with deterministic (fixed-seed) hashing.
+pub type DetHashMap<K, V> = HashMap<K, V, BuildHasherDefault<DetHash>>;
 
 /// Outcome of inserting a positive event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +102,9 @@ pub enum CancelOutcome {
 /// Pending (unprocessed) events of one simulation thread, across all its LPs.
 #[derive(Debug)]
 pub struct PendingSet<P> {
-    events: BTreeMap<EventKey, Event<P>>,
+    /// Min-heap of keys; may hold tombstones below the top (see module docs).
+    heap: BinaryHeap<Reverse<EventKey>>,
+    events: DetHashMap<EventKey, Event<P>>,
     /// Anti-messages whose positive twin has not arrived yet.
     orphan_antis: BTreeSet<EventKey>,
 }
@@ -48,8 +118,21 @@ impl<P> Default for PendingSet<P> {
 impl<P> PendingSet<P> {
     pub fn new() -> Self {
         PendingSet {
-            events: BTreeMap::new(),
+            heap: BinaryHeap::new(),
+            events: DetHashMap::default(),
             orphan_antis: BTreeSet::new(),
+        }
+    }
+
+    /// Drop tombstones off the top of the heap until the top is live (or the
+    /// heap is empty) — restores the `min_key` invariant after a removal.
+    #[inline]
+    fn purge_top(&mut self) {
+        while let Some(Reverse(k)) = self.heap.peek() {
+            if self.events.contains_key(k) {
+                break;
+            }
+            self.heap.pop();
         }
     }
 
@@ -64,20 +147,35 @@ impl<P> PendingSet<P> {
         if self.orphan_antis.remove(&event.key) {
             return InsertOutcome::Annihilated;
         }
-        let prev = self.events.insert(event.key, event);
+        let key = event.key;
+        let prev = self.events.insert(key, event);
         assert!(prev.is_none(), "duplicate pending event key");
+        self.heap.push(Reverse(key));
         InsertOutcome::Inserted
     }
 
     /// Apply an anti-message for `key`.
     pub fn cancel(&mut self, key: &EventKey) -> CancelOutcome {
         if self.events.remove(key).is_some() {
+            // The heap entry becomes a tombstone; fix the top if we just
+            // killed it. A cancellation storm can bloat the heap with buried
+            // tombstones, so compact once they clearly dominate.
+            self.purge_top();
+            if self.heap.len() > 64 && self.heap.len() > 2 * self.events.len() {
+                self.compact();
+            }
             CancelOutcome::Removed
         } else {
             let fresh = self.orphan_antis.insert(*key);
             assert!(fresh, "duplicate anti-message for {key:?}");
             CancelOutcome::Deferred
         }
+    }
+
+    /// Rebuild the heap from the live key set, dropping every tombstone.
+    fn compact(&mut self) {
+        self.heap.clear();
+        self.heap.extend(self.events.keys().map(|k| Reverse(*k)));
     }
 
     /// Remove a parked anti-message (the caller resolved it another way,
@@ -89,17 +187,31 @@ impl<P> PendingSet<P> {
 
     /// Remove and return the lowest-keyed pending event.
     pub fn pop_min(&mut self) -> Option<Event<P>> {
-        let key = *self.events.keys().next()?;
-        self.events.remove(&key)
+        let Reverse(key) = self.heap.pop()?;
+        let ev = self
+            .events
+            .remove(&key)
+            .expect("heap top is always live (invariant)");
+        // Every heap entry is either live (one map entry) or a tombstone, so
+        // `heap.len() - events.len()` counts outstanding tombstones exactly.
+        // When it is zero — the common case on the hot path; cancels are
+        // rare — the new top is provably live and the purge's per-pop hash
+        // probe is skipped entirely.
+        if self.heap.len() != self.events.len() {
+            self.purge_top();
+        }
+        Some(ev)
     }
 
     /// Key of the lowest pending event without removing it.
+    #[inline]
     pub fn min_key(&self) -> Option<EventKey> {
-        self.events.keys().next().copied()
+        self.heap.peek().map(|Reverse(k)| *k)
     }
 
     /// Receive time of the lowest pending event, or `INFINITY` when empty —
     /// the thread's contribution to the GVT minimum.
+    #[inline]
     pub fn min_time(&self) -> VirtualTime {
         self.min_key()
             .map(|k| k.recv_time)
@@ -120,7 +232,9 @@ impl<P> PendingSet<P> {
         self.orphan_antis.len()
     }
 
-    /// Iterate pending events in key order (testing / debugging).
+    /// Iterate pending events in **unspecified order**. Callers that need a
+    /// deterministic order must sort (checkpoint assembly does); the digest
+    /// folds over this iterator are XOR and thus order-independent.
     pub fn iter(&self) -> impl Iterator<Item = &Event<P>> {
         self.events.values()
     }
@@ -164,6 +278,7 @@ mod tests {
         ps.insert(e.clone());
         assert_eq!(ps.cancel(&e.key), CancelOutcome::Removed);
         assert!(ps.is_empty());
+        assert_eq!(ps.min_key(), None, "tombstone must not surface");
     }
 
     #[test]
@@ -202,5 +317,79 @@ mod tests {
         ps.insert(ev(1.0, 2, 0, 0));
         ps.insert(ev(1.0, 1, 0, 1));
         assert_eq!(ps.pop_min().unwrap().key.dst, LpId(1));
+    }
+
+    #[test]
+    fn cancel_then_reinsert_same_key_stays_ordered() {
+        // Anti-then-resend leaves a tombstone and a live entry for the same
+        // key in the heap; the live one must pop exactly once.
+        let mut ps = PendingSet::new();
+        let e = ev(2.0, 0, 0, 0);
+        ps.insert(e.clone());
+        ps.insert(ev(1.0, 0, 0, 1));
+        assert_eq!(ps.cancel(&e.key), CancelOutcome::Removed);
+        ps.insert(e.clone());
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.pop_min().unwrap().key.uid.seq, 1);
+        assert_eq!(ps.pop_min().unwrap().key, e.key);
+        assert_eq!(ps.pop_min(), None);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn buried_tombstones_never_resurface() {
+        let mut ps = PendingSet::new();
+        let doomed: Vec<_> = (0..10).map(|i| ev(5.0 + i as f64, 0, 0, i)).collect();
+        for e in &doomed {
+            ps.insert(e.clone());
+        }
+        ps.insert(ev(1.0, 0, 0, 100));
+        for e in &doomed {
+            // Buried behind the t=1.0 top: all become tombstones.
+            assert_eq!(ps.cancel(&e.key), CancelOutcome::Removed);
+        }
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.pop_min().unwrap().key.uid.seq, 100);
+        assert_eq!(ps.pop_min(), None);
+    }
+
+    #[test]
+    fn compaction_keeps_live_set_intact() {
+        let mut ps = PendingSet::new();
+        ps.insert(ev(0.5, 0, 0, 1000));
+        // Enough cancel traffic to trip the tombstone compaction threshold.
+        for i in 0..200 {
+            let e = ev(10.0 + i as f64, 0, 0, i);
+            ps.insert(e.clone());
+            if i % 2 == 0 {
+                ps.cancel(&e.key);
+            }
+        }
+        assert_eq!(ps.len(), 101);
+        let mut times: Vec<f64> = std::iter::from_fn(|| ps.pop_min())
+            .map(|e| e.key.recv_time.as_f64())
+            .collect();
+        assert_eq!(times.len(), 101);
+        let sorted = {
+            let mut s = times.clone();
+            s.sort_by(f64::total_cmp);
+            s
+        };
+        assert_eq!(times, sorted, "pop order must stay ascending");
+        assert_eq!(times.remove(0), 0.5);
+    }
+
+    #[test]
+    fn det_hash_is_stable() {
+        // The whole point of DetHash: the same key hashes identically in
+        // every process, so runs are reproducible.
+        use std::hash::{Hash, Hasher};
+        let key = ev(3.25, 7, 2, 9).key;
+        let mut h1 = DetHash::default();
+        key.hash(&mut h1);
+        let mut h2 = DetHash::default();
+        key.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+        assert_ne!(h1.finish(), 0);
     }
 }

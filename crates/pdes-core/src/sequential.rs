@@ -8,15 +8,43 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::config::EngineConfig;
-use crate::event::Msg;
+use crate::event::{Event, Msg};
 use crate::ids::LpId;
 use crate::lp::{key_digest, Lp, Snapshot};
 use crate::mapping::LpMap;
 use crate::model::Model;
-use crate::pending::PendingSet;
 use crate::time::VirtualTime;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+/// Min-heap entry ordering events by full key.
+///
+/// The sequential oracle never sees an anti-message (nothing is ever rolled
+/// back), so the engines' [`crate::pending::PendingSet`] — whose hash-map
+/// index exists solely for O(1) cancellation — is pure overhead here. A
+/// plain binary heap of events drops the per-event hash insert/remove from
+/// the oracle's hot loop.
+struct ByKey<P>(Event<P>);
+
+impl<P> PartialEq for ByKey<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key == other.0.key
+    }
+}
+impl<P> Eq for ByKey<P> {}
+impl<P> PartialOrd for ByKey<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for ByKey<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest key.
+        other.0.key.cmp(&self.0.key)
+    }
+}
 
 /// Outcome of a sequential run: everything needed to validate a parallel run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,17 +87,24 @@ pub fn run_sequential_with<M: Model>(
     // A single "thread" owning every LP reuses the LP bookkeeping as-is.
     let map = LpMap::new(num_lps, 1, cfg.mapping);
     let mut lps: Vec<Lp<M>> = (0..num_lps)
-        .map(|i| Lp::new(model.as_ref(), LpId(i as u32), cfg.seed))
+        .map(|i| {
+            Lp::with_snapshot_period(
+                model.as_ref(),
+                LpId(i as u32),
+                cfg.seed,
+                cfg.snapshot_period,
+            )
+        })
         .collect();
-    let mut pending: PendingSet<M::Payload> = PendingSet::new();
+    let mut pending: BinaryHeap<ByKey<M::Payload>> = BinaryHeap::new();
 
     for lp in &mut lps {
         for ev in lp.init_events(model.as_ref()) {
-            pending.insert(ev);
+            pending.push(ByKey(ev));
         }
     }
     for ev in extra {
-        pending.insert(ev.clone());
+        pending.push(ByKey(ev.clone()));
     }
     let _ = map; // mapping does not matter sequentially; kept for symmetry
     finish_sequential(model, cfg, max_events, lps, pending)
@@ -108,7 +143,14 @@ pub fn run_sequential_from_with<M: Model>(
         ckpt.lps.len()
     );
     let mut lps: Vec<Lp<M>> = (0..num_lps)
-        .map(|i| Lp::new(model.as_ref(), LpId(i as u32), cfg.seed))
+        .map(|i| {
+            Lp::with_snapshot_period(
+                model.as_ref(),
+                LpId(i as u32),
+                cfg.seed,
+                cfg.snapshot_period,
+            )
+        })
         .collect();
     for lck in &ckpt.lps {
         lps[lck.lp.index()].restore_from(
@@ -122,12 +164,12 @@ pub fn run_sequential_from_with<M: Model>(
             lck.lvt,
         );
     }
-    let mut pending: PendingSet<M::Payload> = PendingSet::new();
+    let mut pending: BinaryHeap<ByKey<M::Payload>> = BinaryHeap::new();
     for ev in &ckpt.events {
-        pending.insert(ev.clone());
+        pending.push(ByKey(ev.clone()));
     }
     for ev in extra {
-        pending.insert(ev.clone());
+        pending.push(ByKey(ev.clone()));
     }
     finish_sequential(model, cfg, max_events, lps, pending)
 }
@@ -139,7 +181,7 @@ fn finish_sequential<M: Model>(
     cfg: &EngineConfig,
     max_events: Option<u64>,
     mut lps: Vec<Lp<M>>,
-    mut pending: PendingSet<M::Payload>,
+    mut pending: BinaryHeap<ByKey<M::Payload>>,
 ) -> SequentialResult {
     let mut committed: u64 = lps.iter().map(|lp| lp.committed).sum();
     let mut commit_digest: u64 = lps.iter().fold(0, |d, lp| d ^ lp.commit_digest);
@@ -148,34 +190,44 @@ fn finish_sequential<M: Model>(
         .map(|lp| lp.committed_lvt)
         .max()
         .unwrap_or(VirtualTime::ZERO);
+    // One send buffer reused across the whole run: the loop below is
+    // allocation-free per event after warmup (see tests/alloc_regression.rs).
+    let mut sends = Vec::new();
     loop {
         if let Some(cap) = max_events {
             if committed >= cap {
                 break;
             }
         }
-        let Some(min) = pending.min_key() else {
+        let Some(min) = pending.peek() else {
             break;
         };
-        if min.recv_time > cfg.end_time {
+        if min.0.key.recv_time > cfg.end_time {
             break;
         }
-        let ev = pending.pop_min().expect("min exists");
+        let ByKey(ev) = pending.pop().expect("min exists");
         let key = ev.key;
         let lp = &mut lps[key.dst.index()];
         debug_assert!(!lp.is_straggler(&key), "sequential run cannot regress");
-        for sent in lp.process(model.as_ref(), ev) {
-            pending.insert(sent);
+        sends.clear();
+        lp.process_into(model.as_ref(), ev, &mut sends);
+        for sent in sends.drain(..) {
+            pending.push(ByKey(sent));
         }
         committed += 1;
         commit_digest ^= key_digest(&key);
         final_lvt = key.recv_time;
-        // Sequential execution never rolls back: history can be dropped
-        // immediately to keep memory flat.
-        lp.fossil_collect(model.as_ref(), VirtualTime::INFINITY);
+        // Sequential execution never rolls back, so history exists only to
+        // be dropped — but dropping it *every* event forces a state
+        // snapshot on the next one (an empty history always snapshots),
+        // defeating sparse state saving. Collect lazily instead: history
+        // stays short and the snapshot cadence follows `snapshot_period`.
+        if lp.history_len() >= 32 {
+            lp.fossil_collect(model.as_ref(), VirtualTime::INFINITY);
+        }
     }
 
-    let pending_digest = pending.iter().fold(0, |d, e| d ^ key_digest(&e.key));
+    let pending_digest = pending.iter().fold(0, |d, e| d ^ key_digest(&e.0.key));
     SequentialResult {
         committed,
         commit_digest,

@@ -1,0 +1,139 @@
+//! Allocation regression gate for the per-event hot path.
+//!
+//! The sequential engine loop (pop-min → `process_into` → re-insert sends
+//! → lazy fossil) is the distilled hot path every runtime shares: after
+//! warmup, all its buffers — the reused send vector, the pending set's
+//! heap and index, the LP's processed deque, and the pooled sent-key
+//! lists — have reached steady-state capacity, so processing one more
+//! event must hit the heap **zero** times. This test locks that in with
+//! a counting global allocator: any future change that re-introduces a
+//! per-event allocation (a clone on the snapshot path, a fresh `Vec` per
+//! handler call, a map that grows per insert) fails here with a count,
+//! not as a silent throughput regression.
+//!
+//! Kept as its own integration binary so the `#[global_allocator]` swap
+//! cannot perturb (or be perturbed by) unrelated tests.
+
+use pdes_core::lp::{key_digest, Lp};
+use pdes_core::pending::PendingSet;
+use pdes_core::{Event, LpId, Model, SendCtx, VirtualTime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation *and* reallocation (a growing `Vec` is as much
+/// a hot-path regression as a fresh one). Frees are not counted: dropping
+/// a warmup-phase buffer during measurement is harmless.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Ring model with heap-free state: every event mutates a `u64`, draws
+/// from the RNG, and forwards exactly one event — constant population,
+/// the same shape as the phold hot path.
+struct Ring {
+    n: usize,
+}
+impl Model for Ring {
+    type State = u64;
+    type Payload = ();
+    fn num_lps(&self) -> usize {
+        self.n
+    }
+    fn init_state(&self, _lp: LpId) -> u64 {
+        0
+    }
+    fn init_events(&self, lp: LpId, _s: &mut u64, ctx: &mut SendCtx<'_, ()>) {
+        let d = 0.5 + ctx.rng().next_f64();
+        ctx.send(lp, d, ());
+    }
+    fn handle_event(&self, lp: LpId, s: &mut u64, _p: &(), ctx: &mut SendCtx<'_, ()>) {
+        *s = s.wrapping_add(1);
+        let d = 0.5 + ctx.rng().next_f64();
+        ctx.send(LpId((lp.0 + 1) % self.n as u32), d, ());
+    }
+    fn state_digest(&self, s: &u64) -> u64 {
+        *s
+    }
+}
+
+/// Drive `count` events through the sequential hot-path loop (the same
+/// shape as `finish_sequential`), returning the commit-digest fold so the
+/// work cannot be optimized away.
+fn pump(
+    model: &Ring,
+    lps: &mut [Lp<Ring>],
+    pending: &mut PendingSet<()>,
+    sends: &mut Vec<Event<()>>,
+    count: u64,
+) -> u64 {
+    let mut digest = 0u64;
+    for _ in 0..count {
+        let ev = pending.pop_min().expect("ring population is constant");
+        let key = ev.key;
+        let lp = &mut lps[key.dst.index()];
+        sends.clear();
+        lp.process_into(model, ev, sends);
+        for sent in sends.drain(..) {
+            pending.insert(sent);
+        }
+        digest ^= key_digest(&key);
+        if lp.history_len() >= 32 {
+            lp.fossil_collect(model, VirtualTime::INFINITY);
+        }
+    }
+    digest
+}
+
+#[test]
+fn steady_state_event_loop_does_not_allocate() {
+    let model = Ring { n: 8 };
+    let mut lps: Vec<Lp<Ring>> = (0..model.n)
+        .map(|i| Lp::with_snapshot_period(&model, LpId(i as u32), 42, 4))
+        .collect();
+    let mut pending: PendingSet<()> = PendingSet::new();
+    for lp in &mut lps {
+        for ev in lp.init_events(&model) {
+            pending.insert(ev);
+        }
+    }
+    let mut sends: Vec<Event<()>> = Vec::new();
+
+    // Warmup: let every buffer, pool, and map reach steady-state capacity.
+    // 5000 events ≈ 150 fossil cycles per LP — far past any growth curve.
+    let warm_digest = pump(&model, &mut lps, &mut pending, &mut sends, 5000);
+    assert_ne!(warm_digest, 0, "warmup actually processed events");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let digest = pump(&model, &mut lps, &mut pending, &mut sends, 2000);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_ne!(digest, 0, "measured phase actually processed events");
+    assert_eq!(
+        after - before,
+        0,
+        "hot path allocated {} times across 2000 steady-state events \
+         (expected zero: every per-event buffer must be reused)",
+        after - before
+    );
+}

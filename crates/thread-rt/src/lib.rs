@@ -14,6 +14,7 @@
 //! lock-free); see DESIGN.md.
 
 pub mod affinity;
+pub mod batch;
 pub mod ckpt;
 pub mod runner;
 pub mod shared;
@@ -22,6 +23,7 @@ pub mod sync;
 pub mod worker;
 
 pub use affinity::AffinityState;
+pub use batch::SendBatcher;
 pub use ckpt::CkptSink;
 pub use runner::{
     run_threads, run_threads_attempt, run_threads_ingest, run_threads_resumable, RtAttempt,

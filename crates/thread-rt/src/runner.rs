@@ -13,7 +13,7 @@ use crate::worker::{controller_loop, worker_loop, WorkerResult};
 use metrics::RunMetrics;
 use pdes_core::{
     Checkpoint, EngineConfig, FaultInjector, FaultPlan, IngestError, IngestGate, LpId, LpMap,
-    Model, Msg, SimThreadId, StallDump, ThreadEngine,
+    Model, Msg, SimThreadId, StallDump, ThreadEngine, VirtualTime,
 };
 use sim_rt::{Scheduler, SystemConfig};
 use std::path::PathBuf;
@@ -269,12 +269,17 @@ pub fn run_threads_attempt<M: Model>(
         }
         engines.push(eng);
     }
-    if let (Some(c), Some(g)) = (resume, &gate) {
-        // Replay the accepted-but-uncut ingest suffix: the cut at `c.gvt`
+    if let Some(g) = &gate {
+        // Replay the accepted-but-uncut ingest suffix: a cut at `c.gvt`
         // holds every accepted event with `send_time < c.gvt`; the
         // complement is re-pushed here, before any worker starts, so each
         // accepted idempotency id commits exactly once across the restore.
-        g.reinject_after_restore(c.gvt, &mut |ev| {
+        // A restart from genesis (a prior attempt died before the first
+        // checkpoint deposit) has an empty cut, so everything ever accepted
+        // is re-pushed — the gate dedups client retries as `Duplicate`, so
+        // nothing else will carry those ids back in.
+        let cut = resume.map(|c| c.gvt).unwrap_or(VirtualTime::ZERO);
+        g.reinject_after_restore(cut, &mut |ev| {
             let dst = map.thread_of(ev.key.dst).index();
             shared.push_msg(0, dst, Msg::Event(ev));
         });

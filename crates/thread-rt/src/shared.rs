@@ -490,6 +490,15 @@ impl<P> RtShared<P> {
     /// Enqueue on a local (window-relative) destination.
     fn push_local(&self, dst: usize, msg: Msg<P>) {
         let t = msg.recv_time();
+        self.backpressure_wait(dst);
+        self.queues[dst].push(msg);
+        fetch_min(&self.queue_min[dst], t);
+        self.queue_len[dst].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Under a backpressure fault plan, wait (bounded) for the destination
+    /// queue to fall below capacity; messages are never dropped.
+    fn backpressure_wait(&self, dst: usize) {
         if let Some(bp) = self.faults.backpressure() {
             let mut retries = 0u64;
             for attempt in 0..bp.max_retries {
@@ -507,9 +516,65 @@ impl<P> RtShared<P> {
             }
             self.faults.note_backpressure_retries(retries);
         }
-        self.queues[dst].push(msg);
+    }
+
+    /// One past the highest global thread id this process can address
+    /// locally (`num_threads` for unsharded runs) — sizes the send
+    /// batcher's per-destination buffers.
+    #[inline]
+    pub fn global_threads(&self) -> usize {
+        self.thread_base + self.num_threads
+    }
+
+    /// `true` when global thread id `dst` falls inside this process's shard
+    /// window (always true for unsharded runs). The send batcher buffers
+    /// only local destinations; boundary-crossing messages keep the
+    /// immediate path so their latency stays governed by the distributed
+    /// GVT tracker.
+    #[inline]
+    pub fn dst_is_local(&self, dst: usize) -> bool {
+        self.remote.is_none()
+            || (dst >= self.thread_base && dst < self.thread_base + self.num_threads)
+    }
+
+    /// Publish `t` into thread `me`'s send window *without* enqueueing — the
+    /// coverage half of [`Self::push_msg`], used by the send batcher at
+    /// buffer time. A message buffered locally is invisible to the
+    /// destination's `queue_min`, so it must stay covered by the sender's
+    /// window until the flush lands it in a queue. The window is only reset
+    /// by this thread's own [`Self::fold_min`], and the worker flushes
+    /// before every fold, so coverage never lapses.
+    #[inline]
+    pub fn publish_window(&self, me: usize, t: VirtualTime) {
+        fetch_min(&self.window_min[me], t);
+    }
+
+    /// Bulk enqueue on a local destination (global thread id): one queue
+    /// lock and one length update for the whole batch, preserving order.
+    ///
+    /// Callers must have already published every message into their send
+    /// window via [`Self::publish_window`] — this method only re-covers the
+    /// batch on the destination's `queue_min` after the push, exactly like
+    /// the per-message path.
+    pub fn push_batch(&self, dst: usize, msgs: &mut Vec<Msg<P>>) {
+        if msgs.is_empty() {
+            return;
+        }
+        debug_assert!(self.dst_is_local(dst), "push_batch is local-only");
+        let dst = if self.remote.is_some() {
+            dst - self.thread_base
+        } else {
+            dst
+        };
+        self.backpressure_wait(dst);
+        let n = msgs.len();
+        let mut t = VirtualTime::INFINITY;
+        for m in msgs.iter() {
+            t = t.min(m.recv_time());
+        }
+        self.queues[dst].push_batch(msgs);
         fetch_min(&self.queue_min[dst], t);
-        self.queue_len[dst].fetch_add(1, Ordering::AcqRel);
+        self.queue_len[dst].fetch_add(n, Ordering::AcqRel);
     }
 
     /// Drain the input queue of `me` into `out`; returns the count.
@@ -520,11 +585,7 @@ impl<P> RtShared<P> {
         if self.faults.is_enabled() {
             return self.drain_with_faults(me, out);
         }
-        let mut n = 0;
-        while let Some(m) = self.queues[me].pop() {
-            out.push(m);
-            n += 1;
-        }
+        let n = self.queues[me].drain_into(out);
         if n > 0 {
             self.queue_len[me].fetch_sub(n, Ordering::AcqRel);
         }
@@ -628,10 +689,7 @@ impl<P> RtShared<P> {
             n += held.len();
             out.extend(held.drain(..));
         }
-        while let Some(m) = self.queues[me].pop() {
-            out.push(m);
-            n += 1;
-        }
+        n += self.queues[me].drain_into(out);
         if n > 0 {
             self.queue_len[me].fetch_sub(n, Ordering::AcqRel);
         }

@@ -2,6 +2,7 @@
 //! demand-driven scheduling, executed inline on a real OS thread.
 
 use crate::affinity::{current_tid, note_pin_failure, pin_to_core, OsTid};
+use crate::batch::SendBatcher;
 use crate::ckpt::CkptSink;
 use crate::shared::RtShared;
 use pdes_core::{EngineConfig, LpId, Model, Msg, Outbound, ThreadEngine, VirtualTime};
@@ -44,6 +45,10 @@ pub fn worker_loop<M: Model>(
 
     let mut inbox: Vec<Msg<M::Payload>> = Vec::new();
     let mut outbox: Vec<Outbound<M::Payload>> = Vec::new();
+    // Outgoing messages accumulate here and land as one bulk push per
+    // destination; see `crate::batch` for the coverage argument and the
+    // flush policy (cycle end, batch-full, before every GVT fold).
+    let mut batcher: SendBatcher<M::Payload> = SendBatcher::new(sh.global_threads(), 64);
     let mut cycles_since_gvt: u64 = 0;
     let mut total_cycles: u64 = 0;
     let mut zero_counter: u64 = 0;
@@ -58,6 +63,7 @@ pub fn worker_loop<M: Model>(
     let cycle = |engine: &mut ThreadEngine<M>,
                  inbox: &mut Vec<Msg<M::Payload>>,
                  outbox: &mut Vec<Outbound<M::Payload>>,
+                 batcher: &mut SendBatcher<M::Payload>,
                  zero_counter: &mut u64,
                  active_flag: &mut bool,
                  idle_spins: &mut u32,
@@ -79,8 +85,13 @@ pub fn worker_loop<M: Model>(
         }
         let batch = engine.process_batch(ecfg.batch_size, outbox);
         for (dst, msg) in outbox.drain(..) {
-            sh.push_msg(me, dst.index(), msg);
+            batcher.buffer(sh, me, dst.index(), msg);
         }
+        // Flush at the cycle boundary: the batch above either advanced LVT
+        // (processed events) or the thread is about to go idle — in both
+        // cases the peer must see this cycle's sends now. Batch-full
+        // overflow within the cycle already flushed inline.
+        batcher.flush(sh);
         if trace {
             let undone = engine.stats().rolled_back - rb0;
             if batch.processed > 0 || undone > 0 {
@@ -94,13 +105,23 @@ pub fn worker_loop<M: Model>(
             }
         }
         let idle = n == 0 && batch.processed == 0;
-        if idle && !engine.has_live_pending() {
-            *zero_counter += 1;
-            if *zero_counter > ecfg.zero_counter_threshold as u64 {
-                *active_flag = false;
+        if idle {
+            if !engine.has_live_pending() {
+                *zero_counter += 1;
+                if *zero_counter > ecfg.zero_counter_threshold as u64 {
+                    *active_flag = false;
+                }
             }
+            // A horizon-blocked thread (live pending beyond gvt + window) is
+            // just as idle as an empty one: it is waiting on a peer to move
+            // a GVT phase forward. On an oversubscribed host a hard spin
+            // here costs the peer a full scheduler slice per handoff, which
+            // dwarfs the event work — so escalate spin → yield → timed park
+            // and give the slice back.
             *idle_spins += 1;
-            if (*idle_spins).is_multiple_of(64) {
+            if *idle_spins >= 1024 {
+                std::thread::park_timeout(std::time::Duration::from_micros(50));
+            } else if (*idle_spins).is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -129,6 +150,7 @@ pub fn worker_loop<M: Model>(
             &mut engine,
             &mut inbox,
             &mut outbox,
+            &mut batcher,
             &mut zero_counter,
             &mut active_flag,
             &mut idle_spins,
@@ -167,7 +189,7 @@ pub fn worker_loop<M: Model>(
             GvtMode::Async => {
                 // Phase A.
                 sh.set_phase(me, 1); // gvt-a
-                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &mut batcher, &sh);
                 let local = engine.local_min();
                 sh.fold_min(me, local);
                 if trace {
@@ -189,6 +211,7 @@ pub fn worker_loop<M: Model>(
                         &mut engine,
                         &mut inbox,
                         &mut outbox,
+                        &mut batcher,
                         &mut zero_counter,
                         &mut active_flag,
                         &mut idle_spins,
@@ -203,7 +226,7 @@ pub fn worker_loop<M: Model>(
                     tracer.span(EventKind::GvtSendA, ph, now, id);
                     ph = now;
                 }
-                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &mut batcher, &sh);
                 let local = engine.local_min();
                 sh.fold_min(me, local);
                 if trace {
@@ -221,6 +244,7 @@ pub fn worker_loop<M: Model>(
                         &mut engine,
                         &mut inbox,
                         &mut outbox,
+                        &mut batcher,
                         &mut zero_counter,
                         &mut active_flag,
                         &mut idle_spins,
@@ -255,7 +279,7 @@ pub fn worker_loop<M: Model>(
                 // exit barrier = Send-B.
                 sh.set_phase(me, 9); // sync-bar0
                 sh.bars[0].wait();
-                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &sh);
+                drain_deliver(me, &mut engine, &mut inbox, &mut outbox, &mut batcher, &sh);
                 let local = engine.local_min();
                 sh.fold_min(me, local);
                 if trace {
@@ -457,6 +481,7 @@ fn drain_deliver<M: Model>(
     engine: &mut ThreadEngine<M>,
     inbox: &mut Vec<Msg<M::Payload>>,
     outbox: &mut Vec<Outbound<M::Payload>>,
+    batcher: &mut SendBatcher<M::Payload>,
     sh: &RtShared<M::Payload>,
 ) {
     inbox.clear();
@@ -466,8 +491,11 @@ fn drain_deliver<M: Model>(
         engine.deliver(m, outbox);
     }
     for (dst, msg) in outbox.drain(..) {
-        sh.push_msg(me, dst.index(), msg);
+        batcher.buffer(sh, me, dst.index(), msg);
     }
+    // Every caller folds a GVT minimum next, which resets this thread's
+    // send window — everything buffered must be in a queue before then.
+    batcher.flush(sh);
 }
 
 /// Pseudo-controller duties: GVT, termination broadcast, activation.

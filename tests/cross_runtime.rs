@@ -356,3 +356,83 @@ fn adaptive_gvt_preserves_trace_and_increases_round_frequency() {
         r_static.metrics.gvt_rounds
     );
 }
+
+/// The zero-allocation hot path is a pure mechanism change: pooled event
+/// storage, sparse state saving (`snapshot_period > 1` + coast-forward),
+/// and batched inter-thread sends must be digest-invisible on every model
+/// and every runtime. The full matrix — phold/epidemics/traffic ×
+/// {thread-rt 2/4, cons-rt 2, dist-rt 2-shard} — runs under the hot-path
+/// configuration (`snapshot_period = 8`) and must commit the oracle's
+/// exact trace.
+#[test]
+fn sparse_hot_path_matrix_agrees_with_oracle() {
+    fn check_matrix<M: Model>(model: Arc<M>, ecfg: EngineConfig, label: &str) {
+        let oracle = run_sequential(&model, &ecfg, None);
+        assert!(oracle.committed > 0, "{label}: empty oracle run");
+        let sys = SystemConfig::new(Scheduler::GgPdes, GvtMode::Async, AffinityPolicy::Constant);
+
+        for threads in [2usize, 4] {
+            let rc = thread_rt::RtRunConfig::new(threads, ecfg.clone(), sys);
+            let r = thread_rt::run_threads(&model, &rc).expect("rt run completes");
+            assert_eq!(
+                r.metrics.commit_digest, oracle.commit_digest,
+                "{label}: thread-rt {threads} digest"
+            );
+            assert_eq!(
+                r.digests, oracle.state_digests,
+                "{label}: thread-rt {threads} states"
+            );
+        }
+
+        let rc = ConsRunConfig::new(2, ecfg.clone(), sys);
+        let r = run_cons(&model, &rc).unwrap_or_else(|e| panic!("{label}: cons: {e}"));
+        assert_eq!(
+            r.metrics.commit_digest, oracle.commit_digest,
+            "{label}: cons-rt 2 digest"
+        );
+        assert_eq!(r.metrics.rolled_back, 0, "{label}: cons-rt rolled back");
+
+        let dcfg = dist_rt::DistConfig {
+            shards: 2,
+            transport: dist_rt::Transport::Mem,
+            gvt_interval_cycles: 16,
+            wave_interval_cycles: 2,
+            ..dist_rt::DistConfig::default()
+        };
+        let r = dist_rt::run_loopback(Arc::clone(&model), &ecfg, &dcfg)
+            .unwrap_or_else(|e| panic!("{label}: dist: {e}"));
+        assert_eq!(
+            r.metrics.commit_digest, oracle.commit_digest,
+            "{label}: dist-rt 2-shard digest"
+        );
+        let states: Vec<u64> = r.state_digests.iter().map(|(_, d)| *d).collect();
+        assert_eq!(
+            states, oracle.state_digests,
+            "{label}: dist-rt 2-shard states"
+        );
+    }
+
+    let sparse = engine(6.0).with_snapshot_period(8);
+
+    let phold = Arc::new(Phold::new(PholdConfig::imbalanced(
+        4,
+        4,
+        2,
+        6.0,
+        LocalityPattern::Linear,
+    )));
+    check_matrix(phold, sparse.clone(), "phold");
+
+    let mut ecfg = EpidemicsConfig::new(4, 8, 4, 6.0);
+    ecfg.incubation_mean = 0.1;
+    ecfg.infectious_mean = 0.5;
+    check_matrix(Arc::new(Epidemics::new(ecfg)), sparse.clone(), "epidemics");
+
+    let mut tcfg = TrafficConfig::new(4, 8, 0.5);
+    tcfg.travel_scale = 0.3;
+    check_matrix(
+        Arc::new(Traffic::new(tcfg)),
+        sparse.with_mapping(MapKind::Block).with_end_time(5.0),
+        "traffic",
+    );
+}

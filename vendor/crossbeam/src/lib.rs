@@ -27,6 +27,26 @@ pub mod queue {
             self.lock().pop_front()
         }
 
+        /// Bulk push: moves every element of `items` into the queue under a
+        /// single lock acquisition, preserving their order. The sending side
+        /// of the batched inter-thread hot path — N messages cost one lock
+        /// instead of N.
+        pub fn push_batch(&self, items: &mut Vec<T>) {
+            if items.is_empty() {
+                return;
+            }
+            self.lock().extend(items.drain(..));
+        }
+
+        /// Bulk pop: drains the whole queue into `out` under a single lock
+        /// acquisition, preserving FIFO order. Returns the number drained.
+        pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
+            let mut g = self.lock();
+            let n = g.len();
+            out.extend(g.drain(..));
+            n
+        }
+
         pub fn len(&self) -> usize {
             self.lock().len()
         }
@@ -70,6 +90,22 @@ pub mod queue {
                 assert_eq!(q.pop(), Some(i));
             }
             assert!(q.pop().is_none());
+        }
+
+        #[test]
+        fn batch_ops_preserve_fifo_and_interleave_with_singles() {
+            let q = SegQueue::new();
+            q.push(0);
+            let mut batch = vec![1, 2, 3];
+            q.push_batch(&mut batch);
+            assert!(batch.is_empty(), "push_batch drains its input");
+            q.push(4);
+            q.push_batch(&mut vec![5, 6]);
+            let mut out = Vec::new();
+            assert_eq!(q.drain_into(&mut out), 7);
+            assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6]);
+            assert!(q.is_empty());
+            assert_eq!(q.drain_into(&mut out), 0);
         }
 
         #[test]
